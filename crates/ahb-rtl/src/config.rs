@@ -1,0 +1,94 @@
+//! Configuration of the pin-accurate model.
+
+use amba::params::AhbPlusParams;
+use ddrc::DdrConfig;
+
+/// Configuration of a pin-accurate AHB+ platform.
+///
+/// Deliberately identical in content to `ahb_tlm::TlmConfig` so that the
+/// same parameter block drives both abstraction levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlConfig {
+    /// Bus parameters (arbitration filters, write buffer, pipelining, BI).
+    pub params: AhbPlusParams,
+    /// DDR controller configuration.
+    pub ddr: DdrConfig,
+    /// Hard simulation length limit in bus cycles.
+    pub max_cycles: u64,
+    /// Whether to attach the streaming protocol checker to the address
+    /// phases (paper §3.5). Costs a little extra time per beat.
+    pub protocol_checks: bool,
+}
+
+impl RtlConfig {
+    /// The default evaluation platform (mirrors `TlmConfig::ahb_plus`).
+    #[must_use]
+    pub fn ahb_plus() -> Self {
+        RtlConfig {
+            params: AhbPlusParams::ahb_plus(),
+            ddr: DdrConfig::ahb_plus(),
+            max_cycles: 5_000_000,
+            protocol_checks: true,
+        }
+    }
+
+    /// Plain AMBA 2.0 AHB baseline configuration.
+    #[must_use]
+    pub fn plain_ahb() -> Self {
+        RtlConfig {
+            params: AhbPlusParams::plain_ahb(),
+            ddr: DdrConfig::without_interleaving(),
+            max_cycles: 5_000_000,
+            protocol_checks: true,
+        }
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: AhbPlusParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a different cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+}
+
+impl Default for RtlConfig {
+    fn default() -> Self {
+        RtlConfig::ahb_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_full_ahb_plus() {
+        let config = RtlConfig::default();
+        assert!(config.params.request_pipelining);
+        assert!(config.params.has_write_buffer());
+        assert!(config.protocol_checks);
+    }
+
+    #[test]
+    fn plain_ahb_disables_extensions() {
+        let config = RtlConfig::plain_ahb();
+        assert!(!config.params.request_pipelining);
+        assert!(!config.params.has_write_buffer());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let config = RtlConfig::default()
+            .with_max_cycles(99)
+            .with_params(AhbPlusParams::plain_ahb());
+        assert_eq!(config.max_cycles, 99);
+        assert!(!config.params.request_pipelining);
+    }
+}

@@ -1,0 +1,119 @@
+//! The DDR controller slave adapter of the pin-accurate model.
+//!
+//! At signal level the DDR controller appears to the bus as an AHB slave:
+//! the first address phase of a burst causes wait states on `HREADY` while
+//! the bank FSMs precharge/activate and the CAS latency elapses, and each
+//! subsequent beat completes in one cycle. The adapter owns the shared
+//! [`DdrController`] (the exact same model the TLM uses) and converts its
+//! per-access [`ddrc::AccessTiming`] into a wait-state count for the bus
+//! sequencer, forwarding Bus-Interface prepare hints along the way.
+
+use amba::ids::Addr;
+use amba::txn::Transaction;
+use ddrc::{AccessTiming, DdrConfig, DdrController};
+use simkern::time::Cycle;
+
+/// The DDR slave adapter.
+#[derive(Debug, Clone)]
+pub struct DdrSlave {
+    controller: DdrController,
+    bursts_served: u64,
+}
+
+impl DdrSlave {
+    /// Creates the slave around a fresh controller.
+    #[must_use]
+    pub fn new(config: DdrConfig) -> Self {
+        DdrSlave {
+            controller: DdrController::new(config),
+            bursts_served: 0,
+        }
+    }
+
+    /// Immutable access to the wrapped controller (for statistics and the
+    /// arbiter's bank-affinity feedback).
+    #[must_use]
+    pub fn controller(&self) -> &DdrController {
+        &self.controller
+    }
+
+    /// Number of bursts the slave has accepted.
+    #[must_use]
+    pub fn bursts_served(&self) -> u64 {
+        self.bursts_served
+    }
+
+    /// Accepts the first address phase of a burst whose data phase starts at
+    /// `data_start`, and returns the wait states to insert before the first
+    /// data beat together with the full timing decomposition.
+    pub fn burst_start(&mut self, data_start: Cycle, txn: &Transaction) -> (u64, AccessTiming) {
+        let timing = self
+            .controller
+            .access(data_start, txn.addr, txn.is_write(), txn.beats());
+        self.bursts_served += 1;
+        (timing.first_data_latency().value(), timing)
+    }
+
+    /// Forwards a Bus-Interface next-transaction hint to the controller.
+    pub fn prepare(&mut self, now: Cycle, addr: Addr) {
+        self.controller.prepare(now, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::burst::BurstKind;
+    use amba::ids::MasterId;
+    use amba::signal::HSize;
+    use amba::txn::TransferDirection;
+    use ddrc::DdrTiming;
+    use ddrc::{DdrConfig, DdrGeometry};
+
+    fn config() -> DdrConfig {
+        DdrConfig {
+            timing: DdrTiming::ddr_266().without_refresh(),
+            geometry: DdrGeometry::four_bank_2k(),
+            honour_prepare_hints: true,
+        }
+    }
+
+    fn read(addr: u32, burst: BurstKind) -> Transaction {
+        Transaction::new(
+            MasterId::new(0),
+            amba::ids::Addr::new(addr),
+            TransferDirection::Read,
+            burst,
+            HSize::Word,
+        )
+    }
+
+    #[test]
+    fn first_burst_pays_activation_wait_states() {
+        let mut slave = DdrSlave::new(config());
+        let (waits, timing) = slave.burst_start(Cycle::new(10), &read(0x2000_0000, BurstKind::Incr8));
+        assert_eq!(waits, 5, "tRCD + CL on a cold bank");
+        assert_eq!(timing.data_cycles.value(), 8);
+        assert_eq!(slave.bursts_served(), 1);
+    }
+
+    #[test]
+    fn prepared_bank_reduces_wait_states() {
+        let mut cold = DdrSlave::new(config());
+        let (cold_waits, _) = cold.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
+
+        let mut warm = DdrSlave::new(config());
+        warm.prepare(Cycle::new(10), amba::ids::Addr::new(0x2000_0800));
+        let (warm_waits, _) = warm.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
+        assert!(warm_waits < cold_waits);
+    }
+
+    #[test]
+    fn controller_statistics_are_visible() {
+        let mut slave = DdrSlave::new(config());
+        slave.burst_start(Cycle::new(0), &read(0x2000_0000, BurstKind::Incr4));
+        slave.burst_start(Cycle::new(40), &read(0x2000_0040, BurstKind::Incr4));
+        assert_eq!(slave.controller().stats().accesses(), 2);
+        assert_eq!(slave.controller().stats().row_hits.value(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The AHB signal bundles of the pin-accurate model.
+//!
+//! Every externally observable wire of the bus is a two-phase
+//! [`simkern::signal::Register`]: blocks schedule new values during the
+//! evaluate phase and all wires change together at the commit phase, exactly
+//! like flops behind a common clock edge. Committing every wire of every
+//! master on every cycle — including the cycles where nothing changes — is
+//! the work a signal-level simulator cannot avoid, and it is what the
+//! transaction-level model eliminates.
+
+use amba::ids::{Addr, MasterId};
+use amba::signal::{HBurst, HResp, HSize, HTrans};
+use simkern::signal::Register;
+
+/// The signals one master drives toward the bus.
+#[derive(Debug, Clone, Default)]
+pub struct MasterPins {
+    /// `HBUSREQx` — the master wants the bus.
+    pub hbusreq: Register<bool>,
+    /// `HTRANS[1:0]` — transfer type of the current address phase.
+    pub htrans: Register<HTrans>,
+    /// `HADDR[31:0]` — address of the current address phase.
+    pub haddr: Register<Addr>,
+    /// `HBURST[2:0]` — burst kind.
+    pub hburst: Register<HBurst>,
+    /// `HSIZE[2:0]` — per-beat size.
+    pub hsize: Register<HSize>,
+    /// `HWRITE` — direction.
+    pub hwrite: Register<bool>,
+    /// AHB+ sideband: the start address of the transaction the master wants
+    /// to issue next, exported to the arbiter so it can forward
+    /// next-transaction information over the Bus Interface.
+    pub pending_addr: Register<Option<Addr>>,
+}
+
+impl MasterPins {
+    /// Creates a bundle with all wires at their reset values.
+    #[must_use]
+    pub fn new() -> Self {
+        MasterPins::default()
+    }
+
+    /// Commits every wire of the bundle (one clock edge).
+    pub fn commit(&mut self) {
+        self.hbusreq.commit();
+        self.htrans.commit();
+        self.haddr.commit();
+        self.hburst.commit();
+        self.hsize.commit();
+        self.hwrite.commit();
+        self.pending_addr.commit();
+    }
+
+    /// Schedules the idle state of the address-phase wires (bus released).
+    pub fn drive_idle(&mut self) {
+        self.htrans.load(HTrans::Idle);
+    }
+}
+
+/// The signals shared by the whole bus (driven by arbiter, decoder, slave).
+#[derive(Debug, Clone, Default)]
+pub struct SharedPins {
+    /// `HGRANTx` collapsed into "which master is granted".
+    pub hgrant: Register<Option<MasterId>>,
+    /// `HMASTER` — the master owning the current address phase.
+    pub hmaster: Register<Option<MasterId>>,
+    /// `HREADY` — the current data phase completes this cycle.
+    pub hready: Register<bool>,
+    /// `HRESP[1:0]` — slave response for the current data phase.
+    pub hresp: Register<HResp>,
+}
+
+impl SharedPins {
+    /// Creates the shared wires with `HREADY` high (idle bus accepts
+    /// transfers immediately), everything else at reset.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut pins = SharedPins::default();
+        pins.hready.load(true);
+        pins.hready.commit();
+        pins
+    }
+
+    /// Commits every shared wire (one clock edge).
+    pub fn commit(&mut self) {
+        self.hgrant.commit();
+        self.hmaster.commit();
+        self.hready.commit();
+        self.hresp.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_pins_commit_applies_all_wires() {
+        let mut pins = MasterPins::new();
+        pins.hbusreq.load(true);
+        pins.htrans.load(HTrans::NonSeq);
+        pins.haddr.load(Addr::new(0x2000_0000));
+        assert!(!pins.hbusreq.get(), "not visible before commit");
+        pins.commit();
+        assert!(pins.hbusreq.get());
+        assert_eq!(pins.htrans.get(), HTrans::NonSeq);
+        assert_eq!(pins.haddr.get(), Addr::new(0x2000_0000));
+    }
+
+    #[test]
+    fn drive_idle_schedules_idle_htrans() {
+        let mut pins = MasterPins::new();
+        pins.htrans.load(HTrans::Seq);
+        pins.commit();
+        pins.drive_idle();
+        pins.commit();
+        assert_eq!(pins.htrans.get(), HTrans::Idle);
+    }
+
+    #[test]
+    fn shared_pins_reset_with_hready_high() {
+        let pins = SharedPins::new();
+        assert!(pins.hready.get());
+        assert_eq!(pins.hgrant.get(), None);
+        assert_eq!(pins.hresp.get(), HResp::Okay);
+    }
+
+    #[test]
+    fn shared_pins_commit_applies_grant() {
+        let mut pins = SharedPins::new();
+        pins.hgrant.load(Some(MasterId::new(2)));
+        pins.commit();
+        assert_eq!(pins.hgrant.get(), Some(MasterId::new(2)));
+    }
+
+    #[test]
+    fn pending_addr_sideband_round_trips() {
+        let mut pins = MasterPins::new();
+        pins.pending_addr.load(Some(Addr::new(0x2100_0040)));
+        pins.commit();
+        assert_eq!(pins.pending_addr.get(), Some(Addr::new(0x2100_0040)));
+    }
+}

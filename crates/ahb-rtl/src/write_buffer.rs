@@ -1,0 +1,178 @@
+//! Cycle-level AHB+ write buffer block.
+//!
+//! Functionally identical to the transaction-level buffer (`ahb-tlm`): it
+//! absorbs posted writes from masters that cannot get the bus "at the right
+//! time" and competes for the bus as an extra master with its own request.
+//! The difference is purely in *when* it acts — this block is consulted once
+//! per clock cycle by the bus sequencer, not once per transaction.
+
+use std::collections::VecDeque;
+
+use amba::ids::MasterId;
+use amba::txn::Transaction;
+use simkern::time::Cycle;
+
+/// The master identifier under which the write buffer requests the bus.
+/// Kept equal to the transaction-level model's identifier so reports line up.
+pub const RTL_WRITE_BUFFER_MASTER: MasterId = MasterId::new(15);
+
+/// One absorbed posted write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostedWrite {
+    /// The absorbed transaction.
+    pub txn: Transaction,
+    /// Cycle at which the buffer accepted it.
+    pub absorbed_at: Cycle,
+}
+
+/// The cycle-level write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct RtlWriteBuffer {
+    depth: usize,
+    entries: VecDeque<PostedWrite>,
+    absorbed: u64,
+    drained: u64,
+    peak_fill: usize,
+}
+
+impl RtlWriteBuffer {
+    /// Creates a buffer of the given depth (0 disables it).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        RtlWriteBuffer {
+            depth,
+            ..RtlWriteBuffer::default()
+        }
+    }
+
+    /// Returns `true` when the buffer exists.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Returns `true` when another write can be absorbed.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.depth
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn fill(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Peak occupancy observed.
+    #[must_use]
+    pub fn peak_fill(&self) -> usize {
+        self.peak_fill
+    }
+
+    /// Writes absorbed so far.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Writes drained onto the bus so far.
+    #[must_use]
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Returns `true` when at least one write is buffered.
+    #[must_use]
+    pub fn is_occupied(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Absorbs `txn` at `now`; returns `false` if it cannot be absorbed.
+    pub fn absorb(&mut self, txn: &Transaction, now: Cycle) -> bool {
+        if !self.is_enabled() || !self.has_space() || !txn.posted_ok || !txn.is_write() {
+            return false;
+        }
+        self.entries.push_back(PostedWrite {
+            txn: txn.clone(),
+            absorbed_at: now,
+        });
+        self.absorbed += 1;
+        self.peak_fill = self.peak_fill.max(self.entries.len());
+        true
+    }
+
+    /// The write the buffer currently requests the bus for.
+    #[must_use]
+    pub fn head(&self) -> Option<&PostedWrite> {
+        self.entries.front()
+    }
+
+    /// Retires the head entry after its burst completed on the bus.
+    pub fn drain_head(&mut self) -> Option<PostedWrite> {
+        let head = self.entries.pop_front();
+        if head.is_some() {
+            self.drained += 1;
+        }
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::burst::BurstKind;
+    use amba::ids::Addr;
+    use amba::signal::HSize;
+    use amba::txn::TransferDirection;
+
+    fn posted_write() -> Transaction {
+        Transaction::new(
+            MasterId::new(3),
+            Addr::new(0x2300_0000),
+            TransferDirection::Write,
+            BurstKind::Incr8,
+            HSize::Word,
+        )
+    }
+
+    #[test]
+    fn absorb_and_drain_fifo() {
+        let mut buffer = RtlWriteBuffer::new(2);
+        assert!(buffer.absorb(&posted_write(), Cycle::new(3)));
+        assert!(buffer.absorb(&posted_write(), Cycle::new(4)));
+        assert!(!buffer.absorb(&posted_write(), Cycle::new(5)));
+        assert_eq!(buffer.fill(), 2);
+        assert_eq!(buffer.peak_fill(), 2);
+        let first = buffer.drain_head().unwrap();
+        assert_eq!(first.absorbed_at, Cycle::new(3));
+        assert_eq!(buffer.drained(), 1);
+        assert!(buffer.has_space());
+    }
+
+    #[test]
+    fn disabled_buffer_never_absorbs() {
+        let mut buffer = RtlWriteBuffer::new(0);
+        assert!(!buffer.is_enabled());
+        assert!(!buffer.absorb(&posted_write(), Cycle::new(0)));
+        assert!(!buffer.is_occupied());
+        assert!(buffer.head().is_none());
+    }
+
+    #[test]
+    fn rejects_reads() {
+        let mut buffer = RtlWriteBuffer::new(4);
+        let read = Transaction::new(
+            MasterId::new(0),
+            Addr::new(0x2000_0000),
+            TransferDirection::Read,
+            BurstKind::Single,
+            HSize::Word,
+        );
+        assert!(!buffer.absorb(&read, Cycle::new(0)));
+    }
+
+    #[test]
+    fn reserved_master_id_matches_tlm() {
+        assert_eq!(RTL_WRITE_BUFFER_MASTER.index(), 15);
+    }
+}

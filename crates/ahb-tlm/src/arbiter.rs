@@ -1,0 +1,216 @@
+//! The transaction-level AHB+ arbitration front-end.
+//!
+//! The arbiter owns the QoS register file (paper §2) and the shared
+//! [`ArbitrationPolicy`] filter chain, translates the currently pending
+//! transaction-level requests into [`RequestView`] snapshots (including the
+//! bank-readiness feedback obtained from the DDR controller over the Bus
+//! Interface) and produces grant decisions plus the next-transaction hint
+//! the BI forwards to the controller.
+
+use amba::arbitration::{ArbiterConfig, ArbitrationPolicy, Decision, RequestView};
+use amba::bi::NextTransactionInfo;
+use amba::ids::MasterId;
+use amba::qos::{QosConfig, QosRegisterFile};
+use amba::txn::Transaction;
+use ddrc::DdrController;
+use simkern::time::Cycle;
+
+/// One pending request as presented to the arbiter.
+#[derive(Debug, Clone)]
+pub struct PendingRequest {
+    /// The requesting master (the write buffer uses its own id).
+    pub master: MasterId,
+    /// The transaction the master wants to issue.
+    pub txn: Transaction,
+    /// When the request was first raised (HBUSREQ assertion time).
+    pub requested_at: Cycle,
+    /// Whether the request comes from the write buffer.
+    pub is_write_buffer: bool,
+    /// Current write-buffer occupancy (only meaningful for its own request).
+    pub write_buffer_fill: usize,
+}
+
+/// The transaction-level arbiter.
+#[derive(Debug, Clone)]
+pub struct TlmArbiter {
+    policy: ArbitrationPolicy,
+    qos: QosRegisterFile,
+    bank_affinity_from_bi: bool,
+    grants: u64,
+}
+
+impl TlmArbiter {
+    /// Creates an arbiter with the given filter configuration.
+    ///
+    /// `bank_affinity_from_bi` mirrors the BI feedback path: when false the
+    /// arbiter never learns which banks are ready and the bank-affinity
+    /// filter degenerates to a no-op (used by the ablation benchmarks).
+    #[must_use]
+    pub fn new(config: ArbiterConfig, bank_affinity_from_bi: bool) -> Self {
+        TlmArbiter {
+            policy: ArbitrationPolicy::new(config),
+            qos: QosRegisterFile::new(),
+            bank_affinity_from_bi,
+            grants: 0,
+        }
+    }
+
+    /// Programs the QoS registers for one master (paper §2).
+    pub fn program_qos(&mut self, master: MasterId, qos: QosConfig) {
+        self.qos.program(master, qos);
+    }
+
+    /// Reads back the QoS registers of a master.
+    #[must_use]
+    pub fn qos_of(&self, master: MasterId) -> QosConfig {
+        self.qos.lookup(master)
+    }
+
+    /// Number of grants issued so far.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Builds the request snapshots and runs the filter chain.
+    ///
+    /// Returns the winning master, or `None` when `pending` is empty.
+    #[must_use]
+    pub fn decide(
+        &self,
+        now: Cycle,
+        pending: &[PendingRequest],
+        ddr: &DdrController,
+    ) -> Option<Decision> {
+        let views: Vec<RequestView> = pending
+            .iter()
+            .map(|request| {
+                let mut view = RequestView::new(
+                    request.master,
+                    self.qos.lookup(request.master),
+                    now.saturating_since(request.requested_at).value(),
+                );
+                view.is_write_buffer = request.is_write_buffer;
+                view.write_buffer_fill = request.write_buffer_fill;
+                view.bank_ready =
+                    self.bank_affinity_from_bi && ddr.is_addr_ready(now, request.txn.addr);
+                view
+            })
+            .collect();
+        self.policy.decide(&views)
+    }
+
+    /// Commits a grant decision (advances the round-robin pointer).
+    pub fn record_grant(&mut self, master: MasterId) {
+        self.policy.record_grant(master);
+        self.grants += 1;
+    }
+
+    /// The next-transaction information the Bus Interface forwards to the
+    /// DDR controller for the given (speculatively arbitrated) transaction.
+    #[must_use]
+    pub fn next_transaction_info(txn: &Transaction) -> NextTransactionInfo {
+        NextTransactionInfo {
+            master: txn.master,
+            addr: txn.addr,
+            direction: txn.direction,
+            beats: txn.beats(),
+            size: txn.size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::burst::BurstKind;
+    use amba::ids::Addr;
+    use amba::signal::HSize;
+    use amba::txn::TransferDirection;
+    use ddrc::DdrConfig;
+
+    fn txn(master: u8, addr: u32) -> Transaction {
+        Transaction::new(
+            MasterId::new(master),
+            Addr::new(addr),
+            TransferDirection::Read,
+            BurstKind::Incr8,
+            HSize::Word,
+        )
+    }
+
+    fn request(master: u8, addr: u32, requested_at: u64) -> PendingRequest {
+        PendingRequest {
+            master: MasterId::new(master),
+            txn: txn(master, addr),
+            requested_at: Cycle::new(requested_at),
+            is_write_buffer: false,
+            write_buffer_fill: 0,
+        }
+    }
+
+    #[test]
+    fn empty_pending_set_yields_no_grant() {
+        let arbiter = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let ddr = DdrController::new(DdrConfig::ahb_plus());
+        assert!(arbiter.decide(Cycle::new(0), &[], &ddr).is_none());
+    }
+
+    #[test]
+    fn qos_programming_steers_decisions() {
+        let mut arbiter = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let ddr = DdrController::new(DdrConfig::ahb_plus());
+        arbiter.program_qos(MasterId::new(0), QosConfig::non_real_time(0));
+        arbiter.program_qos(MasterId::new(1), QosConfig::real_time(500, 5));
+        let pending = [request(0, 0x2000_0000, 0), request(1, 0x2000_0800, 0)];
+        let decision = arbiter.decide(Cycle::new(10), &pending, &ddr).unwrap();
+        assert_eq!(decision.master, MasterId::new(1), "real-time class wins");
+        assert!(arbiter.qos_of(MasterId::new(1)).class.is_real_time());
+    }
+
+    #[test]
+    fn bank_affinity_uses_bi_feedback_only_when_enabled() {
+        let mut ddr = DdrController::new(DdrConfig::ahb_plus());
+        // Open row 0 in bank 0 and bank 1. Master 0 will then target a
+        // *different* row of bank 0 (conflict, not ready) while master 1
+        // targets the open row of bank 1 (ready).
+        ddr.access(Cycle::new(0), Addr::new(0x2000_0000), false, 4);
+        ddr.access(Cycle::new(20), Addr::new(0x2000_0800), false, 4);
+        let pending = [request(0, 0x2000_0000 + 4 * 2048, 0), request(1, 0x2000_0840, 0)];
+
+        let with_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let decision = with_bi.decide(Cycle::new(50), &pending, &ddr).unwrap();
+        assert_eq!(decision.master, MasterId::new(1), "ready bank preferred");
+
+        let without_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), false);
+        let decision = without_bi.decide(Cycle::new(50), &pending, &ddr).unwrap();
+        assert_eq!(
+            decision.master,
+            MasterId::new(0),
+            "without BI feedback the fixed priority decides"
+        );
+    }
+
+    #[test]
+    fn record_grant_advances_round_robin_and_counts() {
+        let mut arbiter = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let ddr = DdrController::new(DdrConfig::ahb_plus());
+        arbiter.program_qos(MasterId::new(0), QosConfig::non_real_time(3));
+        arbiter.program_qos(MasterId::new(1), QosConfig::non_real_time(3));
+        let pending = [request(0, 0x2000_0000, 0), request(1, 0x2000_0000, 0)];
+        let first = arbiter.decide(Cycle::new(0), &pending, &ddr).unwrap();
+        arbiter.record_grant(first.master);
+        let second = arbiter.decide(Cycle::new(0), &pending, &ddr).unwrap();
+        assert_ne!(first.master, second.master, "round robin rotates");
+        assert_eq!(arbiter.grants(), 1);
+    }
+
+    #[test]
+    fn next_transaction_info_copies_the_geometry() {
+        let t = txn(2, 0x2345_0000);
+        let info = TlmArbiter::next_transaction_info(&t);
+        assert_eq!(info.master, MasterId::new(2));
+        assert_eq!(info.beats, 8);
+        assert_eq!(info.addr, Addr::new(0x2345_0000));
+    }
+}

@@ -1,0 +1,603 @@
+//! The transaction-level AHB+ bus engine.
+//!
+//! [`TlmSystem`] assembles the trace-driven master ports, the write buffer,
+//! the QoS arbiter and the DDR controller into a complete platform and runs
+//! it in *transaction steps*: the simulated clock jumps from one transaction
+//! boundary to the next instead of being advanced cycle by cycle. The
+//! mapping from the signal-level protocol to this engine follows paper §3.2:
+//!
+//! * `HBUSREQ` assertion → a master's trace item reaching its release time
+//!   ([`TraceMaster::ready_at`]).
+//! * `CheckGrant()` → the arbitration step performed whenever the bus is
+//!   free ([`TlmArbiter::decide`]).
+//! * `Read(addr, *data, *ctrl)` / `Write(...)` returning `OK` → the timing
+//!   returned by [`ddrc::DdrController::access`] plus the bus-side phase
+//!   overheads computed here.
+//!
+//! Request pipelining and the Bus Interface next-transaction hint (paper §2)
+//! are modeled by speculatively arbitrating the *following* transaction as
+//! soon as the current one starts its data phase and forwarding its address
+//! to the DDR controller so the target bank is being opened in advance.
+
+use std::time::Instant;
+
+use amba::check::validate_transaction;
+use amba::ids::MasterId;
+use amba::qos::QosConfig;
+use amba::signal::HResp;
+use amba::txn::Completion;
+use analysis::recorder::Recorder;
+use analysis::report::{ModelKind, SimReport};
+use ddrc::DdrController;
+use simkern::assertion::{AssertionKind, AssertionSink, Severity};
+use simkern::time::{Cycle, CycleDelta};
+use traffic::{TrafficPattern, TrafficTrace, Workload};
+
+use crate::arbiter::{PendingRequest, TlmArbiter};
+use crate::config::TlmConfig;
+use crate::master::TraceMaster;
+use crate::write_buffer::{WriteBuffer, WRITE_BUFFER_MASTER};
+
+/// Cycles from a request being visible to the arbiter until the granted
+/// master drives its address phase, when the bus was idle (request → grant
+/// register → address). Matches the pin-accurate model's behaviour.
+const GRANT_TO_ADDRESS_CYCLES: u64 = 1;
+
+/// Extra cycles paid between back-to-back transactions when request
+/// pipelining is disabled: the bus returns to idle for one cycle before the
+/// arbiter re-evaluates and the new owner drives its address.
+const NON_PIPELINED_TURNAROUND: u64 = 1;
+
+/// The transaction-level AHB+ platform.
+pub struct TlmSystem {
+    config: TlmConfig,
+    masters: Vec<TraceMaster>,
+    write_buffer: WriteBuffer,
+    arbiter: TlmArbiter,
+    ddr: DdrController,
+    recorder: Recorder,
+    assertions: AssertionSink,
+    now: Cycle,
+    last_completion: Cycle,
+    /// Master speculatively selected to own the bus next (request
+    /// pipelining); cleared on use.
+    prepared_next: Option<MasterId>,
+    /// Cycle at which the most recent write-buffer slot became free after a
+    /// full-buffer phase; posted writes cannot be absorbed earlier.
+    slot_freed_at: Cycle,
+}
+
+impl std::fmt::Debug for TlmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlmSystem")
+            .field("masters", &self.masters.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl TlmSystem {
+    /// Builds a platform from explicit per-master traces.
+    ///
+    /// Each element pairs a trace with the master's label, QoS programming
+    /// and whether its writes may be posted.
+    #[must_use]
+    pub fn new(
+        config: TlmConfig,
+        masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
+    ) -> Self {
+        let mut recorder = Recorder::new(ModelKind::TransactionLevel);
+        let mut arbiter = TlmArbiter::new(
+            config.params.arbiter.clone(),
+            config.params.bi_next_transaction_hints,
+        );
+        let mut trace_masters = Vec::with_capacity(masters.len());
+        for (trace, label, qos, posted) in masters {
+            let master = TraceMaster::new(trace, &label, qos, posted);
+            recorder.register_master(master.id(), &label);
+            recorder.register_qos(master.id(), qos);
+            arbiter.program_qos(master.id(), qos);
+            trace_masters.push(master);
+        }
+        // The write buffer competes with the lowest possible priority and is
+        // never real-time; the urgency filter, not the QoS registers, is
+        // what lets it pre-empt when close to overflowing.
+        arbiter.program_qos(WRITE_BUFFER_MASTER, QosConfig::non_real_time(u8::MAX));
+        let write_buffer = WriteBuffer::new(config.params.write_buffer_depth);
+        let ddr = DdrController::new(config.ddr);
+        TlmSystem {
+            config,
+            masters: trace_masters,
+            write_buffer,
+            arbiter,
+            ddr,
+            recorder,
+            assertions: AssertionSink::new(),
+            now: Cycle::ZERO,
+            last_completion: Cycle::ZERO,
+            prepared_next: None,
+            slot_freed_at: Cycle::ZERO,
+        }
+    }
+
+    /// Builds a platform from a named traffic pattern: every master of the
+    /// pattern contributes `transactions_per_master` requests generated from
+    /// `seed`.
+    #[must_use]
+    pub fn from_pattern(
+        config: TlmConfig,
+        pattern: &TrafficPattern,
+        transactions_per_master: usize,
+        seed: u64,
+    ) -> Self {
+        let masters = pattern
+            .masters
+            .iter()
+            .map(|(id, profile)| {
+                let trace = Workload::new(*id, profile.clone(), seed)
+                    .generate(transactions_per_master);
+                (
+                    trace,
+                    profile.kind.label().to_owned(),
+                    profile.qos_config(),
+                    profile.posted_writes,
+                )
+            })
+            .collect();
+        TlmSystem::new(config, masters)
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The assertion sink accumulated during the run (paper §3.5).
+    #[must_use]
+    pub fn assertions(&self) -> &AssertionSink {
+        &self.assertions
+    }
+
+    /// The DDR controller (for inspecting bank statistics after a run).
+    #[must_use]
+    pub fn ddr(&self) -> &DdrController {
+        &self.ddr
+    }
+
+    /// The write buffer (for inspecting occupancy statistics after a run).
+    #[must_use]
+    pub fn write_buffer(&self) -> &WriteBuffer {
+        &self.write_buffer
+    }
+
+    /// Returns `true` once every master trace has drained and the write
+    /// buffer is empty.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.masters.iter().all(TraceMaster::is_done) && !self.write_buffer.is_occupied()
+    }
+
+    /// Runs the platform until every trace has drained (or the configured
+    /// cycle limit is hit) and returns the metric report.
+    pub fn run(&mut self) -> SimReport {
+        let wall_start = Instant::now();
+        let max = Cycle::new(self.config.max_cycles);
+        while !self.is_finished() && self.now < max {
+            if !self.step_transaction(max) {
+                break;
+            }
+        }
+        let total_cycles = self.last_completion.max(self.now).value();
+        let dram = self.ddr.stats();
+        self.recorder.add_dram_stats(
+            dram.row_hits.value() + dram.prepared_hits.value(),
+            dram.accesses(),
+        );
+        self.recorder
+            .observe_write_buffer_fill(self.write_buffer.peak_fill());
+        self.recorder
+            .add_assertion_errors(self.assertions.error_count() as u64);
+        self.recorder
+            .finish(total_cycles, wall_start.elapsed().as_secs_f64())
+    }
+
+    /// Serves at most one transaction. Returns `false` when nothing can make
+    /// progress any more (all traces drained or past the cycle limit).
+    fn step_transaction(&mut self, max: Cycle) -> bool {
+        // Posted writes enter the write buffer as soon as they are raised,
+        // provided the buffer has space; the buffer then competes for the
+        // bus on their behalf (paper §3.3). Only when the buffer is full
+        // does the issuing master request the bus for a write itself.
+        self.absorb_posted_writes(self.now);
+        // Collect the requests pending at the current time.
+        let pending = self.collect_pending(self.now);
+        if pending.is_empty() {
+            // Nobody is ready: jump to the next release time.
+            let Some(next_ready) = self.next_release() else {
+                return false;
+            };
+            if next_ready >= max {
+                self.now = max;
+                return false;
+            }
+            self.now = next_ready.max(self.now);
+            return true;
+        }
+
+        let Some(decision) = self.arbiter.decide(self.now, &pending, &self.ddr) else {
+            return false;
+        };
+        let winner = decision.master;
+        self.arbiter.record_grant(winner);
+
+        // Identify the winning transaction.
+        let (txn, requested_at, via_write_buffer) = if winner == WRITE_BUFFER_MASTER {
+            let head = self
+                .write_buffer
+                .head()
+                .expect("write buffer granted while empty");
+            (head.txn.clone(), head.absorbed_at, true)
+        } else {
+            let master = self.master(winner);
+            let txn = master
+                .pending_at(self.now)
+                .expect("granted master has no pending transaction")
+                .clone();
+            let requested_at = master.ready_at().expect("granted master has no request");
+            (txn, requested_at, false)
+        };
+
+        // Functional-debug assertion (paper §3.5, first kind).
+        if validate_transaction(&txn).is_err() {
+            self.assertions.record(
+                self.now,
+                AssertionKind::ModelConsistency,
+                Severity::Error,
+                "tlm-bus",
+                format!("illegal transaction reached the bus: {txn}"),
+            );
+        }
+
+        // Address phase: one cycle after the grant, except when this very
+        // master was pre-arbitrated during the previous data phase (request
+        // pipelining), in which case its address phase overlapped.
+        let pipelined = self.config.params.request_pipelining
+            && self.prepared_next.take() == Some(winner);
+        let addr_phase = if pipelined {
+            self.now
+        } else {
+            self.now + CycleDelta::new(GRANT_TO_ADDRESS_CYCLES)
+        };
+
+        // Data phase timing comes from the DDR controller. The data phase of
+        // beat 0 starts one cycle after the address phase and the last beat
+        // completes `total()` cycles after the address phase (wait states
+        // plus one cycle per beat), matching the pin-accurate sequencer.
+        let timing = self
+            .ddr
+            .access(addr_phase + CycleDelta::ONE, txn.addr, txn.is_write(), txn.beats());
+        let completed_at = addr_phase + timing.total();
+
+        // Protocol assertion (paper §3.5, second kind): data phases must not
+        // run backwards.
+        self.assertions.check(
+            completed_at,
+            AssertionKind::Protocol,
+            Severity::Error,
+            "tlm-bus",
+            completed_at > addr_phase,
+            "transaction completed before its address phase",
+        );
+
+        // Profiling (paper §3.6).
+        let bus_occupied = completed_at.saturating_since(addr_phase);
+        self.recorder.add_busy_cycles(bus_occupied.value());
+        let others_waiting = pending.iter().any(|p| p.master != winner);
+        if others_waiting {
+            self.recorder.add_contention_cycles(bus_occupied.value());
+        }
+        self.recorder
+            .observe_write_buffer_fill(self.write_buffer.fill());
+        let completion = Completion {
+            id: txn.id,
+            master: txn.master,
+            response: HResp::Okay,
+            granted_at: addr_phase,
+            completed_at,
+            issued_at: requested_at,
+            bytes: txn.bytes(),
+            via_write_buffer,
+        };
+        self.recorder.record_completion(&completion, txn.beats());
+        self.last_completion = self.last_completion.max(completed_at);
+
+        // Retire the transaction from its source.
+        if via_write_buffer {
+            let was_full = !self.write_buffer.has_space();
+            self.write_buffer.drain_head();
+            if was_full {
+                // A slot only became free when this drain finished; posted
+                // writes waiting for space are absorbed no earlier.
+                self.slot_freed_at = completed_at;
+            }
+        } else {
+            self.master_mut(winner).complete_current(completed_at);
+        }
+
+        // Posted writes raised while the data phase occupied the bus were
+        // absorbed by the write buffer the moment they were raised,
+        // mirroring the cycle-level behaviour of the pin-accurate model.
+        self.absorb_posted_writes(completed_at);
+
+        // Request pipelining + Bus Interface hint: arbitrate the next owner
+        // while the data phase runs and tell the DDR controller so it can
+        // open the next bank in advance.
+        self.prepared_next = None;
+        if self.config.params.request_pipelining {
+            let future_pending = self.collect_pending(completed_at);
+            if let Some(next) = self.arbiter.decide(completed_at, &future_pending, &self.ddr) {
+                self.prepared_next = Some(next.master);
+                if self.config.params.bi_next_transaction_hints {
+                    if let Some(next_req) =
+                        future_pending.iter().find(|p| p.master == next.master)
+                    {
+                        let info = TlmArbiter::next_transaction_info(&next_req.txn);
+                        self.ddr.prepare(addr_phase + CycleDelta::ONE, info.addr);
+                    }
+                }
+            }
+        }
+
+        // Advance time to the point where the bus can serve the next owner.
+        self.now = if self.config.params.request_pipelining {
+            completed_at
+        } else {
+            completed_at + CycleDelta::new(NON_PIPELINED_TURNAROUND)
+        };
+        true
+    }
+
+    fn master(&self, id: MasterId) -> &TraceMaster {
+        self.masters
+            .iter()
+            .find(|m| m.id() == id)
+            .expect("unknown master id")
+    }
+
+    fn master_mut(&mut self, id: MasterId) -> &mut TraceMaster {
+        self.masters
+            .iter_mut()
+            .find(|m| m.id() == id)
+            .expect("unknown master id")
+    }
+
+    fn collect_pending(&self, at: Cycle) -> Vec<PendingRequest> {
+        let mut pending: Vec<PendingRequest> = self
+            .masters
+            .iter()
+            .filter_map(|m| {
+                m.pending_at(at).map(|txn| PendingRequest {
+                    master: m.id(),
+                    txn: txn.clone(),
+                    requested_at: m.ready_at().unwrap_or(at),
+                    is_write_buffer: false,
+                    write_buffer_fill: 0,
+                })
+            })
+            .collect();
+        if let Some(head) = self.write_buffer.head() {
+            pending.push(PendingRequest {
+                master: WRITE_BUFFER_MASTER,
+                txn: head.txn.clone(),
+                requested_at: head.absorbed_at,
+                is_write_buffer: true,
+                write_buffer_fill: self.write_buffer.fill(),
+            });
+        }
+        pending
+    }
+
+    fn next_release(&self) -> Option<Cycle> {
+        self.masters
+            .iter()
+            .filter_map(TraceMaster::ready_at)
+            .min()
+    }
+
+    /// Absorbs every posted write whose release time has arrived by
+    /// `horizon`, as long as the buffer has space. Absorption is stamped at
+    /// the write's release time (the cycle the pin-accurate model would have
+    /// accepted it) and repeats until a fixed point because a master whose
+    /// write was absorbed may release another posted write inside the same
+    /// window.
+    fn absorb_posted_writes(&mut self, horizon: Cycle) {
+        if !self.write_buffer.is_enabled() {
+            return;
+        }
+        loop {
+            let mut absorbed_any = false;
+            for index in 0..self.masters.len() {
+                if !self.write_buffer.has_space() {
+                    self.recorder
+                        .observe_write_buffer_fill(self.write_buffer.fill());
+                    return;
+                }
+                let master = &self.masters[index];
+                if !master.posted_writes() {
+                    continue;
+                }
+                let Some(ready_at) = master.ready_at() else {
+                    continue;
+                };
+                if ready_at > horizon {
+                    continue;
+                }
+                let Some(txn) = master.pending_at(horizon).cloned() else {
+                    continue;
+                };
+                if !txn.is_write() || !txn.posted_ok {
+                    continue;
+                }
+                let absorbed_at = ready_at.max(self.slot_freed_at);
+                if self.write_buffer.absorb(&txn, absorbed_at) {
+                    self.masters[index].complete_current(absorbed_at);
+                    absorbed_any = true;
+                }
+            }
+            if !absorbed_any {
+                break;
+            }
+        }
+        self.recorder
+            .observe_write_buffer_fill(self.write_buffer.fill());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::arbitration::ArbiterConfig;
+    use amba::params::AhbPlusParams;
+    use traffic::{pattern_a, pattern_c, MasterProfile};
+
+    fn small_system(transactions: usize) -> TlmSystem {
+        TlmSystem::from_pattern(TlmConfig::default(), &pattern_a(), transactions, 7)
+    }
+
+    #[test]
+    fn runs_a_pattern_to_completion() {
+        let mut system = small_system(40);
+        let report = system.run();
+        assert!(system.is_finished(), "all traces must drain");
+        assert_eq!(report.total_transactions(), 4 * 40);
+        assert!(report.total_cycles > 0);
+        assert!(system.assertions().is_clean());
+    }
+
+    #[test]
+    fn report_contains_all_four_masters() {
+        let mut system = small_system(20);
+        let report = system.run();
+        assert_eq!(report.masters.len(), 4);
+        for metrics in report.masters.values() {
+            assert_eq!(metrics.completed, 20);
+            assert!(metrics.bytes > 0);
+            assert!(metrics.avg_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_reports() {
+        let a = small_system(30).run();
+        let mut b = small_system(30);
+        let b = b.run();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.bus.busy_cycles, b.bus.busy_cycles);
+        for (id, m) in &a.masters {
+            assert_eq!(m.last_completion_cycle, b.masters[id].last_completion_cycle);
+        }
+    }
+
+    #[test]
+    fn write_heavy_pattern_exercises_the_write_buffer() {
+        let mut system = TlmSystem::from_pattern(TlmConfig::default(), &pattern_c(), 60, 3);
+        let report = system.run();
+        assert!(
+            report.bus.write_buffer_hits > 0,
+            "pattern C must post writes through the buffer"
+        );
+        assert!(system.write_buffer().peak_fill() > 0);
+    }
+
+    #[test]
+    fn disabling_the_write_buffer_removes_buffer_hits() {
+        let config = TlmConfig::default()
+            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
+        let mut system = TlmSystem::from_pattern(config, &pattern_c(), 40, 3);
+        let report = system.run();
+        assert_eq!(report.bus.write_buffer_hits, 0);
+    }
+
+    #[test]
+    fn bus_utilization_is_sane() {
+        let mut system = small_system(50);
+        let report = system.run();
+        let utilization = report.bus.utilization(report.total_cycles);
+        assert!(utilization > 0.0 && utilization <= 1.0);
+    }
+
+    #[test]
+    fn qos_filters_keep_the_real_time_master_within_its_objective() {
+        // Under the write-heavy pattern the full AHB+ filter chain must keep
+        // the video master's grant latency inside its QoS objective — the
+        // guarantee plain AMBA 2.0 cannot give (paper §2). A deeper
+        // adversarial comparison (video demoted to the lowest fixed
+        // priority) lives in the ablation benchmarks.
+        let params = AhbPlusParams::ahb_plus().with_arbiter(ArbiterConfig::ahb_plus());
+        let config = TlmConfig::default().with_params(params);
+        let mut system = TlmSystem::from_pattern(config, &pattern_c(), 80, 11);
+        let report = system.run();
+        let video = report
+            .masters
+            .values()
+            .find(|m| m.label == "video")
+            .expect("video master present");
+        // The only filter that may legitimately pre-empt an urgent real-time
+        // request is the write-buffer overflow protection, so violations must
+        // stay a marginal fraction of the workload.
+        assert!(
+            video.qos_violations * 20 <= video.completed,
+            "AHB+ must keep QoS violations marginal: {} of {}",
+            video.qos_violations,
+            video.completed
+        );
+        assert!(
+            video.avg_grant_latency < 200.0,
+            "average grant latency must stay inside the objective"
+        );
+    }
+
+    #[test]
+    fn cycle_limit_stops_the_run() {
+        let config = TlmConfig::default().with_max_cycles(200);
+        let mut system = TlmSystem::from_pattern(config, &pattern_a(), 500, 1);
+        let report = system.run();
+        assert!(report.total_cycles <= 1_000, "run must stop near the limit");
+        assert!(!system.is_finished());
+    }
+
+    #[test]
+    fn single_master_platform_runs() {
+        let profile = MasterProfile::dma_stream();
+        let trace = Workload::new(MasterId::new(0), profile.clone(), 5).generate(100);
+        let mut system = TlmSystem::new(
+            TlmConfig::default(),
+            vec![(
+                trace,
+                "dma".to_owned(),
+                profile.qos_config(),
+                profile.posted_writes,
+            )],
+        );
+        let report = system.run();
+        assert_eq!(report.total_transactions(), 100);
+        assert_eq!(report.masters.len(), 1);
+    }
+
+    #[test]
+    fn prepared_hits_occur_when_bi_hints_are_enabled() {
+        let mut with_hints = TlmSystem::from_pattern(TlmConfig::default(), &pattern_a(), 80, 9);
+        with_hints.run();
+        let hinted = with_hints.ddr().stats().prepared_hits.value();
+
+        let config = TlmConfig::default()
+            .with_params(AhbPlusParams::ahb_plus().with_bi_hints(false));
+        let mut without_hints = TlmSystem::from_pattern(config, &pattern_a(), 80, 9);
+        without_hints.run();
+        let unhinted = without_hints.ddr().stats().prepared_hits.value();
+
+        assert!(hinted > 0, "BI hints should produce prepared hits");
+        assert_eq!(unhinted, 0, "no hints, no prepared hits");
+    }
+}

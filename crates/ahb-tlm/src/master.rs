@@ -1,0 +1,233 @@
+//! Trace-driven transaction-level master ports.
+//!
+//! In the paper's modeling flow the signal-level handshake of a master is
+//! re-expressed as port functions: the master calls `CheckGrant()` until it
+//! returns true, then calls `Read(addr, *data, *ctrl)` / `Write(...)` and
+//! receives an `OK` status (§3.2). [`TraceMaster`] reproduces that behaviour
+//! while being driven from a pre-generated [`TrafficTrace`]: it exposes the
+//! transaction it currently wants to issue (`pending_at`), and is told by
+//! the bus when that transaction completed (`complete_current`), after which
+//! it computes the release time of its next request (closed-loop think time
+//! or periodic release).
+
+use amba::ids::MasterId;
+use amba::qos::QosConfig;
+use amba::txn::Transaction;
+use simkern::time::Cycle;
+use traffic::{Release, TrafficTrace};
+
+/// One trace-driven master port.
+#[derive(Debug, Clone)]
+pub struct TraceMaster {
+    id: MasterId,
+    label: String,
+    qos: QosConfig,
+    posted_writes: bool,
+    items: TrafficTrace,
+    next: usize,
+    ready_at: Cycle,
+    issued: u64,
+    completed: u64,
+}
+
+impl TraceMaster {
+    /// Creates a master from its trace and QoS programming.
+    #[must_use]
+    pub fn new(trace: TrafficTrace, label: &str, qos: QosConfig, posted_writes: bool) -> Self {
+        let ready_at = first_ready_at(&trace);
+        TraceMaster {
+            id: trace.master(),
+            label: label.to_owned(),
+            qos,
+            posted_writes,
+            items: trace,
+            next: 0,
+            ready_at,
+            issued: 0,
+            completed: 0,
+        }
+    }
+
+    /// The master identifier.
+    #[must_use]
+    pub fn id(&self) -> MasterId {
+        self.id
+    }
+
+    /// Human-readable label ("cpu", "video", ...).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// QoS register programming of this master.
+    #[must_use]
+    pub fn qos(&self) -> QosConfig {
+        self.qos
+    }
+
+    /// Whether this master tolerates posting its writes.
+    #[must_use]
+    pub fn posted_writes(&self) -> bool {
+        self.posted_writes
+    }
+
+    /// Returns `true` when every trace item has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next >= self.items.len()
+    }
+
+    /// Number of transactions handed to the bus so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of transactions completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The cycle at which the head-of-trace transaction wants the bus, or
+    /// `None` when the trace is exhausted. This is the `HBUSREQ` assertion
+    /// time at the signal level.
+    #[must_use]
+    pub fn ready_at(&self) -> Option<Cycle> {
+        if self.is_done() {
+            None
+        } else {
+            Some(self.ready_at)
+        }
+    }
+
+    /// The transaction this master wants to issue at `now`, if its release
+    /// time has been reached (the `CheckGrant()` loop of the paper: the
+    /// request is pending, the bus decides when to grant it).
+    #[must_use]
+    pub fn pending_at(&self, now: Cycle) -> Option<&Transaction> {
+        if self.is_done() || self.ready_at > now {
+            None
+        } else {
+            Some(&self.items.items()[self.next].txn)
+        }
+    }
+
+    /// The head-of-trace transaction regardless of its release time.
+    #[must_use]
+    pub fn current(&self) -> Option<&Transaction> {
+        self.items.items().get(self.next).map(|i| &i.txn)
+    }
+
+    /// Marks the head transaction as issued to the bus (or absorbed by the
+    /// write buffer) and completed at `done`, then computes the release time
+    /// of the next trace item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is already exhausted.
+    pub fn complete_current(&mut self, done: Cycle) {
+        assert!(!self.is_done(), "complete_current on an exhausted trace");
+        self.issued += 1;
+        self.completed += 1;
+        self.next += 1;
+        if self.next < self.items.len() {
+            self.ready_at = match self.items.items()[self.next].release {
+                Release::AfterPrevious(gap) => done + gap,
+                Release::At(at) => at.max(done),
+            };
+        }
+    }
+}
+
+fn first_ready_at(trace: &TrafficTrace) -> Cycle {
+    match trace.items().first().map(|i| i.release) {
+        Some(Release::AfterPrevious(gap)) => Cycle::ZERO + gap,
+        Some(Release::At(at)) => at,
+        None => Cycle::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkern::time::CycleDelta;
+    use traffic::{MasterProfile, Workload};
+
+    fn master(profile: MasterProfile, count: usize) -> TraceMaster {
+        let trace = Workload::new(MasterId::new(1), profile.clone(), 42).generate(count);
+        TraceMaster::new(trace, profile.kind.label(), profile.qos_config(), profile.posted_writes)
+    }
+
+    #[test]
+    fn fresh_master_exposes_first_item_after_release() {
+        let m = master(MasterProfile::cpu(), 10);
+        let ready = m.ready_at().expect("not done");
+        assert!(m.pending_at(ready).is_some());
+        if ready > Cycle::ZERO {
+            assert!(m.pending_at(Cycle::ZERO).is_none());
+        }
+        assert_eq!(m.completed(), 0);
+        assert!(!m.is_done());
+    }
+
+    #[test]
+    fn completing_items_advances_the_trace_until_done() {
+        let mut m = master(MasterProfile::cpu(), 5);
+        let mut now = Cycle::ZERO;
+        for _ in 0..5 {
+            let ready = m.ready_at().unwrap();
+            now = now.max(ready) + CycleDelta::new(20);
+            m.complete_current(now);
+        }
+        assert!(m.is_done());
+        assert_eq!(m.completed(), 5);
+        assert!(m.ready_at().is_none());
+        assert!(m.pending_at(Cycle::new(1_000_000)).is_none());
+    }
+
+    #[test]
+    fn closed_loop_release_follows_completion_time() {
+        let mut m = master(MasterProfile::cpu(), 3);
+        let done = Cycle::new(500);
+        m.complete_current(done);
+        let next_ready = m.ready_at().unwrap();
+        assert!(next_ready >= done, "think time starts at completion");
+    }
+
+    #[test]
+    fn periodic_release_does_not_depend_on_completion() {
+        let mut m = master(MasterProfile::video_realtime(), 4);
+        // Complete the first transaction extremely late; the second release
+        // is the max of its period slot and the completion time.
+        let done = Cycle::new(10_000);
+        m.complete_current(done);
+        assert_eq!(m.ready_at().unwrap(), done);
+
+        let mut fast = master(MasterProfile::video_realtime(), 4);
+        fast.complete_current(Cycle::new(1));
+        assert!(
+            fast.ready_at().unwrap() >= Cycle::new(100),
+            "periodic master waits for its next period slot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn completing_past_the_end_panics() {
+        let mut m = master(MasterProfile::cpu(), 1);
+        m.complete_current(Cycle::new(10));
+        m.complete_current(Cycle::new(20));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let m = master(MasterProfile::video_realtime(), 2);
+        assert_eq!(m.id(), MasterId::new(1));
+        assert_eq!(m.label(), "video");
+        assert!(m.qos().class.is_real_time());
+        assert!(!m.posted_writes());
+        assert!(m.current().is_some());
+    }
+}

@@ -1,0 +1,218 @@
+//! The AHB+ posted-write buffer.
+//!
+//! "The write buffer stores the information of write transactions when a
+//! master cannot get a bus grant at the right time. The write buffer behaves
+//! as another master when it is occupied by waiting transactions" (§3.3).
+//!
+//! The buffer absorbs a posted write from a master that just lost
+//! arbitration (freeing that master to continue), keeps the absorbed
+//! transactions in FIFO order, and competes for the bus through the normal
+//! arbitration filter chain under its own master identifier. The
+//! [`amba::arbitration::ArbitrationFilter::WriteBufferUrgency`] stage
+//! guarantees it wins once it gets close to overflowing.
+
+use std::collections::VecDeque;
+
+use amba::ids::MasterId;
+use amba::txn::Transaction;
+use simkern::time::Cycle;
+
+/// The master identifier under which the write buffer requests the bus.
+pub const WRITE_BUFFER_MASTER: MasterId = MasterId::new(15);
+
+/// One buffered posted write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferedWrite {
+    /// The absorbed transaction.
+    pub txn: Transaction,
+    /// Cycle at which the buffer accepted it.
+    pub absorbed_at: Cycle,
+}
+
+/// The AHB+ write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    depth: usize,
+    entries: VecDeque<BufferedWrite>,
+    absorbed: u64,
+    drained: u64,
+    peak_fill: usize,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with room for `depth` transactions. Depth 0 means
+    /// the buffer is disabled (paper §3.7: "write buffer on/off").
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        WriteBuffer {
+            depth,
+            entries: VecDeque::new(),
+            absorbed: 0,
+            drained: 0,
+            peak_fill: 0,
+        }
+    }
+
+    /// Returns `true` when the buffer exists (depth > 0).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Returns `true` when another transaction can be absorbed.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.depth
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn fill(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Highest occupancy seen so far.
+    #[must_use]
+    pub fn peak_fill(&self) -> usize {
+        self.peak_fill
+    }
+
+    /// Total transactions absorbed.
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Total transactions drained onto the bus.
+    #[must_use]
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Returns `true` when the buffer holds at least one write.
+    #[must_use]
+    pub fn is_occupied(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Absorbs a posted write that lost arbitration at `now`.
+    ///
+    /// Returns `false` (and drops nothing) if the buffer is disabled, full,
+    /// or the transaction is not a postable write.
+    pub fn absorb(&mut self, txn: &Transaction, now: Cycle) -> bool {
+        if !self.is_enabled() || !self.has_space() || !txn.posted_ok || !txn.is_write() {
+            return false;
+        }
+        self.entries.push_back(BufferedWrite {
+            txn: txn.clone(),
+            absorbed_at: now,
+        });
+        self.absorbed += 1;
+        self.peak_fill = self.peak_fill.max(self.entries.len());
+        true
+    }
+
+    /// The oldest buffered write (the one the buffer requests the bus for).
+    #[must_use]
+    pub fn head(&self) -> Option<&BufferedWrite> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest buffered write after it was granted
+    /// and transferred.
+    pub fn drain_head(&mut self) -> Option<BufferedWrite> {
+        let head = self.entries.pop_front();
+        if head.is_some() {
+            self.drained += 1;
+        }
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::burst::BurstKind;
+    use amba::ids::Addr;
+    use amba::signal::HSize;
+    use amba::txn::TransferDirection;
+
+    fn write_txn(master: u8) -> Transaction {
+        Transaction::new(
+            MasterId::new(master),
+            Addr::new(0x2000_0000),
+            TransferDirection::Write,
+            BurstKind::Incr4,
+            HSize::Word,
+        )
+    }
+
+    fn read_txn() -> Transaction {
+        Transaction::new(
+            MasterId::new(0),
+            Addr::new(0x2000_0000),
+            TransferDirection::Read,
+            BurstKind::Incr4,
+            HSize::Word,
+        )
+    }
+
+    #[test]
+    fn absorbs_posted_writes_up_to_depth() {
+        let mut buffer = WriteBuffer::new(2);
+        assert!(buffer.is_enabled());
+        assert!(buffer.absorb(&write_txn(0), Cycle::new(1)));
+        assert!(buffer.absorb(&write_txn(1), Cycle::new(2)));
+        assert!(!buffer.absorb(&write_txn(2), Cycle::new(3)), "full");
+        assert_eq!(buffer.fill(), 2);
+        assert_eq!(buffer.peak_fill(), 2);
+        assert_eq!(buffer.absorbed(), 2);
+    }
+
+    #[test]
+    fn rejects_reads_and_non_posted_writes() {
+        let mut buffer = WriteBuffer::new(4);
+        assert!(!buffer.absorb(&read_txn(), Cycle::new(0)));
+        let strict_write = write_txn(0).with_posted(false);
+        assert!(!buffer.absorb(&strict_write, Cycle::new(0)));
+        assert_eq!(buffer.fill(), 0);
+    }
+
+    #[test]
+    fn disabled_buffer_absorbs_nothing() {
+        let mut buffer = WriteBuffer::new(0);
+        assert!(!buffer.is_enabled());
+        assert!(!buffer.absorb(&write_txn(0), Cycle::new(0)));
+        assert!(!buffer.is_occupied());
+    }
+
+    #[test]
+    fn drains_in_fifo_order() {
+        let mut buffer = WriteBuffer::new(4);
+        buffer.absorb(&write_txn(0), Cycle::new(5));
+        buffer.absorb(&write_txn(1), Cycle::new(6));
+        assert_eq!(buffer.head().unwrap().txn.master, MasterId::new(0));
+        let first = buffer.drain_head().unwrap();
+        assert_eq!(first.txn.master, MasterId::new(0));
+        assert_eq!(first.absorbed_at, Cycle::new(5));
+        let second = buffer.drain_head().unwrap();
+        assert_eq!(second.txn.master, MasterId::new(1));
+        assert!(buffer.drain_head().is_none());
+        assert_eq!(buffer.drained(), 2);
+    }
+
+    #[test]
+    fn occupancy_reflects_absorb_and_drain() {
+        let mut buffer = WriteBuffer::new(4);
+        buffer.absorb(&write_txn(0), Cycle::new(0));
+        assert!(buffer.is_occupied());
+        buffer.drain_head();
+        assert!(!buffer.is_occupied());
+        assert!(buffer.has_space());
+    }
+
+    #[test]
+    fn write_buffer_master_id_is_reserved() {
+        assert_eq!(WRITE_BUFFER_MASTER.index(), 15);
+    }
+}

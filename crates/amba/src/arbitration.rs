@@ -1,0 +1,578 @@
+//! The AHB+ arbitration filter chain.
+//!
+//! The AHB+ arbiter implements "seven arbitration filters ... always
+//! activated without the consideration of master / slave combinations"
+//! (paper §3.3) and each algorithm can be switched on and off as a model
+//! parameter (paper §3.7). The internal Samsung specification of the exact
+//! seven filters is not public, so this module reconstructs a filter chain
+//! that realizes every mechanism the paper *does* name — QoS objective
+//! registers, real-time / non-real-time master classes, the write buffer
+//! acting as an extra master, and bank-affinity feedback over the Bus
+//! Interface — as seven successive candidate-narrowing stages:
+//!
+//! 1. [`ArbitrationFilter::RequestMask`] — remove masters that are masked or
+//!    defer to a master holding a locked sequence.
+//! 2. [`ArbitrationFilter::WriteBufferUrgency`] — when the write buffer is
+//!    close to overflowing, it must win so posted writes are not lost.
+//! 3. [`ArbitrationFilter::QosUrgency`] — real-time masters whose QoS
+//!    objective is about to be violated pre-empt everything else.
+//! 4. [`ArbitrationFilter::RealTimeClass`] — otherwise real-time masters
+//!    beat non-real-time masters.
+//! 5. [`ArbitrationFilter::BankAffinity`] — prefer requests whose target
+//!    DRAM bank is ready (idle or row already open), maximizing the benefit
+//!    of bank interleaving.
+//! 6. [`ArbitrationFilter::RoundRobin`] — rotate fairly among the survivors.
+//! 7. [`ArbitrationFilter::FixedPriority`] — deterministic final tie-break
+//!    (the plain-AHB fixed priority).
+//!
+//! The chain is implemented **once**, as a pure decision function over
+//! [`RequestView`] snapshots, and is called by *both* the cycle-accurate
+//! arbiter in `ahb-rtl` and the transaction-level arbiter in `ahb-tlm`.
+//! The two models therefore pick the same winners and differ only in when
+//! decisions are evaluated — which is exactly the abstraction the paper's
+//! accuracy experiment quantifies.
+
+use std::fmt;
+
+use crate::ids::MasterId;
+use crate::qos::QosConfig;
+
+/// One stage of the AHB+ arbitration filter chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbitrationFilter {
+    /// Stage 1: request masking / bus locking.
+    RequestMask,
+    /// Stage 2: write-buffer overflow protection.
+    WriteBufferUrgency,
+    /// Stage 3: QoS-objective urgency boost for real-time masters.
+    QosUrgency,
+    /// Stage 4: real-time class preference.
+    RealTimeClass,
+    /// Stage 5: DRAM bank-affinity preference (uses BI feedback).
+    BankAffinity,
+    /// Stage 6: round-robin fairness.
+    RoundRobin,
+    /// Stage 7: fixed-priority tie break.
+    FixedPriority,
+}
+
+impl ArbitrationFilter {
+    /// All seven filters in chain order.
+    pub const ALL: [ArbitrationFilter; 7] = [
+        ArbitrationFilter::RequestMask,
+        ArbitrationFilter::WriteBufferUrgency,
+        ArbitrationFilter::QosUrgency,
+        ArbitrationFilter::RealTimeClass,
+        ArbitrationFilter::BankAffinity,
+        ArbitrationFilter::RoundRobin,
+        ArbitrationFilter::FixedPriority,
+    ];
+}
+
+impl fmt::Display for ArbitrationFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ArbitrationFilter::RequestMask => "request-mask",
+            ArbitrationFilter::WriteBufferUrgency => "write-buffer-urgency",
+            ArbitrationFilter::QosUrgency => "qos-urgency",
+            ArbitrationFilter::RealTimeClass => "real-time-class",
+            ArbitrationFilter::BankAffinity => "bank-affinity",
+            ArbitrationFilter::RoundRobin => "round-robin",
+            ArbitrationFilter::FixedPriority => "fixed-priority",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// Static configuration of the arbiter (paper §3.7 lists "arbitration
+/// algorithm on/off" among the model parameters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbiterConfig {
+    /// Which filters are active. Disabled filters are skipped; the chain
+    /// always ends with a deterministic fixed-priority pick even if the
+    /// `FixedPriority` stage itself is disabled, so arbitration never
+    /// returns an ambiguous result.
+    pub enabled: Vec<ArbitrationFilter>,
+    /// How many cycles before the QoS objective expires a request is
+    /// considered urgent (stage 3).
+    pub urgency_margin: u32,
+    /// Write-buffer occupancy (in entries) at which stage 2 kicks in.
+    pub write_buffer_high_watermark: usize,
+}
+
+impl ArbiterConfig {
+    /// The full AHB+ configuration: all seven filters enabled.
+    #[must_use]
+    pub fn ahb_plus() -> Self {
+        ArbiterConfig {
+            enabled: ArbitrationFilter::ALL.to_vec(),
+            urgency_margin: 16,
+            write_buffer_high_watermark: 3,
+        }
+    }
+
+    /// A plain AMBA 2.0 AHB fixed-priority arbiter (QoS, bank-affinity and
+    /// fairness filters all disabled) — the baseline AHB+ improves upon.
+    #[must_use]
+    pub fn plain_ahb_fixed_priority() -> Self {
+        ArbiterConfig {
+            enabled: vec![
+                ArbitrationFilter::RequestMask,
+                ArbitrationFilter::FixedPriority,
+            ],
+            urgency_margin: 0,
+            write_buffer_high_watermark: usize::MAX,
+        }
+    }
+
+    /// Returns `true` if `filter` is enabled.
+    #[must_use]
+    pub fn is_enabled(&self, filter: ArbitrationFilter) -> bool {
+        self.enabled.contains(&filter)
+    }
+
+    /// Returns a copy of the configuration with `filter` removed.
+    #[must_use]
+    pub fn without(mut self, filter: ArbitrationFilter) -> Self {
+        self.enabled.retain(|f| *f != filter);
+        self
+    }
+
+    /// Returns a copy of the configuration with `filter` added (if absent).
+    #[must_use]
+    pub fn with(mut self, filter: ArbitrationFilter) -> Self {
+        if !self.enabled.contains(&filter) {
+            self.enabled.push(filter);
+            // keep canonical chain order
+            self.enabled
+                .sort_by_key(|f| ArbitrationFilter::ALL.iter().position(|x| x == f));
+        }
+        self
+    }
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig::ahb_plus()
+    }
+}
+
+/// Snapshot of one pending bus request as seen by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestView {
+    /// Requesting master (the write buffer uses its own master id).
+    pub master: MasterId,
+    /// QoS registers of the requesting master.
+    pub qos: QosConfig,
+    /// Cycles the request has been outstanding.
+    pub waited: u64,
+    /// Request is masked out (e.g. the decoder reports an unmapped address).
+    pub masked: bool,
+    /// The master currently holds a locked sequence and must keep the bus.
+    pub holds_lock: bool,
+    /// This request comes from the AHB+ write buffer.
+    pub is_write_buffer: bool,
+    /// Current write-buffer occupancy (only meaningful for the buffer's own
+    /// request).
+    pub write_buffer_fill: usize,
+    /// Target DRAM bank is ready (idle or row already open) according to the
+    /// BI feedback.
+    pub bank_ready: bool,
+}
+
+impl RequestView {
+    /// Creates a plain, unmasked request snapshot.
+    #[must_use]
+    pub fn new(master: MasterId, qos: QosConfig, waited: u64) -> Self {
+        RequestView {
+            master,
+            qos,
+            waited,
+            masked: false,
+            holds_lock: false,
+            is_write_buffer: false,
+            write_buffer_fill: 0,
+            bank_ready: false,
+        }
+    }
+}
+
+/// Why the winning request was selected (the first filter that isolated it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The granted master.
+    pub master: MasterId,
+    /// The filter stage that made the final selection.
+    pub decided_by: ArbitrationFilter,
+}
+
+/// Stateful arbitration policy (the round-robin pointer is the only state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbitrationPolicy {
+    config: ArbiterConfig,
+    last_granted: Option<MasterId>,
+}
+
+impl ArbitrationPolicy {
+    /// Creates a policy from a configuration.
+    #[must_use]
+    pub fn new(config: ArbiterConfig) -> Self {
+        ArbitrationPolicy {
+            config,
+            last_granted: None,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ArbiterConfig {
+        &self.config
+    }
+
+    /// The master granted by the most recent decision, if any.
+    #[must_use]
+    pub fn last_granted(&self) -> Option<MasterId> {
+        self.last_granted
+    }
+
+    /// Applies the filter chain to the pending requests and returns the
+    /// winner, or `None` when no grantable request exists.
+    ///
+    /// The round-robin pointer is only advanced by
+    /// [`ArbitrationPolicy::record_grant`], so `decide` itself is pure and
+    /// can be called speculatively (the request-pipelining path does this).
+    #[must_use]
+    pub fn decide(&self, requests: &[RequestView]) -> Option<Decision> {
+        let mut candidates: Vec<&RequestView> = requests.iter().filter(|r| !r.masked).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+
+        for filter in ArbitrationFilter::ALL {
+            if !self.config.is_enabled(filter) {
+                continue;
+            }
+            let narrowed = self.apply_filter(filter, &candidates);
+            if !narrowed.is_empty() {
+                candidates = narrowed;
+            }
+            if candidates.len() == 1 {
+                return Some(Decision {
+                    master: candidates[0].master,
+                    decided_by: filter,
+                });
+            }
+        }
+
+        // Deterministic fallback: fixed priority, then master index.
+        let winner = candidates
+            .iter()
+            .min_by_key(|r| (r.qos.fixed_priority, r.master.index()))?;
+        Some(Decision {
+            master: winner.master,
+            decided_by: ArbitrationFilter::FixedPriority,
+        })
+    }
+
+    /// Records that `master` was actually granted, advancing the
+    /// round-robin pointer.
+    pub fn record_grant(&mut self, master: MasterId) {
+        self.last_granted = Some(master);
+    }
+
+    fn apply_filter<'a>(
+        &self,
+        filter: ArbitrationFilter,
+        candidates: &[&'a RequestView],
+    ) -> Vec<&'a RequestView> {
+        match filter {
+            ArbitrationFilter::RequestMask => {
+                // Locked sequences own the bus outright.
+                let locked: Vec<&RequestView> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| r.holds_lock)
+                    .collect();
+                if locked.is_empty() {
+                    candidates.to_vec()
+                } else {
+                    locked
+                }
+            }
+            ArbitrationFilter::WriteBufferUrgency => {
+                let urgent: Vec<&RequestView> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| {
+                        r.is_write_buffer
+                            && r.write_buffer_fill >= self.config.write_buffer_high_watermark
+                    })
+                    .collect();
+                if urgent.is_empty() {
+                    candidates.to_vec()
+                } else {
+                    urgent
+                }
+            }
+            ArbitrationFilter::QosUrgency => {
+                let urgent: Vec<&RequestView> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| r.qos.is_urgent(r.waited, self.config.urgency_margin))
+                    .collect();
+                if urgent.is_empty() {
+                    candidates.to_vec()
+                } else {
+                    urgent
+                }
+            }
+            ArbitrationFilter::RealTimeClass => {
+                let real_time: Vec<&RequestView> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| r.qos.class.is_real_time())
+                    .collect();
+                if real_time.is_empty() {
+                    candidates.to_vec()
+                } else {
+                    real_time
+                }
+            }
+            ArbitrationFilter::BankAffinity => {
+                let ready: Vec<&RequestView> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| r.bank_ready)
+                    .collect();
+                if ready.is_empty() {
+                    candidates.to_vec()
+                } else {
+                    ready
+                }
+            }
+            ArbitrationFilter::RoundRobin => {
+                let Some(last) = self.last_granted else {
+                    return candidates.to_vec();
+                };
+                // Pick the candidate with the smallest positive cyclic
+                // distance from the last-granted master; keep only it and
+                // any candidates tied with it (there are none because master
+                // ids are unique, but staying set-valued keeps the filter
+                // composable).
+                let distance = |m: MasterId| -> usize {
+                    let span = 256usize;
+                    (m.index() + span - last.index() - 1) % span
+                };
+                let best = candidates.iter().map(|r| distance(r.master)).min();
+                match best {
+                    Some(best) => candidates
+                        .iter()
+                        .copied()
+                        .filter(|r| distance(r.master) == best)
+                        .collect(),
+                    None => candidates.to_vec(),
+                }
+            }
+            ArbitrationFilter::FixedPriority => {
+                let best = candidates
+                    .iter()
+                    .map(|r| (r.qos.fixed_priority, r.master.index()))
+                    .min();
+                match best {
+                    Some(best) => candidates
+                        .iter()
+                        .copied()
+                        .filter(|r| (r.qos.fixed_priority, r.master.index()) == best)
+                        .collect(),
+                    None => candidates.to_vec(),
+                }
+            }
+        }
+    }
+}
+
+impl Default for ArbitrationPolicy {
+    fn default() -> Self {
+        ArbitrationPolicy::new(ArbiterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosConfig;
+
+    fn nrt(master: u8, priority: u8, waited: u64) -> RequestView {
+        RequestView::new(
+            MasterId::new(master),
+            QosConfig::non_real_time(priority),
+            waited,
+        )
+    }
+
+    fn rt(master: u8, objective: u32, priority: u8, waited: u64) -> RequestView {
+        RequestView::new(
+            MasterId::new(master),
+            QosConfig::real_time(objective, priority),
+            waited,
+        )
+    }
+
+    #[test]
+    fn no_requests_no_grant() {
+        let policy = ArbitrationPolicy::default();
+        assert_eq!(policy.decide(&[]), None);
+        let masked = RequestView {
+            masked: true,
+            ..nrt(0, 0, 0)
+        };
+        assert_eq!(policy.decide(&[masked]), None);
+    }
+
+    #[test]
+    fn single_request_wins_immediately() {
+        let policy = ArbitrationPolicy::default();
+        let decision = policy.decide(&[nrt(3, 7, 0)]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(3));
+    }
+
+    #[test]
+    fn locked_master_keeps_the_bus() {
+        let policy = ArbitrationPolicy::default();
+        let mut locked = nrt(2, 9, 0);
+        locked.holds_lock = true;
+        let urgent_rt = rt(0, 8, 0, 100); // would otherwise win easily
+        let decision = policy.decide(&[urgent_rt, locked]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(2));
+        assert_eq!(decision.decided_by, ArbitrationFilter::RequestMask);
+    }
+
+    #[test]
+    fn nearly_full_write_buffer_preempts() {
+        let policy = ArbitrationPolicy::default();
+        let mut buffer = nrt(7, 15, 0);
+        buffer.is_write_buffer = true;
+        buffer.write_buffer_fill = 4;
+        let rt_master = rt(0, 1000, 0, 0);
+        let decision = policy.decide(&[rt_master, buffer]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(7));
+        assert_eq!(decision.decided_by, ArbitrationFilter::WriteBufferUrgency);
+    }
+
+    #[test]
+    fn qos_urgency_beats_class_and_priority() {
+        let policy = ArbitrationPolicy::default();
+        // Master 5 is non-urgent real-time, master 1 is an urgent real-time
+        // master with worse fixed priority.
+        let relaxed = rt(5, 10_000, 0, 0);
+        let urgent = rt(1, 40, 7, 30); // 30 waited + 16 margin >= 40
+        let decision = policy.decide(&[relaxed, urgent]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(1));
+        assert_eq!(decision.decided_by, ArbitrationFilter::QosUrgency);
+    }
+
+    #[test]
+    fn real_time_class_beats_non_real_time() {
+        let policy = ArbitrationPolicy::default();
+        let cpu = nrt(0, 0, 500);
+        let video = rt(3, 100_000, 9, 0);
+        let decision = policy.decide(&[cpu, video]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(3));
+        assert_eq!(decision.decided_by, ArbitrationFilter::RealTimeClass);
+    }
+
+    #[test]
+    fn bank_affinity_prefers_ready_banks() {
+        let policy = ArbitrationPolicy::default();
+        let mut miss = nrt(0, 0, 0);
+        miss.bank_ready = false;
+        let mut hit = nrt(1, 5, 0);
+        hit.bank_ready = true;
+        let decision = policy.decide(&[miss, hit]).expect("grant");
+        assert_eq!(decision.master, MasterId::new(1));
+        assert_eq!(decision.decided_by, ArbitrationFilter::BankAffinity);
+    }
+
+    #[test]
+    fn round_robin_rotates_among_equals() {
+        let mut policy = ArbitrationPolicy::default();
+        let a = nrt(0, 5, 0);
+        let b = nrt(1, 5, 0);
+        let c = nrt(2, 5, 0);
+        let first = policy.decide(&[a, b, c]).expect("grant");
+        assert_eq!(first.master, MasterId::new(0), "fixed priority tie-break");
+        policy.record_grant(first.master);
+        let second = policy.decide(&[a, b, c]).expect("grant");
+        assert_eq!(second.master, MasterId::new(1), "round robin advances");
+        policy.record_grant(second.master);
+        let third = policy.decide(&[a, b, c]).expect("grant");
+        assert_eq!(third.master, MasterId::new(2));
+        policy.record_grant(third.master);
+        let wrap = policy.decide(&[a, b, c]).expect("grant");
+        assert_eq!(wrap.master, MasterId::new(0));
+    }
+
+    #[test]
+    fn plain_ahb_config_is_strict_priority() {
+        let mut policy = ArbitrationPolicy::new(ArbiterConfig::plain_ahb_fixed_priority());
+        let low = nrt(2, 9, 1_000_000);
+        let high = nrt(1, 0, 0);
+        for _ in 0..3 {
+            let decision = policy.decide(&[low, high]).expect("grant");
+            assert_eq!(decision.master, MasterId::new(1), "always the same winner");
+            policy.record_grant(decision.master);
+        }
+    }
+
+    #[test]
+    fn disabling_a_filter_changes_the_outcome() {
+        let full = ArbitrationPolicy::new(ArbiterConfig::ahb_plus());
+        let no_class = ArbitrationPolicy::new(
+            ArbiterConfig::ahb_plus().without(ArbitrationFilter::RealTimeClass),
+        );
+        let cpu = nrt(0, 0, 0);
+        let video = rt(1, 100_000, 9, 0);
+        assert_eq!(
+            full.decide(&[cpu, video]).unwrap().master,
+            MasterId::new(1)
+        );
+        assert_eq!(
+            no_class.decide(&[cpu, video]).unwrap().master,
+            MasterId::new(0),
+            "without the class filter the CPU's better fixed priority wins"
+        );
+    }
+
+    #[test]
+    fn with_and_without_maintain_chain_order() {
+        let config = ArbiterConfig::plain_ahb_fixed_priority()
+            .with(ArbitrationFilter::QosUrgency)
+            .with(ArbitrationFilter::RealTimeClass);
+        let positions: Vec<usize> = config
+            .enabled
+            .iter()
+            .map(|f| ArbitrationFilter::ALL.iter().position(|x| x == f).unwrap())
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted, "filters stay in canonical order");
+        assert!(config.is_enabled(ArbitrationFilter::QosUrgency));
+        assert!(!config.is_enabled(ArbitrationFilter::BankAffinity));
+    }
+
+    #[test]
+    fn decide_is_pure_until_record_grant() {
+        let policy = ArbitrationPolicy::default();
+        let a = nrt(0, 5, 0);
+        let b = nrt(1, 5, 0);
+        let first = policy.decide(&[a, b]).unwrap();
+        let second = policy.decide(&[a, b]).unwrap();
+        assert_eq!(first, second, "speculative decisions do not mutate state");
+    }
+
+    #[test]
+    fn filter_display_names() {
+        assert_eq!(ArbitrationFilter::QosUrgency.to_string(), "qos-urgency");
+        assert_eq!(ArbitrationFilter::ALL.len(), 7);
+    }
+}

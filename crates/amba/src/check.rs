@@ -1,0 +1,389 @@
+//! Protocol rule checking shared by both bus models (paper §3.5).
+//!
+//! Two layers are provided:
+//!
+//! * [`validate_transaction`] — static legality of a single transaction as
+//!   issued at a TLM port (alignment, 1 KB boundary rule, non-empty burst).
+//!   The transaction-level model calls this on every port call; the
+//!   workload generators use it as a post-condition.
+//! * [`ProtocolChecker`] — a streaming observer of address-phase beats used
+//!   by the pin-accurate model: it follows each burst and checks the
+//!   `NONSEQ`/`SEQ` sequencing and the per-beat address progression that
+//!   the AMBA 2.0 specification requires.
+//!
+//! Violations are recorded into a [`simkern::assertion::AssertionSink`], so
+//! a performance run can accumulate them while a unit test can use a
+//! panicking sink.
+
+use std::fmt;
+
+use simkern::assertion::{AssertionKind, AssertionSink, Severity};
+use simkern::time::Cycle;
+
+use crate::burst::BurstSequence;
+use crate::ids::{Addr, MasterId};
+use crate::signal::{HBurst, HSize, HTrans};
+use crate::txn::Transaction;
+
+/// A static rule violated by a single transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnRule {
+    /// The start address is not aligned to the transfer size.
+    Misaligned,
+    /// An incrementing burst crosses a 1 KB address boundary.
+    CrossesKibBoundary,
+    /// The transaction would transfer zero bytes.
+    EmptyBurst,
+}
+
+impl fmt::Display for TxnRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnRule::Misaligned => write!(f, "address not aligned to transfer size"),
+            TxnRule::CrossesKibBoundary => write!(f, "burst crosses a 1 KB boundary"),
+            TxnRule::EmptyBurst => write!(f, "burst transfers zero bytes"),
+        }
+    }
+}
+
+impl std::error::Error for TxnRule {}
+
+/// Checks the static legality of a transaction.
+///
+/// # Errors
+///
+/// Returns the first violated [`TxnRule`].
+pub fn validate_transaction(txn: &Transaction) -> Result<(), TxnRule> {
+    if !txn.addr.is_aligned(txn.size.bytes()) {
+        return Err(TxnRule::Misaligned);
+    }
+    if txn.bytes() == 0 {
+        return Err(TxnRule::EmptyBurst);
+    }
+    let seq = BurstSequence::new(txn.addr, txn.burst, txn.size);
+    if seq.crosses_1kb_boundary() {
+        return Err(TxnRule::CrossesKibBoundary);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BurstProgress {
+    master: MasterId,
+    burst: HBurst,
+    size: HSize,
+    start: Addr,
+    beats_done: u32,
+}
+
+/// Streaming address-phase protocol checker for the pin-accurate model.
+///
+/// Feed it one observation per cycle in which an address phase is presented
+/// on the bus (i.e. whenever `HREADY` was high in the previous cycle and a
+/// granted master drives `HTRANS`). It verifies:
+///
+/// * the first beat of a burst is `NONSEQ`;
+/// * `SEQ` beats carry exactly the address the burst arithmetic predicts;
+/// * a fixed-length burst is not over-run;
+/// * `BUSY` is only inserted in the middle of a burst.
+#[derive(Debug, Default)]
+pub struct ProtocolChecker {
+    current: Option<BurstProgress>,
+    observed_beats: u64,
+    violations_recorded: u64,
+}
+
+impl ProtocolChecker {
+    /// Creates a checker with no burst in progress.
+    #[must_use]
+    pub fn new() -> Self {
+        ProtocolChecker::default()
+    }
+
+    /// Total number of active (NONSEQ/SEQ) beats observed.
+    #[must_use]
+    pub fn observed_beats(&self) -> u64 {
+        self.observed_beats
+    }
+
+    /// Total number of violations this checker recorded.
+    #[must_use]
+    pub fn violations_recorded(&self) -> u64 {
+        self.violations_recorded
+    }
+
+    /// Observes one address phase.
+    ///
+    /// `master` is the currently granted master, `trans` the driven
+    /// `HTRANS`, `addr`/`burst`/`size` the driven address-phase controls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_address_phase(
+        &mut self,
+        now: Cycle,
+        master: MasterId,
+        trans: HTrans,
+        addr: Addr,
+        burst: HBurst,
+        size: HSize,
+        sink: &mut AssertionSink,
+    ) {
+        match trans {
+            HTrans::Idle => {
+                // An IDLE transfer ends any burst the master was running.
+                if let Some(progress) = &self.current {
+                    if progress.master == master {
+                        self.current = None;
+                    }
+                }
+            }
+            HTrans::Busy => {
+                let in_burst = self
+                    .current
+                    .as_ref()
+                    .is_some_and(|p| p.master == master && p.beats_done > 0);
+                if !in_burst {
+                    self.record(
+                        sink,
+                        now,
+                        "BUSY driven outside of an active burst",
+                    );
+                }
+            }
+            HTrans::NonSeq => {
+                self.observed_beats += 1;
+                if !addr.is_aligned(size.bytes()) {
+                    self.record(sink, now, "NONSEQ address not aligned to HSIZE");
+                }
+                self.current = Some(BurstProgress {
+                    master,
+                    burst,
+                    size,
+                    start: addr,
+                    beats_done: 1,
+                });
+            }
+            HTrans::Seq => {
+                self.observed_beats += 1;
+                let Some(progress) = self.current else {
+                    self.record(sink, now, "SEQ driven with no burst in progress");
+                    return;
+                };
+                if progress.master != master {
+                    self.record(
+                        sink,
+                        now,
+                        "SEQ driven by a master that does not own the current burst",
+                    );
+                    return;
+                }
+                if let Some(expected_total) = progress.burst.fixed_beats() {
+                    if progress.beats_done >= expected_total {
+                        self.record(
+                            sink,
+                            now,
+                            "fixed-length burst over-run (extra SEQ beat)",
+                        );
+                        return;
+                    }
+                }
+                let kind = crate::burst::BurstKind::from_hburst(progress.burst, u32::MAX);
+                let seq = BurstSequence::new(progress.start, kind, progress.size);
+                let expected = seq.beat_addr(progress.beats_done);
+                if expected != addr {
+                    self.record(sink, now, "SEQ beat address does not follow the burst");
+                }
+                if let Some(p) = self.current.as_mut() {
+                    p.beats_done += 1;
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, sink: &mut AssertionSink, now: Cycle, message: &str) {
+        self.violations_recorded += 1;
+        sink.record(
+            now,
+            AssertionKind::Protocol,
+            Severity::Error,
+            "ahb-protocol",
+            message,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BurstKind;
+    use crate::txn::TransferDirection;
+
+    fn txn(addr: u32, burst: BurstKind, size: HSize) -> Transaction {
+        Transaction::new(
+            MasterId::new(0),
+            Addr::new(addr),
+            TransferDirection::Read,
+            burst,
+            size,
+        )
+    }
+
+    #[test]
+    fn aligned_non_crossing_transactions_are_legal() {
+        assert!(validate_transaction(&txn(0x2000_0000, BurstKind::Incr8, HSize::Word)).is_ok());
+        assert!(validate_transaction(&txn(0x2000_0002, BurstKind::Single, HSize::Halfword)).is_ok());
+    }
+
+    #[test]
+    fn misaligned_transactions_are_rejected() {
+        assert_eq!(
+            validate_transaction(&txn(0x2000_0002, BurstKind::Single, HSize::Word)),
+            Err(TxnRule::Misaligned)
+        );
+    }
+
+    #[test]
+    fn boundary_crossing_transactions_are_rejected() {
+        assert_eq!(
+            validate_transaction(&txn(0x2000_03F8, BurstKind::Incr16, HSize::Word)),
+            Err(TxnRule::CrossesKibBoundary)
+        );
+        // Wrapping bursts stay inside their aligned block and pass.
+        assert!(validate_transaction(&txn(0x2000_03F8, BurstKind::Wrap16, HSize::Word)).is_ok());
+    }
+
+    #[test]
+    fn rule_display_texts() {
+        assert!(TxnRule::Misaligned.to_string().contains("aligned"));
+        assert!(TxnRule::CrossesKibBoundary.to_string().contains("1 KB"));
+        assert!(TxnRule::EmptyBurst.to_string().contains("zero"));
+    }
+
+    fn observe_burst(checker: &mut ProtocolChecker, sink: &mut AssertionSink, addrs: &[u32]) {
+        let master = MasterId::new(1);
+        for (i, a) in addrs.iter().enumerate() {
+            let trans = if i == 0 { HTrans::NonSeq } else { HTrans::Seq };
+            checker.observe_address_phase(
+                Cycle::new(i as u64),
+                master,
+                trans,
+                Addr::new(*a),
+                HBurst::Incr4,
+                HSize::Word,
+                sink,
+            );
+        }
+    }
+
+    #[test]
+    fn well_formed_incr4_produces_no_violations() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        observe_burst(&mut checker, &mut sink, &[0x100, 0x104, 0x108, 0x10C]);
+        assert!(sink.is_clean());
+        assert_eq!(checker.observed_beats(), 4);
+        assert_eq!(checker.violations_recorded(), 0);
+    }
+
+    #[test]
+    fn wrong_seq_address_is_flagged() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        observe_burst(&mut checker, &mut sink, &[0x100, 0x104, 0x110, 0x10C]);
+        assert_eq!(sink.error_count(), 1, "the out-of-sequence beat is flagged");
+    }
+
+    #[test]
+    fn seq_without_nonseq_is_flagged() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        checker.observe_address_phase(
+            Cycle::new(0),
+            MasterId::new(0),
+            HTrans::Seq,
+            Addr::new(0x100),
+            HBurst::Incr4,
+            HSize::Word,
+            &mut sink,
+        );
+        assert_eq!(sink.error_count(), 1);
+    }
+
+    #[test]
+    fn burst_over_run_is_flagged() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        observe_burst(
+            &mut checker,
+            &mut sink,
+            &[0x100, 0x104, 0x108, 0x10C, 0x110],
+        );
+        assert_eq!(sink.error_count(), 1);
+    }
+
+    #[test]
+    fn busy_outside_burst_is_flagged() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        checker.observe_address_phase(
+            Cycle::new(0),
+            MasterId::new(0),
+            HTrans::Busy,
+            Addr::new(0),
+            HBurst::Incr,
+            HSize::Word,
+            &mut sink,
+        );
+        assert_eq!(sink.error_count(), 1);
+    }
+
+    #[test]
+    fn idle_ends_the_current_burst() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        let master = MasterId::new(1);
+        checker.observe_address_phase(
+            Cycle::new(0),
+            master,
+            HTrans::NonSeq,
+            Addr::new(0x100),
+            HBurst::Incr4,
+            HSize::Word,
+            &mut sink,
+        );
+        checker.observe_address_phase(
+            Cycle::new(1),
+            master,
+            HTrans::Idle,
+            Addr::new(0),
+            HBurst::Incr4,
+            HSize::Word,
+            &mut sink,
+        );
+        checker.observe_address_phase(
+            Cycle::new(2),
+            master,
+            HTrans::Seq,
+            Addr::new(0x104),
+            HBurst::Incr4,
+            HSize::Word,
+            &mut sink,
+        );
+        assert_eq!(sink.error_count(), 1, "SEQ after IDLE has no burst context");
+    }
+
+    #[test]
+    fn misaligned_nonseq_is_flagged() {
+        let mut checker = ProtocolChecker::new();
+        let mut sink = AssertionSink::new();
+        checker.observe_address_phase(
+            Cycle::new(0),
+            MasterId::new(0),
+            HTrans::NonSeq,
+            Addr::new(0x101),
+            HBurst::Single,
+            HSize::Word,
+            &mut sink,
+        );
+        assert_eq!(sink.error_count(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! `amba` — AMBA 2.0 AHB protocol vocabulary and the AHB+ extensions.
+//!
+//! This crate defines everything both bus models (the pin-accurate RTL
+//! reference in `ahb-rtl` and the transaction-level model in `ahb-tlm`)
+//! agree on:
+//!
+//! * [`ids`] — strongly-typed master/slave identifiers and addresses.
+//! * [`signal`] — the AMBA 2.0 AHB signal encodings (`HTRANS`, `HBURST`,
+//!   `HSIZE`, `HRESP`, ...) exactly as the specification defines them, with
+//!   conversions to and from their bit patterns.
+//! * [`burst`] — burst address arithmetic (beat counts, incrementing and
+//!   wrapping address sequences, 1 KB boundary rule).
+//! * [`txn`] — the transaction vocabulary used at the TLM ports
+//!   (`Read(addr, *data, *ctrl)` in the paper) and by the workload
+//!   generators.
+//! * [`qos`] — the AHB+ extension registers: real-time / non-real-time
+//!   master class and the QoS objective value (paper §2).
+//! * [`arbitration`] — the AHB+ arbitration filter chain, implemented once
+//!   as a pure decision function so that the RTL and TLM arbiters apply the
+//!   *same algorithm* and differ only in timing, which is exactly the
+//!   premise of the paper's accuracy comparison.
+//! * [`bi`] — the Bus Interface (BI) message types carrying next-transaction
+//!   information, idle-bank status and access permission between arbiter
+//!   and DDR controller (paper §2, §3.4).
+//! * [`memmap`] — the address decoder / memory map.
+//! * [`check`] — protocol rule checks shared by both models (paper §3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use amba::burst::BurstKind;
+//! use amba::txn::{Transaction, TransferDirection};
+//! use amba::ids::{Addr, MasterId};
+//!
+//! let txn = Transaction::new(MasterId::new(0), Addr::new(0x4000_0000),
+//!                            TransferDirection::Read, BurstKind::Incr4,
+//!                            amba::signal::HSize::Word);
+//! assert_eq!(txn.beats(), 4);
+//! assert_eq!(txn.bytes(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitration;
+pub mod bi;
+pub mod burst;
+pub mod check;
+pub mod ids;
+pub mod memmap;
+pub mod params;
+pub mod qos;
+pub mod signal;
+pub mod txn;
+
+pub use arbitration::{ArbiterConfig, ArbitrationFilter, ArbitrationPolicy, RequestView};
+pub use params::AhbPlusParams;
+pub use bi::{AccessPermission, BankHint, BiMessage, NextTransactionInfo};
+pub use burst::{BurstKind, BurstSequence};
+pub use check::ProtocolChecker;
+pub use ids::{Addr, MasterId, SlaveId};
+pub use memmap::{MemoryMap, Region};
+pub use qos::{MasterClass, QosConfig, QosRegisterFile};
+pub use signal::{HBurst, HResp, HSize, HTrans};
+pub use txn::{Transaction, TransactionId, TransferDirection};

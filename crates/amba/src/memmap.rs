@@ -1,0 +1,231 @@
+//! Address decoding: the AHB memory map.
+//!
+//! The AHB decoder observes `HADDR` and selects exactly one slave
+//! (`HSELx`). The memory map is a list of non-overlapping regions, each
+//! owned by a slave; addresses outside every region select the *default
+//! slave*, which (per the AMBA specification) responds with an ERROR.
+
+use std::fmt;
+
+use crate::ids::{Addr, SlaveId};
+
+/// One contiguous address region owned by a slave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub base: Addr,
+    /// Size of the region in bytes.
+    pub size: u32,
+    /// Slave selected for addresses inside the region.
+    pub slave: SlaveId,
+}
+
+impl Region {
+    /// Creates a region.
+    #[must_use]
+    pub const fn new(base: Addr, size: u32, slave: SlaveId) -> Self {
+        Region { base, size, slave }
+    }
+
+    /// Returns `true` if `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        let start = u64::from(self.base.value());
+        let end = start + u64::from(self.size);
+        let a = u64::from(addr.value());
+        a >= start && a < end
+    }
+
+    /// Exclusive end address of the region (as a 64-bit value so a region
+    /// ending exactly at the top of the address space is representable).
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        u64::from(self.base.value()) + u64::from(self.size)
+    }
+
+    /// Returns `true` if this region overlaps `other`.
+    #[must_use]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let a_start = u64::from(self.base.value());
+        let b_start = u64::from(other.base.value());
+        a_start < other.end() && b_start < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} .. 0x{:08x}) -> {}",
+            self.base,
+            self.end(),
+            self.slave
+        )
+    }
+}
+
+/// Error returned when a memory map is built from overlapping regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildMapError {
+    /// The two regions that overlap.
+    pub first: Region,
+    /// The offending region.
+    pub second: Region,
+}
+
+impl fmt::Display for BuildMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regions overlap: {} and {}", self.first, self.second)
+    }
+}
+
+impl std::error::Error for BuildMapError {}
+
+/// The AHB address decoder.
+///
+/// # Example
+///
+/// ```
+/// use amba::memmap::{MemoryMap, Region};
+/// use amba::ids::{Addr, SlaveId};
+///
+/// # fn main() -> Result<(), amba::memmap::BuildMapError> {
+/// let map = MemoryMap::new(vec![
+///     Region::new(Addr::new(0x2000_0000), 0x1000_0000, SlaveId::new(0)), // DDR
+///     Region::new(Addr::new(0x4000_0000), 0x0001_0000, SlaveId::new(1)), // SRAM
+/// ])?;
+/// assert_eq!(map.decode(Addr::new(0x2000_0040)), Some(SlaveId::new(0)));
+/// assert_eq!(map.decode(Addr::new(0x0000_0000)), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+impl MemoryMap {
+    /// Builds a memory map, rejecting overlapping regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildMapError`] if any two regions overlap.
+    pub fn new(regions: Vec<Region>) -> Result<Self, BuildMapError> {
+        for (i, first) in regions.iter().enumerate() {
+            for second in &regions[i + 1..] {
+                if first.overlaps(second) {
+                    return Err(BuildMapError {
+                        first: *first,
+                        second: *second,
+                    });
+                }
+            }
+        }
+        Ok(MemoryMap { regions })
+    }
+
+    /// The default single-slave map used by the AHB+ platform: all of
+    /// `0x2000_0000 .. 0x6000_0000` (1 GiB) is DDR behind slave 0.
+    #[must_use]
+    pub fn ddr_only() -> Self {
+        MemoryMap {
+            regions: vec![Region::new(
+                Addr::new(0x2000_0000),
+                0x4000_0000,
+                SlaveId::new(0),
+            )],
+        }
+    }
+
+    /// Decodes an address to its owning slave, or `None` for the default
+    /// (error-responding) slave.
+    #[must_use]
+    pub fn decode(&self, addr: Addr) -> Option<SlaveId> {
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.slave)
+    }
+
+    /// Returns `true` if `addr` is mapped to any slave.
+    #[must_use]
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.decode(addr).is_some()
+    }
+
+    /// The configured regions.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::ddr_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_containment_and_end() {
+        let r = Region::new(Addr::new(0x1000), 0x100, SlaveId::new(2));
+        assert!(r.contains(Addr::new(0x1000)));
+        assert!(r.contains(Addr::new(0x10FF)));
+        assert!(!r.contains(Addr::new(0x1100)));
+        assert_eq!(r.end(), 0x1100);
+    }
+
+    #[test]
+    fn region_at_top_of_address_space() {
+        let r = Region::new(Addr::new(0xFFFF_0000), 0x1_0000, SlaveId::new(0));
+        assert!(r.contains(Addr::new(0xFFFF_FFFF)));
+        assert_eq!(r.end(), 0x1_0000_0000);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Region::new(Addr::new(0x0000), 0x1000, SlaveId::new(0));
+        let b = Region::new(Addr::new(0x0800), 0x1000, SlaveId::new(1));
+        let c = Region::new(Addr::new(0x1000), 0x1000, SlaveId::new(2));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "adjacent regions do not overlap");
+    }
+
+    #[test]
+    fn map_construction_rejects_overlap() {
+        let err = MemoryMap::new(vec![
+            Region::new(Addr::new(0x0000), 0x1000, SlaveId::new(0)),
+            Region::new(Addr::new(0x0FFF), 0x1000, SlaveId::new(1)),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn decode_finds_owning_slave() {
+        let map = MemoryMap::new(vec![
+            Region::new(Addr::new(0x2000_0000), 0x1000_0000, SlaveId::new(0)),
+            Region::new(Addr::new(0x4000_0000), 0x0001_0000, SlaveId::new(1)),
+        ])
+        .expect("valid map");
+        assert_eq!(map.decode(Addr::new(0x2FFF_FFFC)), Some(SlaveId::new(0)));
+        assert_eq!(map.decode(Addr::new(0x4000_0004)), Some(SlaveId::new(1)));
+        assert_eq!(map.decode(Addr::new(0x1000_0000)), None);
+        assert!(map.is_mapped(Addr::new(0x2000_0000)));
+        assert!(!map.is_mapped(Addr::new(0x0000_0000)));
+    }
+
+    #[test]
+    fn default_map_is_ddr_only() {
+        let map = MemoryMap::default();
+        assert_eq!(map.regions().len(), 1);
+        assert_eq!(map.decode(Addr::new(0x2000_0000)), Some(SlaveId::new(0)));
+        assert_eq!(map.decode(Addr::new(0x5FFF_FFFF)), Some(SlaveId::new(0)));
+        assert_eq!(map.decode(Addr::new(0x6000_0000)), None);
+    }
+}

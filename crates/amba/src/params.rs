@@ -1,0 +1,137 @@
+//! AHB+ model parameters (paper §3.7).
+//!
+//! "For the flexibility and reusability, AHB+ TLM has several parameters,
+//! such as bus width, write buffer depth, arbitration algorithm on/off, and
+//! etc. Other parameters are selection of real-time/non-real time type of a
+//! master, write buffer on/off, and QoS value."
+//!
+//! [`AhbPlusParams`] gathers the bus-side knobs; the per-master QoS knobs
+//! live in [`crate::qos::QosRegisterFile`], and the DDR knobs in the `ddrc`
+//! crate. Both the pin-accurate and the transaction-level model are
+//! constructed from the same parameter block so that a configuration sweep
+//! exercises both models identically.
+
+use crate::arbitration::ArbiterConfig;
+use crate::signal::HSize;
+
+/// Bus-level configuration shared by both AHB+ models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AhbPlusParams {
+    /// Data bus width (per-beat transfer size the bus can sustain).
+    pub bus_width: HSize,
+    /// Arbitration filter configuration.
+    pub arbiter: ArbiterConfig,
+    /// Write buffer depth in transactions; `0` disables the write buffer.
+    pub write_buffer_depth: usize,
+    /// Whether the arbiter decides the next owner while the current data
+    /// phase is still in progress (request pipelining).
+    pub request_pipelining: bool,
+    /// Whether next-transaction hints are forwarded to the DDR controller
+    /// over the Bus Interface (bank interleaving).
+    pub bi_next_transaction_hints: bool,
+}
+
+impl AhbPlusParams {
+    /// The full AHB+ configuration used throughout the paper's evaluation.
+    #[must_use]
+    pub fn ahb_plus() -> Self {
+        AhbPlusParams {
+            bus_width: HSize::Word,
+            arbiter: ArbiterConfig::ahb_plus(),
+            write_buffer_depth: 4,
+            request_pipelining: true,
+            bi_next_transaction_hints: true,
+        }
+    }
+
+    /// A plain AMBA 2.0 AHB configuration: fixed-priority arbitration, no
+    /// write buffer, no request pipelining, no BI hints. This is the
+    /// baseline AHB+ was designed to improve on (paper §2).
+    #[must_use]
+    pub fn plain_ahb() -> Self {
+        AhbPlusParams {
+            bus_width: HSize::Word,
+            arbiter: ArbiterConfig::plain_ahb_fixed_priority(),
+            write_buffer_depth: 0,
+            request_pipelining: false,
+            bi_next_transaction_hints: false,
+        }
+    }
+
+    /// Returns `true` when the write buffer is present.
+    #[must_use]
+    pub fn has_write_buffer(&self) -> bool {
+        self.write_buffer_depth > 0
+    }
+
+    /// Returns a copy with a different write-buffer depth.
+    #[must_use]
+    pub fn with_write_buffer_depth(mut self, depth: usize) -> Self {
+        self.write_buffer_depth = depth;
+        self
+    }
+
+    /// Returns a copy with request pipelining switched on or off.
+    #[must_use]
+    pub fn with_request_pipelining(mut self, enabled: bool) -> Self {
+        self.request_pipelining = enabled;
+        self
+    }
+
+    /// Returns a copy with BI next-transaction hints switched on or off.
+    #[must_use]
+    pub fn with_bi_hints(mut self, enabled: bool) -> Self {
+        self.bi_next_transaction_hints = enabled;
+        self
+    }
+
+    /// Returns a copy with a different arbiter configuration.
+    #[must_use]
+    pub fn with_arbiter(mut self, arbiter: ArbiterConfig) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+}
+
+impl Default for AhbPlusParams {
+    fn default() -> Self {
+        AhbPlusParams::ahb_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitration::ArbitrationFilter;
+
+    #[test]
+    fn ahb_plus_default_enables_everything() {
+        let params = AhbPlusParams::default();
+        assert!(params.has_write_buffer());
+        assert!(params.request_pipelining);
+        assert!(params.bi_next_transaction_hints);
+        assert_eq!(params.arbiter.enabled.len(), 7);
+    }
+
+    #[test]
+    fn plain_ahb_disables_the_extensions() {
+        let params = AhbPlusParams::plain_ahb();
+        assert!(!params.has_write_buffer());
+        assert!(!params.request_pipelining);
+        assert!(!params.bi_next_transaction_hints);
+        assert!(!params.arbiter.is_enabled(ArbitrationFilter::QosUrgency));
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let params = AhbPlusParams::ahb_plus()
+            .with_write_buffer_depth(8)
+            .with_request_pipelining(false)
+            .with_bi_hints(false)
+            .with_arbiter(ArbiterConfig::plain_ahb_fixed_priority());
+        assert_eq!(params.write_buffer_depth, 8);
+        assert!(!params.request_pipelining);
+        assert!(!params.bi_next_transaction_hints);
+        assert_eq!(params.arbiter.enabled.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! AHB+ quality-of-service extension registers.
+//!
+//! Plain AMBA 2.0 "cannot guarantee master's QoS" (paper §2). AHB+ adds
+//! internal registers that store, per master, a *QoS objective value* and
+//! the master's class (real-time or non-real-time). The arbiter consults
+//! these registers: a real-time master whose objective is close to being
+//! violated is boosted ahead of everything else.
+//!
+//! The objective value is interpreted as a **latency budget in bus cycles**:
+//! the master expects each of its transactions to be granted within that
+//! many cycles of the request. This is the natural reading of "QoS objective
+//! value" for a latency-critical IP (e.g. a video scan-out engine) and it is
+//! what the urgency filter of the arbitration chain uses.
+
+use std::fmt;
+
+use crate::ids::MasterId;
+
+/// Real-time or non-real-time master classification (paper §2, §3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MasterClass {
+    /// Latency-critical master with a QoS guarantee (e.g. display, video).
+    RealTime,
+    /// Best-effort master (e.g. CPU, general-purpose DMA).
+    #[default]
+    NonRealTime,
+}
+
+impl MasterClass {
+    /// Returns `true` for real-time masters.
+    #[must_use]
+    pub const fn is_real_time(self) -> bool {
+        matches!(self, MasterClass::RealTime)
+    }
+}
+
+impl fmt::Display for MasterClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MasterClass::RealTime => write!(f, "real-time"),
+            MasterClass::NonRealTime => write!(f, "non-real-time"),
+        }
+    }
+}
+
+/// Per-master QoS programming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosConfig {
+    /// Master classification.
+    pub class: MasterClass,
+    /// Latency budget in bus cycles for real-time masters. For non-real-time
+    /// masters the value is informational only.
+    pub objective_cycles: u32,
+    /// Fixed priority used as the final tie-break (lower value = higher
+    /// priority), mirroring the fixed master priority of plain AHB.
+    pub fixed_priority: u8,
+}
+
+impl QosConfig {
+    /// A real-time master with the given latency budget.
+    #[must_use]
+    pub const fn real_time(objective_cycles: u32, fixed_priority: u8) -> Self {
+        QosConfig {
+            class: MasterClass::RealTime,
+            objective_cycles,
+            fixed_priority,
+        }
+    }
+
+    /// A best-effort master.
+    #[must_use]
+    pub const fn non_real_time(fixed_priority: u8) -> Self {
+        QosConfig {
+            class: MasterClass::NonRealTime,
+            objective_cycles: u32::MAX,
+            fixed_priority,
+        }
+    }
+
+    /// Returns `true` if a request outstanding for `waited` cycles is within
+    /// `margin` cycles of violating the objective.
+    #[must_use]
+    pub fn is_urgent(&self, waited: u64, margin: u32) -> bool {
+        if !self.class.is_real_time() {
+            return false;
+        }
+        let budget = u64::from(self.objective_cycles);
+        waited + u64::from(margin) >= budget
+    }
+
+    /// Returns `true` if a request outstanding for `waited` cycles has
+    /// already violated the objective.
+    #[must_use]
+    pub fn is_violated(&self, waited: u64) -> bool {
+        self.class.is_real_time() && waited > u64::from(self.objective_cycles)
+    }
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig::non_real_time(15)
+    }
+}
+
+/// The AHB+ internal QoS register file: one [`QosConfig`] per master.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QosRegisterFile {
+    entries: Vec<(MasterId, QosConfig)>,
+}
+
+impl QosRegisterFile {
+    /// Creates an empty register file.
+    #[must_use]
+    pub fn new() -> Self {
+        QosRegisterFile::default()
+    }
+
+    /// Programs (or reprograms) the registers for `master`.
+    pub fn program(&mut self, master: MasterId, config: QosConfig) {
+        if let Some(entry) = self.entries.iter_mut().find(|(m, _)| *m == master) {
+            entry.1 = config;
+        } else {
+            self.entries.push((master, config));
+        }
+    }
+
+    /// Reads the registers for `master`; unprogrammed masters read back the
+    /// default non-real-time configuration, matching hardware reset values.
+    #[must_use]
+    pub fn lookup(&self, master: MasterId) -> QosConfig {
+        self.entries
+            .iter()
+            .find(|(m, _)| *m == master)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Number of explicitly programmed masters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no master has been programmed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the programmed `(master, config)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MasterId, QosConfig)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_configs_flag_urgency() {
+        let qos = QosConfig::real_time(100, 0);
+        assert!(qos.class.is_real_time());
+        assert!(!qos.is_urgent(10, 16));
+        assert!(qos.is_urgent(90, 16));
+        assert!(qos.is_urgent(200, 0));
+        assert!(!qos.is_violated(100));
+        assert!(qos.is_violated(101));
+    }
+
+    #[test]
+    fn non_real_time_is_never_urgent() {
+        let qos = QosConfig::non_real_time(5);
+        assert!(!qos.is_urgent(u64::from(u32::MAX), 1000));
+        assert!(!qos.is_violated(u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn register_file_program_and_lookup() {
+        let mut file = QosRegisterFile::new();
+        assert!(file.is_empty());
+        file.program(MasterId::new(0), QosConfig::real_time(64, 1));
+        file.program(MasterId::new(2), QosConfig::non_real_time(9));
+        assert_eq!(file.len(), 2);
+        assert_eq!(file.lookup(MasterId::new(0)).objective_cycles, 64);
+        assert_eq!(file.lookup(MasterId::new(2)).fixed_priority, 9);
+        // Unprogrammed master reads back reset defaults.
+        let default = file.lookup(MasterId::new(5));
+        assert_eq!(default.class, MasterClass::NonRealTime);
+    }
+
+    #[test]
+    fn reprogramming_overwrites() {
+        let mut file = QosRegisterFile::new();
+        file.program(MasterId::new(1), QosConfig::real_time(50, 0));
+        file.program(MasterId::new(1), QosConfig::real_time(80, 0));
+        assert_eq!(file.len(), 1);
+        assert_eq!(file.lookup(MasterId::new(1)).objective_cycles, 80);
+    }
+
+    #[test]
+    fn iter_yields_programmed_entries() {
+        let mut file = QosRegisterFile::new();
+        file.program(MasterId::new(0), QosConfig::real_time(10, 0));
+        file.program(MasterId::new(1), QosConfig::non_real_time(3));
+        let masters: Vec<MasterId> = file.iter().map(|(m, _)| m).collect();
+        assert_eq!(masters, vec![MasterId::new(0), MasterId::new(1)]);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(MasterClass::RealTime.to_string(), "real-time");
+        assert_eq!(MasterClass::NonRealTime.to_string(), "non-real-time");
+    }
+}

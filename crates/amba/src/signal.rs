@@ -1,0 +1,362 @@
+//! AMBA 2.0 AHB signal encodings.
+//!
+//! The paper's first modeling step (§3.1) is to re-define the signal-level
+//! protocol as transaction-level ports. To do that faithfully the signal
+//! vocabulary itself must exist: the pin-accurate model drives these
+//! encodings on wires every cycle, while the transaction-level model only
+//! uses them inside its transaction records. All encodings follow the AMBA
+//! Specification rev 2.0.
+
+use std::fmt;
+
+/// `HTRANS[1:0]` — transfer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HTrans {
+    /// No transfer is required (master holds the bus but is idle).
+    #[default]
+    Idle,
+    /// Master is in the middle of a burst but cannot continue immediately.
+    Busy,
+    /// First transfer of a burst or a single transfer.
+    NonSeq,
+    /// Remaining transfers of a burst.
+    Seq,
+}
+
+impl HTrans {
+    /// Encodes to the 2-bit `HTRANS` value.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        match self {
+            HTrans::Idle => 0b00,
+            HTrans::Busy => 0b01,
+            HTrans::NonSeq => 0b10,
+            HTrans::Seq => 0b11,
+        }
+    }
+
+    /// Decodes from the 2-bit `HTRANS` value.
+    ///
+    /// Only the two low bits are inspected.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => HTrans::Idle,
+            0b01 => HTrans::Busy,
+            0b10 => HTrans::NonSeq,
+            _ => HTrans::Seq,
+        }
+    }
+
+    /// Returns `true` for `NONSEQ` and `SEQ`, the encodings that actually
+    /// transfer data.
+    #[must_use]
+    pub const fn is_active(self) -> bool {
+        matches!(self, HTrans::NonSeq | HTrans::Seq)
+    }
+}
+
+impl fmt::Display for HTrans {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            HTrans::Idle => "IDLE",
+            HTrans::Busy => "BUSY",
+            HTrans::NonSeq => "NONSEQ",
+            HTrans::Seq => "SEQ",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// `HBURST[2:0]` — burst kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HBurst {
+    /// Single transfer.
+    #[default]
+    Single,
+    /// Incrementing burst of unspecified length.
+    Incr,
+    /// 4-beat wrapping burst.
+    Wrap4,
+    /// 4-beat incrementing burst.
+    Incr4,
+    /// 8-beat wrapping burst.
+    Wrap8,
+    /// 8-beat incrementing burst.
+    Incr8,
+    /// 16-beat wrapping burst.
+    Wrap16,
+    /// 16-beat incrementing burst.
+    Incr16,
+}
+
+impl HBurst {
+    /// Encodes to the 3-bit `HBURST` value.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        match self {
+            HBurst::Single => 0b000,
+            HBurst::Incr => 0b001,
+            HBurst::Wrap4 => 0b010,
+            HBurst::Incr4 => 0b011,
+            HBurst::Wrap8 => 0b100,
+            HBurst::Incr8 => 0b101,
+            HBurst::Wrap16 => 0b110,
+            HBurst::Incr16 => 0b111,
+        }
+    }
+
+    /// Decodes from the 3-bit `HBURST` value.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b111 {
+            0b000 => HBurst::Single,
+            0b001 => HBurst::Incr,
+            0b010 => HBurst::Wrap4,
+            0b011 => HBurst::Incr4,
+            0b100 => HBurst::Wrap8,
+            0b101 => HBurst::Incr8,
+            0b110 => HBurst::Wrap16,
+            _ => HBurst::Incr16,
+        }
+    }
+
+    /// Number of beats in a fixed-length burst; `None` for `INCR` whose
+    /// length is determined by the master de-asserting further transfers.
+    #[must_use]
+    pub const fn fixed_beats(self) -> Option<u32> {
+        match self {
+            HBurst::Single => Some(1),
+            HBurst::Incr => None,
+            HBurst::Wrap4 | HBurst::Incr4 => Some(4),
+            HBurst::Wrap8 | HBurst::Incr8 => Some(8),
+            HBurst::Wrap16 | HBurst::Incr16 => Some(16),
+        }
+    }
+
+    /// Returns `true` for the wrapping variants.
+    #[must_use]
+    pub const fn is_wrapping(self) -> bool {
+        matches!(self, HBurst::Wrap4 | HBurst::Wrap8 | HBurst::Wrap16)
+    }
+}
+
+impl fmt::Display for HBurst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            HBurst::Single => "SINGLE",
+            HBurst::Incr => "INCR",
+            HBurst::Wrap4 => "WRAP4",
+            HBurst::Incr4 => "INCR4",
+            HBurst::Wrap8 => "WRAP8",
+            HBurst::Incr8 => "INCR8",
+            HBurst::Wrap16 => "WRAP16",
+            HBurst::Incr16 => "INCR16",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// `HSIZE[2:0]` — transfer size per beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HSize {
+    /// 8-bit transfer.
+    Byte,
+    /// 16-bit transfer.
+    Halfword,
+    /// 32-bit transfer.
+    #[default]
+    Word,
+    /// 64-bit transfer.
+    Doubleword,
+    /// 128-bit transfer (4-word line).
+    Line4,
+    /// 256-bit transfer (8-word line).
+    Line8,
+}
+
+impl HSize {
+    /// Encodes to the 3-bit `HSIZE` value.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        match self {
+            HSize::Byte => 0b000,
+            HSize::Halfword => 0b001,
+            HSize::Word => 0b010,
+            HSize::Doubleword => 0b011,
+            HSize::Line4 => 0b100,
+            HSize::Line8 => 0b101,
+        }
+    }
+
+    /// Decodes from the 3-bit `HSIZE` value; encodings above `Line8`
+    /// (512/1024-bit) are collapsed onto `Line8` because no modeled bus is
+    /// wider than 256 bits.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b111 {
+            0b000 => HSize::Byte,
+            0b001 => HSize::Halfword,
+            0b010 => HSize::Word,
+            0b011 => HSize::Doubleword,
+            0b100 => HSize::Line4,
+            _ => HSize::Line8,
+        }
+    }
+
+    /// Number of bytes moved per beat.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        1 << self.bits()
+    }
+}
+
+impl fmt::Display for HSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// `HRESP[1:0]` — slave response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HResp {
+    /// Transfer completed successfully.
+    #[default]
+    Okay,
+    /// Transfer failed.
+    Error,
+    /// Master must retry the transfer.
+    Retry,
+    /// Transfer is split; the slave will signal when it can complete.
+    Split,
+}
+
+impl HResp {
+    /// Encodes to the 2-bit `HRESP` value.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        match self {
+            HResp::Okay => 0b00,
+            HResp::Error => 0b01,
+            HResp::Retry => 0b10,
+            HResp::Split => 0b11,
+        }
+    }
+
+    /// Decodes from the 2-bit `HRESP` value.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => HResp::Okay,
+            0b01 => HResp::Error,
+            0b10 => HResp::Retry,
+            _ => HResp::Split,
+        }
+    }
+
+    /// Returns `true` when the response indicates success.
+    #[must_use]
+    pub const fn is_okay(self) -> bool {
+        matches!(self, HResp::Okay)
+    }
+}
+
+impl fmt::Display for HResp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            HResp::Okay => "OKAY",
+            HResp::Error => "ERROR",
+            HResp::Retry => "RETRY",
+            HResp::Split => "SPLIT",
+        };
+        write!(f, "{text}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htrans_round_trips_all_encodings() {
+        for trans in [HTrans::Idle, HTrans::Busy, HTrans::NonSeq, HTrans::Seq] {
+            assert_eq!(HTrans::from_bits(trans.bits()), trans);
+        }
+        assert_eq!(HTrans::from_bits(0b10), HTrans::NonSeq);
+        assert_eq!(HTrans::from_bits(0b1110), HTrans::NonSeq, "upper bits ignored");
+    }
+
+    #[test]
+    fn htrans_activity() {
+        assert!(HTrans::NonSeq.is_active());
+        assert!(HTrans::Seq.is_active());
+        assert!(!HTrans::Idle.is_active());
+        assert!(!HTrans::Busy.is_active());
+    }
+
+    #[test]
+    fn hburst_round_trips_and_beat_counts() {
+        let all = [
+            HBurst::Single,
+            HBurst::Incr,
+            HBurst::Wrap4,
+            HBurst::Incr4,
+            HBurst::Wrap8,
+            HBurst::Incr8,
+            HBurst::Wrap16,
+            HBurst::Incr16,
+        ];
+        for burst in all {
+            assert_eq!(HBurst::from_bits(burst.bits()), burst);
+        }
+        assert_eq!(HBurst::Single.fixed_beats(), Some(1));
+        assert_eq!(HBurst::Incr.fixed_beats(), None);
+        assert_eq!(HBurst::Incr16.fixed_beats(), Some(16));
+        assert!(HBurst::Wrap8.is_wrapping());
+        assert!(!HBurst::Incr8.is_wrapping());
+    }
+
+    #[test]
+    fn hsize_bytes_match_encoding() {
+        assert_eq!(HSize::Byte.bytes(), 1);
+        assert_eq!(HSize::Halfword.bytes(), 2);
+        assert_eq!(HSize::Word.bytes(), 4);
+        assert_eq!(HSize::Doubleword.bytes(), 8);
+        assert_eq!(HSize::Line8.bytes(), 32);
+        for size in [
+            HSize::Byte,
+            HSize::Halfword,
+            HSize::Word,
+            HSize::Doubleword,
+            HSize::Line4,
+            HSize::Line8,
+        ] {
+            assert_eq!(HSize::from_bits(size.bits()), size);
+        }
+    }
+
+    #[test]
+    fn hresp_round_trips_and_okay() {
+        for resp in [HResp::Okay, HResp::Error, HResp::Retry, HResp::Split] {
+            assert_eq!(HResp::from_bits(resp.bits()), resp);
+        }
+        assert!(HResp::Okay.is_okay());
+        assert!(!HResp::Retry.is_okay());
+    }
+
+    #[test]
+    fn display_matches_spec_names() {
+        assert_eq!(HTrans::NonSeq.to_string(), "NONSEQ");
+        assert_eq!(HBurst::Wrap16.to_string(), "WRAP16");
+        assert_eq!(HSize::Word.to_string(), "4B");
+        assert_eq!(HResp::Split.to_string(), "SPLIT");
+    }
+
+    #[test]
+    fn defaults_are_idle_okay_single_word() {
+        assert_eq!(HTrans::default(), HTrans::Idle);
+        assert_eq!(HBurst::default(), HBurst::Single);
+        assert_eq!(HSize::default(), HSize::Word);
+        assert_eq!(HResp::default(), HResp::Okay);
+    }
+}

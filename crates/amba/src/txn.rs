@@ -1,0 +1,305 @@
+//! The transaction vocabulary used at the transaction-level ports.
+//!
+//! Section 3.2 of the paper maps the signal-level handshake
+//! (`HBUSREQ`/`HGRANT`, then `HADDR`/`HRDATA`/`HREADY`) onto port functions
+//! such as `CheckGrant()` and `Read(addr, *data, *ctrl)`. [`Transaction`] is
+//! the record those functions exchange: who is requesting, where, in which
+//! direction, with which burst shape, plus issue/completion timestamps used
+//! by the profiling layer.
+
+use std::fmt;
+
+use simkern::time::Cycle;
+
+use crate::burst::{BurstKind, BurstSequence};
+use crate::ids::{Addr, MasterId};
+use crate::signal::{HResp, HSize};
+
+/// Globally unique transaction identifier (per simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransactionId(u64);
+
+impl TransactionId {
+    /// Creates an identifier from a raw sequence number.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        TransactionId(value)
+    }
+
+    /// Raw sequence number.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next identifier in sequence.
+    #[must_use]
+    pub const fn next(self) -> TransactionId {
+        TransactionId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Direction of a transfer as seen from the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDirection {
+    /// Master reads from the slave (`HWRITE` low).
+    Read,
+    /// Master writes to the slave (`HWRITE` high).
+    Write,
+}
+
+impl TransferDirection {
+    /// Returns `true` for writes.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, TransferDirection::Write)
+    }
+}
+
+impl fmt::Display for TransferDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferDirection::Read => write!(f, "read"),
+            TransferDirection::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One bus transaction (a complete burst) as exchanged at a TLM port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Identifier assigned by the issuing master or generator.
+    pub id: TransactionId,
+    /// The issuing master.
+    pub master: MasterId,
+    /// Starting address of the burst.
+    pub addr: Addr,
+    /// Read or write.
+    pub direction: TransferDirection,
+    /// Burst shape.
+    pub burst: BurstKind,
+    /// Per-beat transfer size.
+    pub size: HSize,
+    /// Cycle at which the master first requested the bus for this
+    /// transaction (`HBUSREQ` assertion / port call time).
+    pub issued_at: Cycle,
+    /// Whether the issuing master may tolerate posting this write into the
+    /// AHB+ write buffer. Reads are never posted.
+    pub posted_ok: bool,
+}
+
+impl Transaction {
+    /// Creates a transaction with identifier 0 issued at cycle 0.
+    ///
+    /// Generators typically fill in [`Transaction::id`] and
+    /// [`Transaction::issued_at`] afterwards via [`Transaction::with_id`]
+    /// and [`Transaction::issued`].
+    #[must_use]
+    pub fn new(
+        master: MasterId,
+        addr: Addr,
+        direction: TransferDirection,
+        burst: BurstKind,
+        size: HSize,
+    ) -> Self {
+        Transaction {
+            id: TransactionId::new(0),
+            master,
+            addr,
+            direction,
+            burst,
+            size,
+            issued_at: Cycle::ZERO,
+            posted_ok: direction.is_write(),
+        }
+    }
+
+    /// Returns the same transaction with a different identifier.
+    #[must_use]
+    pub fn with_id(mut self, id: TransactionId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Returns the same transaction stamped with its issue time.
+    #[must_use]
+    pub fn issued(mut self, at: Cycle) -> Self {
+        self.issued_at = at;
+        self
+    }
+
+    /// Returns the same transaction with write-posting allowed or not.
+    #[must_use]
+    pub fn with_posted(mut self, posted_ok: bool) -> Self {
+        self.posted_ok = posted_ok && self.direction.is_write();
+        self
+    }
+
+    /// Number of beats in the burst.
+    #[must_use]
+    pub fn beats(&self) -> u32 {
+        self.burst.beats()
+    }
+
+    /// Total bytes moved.
+    #[must_use]
+    pub fn bytes(&self) -> u32 {
+        self.beats() * self.size.bytes()
+    }
+
+    /// Returns `true` for writes.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        self.direction.is_write()
+    }
+
+    /// The per-beat address sequence of this transaction.
+    #[must_use]
+    pub fn beat_addresses(&self) -> BurstSequence {
+        BurstSequence::new(self.addr, self.burst, self.size)
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} beats of {} at {}",
+            self.id,
+            self.master,
+            self.direction,
+            self.beats(),
+            self.size,
+            self.addr
+        )
+    }
+}
+
+/// Completion record returned by the bus for one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The completed transaction.
+    pub id: TransactionId,
+    /// The issuing master.
+    pub master: MasterId,
+    /// Final slave response.
+    pub response: HResp,
+    /// Cycle at which the bus was granted for the first beat.
+    pub granted_at: Cycle,
+    /// Cycle at which the last beat's data phase finished.
+    pub completed_at: Cycle,
+    /// Cycle at which the master issued the request.
+    pub issued_at: Cycle,
+    /// Total bytes transferred.
+    pub bytes: u32,
+    /// Whether the transaction was served out of the write buffer
+    /// (i.e. posted) rather than directly by the issuing master.
+    pub via_write_buffer: bool,
+}
+
+impl Completion {
+    /// Latency from request to full completion.
+    #[must_use]
+    pub fn total_latency(&self) -> u64 {
+        self.completed_at.saturating_since(self.issued_at).value()
+    }
+
+    /// Cycles spent waiting for a grant.
+    #[must_use]
+    pub fn grant_latency(&self) -> u64 {
+        self.granted_at.saturating_since(self.issued_at).value()
+    }
+
+    /// Cycles spent actually transferring data (address + data phases).
+    #[must_use]
+    pub fn transfer_cycles(&self) -> u64 {
+        self.completed_at.saturating_since(self.granted_at).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::HSize;
+
+    fn sample_txn() -> Transaction {
+        Transaction::new(
+            MasterId::new(1),
+            Addr::new(0x2000_0000),
+            TransferDirection::Write,
+            BurstKind::Incr8,
+            HSize::Word,
+        )
+    }
+
+    #[test]
+    fn transaction_geometry() {
+        let txn = sample_txn();
+        assert_eq!(txn.beats(), 8);
+        assert_eq!(txn.bytes(), 32);
+        assert!(txn.is_write());
+        assert_eq!(txn.beat_addresses().count(), 8);
+    }
+
+    #[test]
+    fn builder_style_helpers() {
+        let txn = sample_txn()
+            .with_id(TransactionId::new(42))
+            .issued(Cycle::new(100))
+            .with_posted(true);
+        assert_eq!(txn.id.value(), 42);
+        assert_eq!(txn.issued_at, Cycle::new(100));
+        assert!(txn.posted_ok);
+    }
+
+    #[test]
+    fn reads_are_never_posted() {
+        let txn = Transaction::new(
+            MasterId::new(0),
+            Addr::new(0),
+            TransferDirection::Read,
+            BurstKind::Single,
+            HSize::Word,
+        )
+        .with_posted(true);
+        assert!(!txn.posted_ok);
+    }
+
+    #[test]
+    fn transaction_id_sequence() {
+        let id = TransactionId::new(7);
+        assert_eq!(id.next().value(), 8);
+        assert_eq!(id.to_string(), "T7");
+    }
+
+    #[test]
+    fn completion_latency_accounting() {
+        let completion = Completion {
+            id: TransactionId::new(1),
+            master: MasterId::new(0),
+            response: HResp::Okay,
+            granted_at: Cycle::new(15),
+            completed_at: Cycle::new(40),
+            issued_at: Cycle::new(10),
+            bytes: 64,
+            via_write_buffer: false,
+        };
+        assert_eq!(completion.total_latency(), 30);
+        assert_eq!(completion.grant_latency(), 5);
+        assert_eq!(completion.transfer_cycles(), 25);
+    }
+
+    #[test]
+    fn display_mentions_master_and_direction() {
+        let text = sample_txn().to_string();
+        assert!(text.contains("M1"));
+        assert!(text.contains("write"));
+        assert!(text.contains("8 beats"));
+    }
+}

@@ -1,0 +1,271 @@
+//! RTL-vs-TLM accuracy comparison (Table 1 of the paper).
+//!
+//! The paper validates the transaction-level AHB+ model by simulating the
+//! same target system at both abstraction levels and comparing cycle-count
+//! metrics; "the average accuracy difference is below 3%" (§4). This module
+//! performs exactly that comparison: it pairs two [`SimReport`]s produced
+//! from identical stimulus and reports the relative error of every shared
+//! metric, the per-pattern average and the derived accuracy percentage.
+
+use std::fmt::Write as _;
+
+use crate::report::SimReport;
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Metric name, e.g. `"M1 video completion cycle"`.
+    pub metric: String,
+    /// Value measured on the pin-accurate reference model.
+    pub rtl: f64,
+    /// Value measured on the transaction-level model.
+    pub tlm: f64,
+}
+
+impl AccuracyRow {
+    /// Relative error of the TLM value against the RTL reference, in
+    /// percent. When the reference is zero the error is zero if both agree
+    /// and 100% otherwise.
+    #[must_use]
+    pub fn error_pct(&self) -> f64 {
+        if self.rtl == 0.0 {
+            if self.tlm == 0.0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            ((self.tlm - self.rtl) / self.rtl * 100.0).abs()
+        }
+    }
+}
+
+/// The full accuracy comparison of one traffic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Label of the traffic pattern the reports were produced under.
+    pub pattern: String,
+    /// Compared metrics.
+    pub rows: Vec<AccuracyRow>,
+}
+
+impl AccuracyReport {
+    /// Builds the comparison for one pattern from an RTL and a TLM report.
+    ///
+    /// The compared metrics mirror what Table 1 tracks: per-master
+    /// completion cycles and average latency, plus total bus busy cycles.
+    #[must_use]
+    pub fn compare(pattern: &str, rtl: &SimReport, tlm: &SimReport) -> Self {
+        let mut rows = Vec::new();
+        for (id, rtl_m) in &rtl.masters {
+            let Some(tlm_m) = tlm.masters.get(id) else {
+                continue;
+            };
+            rows.push(AccuracyRow {
+                metric: format!("{id} {} completion cycle", rtl_m.label),
+                rtl: rtl_m.last_completion_cycle as f64,
+                tlm: tlm_m.last_completion_cycle as f64,
+            });
+            rows.push(AccuracyRow {
+                metric: format!("{id} {} avg latency", rtl_m.label),
+                rtl: rtl_m.avg_latency,
+                tlm: tlm_m.avg_latency,
+            });
+        }
+        rows.push(AccuracyRow {
+            metric: "bus busy cycles".to_owned(),
+            rtl: rtl.bus.busy_cycles as f64,
+            tlm: tlm.bus.busy_cycles as f64,
+        });
+        AccuracyReport {
+            pattern: pattern.to_owned(),
+            rows,
+        }
+    }
+
+    /// Average relative error over all rows, in percent.
+    #[must_use]
+    pub fn average_error_pct(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(AccuracyRow::error_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Accuracy percentage (100 − average error), floored at zero.
+    #[must_use]
+    pub fn accuracy_pct(&self) -> f64 {
+        (100.0 - self.average_error_pct()).max(0.0)
+    }
+
+    /// Largest single-metric error, in percent.
+    #[must_use]
+    pub fn worst_error_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(AccuracyRow::error_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders one Table-1-shaped block: metric, RTL, TL, difference %.
+    #[must_use]
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.pattern);
+        let _ = writeln!(
+            out,
+            "{:<34} {:>14} {:>14} {:>10}",
+            "metric", "RTL", "TL", "diff %"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>14.1} {:>14.1} {:>9.2}%",
+                row.metric,
+                row.rtl,
+                row.tlm,
+                row.error_pct()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<34} {:>40.2}%",
+            "average difference",
+            self.average_error_pct()
+        );
+        out
+    }
+
+    /// Combines several per-pattern reports into the overall average error.
+    #[must_use]
+    pub fn overall_average_error(reports: &[AccuracyReport]) -> f64 {
+        if reports.is_empty() {
+            return 0.0;
+        }
+        reports
+            .iter()
+            .map(AccuracyReport::average_error_pct)
+            .sum::<f64>()
+            / reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BusMetrics, MasterMetrics, ModelKind};
+    use amba::ids::MasterId;
+    use std::collections::BTreeMap;
+
+    fn report(model: ModelKind, completion: u64, latency: f64, busy: u64) -> SimReport {
+        let mut masters = BTreeMap::new();
+        masters.insert(
+            MasterId::new(0),
+            MasterMetrics {
+                label: "cpu".into(),
+                completed: 10,
+                bytes: 640,
+                last_completion_cycle: completion,
+                avg_latency: latency,
+                max_latency: latency * 2.0,
+                avg_grant_latency: 3.0,
+                qos_violations: 0,
+            },
+        );
+        SimReport {
+            model,
+            total_cycles: completion + 100,
+            wall_seconds: 0.1,
+            masters,
+            bus: BusMetrics {
+                busy_cycles: busy,
+                ..BusMetrics::default()
+            },
+        }
+    }
+
+    #[test]
+    fn identical_reports_give_perfect_accuracy() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 25.0, 6_000);
+        let tlm = report(ModelKind::TransactionLevel, 10_000, 25.0, 6_000);
+        let cmp = AccuracyReport::compare("pattern A", &rtl, &tlm);
+        assert_eq!(cmp.average_error_pct(), 0.0);
+        assert_eq!(cmp.accuracy_pct(), 100.0);
+        assert_eq!(cmp.worst_error_pct(), 0.0);
+    }
+
+    #[test]
+    fn three_percent_difference_is_reported_as_such() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 100.0, 6_000);
+        let tlm = report(ModelKind::TransactionLevel, 10_300, 103.0, 6_180);
+        let cmp = AccuracyReport::compare("pattern A", &rtl, &tlm);
+        assert!((cmp.average_error_pct() - 3.0).abs() < 1e-9);
+        assert!((cmp.accuracy_pct() - 97.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_direction_does_not_matter() {
+        let row = AccuracyRow {
+            metric: "x".into(),
+            rtl: 100.0,
+            tlm: 90.0,
+        };
+        assert!((row.error_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_reference_handling() {
+        let zero_zero = AccuracyRow {
+            metric: "x".into(),
+            rtl: 0.0,
+            tlm: 0.0,
+        };
+        assert_eq!(zero_zero.error_pct(), 0.0);
+        let zero_some = AccuracyRow {
+            metric: "x".into(),
+            rtl: 0.0,
+            tlm: 5.0,
+        };
+        assert_eq!(zero_some.error_pct(), 100.0);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_rows() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 25.0, 6_000);
+        let tlm = report(ModelKind::TransactionLevel, 10_100, 26.0, 6_100);
+        let cmp = AccuracyReport::compare("pattern B", &rtl, &tlm);
+        let table = cmp.format_table();
+        assert!(table.contains("pattern B"));
+        assert!(table.contains("completion cycle"));
+        assert!(table.contains("avg latency"));
+        assert!(table.contains("bus busy cycles"));
+        assert!(table.contains("average difference"));
+    }
+
+    #[test]
+    fn overall_average_combines_patterns() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 100.0, 6_000);
+        let exact = AccuracyReport::compare(
+            "a",
+            &rtl,
+            &report(ModelKind::TransactionLevel, 10_000, 100.0, 6_000),
+        );
+        let off = AccuracyReport::compare(
+            "b",
+            &rtl,
+            &report(ModelKind::TransactionLevel, 10_400, 104.0, 6_240),
+        );
+        let overall = AccuracyReport::overall_average_error(&[exact, off]);
+        assert!((overall - 2.0).abs() < 1e-9);
+        assert_eq!(AccuracyReport::overall_average_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn masters_missing_from_one_report_are_skipped() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 25.0, 6_000);
+        let mut tlm = report(ModelKind::TransactionLevel, 10_000, 25.0, 6_000);
+        tlm.masters.clear();
+        let cmp = AccuracyReport::compare("pattern", &rtl, &tlm);
+        assert_eq!(cmp.rows.len(), 1, "only the bus-level row remains");
+    }
+}

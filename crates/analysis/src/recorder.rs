@@ -1,0 +1,267 @@
+//! The metric recorder both bus models fill while running.
+//!
+//! The paper builds "bus and master port profiling features in
+//! transaction-level ports and some internal functions such as arbiter,
+//! write buffer and so on" (§3.6). [`Recorder`] is that profiling layer:
+//! the bus models call it on every completion, every busy span, every
+//! write-buffer event, and it condenses everything into a
+//! [`crate::report::SimReport`] at the end of the run.
+
+use std::collections::BTreeMap;
+
+use amba::ids::MasterId;
+use amba::qos::QosConfig;
+use amba::txn::Completion;
+use simkern::stats::RunningStats;
+
+use crate::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
+
+#[derive(Debug, Clone, Default)]
+struct MasterAccumulator {
+    label: String,
+    completed: u64,
+    bytes: u64,
+    last_completion_cycle: u64,
+    latency: RunningStats,
+    grant_latency: RunningStats,
+    qos_violations: u64,
+}
+
+/// Collects raw profiling events during a run and produces a [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    model: ModelKind,
+    masters: BTreeMap<MasterId, MasterAccumulator>,
+    qos: BTreeMap<MasterId, QosConfig>,
+    busy_cycles: u64,
+    contention_cycles: u64,
+    transactions: u64,
+    data_beats: u64,
+    write_buffer_hits: u64,
+    write_buffer_peak: u64,
+    dram_row_hits: u64,
+    dram_accesses: u64,
+    assertion_errors: u64,
+}
+
+impl Recorder {
+    /// Creates an empty recorder for the given model.
+    #[must_use]
+    pub fn new(model: ModelKind) -> Self {
+        Recorder {
+            model,
+            masters: BTreeMap::new(),
+            qos: BTreeMap::new(),
+            busy_cycles: 0,
+            contention_cycles: 0,
+            transactions: 0,
+            data_beats: 0,
+            write_buffer_hits: 0,
+            write_buffer_peak: 0,
+            dram_row_hits: 0,
+            dram_accesses: 0,
+            assertion_errors: 0,
+        }
+    }
+
+    /// Declares a master so it appears in the report even if it never
+    /// completes a transaction.
+    pub fn register_master(&mut self, master: MasterId, label: &str) {
+        self.masters
+            .entry(master)
+            .or_default()
+            .label = label.to_owned();
+    }
+
+    /// Declares the QoS programming of a master, used to count violations.
+    pub fn register_qos(&mut self, master: MasterId, qos: QosConfig) {
+        self.qos.insert(master, qos);
+    }
+
+    /// Records one completed transaction.
+    pub fn record_completion(&mut self, completion: &Completion, beats: u32) {
+        let acc = self.masters.entry(completion.master).or_default();
+        acc.completed += 1;
+        acc.bytes += u64::from(completion.bytes);
+        acc.last_completion_cycle = acc
+            .last_completion_cycle
+            .max(completion.completed_at.value());
+        acc.latency.record(completion.total_latency() as f64);
+        acc.grant_latency.record(completion.grant_latency() as f64);
+        if let Some(qos) = self.qos.get(&completion.master) {
+            if qos.is_violated(completion.grant_latency()) {
+                acc.qos_violations += 1;
+            }
+        }
+        self.transactions += 1;
+        self.data_beats += u64::from(beats);
+        if completion.via_write_buffer {
+            self.write_buffer_hits += 1;
+        }
+    }
+
+    /// Adds `cycles` of bus data-transfer activity.
+    pub fn add_busy_cycles(&mut self, cycles: u64) {
+        self.busy_cycles += cycles;
+    }
+
+    /// Adds `cycles` during which at least one request waited while the bus
+    /// served somebody else.
+    pub fn add_contention_cycles(&mut self, cycles: u64) {
+        self.contention_cycles += cycles;
+    }
+
+    /// Records the current write-buffer occupancy (keeps the peak).
+    pub fn observe_write_buffer_fill(&mut self, fill: usize) {
+        self.write_buffer_peak = self.write_buffer_peak.max(fill as u64);
+    }
+
+    /// Records DRAM access classification counts (hits include prepared
+    /// hits).
+    pub fn add_dram_stats(&mut self, row_hits: u64, accesses: u64) {
+        self.dram_row_hits += row_hits;
+        self.dram_accesses += accesses;
+    }
+
+    /// Records the number of assertion errors observed.
+    pub fn add_assertion_errors(&mut self, errors: u64) {
+        self.assertion_errors += errors;
+    }
+
+    /// Number of completions recorded so far (cheap progress probe).
+    #[must_use]
+    pub fn completions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Condenses everything into a [`SimReport`].
+    #[must_use]
+    pub fn finish(&self, total_cycles: u64, wall_seconds: f64) -> SimReport {
+        let masters = self
+            .masters
+            .iter()
+            .map(|(id, acc)| {
+                let label = if acc.label.is_empty() {
+                    format!("m{}", id.index())
+                } else {
+                    acc.label.clone()
+                };
+                (
+                    *id,
+                    MasterMetrics {
+                        label,
+                        completed: acc.completed,
+                        bytes: acc.bytes,
+                        last_completion_cycle: acc.last_completion_cycle,
+                        avg_latency: acc.latency.mean(),
+                        max_latency: acc.latency.max(),
+                        avg_grant_latency: acc.grant_latency.mean(),
+                        qos_violations: acc.qos_violations,
+                    },
+                )
+            })
+            .collect();
+        SimReport {
+            model: self.model,
+            total_cycles,
+            wall_seconds,
+            masters,
+            bus: BusMetrics {
+                busy_cycles: self.busy_cycles,
+                contention_cycles: self.contention_cycles,
+                transactions: self.transactions,
+                data_beats: self.data_beats,
+                write_buffer_hits: self.write_buffer_hits,
+                write_buffer_peak: self.write_buffer_peak,
+                dram_row_hits: self.dram_row_hits,
+                dram_accesses: self.dram_accesses,
+                assertion_errors: self.assertion_errors,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::signal::HResp;
+    use amba::txn::TransactionId;
+    use simkern::time::Cycle;
+
+    fn completion(master: u8, issued: u64, granted: u64, done: u64, bytes: u32) -> Completion {
+        Completion {
+            id: TransactionId::new(1),
+            master: MasterId::new(master),
+            response: HResp::Okay,
+            granted_at: Cycle::new(granted),
+            completed_at: Cycle::new(done),
+            issued_at: Cycle::new(issued),
+            bytes,
+            via_write_buffer: false,
+        }
+    }
+
+    #[test]
+    fn completions_accumulate_per_master() {
+        let mut r = Recorder::new(ModelKind::PinAccurateRtl);
+        r.register_master(MasterId::new(0), "cpu");
+        r.record_completion(&completion(0, 0, 5, 20, 32), 8);
+        r.record_completion(&completion(0, 10, 12, 40, 16), 4);
+        r.record_completion(&completion(1, 0, 2, 30, 64), 16);
+        let report = r.finish(100, 0.001);
+        assert_eq!(report.masters.len(), 2);
+        let cpu = &report.masters[&MasterId::new(0)];
+        assert_eq!(cpu.completed, 2);
+        assert_eq!(cpu.bytes, 48);
+        assert_eq!(cpu.last_completion_cycle, 40);
+        assert!((cpu.avg_latency - 25.0).abs() < 1e-9);
+        assert!((cpu.avg_grant_latency - 3.5).abs() < 1e-9);
+        let other = &report.masters[&MasterId::new(1)];
+        assert_eq!(other.label, "m1", "unregistered master gets a fallback label");
+    }
+
+    #[test]
+    fn qos_violations_are_counted_against_registered_objectives() {
+        let mut r = Recorder::new(ModelKind::TransactionLevel);
+        r.register_master(MasterId::new(1), "video");
+        r.register_qos(MasterId::new(1), QosConfig::real_time(10, 0));
+        // Grant latency 5: fine. Grant latency 30: violation.
+        r.record_completion(&completion(1, 0, 5, 20, 64), 16);
+        r.record_completion(&completion(1, 100, 130, 150, 64), 16);
+        let report = r.finish(200, 0.001);
+        assert_eq!(report.masters[&MasterId::new(1)].qos_violations, 1);
+    }
+
+    #[test]
+    fn bus_level_counters_flow_into_the_report() {
+        let mut r = Recorder::new(ModelKind::TransactionLevel);
+        r.add_busy_cycles(60);
+        r.add_contention_cycles(12);
+        r.observe_write_buffer_fill(2);
+        r.observe_write_buffer_fill(5);
+        r.observe_write_buffer_fill(1);
+        r.add_dram_stats(7, 10);
+        r.add_assertion_errors(1);
+        let mut wb = completion(2, 0, 0, 9, 32);
+        wb.via_write_buffer = true;
+        r.record_completion(&wb, 8);
+        let report = r.finish(100, 0.5);
+        assert_eq!(report.bus.busy_cycles, 60);
+        assert_eq!(report.bus.contention_cycles, 12);
+        assert_eq!(report.bus.write_buffer_peak, 5);
+        assert_eq!(report.bus.write_buffer_hits, 1);
+        assert_eq!(report.bus.dram_row_hits, 7);
+        assert_eq!(report.bus.assertion_errors, 1);
+        assert_eq!(report.bus.data_beats, 8);
+        assert_eq!(r.completions(), 1);
+    }
+
+    #[test]
+    fn registered_but_idle_masters_appear_in_the_report() {
+        let mut r = Recorder::new(ModelKind::PinAccurateRtl);
+        r.register_master(MasterId::new(3), "writer");
+        let report = r.finish(10, 0.0);
+        assert_eq!(report.masters[&MasterId::new(3)].completed, 0);
+        assert_eq!(report.masters[&MasterId::new(3)].label, "writer");
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulation-speed comparison (§4 of the paper).
+//!
+//! The paper reports simulation throughput in kilo-cycles per wall-clock
+//! second: 0.47 Kcycles/s for the pin-accurate RTL model, 166 Kcycles/s for
+//! the transaction-level model (353× faster), and 456 Kcycles/s for the TLM
+//! driven by a single master. [`SpeedReport`] packages the same three
+//! numbers measured on this reproduction.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::report::SimReport;
+
+/// Simulation-speed summary for one platform configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedReport {
+    /// RTL throughput in kilo-cycles per second.
+    pub rtl_kcycles_per_sec: f64,
+    /// TLM throughput in kilo-cycles per second (full master set).
+    pub tlm_kcycles_per_sec: f64,
+    /// TLM throughput with a single master, if measured.
+    pub tlm_single_master_kcycles_per_sec: Option<f64>,
+}
+
+impl SpeedReport {
+    /// Builds a speed report from the two paired runs (and optionally the
+    /// single-master TLM run).
+    #[must_use]
+    pub fn from_reports(
+        rtl: &SimReport,
+        tlm: &SimReport,
+        tlm_single_master: Option<&SimReport>,
+    ) -> Self {
+        SpeedReport {
+            rtl_kcycles_per_sec: rtl.kcycles_per_second(),
+            tlm_kcycles_per_sec: tlm.kcycles_per_second(),
+            tlm_single_master_kcycles_per_sec: tlm_single_master
+                .map(SimReport::kcycles_per_second),
+        }
+    }
+
+    /// Speed-up of the transaction-level model over the RTL reference —
+    /// the paper's headline 353× figure.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.rtl_kcycles_per_sec <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.tlm_kcycles_per_sec / self.rtl_kcycles_per_sec
+    }
+
+    /// Renders the §4 speed table.
+    #[must_use]
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>16}", "model", "Kcycles/s");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>16.2}",
+            "pin-accurate RTL", self.rtl_kcycles_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>16.2}",
+            "transaction-level", self.tlm_kcycles_per_sec
+        );
+        if let Some(single) = self.tlm_single_master_kcycles_per_sec {
+            let _ = writeln!(out, "{:<28} {:>16.2}", "transaction-level (1 master)", single);
+        }
+        let _ = writeln!(out, "{:<28} {:>15.1}x", "TL / RTL speed-up", self.speedup());
+        out
+    }
+}
+
+impl fmt::Display for SpeedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTL {:.2} Kc/s, TL {:.2} Kc/s ({:.0}x)",
+            self.rtl_kcycles_per_sec,
+            self.tlm_kcycles_per_sec,
+            self.speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BusMetrics, ModelKind};
+    use std::collections::BTreeMap;
+
+    fn report(model: ModelKind, cycles: u64, seconds: f64) -> SimReport {
+        SimReport {
+            model,
+            total_cycles: cycles,
+            wall_seconds: seconds,
+            masters: BTreeMap::new(),
+            bus: BusMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_matches_throughput_ratio() {
+        let rtl = report(ModelKind::PinAccurateRtl, 100_000, 10.0); // 10 Kc/s
+        let tlm = report(ModelKind::TransactionLevel, 100_000, 0.05); // 2000 Kc/s
+        let speed = SpeedReport::from_reports(&rtl, &tlm, None);
+        assert!((speed.speedup() - 200.0).abs() < 1e-9);
+        assert!(speed.tlm_single_master_kcycles_per_sec.is_none());
+    }
+
+    #[test]
+    fn single_master_run_is_included_when_given() {
+        let rtl = report(ModelKind::PinAccurateRtl, 10_000, 1.0);
+        let tlm = report(ModelKind::TransactionLevel, 10_000, 0.01);
+        let single = report(ModelKind::TransactionLevel, 10_000, 0.005);
+        let speed = SpeedReport::from_reports(&rtl, &tlm, Some(&single));
+        assert!(speed.tlm_single_master_kcycles_per_sec.unwrap() > speed.tlm_kcycles_per_sec);
+        let table = speed.format_table();
+        assert!(table.contains("1 master"));
+        assert!(table.contains("speed-up"));
+    }
+
+    #[test]
+    fn degenerate_rtl_speed_yields_infinite_speedup() {
+        let speed = SpeedReport {
+            rtl_kcycles_per_sec: 0.0,
+            tlm_kcycles_per_sec: 100.0,
+            tlm_single_master_kcycles_per_sec: None,
+        };
+        assert!(speed.speedup().is_infinite());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let speed = SpeedReport {
+            rtl_kcycles_per_sec: 0.5,
+            tlm_kcycles_per_sec: 170.0,
+            tlm_single_master_kcycles_per_sec: None,
+        };
+        let text = speed.to_string();
+        assert!(text.contains("RTL 0.50"));
+        assert!(text.contains("340x"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Ablation benchmarks for the AHB+ design choices called out in DESIGN.md:
+//! QoS arbitration (ablation A), Bus-Interface bank-interleaving hints
+//! (ablation B) and write-buffer depth (ablation C). Each configuration is
+//! a criterion benchmark so the relative simulation cost is tracked; the
+//! architectural effect (latency / completion cycles) is printed by the
+//! `design_space`, `qos_guarantee` and `bank_interleaving` examples.
+
+use ahbplus::{AhbPlusParams, ArbiterConfig, ArbitrationFilter, DdrConfig};
+use ahbplus_bench::{harness_platform, BENCH_TRANSACTIONS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traffic::{pattern_b, pattern_c};
+
+fn bench_qos_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_qos_arbitration");
+    group.sample_size(10);
+    for (name, arbiter) in [
+        ("ahb_plus_filters", ArbiterConfig::ahb_plus()),
+        ("plain_fixed_priority", ArbiterConfig::plain_ahb_fixed_priority()),
+        (
+            "no_bank_affinity",
+            ArbiterConfig::ahb_plus().without(ArbitrationFilter::BankAffinity),
+        ),
+    ] {
+        let config = harness_platform(pattern_c(), BENCH_TRANSACTIONS)
+            .with_params(AhbPlusParams::ahb_plus().with_arbiter(arbiter));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(config.run_tlm().total_cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaving_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bank_interleaving");
+    group.sample_size(10);
+    for (name, hints) in [("bi_hints_on", true), ("bi_hints_off", false)] {
+        let ddr = if hints {
+            DdrConfig::ahb_plus()
+        } else {
+            DdrConfig::without_interleaving()
+        };
+        let config = harness_platform(pattern_b(), BENCH_TRANSACTIONS)
+            .with_params(AhbPlusParams::ahb_plus().with_bi_hints(hints))
+            .with_ddr(ddr);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(config.run_tlm().total_cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_buffer_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_buffer_depth");
+    group.sample_size(10);
+    for depth in [0usize, 2, 4, 8] {
+        let config = harness_platform(pattern_c(), BENCH_TRANSACTIONS)
+            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(depth));
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| black_box(config.run_tlm().total_cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qos_ablation,
+    bench_interleaving_ablation,
+    bench_write_buffer_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the simulation substrate: the event queue and the
+//! two-step cycle engine that everything else is built on, plus the DDR
+//! controller's per-access cost. These quantify why the transaction-level
+//! model is fast (a handful of controller calls per transaction) and why the
+//! pin-accurate model is slow (every signal committed every cycle).
+
+use amba::ids::Addr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddrc::{DdrConfig, DdrController};
+use simkern::component::Clocked;
+use simkern::engine::ClockEngine;
+use simkern::event::EventQueue;
+use simkern::signal::Register;
+use simkern::time::{Cycle, CycleDelta};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            for i in 0..1_000u64 {
+                queue.schedule(Cycle::new((i * 7) % 997), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, payload)) = queue.pop() {
+                sum = sum.wrapping_add(payload);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+struct Counter {
+    value: Register<u64>,
+}
+
+impl Clocked for Counter {
+    fn eval(&mut self, _now: Cycle) {
+        let next = self.value.get().wrapping_add(1);
+        self.value.load(next);
+    }
+    fn commit(&mut self, _now: Cycle) {
+        self.value.commit();
+    }
+}
+
+fn bench_clock_engine(c: &mut Criterion) {
+    c.bench_function("kernel/clock_engine_16_components_10k_cycles", |b| {
+        b.iter(|| {
+            let mut engine = ClockEngine::new();
+            for _ in 0..16 {
+                engine.add(Box::new(Counter {
+                    value: Register::new(0),
+                }));
+            }
+            let report = engine.run_for(CycleDelta::new(10_000));
+            black_box(report.cycles)
+        });
+    });
+}
+
+fn bench_ddr_controller(c: &mut Criterion) {
+    c.bench_function("kernel/ddr_controller_1k_accesses", |b| {
+        b.iter(|| {
+            let mut controller = DdrController::new(DdrConfig::ahb_plus());
+            let mut now = Cycle::ZERO;
+            let mut total = 0u64;
+            for i in 0..1_000u32 {
+                let addr = Addr::new(0x2000_0000 + (i % 64) * 2048 + (i % 8) * 64);
+                let timing = controller.access(now, addr, i % 3 == 0, 8);
+                now = now + timing.total();
+                total += timing.total().value();
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_clock_engine, bench_ddr_controller);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark behind the §4 speed comparison: wall-clock cost of
+//! simulating the same workload with the pin-accurate model, the
+//! transaction-level model, and the transaction-level model with a single
+//! master. The ratio of the reported times is the paper's speed-up factor.
+
+use ahbplus_bench::{harness_platform, BENCH_TRANSACTIONS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traffic::pattern_a;
+
+fn bench_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_speed");
+    group.sample_size(10);
+    let config = harness_platform(pattern_a(), BENCH_TRANSACTIONS);
+
+    group.bench_function("pin_accurate_rtl", |b| {
+        b.iter(|| black_box(config.run_rtl().total_cycles));
+    });
+    group.bench_function("transaction_level", |b| {
+        b.iter(|| black_box(config.run_tlm().total_cycles));
+    });
+    let single = config.clone().with_master_subset(1);
+    group.bench_function("transaction_level_single_master", |b| {
+        b.iter(|| black_box(single.run_tlm().total_cycles));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speed);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! `ahbplus` — the public façade of the AHB+ bus-architecture models.
+//!
+//! This crate ties the individual subsystems together into the platform the
+//! paper evaluates:
+//!
+//! * [`platform`] — a single [`PlatformConfig`] describing the bus
+//!   parameters, the DDR device, the traffic pattern and the workload size,
+//!   from which **both** abstraction levels are built: the pin-accurate
+//!   reference ([`ahb_rtl::RtlSystem`]) and the transaction-level model
+//!   ([`ahb_tlm::TlmSystem`]).
+//! * [`validation`] — the Table-1 experiment: run both models on identical
+//!   stimulus and compare their cycle-count metrics
+//!   ([`analysis::AccuracyReport`]).
+//! * [`speed`] — the §4 speed experiment: wall-clock throughput of both
+//!   models plus the single-master TLM configuration
+//!   ([`analysis::SpeedReport`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ahbplus::PlatformConfig;
+//! use traffic::pattern_a;
+//!
+//! // A small platform: pattern A, 20 transactions per master.
+//! let config = PlatformConfig::new(pattern_a(), 20, 42);
+//! let report = config.run_tlm();
+//! assert_eq!(report.total_transactions(), 4 * 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod speed;
+pub mod validation;
+
+pub use platform::PlatformConfig;
+pub use speed::measure_speed;
+pub use validation::{validate_pattern, validate_table1, Table1};
+
+// Re-export the building blocks so downstream users need only one
+// dependency.
+pub use ahb_rtl::{RtlConfig, RtlSystem};
+pub use ahb_tlm::{TlmConfig, TlmSystem};
+pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};
+pub use analysis::{AccuracyReport, SimReport, SpeedReport};
+pub use ddrc::{DdrConfig, DdrController, DdrGeometry, DdrTiming};
+pub use traffic::{pattern_a, pattern_b, pattern_c, MasterProfile, TrafficPattern, Workload};

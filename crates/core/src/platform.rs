@@ -1,0 +1,164 @@
+//! Platform configuration and construction of both abstraction levels.
+
+use ahb_rtl::{RtlConfig, RtlSystem};
+use ahb_tlm::{TlmConfig, TlmSystem};
+use amba::params::AhbPlusParams;
+use analysis::report::SimReport;
+use ddrc::DdrConfig;
+use traffic::TrafficPattern;
+
+/// One complete platform description: bus, memory, traffic and workload
+/// size. The same configuration builds the pin-accurate and the
+/// transaction-level system, which is what makes the accuracy comparison
+/// meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Bus parameters (arbitration filters, write buffer, pipelining, BI).
+    pub params: AhbPlusParams,
+    /// DDR device and controller configuration.
+    pub ddr: DdrConfig,
+    /// The traffic pattern to drive.
+    pub pattern: TrafficPattern,
+    /// Number of transactions each master generates.
+    pub transactions_per_master: usize,
+    /// Workload seed (identical stimulus for both models).
+    pub seed: u64,
+    /// Hard simulation length limit in bus cycles.
+    pub max_cycles: u64,
+}
+
+impl PlatformConfig {
+    /// Creates a platform with the default AHB+ bus and DDR parameters.
+    #[must_use]
+    pub fn new(pattern: TrafficPattern, transactions_per_master: usize, seed: u64) -> Self {
+        PlatformConfig {
+            params: AhbPlusParams::ahb_plus(),
+            ddr: DdrConfig::ahb_plus(),
+            pattern,
+            transactions_per_master,
+            seed,
+            max_cycles: 20_000_000,
+        }
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: AhbPlusParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a different DDR configuration.
+    #[must_use]
+    pub fn with_ddr(mut self, ddr: DdrConfig) -> Self {
+        self.ddr = ddr;
+        self
+    }
+
+    /// Returns a copy with a different cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Returns a copy restricted to the first `count` masters of the
+    /// pattern (the paper's single-master speed measurement uses `count = 1`).
+    #[must_use]
+    pub fn with_master_subset(mut self, count: usize) -> Self {
+        self.pattern.masters.truncate(count.max(1));
+        self
+    }
+
+    /// The transaction-level configuration derived from this platform.
+    #[must_use]
+    pub fn tlm_config(&self) -> TlmConfig {
+        TlmConfig {
+            params: self.params.clone(),
+            ddr: self.ddr,
+            max_cycles: self.max_cycles,
+        }
+    }
+
+    /// The pin-accurate configuration derived from this platform.
+    #[must_use]
+    pub fn rtl_config(&self) -> RtlConfig {
+        RtlConfig {
+            params: self.params.clone(),
+            ddr: self.ddr,
+            max_cycles: self.max_cycles,
+            protocol_checks: true,
+        }
+    }
+
+    /// Builds the transaction-level system.
+    #[must_use]
+    pub fn build_tlm(&self) -> TlmSystem {
+        TlmSystem::from_pattern(
+            self.tlm_config(),
+            &self.pattern,
+            self.transactions_per_master,
+            self.seed,
+        )
+    }
+
+    /// Builds the pin-accurate system.
+    #[must_use]
+    pub fn build_rtl(&self) -> RtlSystem {
+        RtlSystem::from_pattern(
+            self.rtl_config(),
+            &self.pattern,
+            self.transactions_per_master,
+            self.seed,
+        )
+    }
+
+    /// Builds and runs the transaction-level system.
+    #[must_use]
+    pub fn run_tlm(&self) -> SimReport {
+        self.build_tlm().run()
+    }
+
+    /// Builds and runs the pin-accurate system.
+    #[must_use]
+    pub fn run_rtl(&self) -> SimReport {
+        self.build_rtl().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::arbitration::ArbiterConfig;
+    use traffic::pattern_a;
+
+    #[test]
+    fn both_models_complete_the_same_workload() {
+        let config = PlatformConfig::new(pattern_a(), 15, 5);
+        let rtl = config.run_rtl();
+        let tlm = config.run_tlm();
+        assert_eq!(rtl.total_transactions(), tlm.total_transactions());
+        assert_eq!(rtl.total_bytes(), tlm.total_bytes());
+    }
+
+    #[test]
+    fn builders_adjust_the_derived_configs() {
+        let config = PlatformConfig::new(pattern_a(), 10, 1)
+            .with_params(AhbPlusParams::plain_ahb())
+            .with_ddr(DdrConfig::without_interleaving())
+            .with_max_cycles(1_234);
+        assert!(!config.tlm_config().params.request_pipelining);
+        assert!(!config.rtl_config().ddr.honour_prepare_hints);
+        assert_eq!(config.tlm_config().max_cycles, 1_234);
+        let arbiter_filters = config.params.arbiter.enabled.len();
+        assert_eq!(arbiter_filters, ArbiterConfig::plain_ahb_fixed_priority().enabled.len());
+    }
+
+    #[test]
+    fn master_subset_restricts_the_pattern() {
+        let config = PlatformConfig::new(pattern_a(), 10, 1).with_master_subset(1);
+        assert_eq!(config.pattern.master_count(), 1);
+        let report = config.run_tlm();
+        assert_eq!(report.masters.len(), 1);
+    }
+}

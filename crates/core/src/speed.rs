@@ -1,0 +1,44 @@
+//! The §4 simulation-speed experiment.
+//!
+//! Measures the wall-clock throughput (kilo-cycles of simulated bus time per
+//! second of host time) of the pin-accurate model, the transaction-level
+//! model, and the transaction-level model driven by a single master — the
+//! three numbers the paper reports as 0.47, 166 and 456 Kcycles/s (a 353×
+//! speed-up).
+
+use analysis::speed::SpeedReport;
+
+use crate::platform::PlatformConfig;
+
+/// Runs the three speed measurements on the given platform.
+///
+/// The RTL and TLM runs use the full master set of `config`; the third run
+/// truncates the pattern to its first master, mirroring the paper's
+/// single-master measurement of the bus model's pure performance.
+#[must_use]
+pub fn measure_speed(config: &PlatformConfig) -> SpeedReport {
+    let rtl = config.run_rtl();
+    let tlm = config.run_tlm();
+    let single = config.clone().with_master_subset(1).run_tlm();
+    SpeedReport::from_reports(&rtl, &tlm, Some(&single))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::pattern_a;
+
+    #[test]
+    fn tlm_is_faster_than_rtl_in_wall_clock_terms() {
+        // Keep the workload small so the unit test stays quick; the full
+        // measurement lives in the speed benchmark.
+        let config = PlatformConfig::new(pattern_a(), 60, 13);
+        let speed = measure_speed(&config);
+        assert!(
+            speed.tlm_kcycles_per_sec > speed.rtl_kcycles_per_sec,
+            "transaction-level model must simulate faster than the RTL model: {speed}"
+        );
+        assert!(speed.speedup() > 1.0);
+        assert!(speed.tlm_single_master_kcycles_per_sec.is_some());
+    }
+}

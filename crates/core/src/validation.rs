@@ -1,0 +1,140 @@
+//! The Table-1 accuracy experiment.
+//!
+//! The paper validates the transaction-level model by simulating "a target
+//! system by changing the traffic patterns of the masters" at both
+//! abstraction levels and comparing cycle counts; the average difference is
+//! below 3 % (§4). [`validate_pattern`] performs that comparison for one
+//! pattern; [`validate_table1`] runs the whole three-pattern catalogue and
+//! aggregates the overall accuracy.
+
+use analysis::accuracy::AccuracyReport;
+use analysis::report::SimReport;
+use traffic::TrafficPattern;
+
+use crate::platform::PlatformConfig;
+
+/// The outcome of validating one traffic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternValidation {
+    /// The compared metrics.
+    pub accuracy: AccuracyReport,
+    /// The pin-accurate run.
+    pub rtl: SimReport,
+    /// The transaction-level run.
+    pub tlm: SimReport,
+}
+
+/// The full Table-1 regeneration: one validation per traffic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Per-pattern validations in catalogue order.
+    pub patterns: Vec<PatternValidation>,
+}
+
+impl Table1 {
+    /// Average error over all patterns, in percent.
+    #[must_use]
+    pub fn average_error_pct(&self) -> f64 {
+        let reports: Vec<AccuracyReport> =
+            self.patterns.iter().map(|p| p.accuracy.clone()).collect();
+        AccuracyReport::overall_average_error(&reports)
+    }
+
+    /// Overall accuracy percentage (the paper reports 97 % on average).
+    #[must_use]
+    pub fn accuracy_pct(&self) -> f64 {
+        (100.0 - self.average_error_pct()).max(0.0)
+    }
+
+    /// Renders every per-pattern block plus the overall summary.
+    #[must_use]
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        for validation in &self.patterns {
+            out.push_str(&validation.accuracy.format_table());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "overall: average difference {:.2}%  (accuracy {:.1}%)\n",
+            self.average_error_pct(),
+            self.accuracy_pct()
+        ));
+        out
+    }
+}
+
+/// Runs both models on one pattern and compares them.
+#[must_use]
+pub fn validate_pattern(
+    pattern: TrafficPattern,
+    transactions_per_master: usize,
+    seed: u64,
+) -> PatternValidation {
+    let name = pattern.name;
+    let config = PlatformConfig::new(pattern, transactions_per_master, seed);
+    let rtl = config.run_rtl();
+    let tlm = config.run_tlm();
+    let accuracy = AccuracyReport::compare(name, &rtl, &tlm);
+    PatternValidation { accuracy, rtl, tlm }
+}
+
+/// Runs the full Table-1 catalogue (patterns A, B and C).
+#[must_use]
+pub fn validate_table1(transactions_per_master: usize, seed: u64) -> Table1 {
+    let patterns = TrafficPattern::table1_catalogue()
+        .into_iter()
+        .map(|pattern| validate_pattern(pattern, transactions_per_master, seed))
+        .collect();
+    Table1 { patterns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::pattern_a;
+
+    #[test]
+    fn single_pattern_validation_produces_rows() {
+        let validation = validate_pattern(pattern_a(), 20, 3);
+        assert!(!validation.accuracy.rows.is_empty());
+        assert_eq!(
+            validation.rtl.total_transactions(),
+            validation.tlm.total_transactions()
+        );
+    }
+
+    #[test]
+    fn tlm_tracks_rtl_on_a_small_workload() {
+        // The paper reports <3% average difference on its workloads; this
+        // reproduction tracks the headline cycle counts (completion cycles
+        // of the longest-running master, bus busy cycles) tightly but the
+        // per-master latency of write-posting masters diverges more, so the
+        // unit test guards against gross divergence only. The calibrated
+        // comparison lives in the integration tests and the Table-1 bench.
+        let validation = validate_pattern(pattern_a(), 60, 7);
+        let error = validation.accuracy.average_error_pct();
+        assert!(
+            error < 25.0,
+            "TLM diverged from RTL by {error:.2}% on the smoke workload"
+        );
+        // Bus busy cycles — total bus work — must agree closely.
+        let busy = validation
+            .accuracy
+            .rows
+            .iter()
+            .find(|r| r.metric == "bus busy cycles")
+            .expect("busy row");
+        assert!(busy.error_pct() < 8.0, "busy cycle error {:.2}%", busy.error_pct());
+    }
+
+    #[test]
+    fn table1_aggregates_all_patterns() {
+        let table = validate_table1(15, 1);
+        assert_eq!(table.patterns.len(), 3);
+        let text = table.format_table();
+        assert!(text.contains("pattern A"));
+        assert!(text.contains("pattern C"));
+        assert!(text.contains("overall"));
+        assert!(table.accuracy_pct() > 0.0);
+    }
+}

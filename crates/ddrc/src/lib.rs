@@ -1,0 +1,47 @@
+//! `ddrc` — DDR SDRAM device and memory controller model.
+//!
+//! The AHB+ architecture of the paper pairs the bus with a DDR Controller
+//! (DDRC) whose behaviour dominates overall access latency, which is why the
+//! authors model its per-bank finite state machines "as accurate as register
+//! transfer level" while abstracting the data path (§3.3). This crate does
+//! the same:
+//!
+//! * [`timing`] — JEDEC-style timing parameters (tRCD, tRP, CL, tRAS, ...)
+//!   with presets for a DDR-266-class device.
+//! * [`geometry`] — bank/row/column address decoding.
+//! * [`bank`] — the per-bank FSM (idle / activating / active / precharging)
+//!   with exact cycle accounting.
+//! * [`controller`] — the memory controller: open-page policy, shared data
+//!   bus, refresh, the *prepare* path driven by the Bus Interface
+//!   next-transaction hint (bank interleaving), and readiness feedback for
+//!   the arbiter's bank-affinity filter.
+//!
+//! Both the pin-accurate and the transaction-level bus models drive the same
+//! controller; they differ only in *how* they deliver requests to it
+//! (per-cycle signal sampling vs. direct function calls).
+//!
+//! # Example
+//!
+//! ```
+//! use ddrc::{DdrConfig, DdrController};
+//! use amba::ids::Addr;
+//! use simkern::time::Cycle;
+//!
+//! let mut ctrl = DdrController::new(DdrConfig::default());
+//! let timing = ctrl.access(Cycle::new(0), Addr::new(0x2000_0000), false, 8);
+//! assert!(timing.first_data_latency().value() > 0);
+//! assert_eq!(timing.data_cycles.value(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod controller;
+pub mod geometry;
+pub mod timing;
+
+pub use bank::{Bank, BankState};
+pub use controller::{AccessTiming, DdrConfig, DdrController, DdrStats};
+pub use geometry::{DdrGeometry, DecodedAddr};
+pub use timing::DdrTiming;

@@ -1,0 +1,161 @@
+//! DDR device timing parameters.
+//!
+//! All values are expressed in bus clock cycles. The defaults correspond to
+//! a DDR-266-class part running with the bus clock (133 MHz) — the kind of
+//! device a 2005 DVD-player SoC like the paper's platform would use — but
+//! every parameter is a plain field so design-space exploration sweeps can
+//! change them freely (paper §3.7 lists parameterization as a model
+//! requirement).
+
+use std::fmt;
+
+/// DDR SDRAM timing parameters in bus clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrTiming {
+    /// RAS-to-CAS delay: cycles from ACTIVATE to the first READ/WRITE.
+    pub t_rcd: u32,
+    /// Row precharge time: cycles from PRECHARGE until the bank is idle.
+    pub t_rp: u32,
+    /// CAS latency: cycles from READ to the first data beat.
+    pub cl: u32,
+    /// Write latency: cycles from WRITE to the first data beat accepted.
+    pub cwl: u32,
+    /// Minimum ACTIVATE-to-PRECHARGE time for the same bank.
+    pub t_ras: u32,
+    /// Minimum ACTIVATE-to-ACTIVATE time for the same bank.
+    pub t_rc: u32,
+    /// Write recovery: cycles after the last write beat before PRECHARGE.
+    pub t_wr: u32,
+    /// Average refresh interval (0 disables refresh modeling).
+    pub t_refi: u32,
+    /// Refresh cycle time: cycles a refresh keeps the whole device busy.
+    pub t_rfc: u32,
+}
+
+impl DdrTiming {
+    /// DDR-266-class timings at a 133 MHz bus clock.
+    #[must_use]
+    pub const fn ddr_266() -> Self {
+        DdrTiming {
+            t_rcd: 3,
+            t_rp: 3,
+            cl: 2,
+            cwl: 1,
+            t_ras: 6,
+            t_rc: 9,
+            t_wr: 2,
+            t_refi: 1040,
+            t_rfc: 10,
+        }
+    }
+
+    /// A slower, more conservative device (useful for sensitivity sweeps).
+    #[must_use]
+    pub const fn ddr_200_slow() -> Self {
+        DdrTiming {
+            t_rcd: 4,
+            t_rp: 4,
+            cl: 3,
+            cwl: 2,
+            t_ras: 8,
+            t_rc: 12,
+            t_wr: 3,
+            t_refi: 780,
+            t_rfc: 14,
+        }
+    }
+
+    /// Timing with refresh disabled — convenient for deterministic unit
+    /// tests of bank behaviour.
+    #[must_use]
+    pub const fn without_refresh(mut self) -> Self {
+        self.t_refi = 0;
+        self
+    }
+
+    /// Cycles needed to open a row in an idle bank and reach the first read
+    /// data beat.
+    #[must_use]
+    pub const fn row_miss_read_latency(&self) -> u32 {
+        self.t_rcd + self.cl
+    }
+
+    /// Cycles needed when the wrong row is open: precharge, activate, CAS.
+    #[must_use]
+    pub const fn row_conflict_read_latency(&self) -> u32 {
+        self.t_rp + self.t_rcd + self.cl
+    }
+
+    /// Cycles from a READ command to first data when the row is already
+    /// open.
+    #[must_use]
+    pub const fn row_hit_read_latency(&self) -> u32 {
+        self.cl
+    }
+
+    /// Returns `true` if the parameters are self-consistent.
+    #[must_use]
+    pub const fn is_consistent(&self) -> bool {
+        self.t_rc >= self.t_ras && self.t_ras >= self.t_rcd && self.cl > 0
+    }
+}
+
+impl Default for DdrTiming {
+    fn default() -> Self {
+        DdrTiming::ddr_266()
+    }
+}
+
+impl fmt::Display for DdrTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tRCD={} tRP={} CL={} tRAS={} tRC={} tWR={}",
+            self.t_rcd, self.t_rp, self.cl, self.t_ras, self.t_rc, self.t_wr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert!(DdrTiming::ddr_266().is_consistent());
+        assert!(DdrTiming::ddr_200_slow().is_consistent());
+    }
+
+    #[test]
+    fn latency_helpers_compose_parameters() {
+        let t = DdrTiming::ddr_266();
+        assert_eq!(t.row_hit_read_latency(), 2);
+        assert_eq!(t.row_miss_read_latency(), 5);
+        assert_eq!(t.row_conflict_read_latency(), 8);
+        assert!(t.row_conflict_read_latency() > t.row_miss_read_latency());
+        assert!(t.row_miss_read_latency() > t.row_hit_read_latency());
+    }
+
+    #[test]
+    fn without_refresh_zeroes_refi() {
+        let t = DdrTiming::ddr_266().without_refresh();
+        assert_eq!(t.t_refi, 0);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_parameters_are_detected() {
+        let broken = DdrTiming {
+            t_rc: 1,
+            ..DdrTiming::ddr_266()
+        };
+        assert!(!broken.is_consistent());
+    }
+
+    #[test]
+    fn display_lists_key_parameters() {
+        let text = DdrTiming::default().to_string();
+        assert!(text.contains("tRCD=3"));
+        assert!(text.contains("CL=2"));
+    }
+}

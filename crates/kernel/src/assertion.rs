@@ -1,0 +1,306 @@
+//! Simulation-time assertions and property checking.
+//!
+//! Section 3.5 of the paper inserts two classes of assertion statements into
+//! the transaction-level models: one for functional debugging of the model
+//! itself, and one for protocol/property checking when the bus model is
+//! integrated with master models. [`AssertionSink`] collects violations from
+//! both classes with a severity, a timestamp and a free-form message, and can
+//! be configured to panic immediately (for unit tests) or to accumulate (for
+//! long performance-analysis runs).
+
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// Which class of check raised the violation (paper §3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssertionKind {
+    /// Internal consistency of the model itself (functional debugging).
+    ModelConsistency,
+    /// Protocol / property checking at the interface between components.
+    Protocol,
+}
+
+impl fmt::Display for AssertionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssertionKind::ModelConsistency => write!(f, "model"),
+            AssertionKind::Protocol => write!(f, "protocol"),
+        }
+    }
+}
+
+/// Severity of a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal behaviour worth flagging in reports.
+    Warning,
+    /// A definite rule violation; simulation results are unreliable.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One recorded assertion violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulation time at which the violation was detected.
+    pub at: Cycle,
+    /// Which class of check fired.
+    pub kind: AssertionKind,
+    /// How serious the violation is.
+    pub severity: Severity,
+    /// Name of the component that detected the violation.
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} in {}: {}",
+            self.at, self.severity, self.kind, self.component, self.message
+        )
+    }
+}
+
+/// Collects assertion violations raised during a simulation run.
+///
+/// # Example
+///
+/// ```
+/// use simkern::assertion::{AssertionKind, AssertionSink, Severity};
+/// use simkern::time::Cycle;
+///
+/// let mut sink = AssertionSink::new();
+/// sink.check(
+///     Cycle::new(10),
+///     AssertionKind::Protocol,
+///     Severity::Error,
+///     "arbiter",
+///     false,
+///     "two masters granted simultaneously",
+/// );
+/// assert_eq!(sink.error_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AssertionSink {
+    violations: Vec<Violation>,
+    panic_on_error: bool,
+}
+
+impl AssertionSink {
+    /// Creates an accumulating sink (never panics).
+    #[must_use]
+    pub fn new() -> Self {
+        AssertionSink::default()
+    }
+
+    /// Creates a sink that panics as soon as an [`Severity::Error`]
+    /// violation is recorded — useful in unit tests.
+    #[must_use]
+    pub fn panicking() -> Self {
+        AssertionSink {
+            violations: Vec::new(),
+            panic_on_error: true,
+        }
+    }
+
+    /// Records a violation unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this sink was created with [`AssertionSink::panicking`]
+    /// and `severity` is [`Severity::Error`].
+    pub fn record(
+        &mut self,
+        at: Cycle,
+        kind: AssertionKind,
+        severity: Severity,
+        component: &str,
+        message: impl Into<String>,
+    ) {
+        let violation = Violation {
+            at,
+            kind,
+            severity,
+            component: component.to_owned(),
+            message: message.into(),
+        };
+        if self.panic_on_error && severity == Severity::Error {
+            panic!("assertion failed: {violation}");
+        }
+        self.violations.push(violation);
+    }
+
+    /// Records a violation only when `condition` is false (assert-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`AssertionSink::record`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn check(
+        &mut self,
+        at: Cycle,
+        kind: AssertionKind,
+        severity: Severity,
+        component: &str,
+        condition: bool,
+        message: &str,
+    ) {
+        if !condition {
+            self.record(at, kind, severity, component, message);
+        }
+    }
+
+    /// All recorded violations in detection order.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of violations with severity [`Severity::Error`].
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of violations with severity [`Severity::Warning`].
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Returns `true` when no error-level violations were recorded.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Merges another sink's violations into this one.
+    pub fn merge(&mut self, other: &AssertionSink) {
+        self.violations.extend(other.violations.iter().cloned());
+    }
+
+    /// Clears all recorded violations.
+    pub fn clear(&mut self) {
+        self.violations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_records_only_on_failure() {
+        let mut sink = AssertionSink::new();
+        sink.check(
+            Cycle::new(1),
+            AssertionKind::Protocol,
+            Severity::Error,
+            "bus",
+            true,
+            "ok",
+        );
+        assert!(sink.is_clean());
+        sink.check(
+            Cycle::new(2),
+            AssertionKind::Protocol,
+            Severity::Error,
+            "bus",
+            false,
+            "bad",
+        );
+        assert_eq!(sink.error_count(), 1);
+        assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn warnings_do_not_make_a_run_dirty() {
+        let mut sink = AssertionSink::new();
+        sink.record(
+            Cycle::new(3),
+            AssertionKind::ModelConsistency,
+            Severity::Warning,
+            "write_buffer",
+            "buffer nearly full",
+        );
+        assert_eq!(sink.warning_count(), 1);
+        assert!(sink.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn panicking_sink_panics_on_error() {
+        let mut sink = AssertionSink::panicking();
+        sink.record(
+            Cycle::new(1),
+            AssertionKind::Protocol,
+            Severity::Error,
+            "arbiter",
+            "boom",
+        );
+    }
+
+    #[test]
+    fn panicking_sink_tolerates_warnings() {
+        let mut sink = AssertionSink::panicking();
+        sink.record(
+            Cycle::new(1),
+            AssertionKind::Protocol,
+            Severity::Warning,
+            "arbiter",
+            "only a warning",
+        );
+        assert_eq!(sink.warning_count(), 1);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation {
+            at: Cycle::new(12),
+            kind: AssertionKind::Protocol,
+            severity: Severity::Error,
+            component: "decoder".to_owned(),
+            message: "address not mapped".to_owned(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("cycle 12"));
+        assert!(text.contains("protocol"));
+        assert!(text.contains("decoder"));
+        assert!(text.contains("address not mapped"));
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = AssertionSink::new();
+        let mut b = AssertionSink::new();
+        b.record(
+            Cycle::new(1),
+            AssertionKind::ModelConsistency,
+            Severity::Error,
+            "x",
+            "oops",
+        );
+        a.merge(&b);
+        assert_eq!(a.error_count(), 1);
+        a.clear();
+        assert!(a.violations().is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Two-step cycle-based simulation engine.
+//!
+//! The engine owns a list of [`Clocked`] components and advances simulated
+//! time one bus cycle at a time. Each cycle is split into an **evaluate**
+//! phase (every component computes its combinational outputs from values
+//! committed in the previous cycle) and a **commit** phase (all scheduled
+//! updates become visible at once). This is a faithful, race-free model of
+//! the "2-step cycle-based simulation tool" the paper uses for its RTL
+//! reference, and it is deliberately *not* optimized: the whole point of the
+//! baseline is that evaluating every signal of every block on every cycle is
+//! slow compared to the transaction-level model.
+
+use std::time::Instant;
+
+use crate::component::{Clocked, ComponentId};
+use crate::time::{Cycle, CycleDelta};
+
+/// Wall-clock and simulated-cycle accounting for an engine run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineReport {
+    /// Number of simulated bus cycles executed.
+    pub cycles: u64,
+    /// Wall-clock seconds spent in the run loop.
+    pub wall_seconds: f64,
+}
+
+impl EngineReport {
+    /// Simulation throughput in kilo-cycles per wall-clock second — the
+    /// metric the paper reports (0.47 Kcycles/s for RTL, 166 Kcycles/s for
+    /// the transaction-level model).
+    #[must_use]
+    pub fn kcycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.cycles as f64 / 1000.0) / self.wall_seconds
+    }
+}
+
+/// Owner and driver of a set of clocked components.
+///
+/// # Example
+///
+/// ```
+/// use simkern::engine::ClockEngine;
+/// use simkern::component::Clocked;
+/// use simkern::signal::Register;
+/// use simkern::time::{Cycle, CycleDelta};
+///
+/// struct Counter { value: Register<u64> }
+/// impl Clocked for Counter {
+///     fn eval(&mut self, _now: Cycle) { let v = self.value.get() + 1; self.value.load(v); }
+///     fn commit(&mut self, _now: Cycle) { self.value.commit(); }
+/// }
+///
+/// let mut engine = ClockEngine::new();
+/// engine.add(Box::new(Counter { value: Register::new(0) }));
+/// engine.run_for(CycleDelta::new(100));
+/// assert_eq!(engine.now(), Cycle::new(100));
+/// ```
+pub struct ClockEngine {
+    components: Vec<Box<dyn Clocked>>,
+    now: Cycle,
+    cycles_run: u64,
+}
+
+impl std::fmt::Debug for ClockEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockEngine")
+            .field("components", &self.components.len())
+            .field("now", &self.now)
+            .field("cycles_run", &self.cycles_run)
+            .finish()
+    }
+}
+
+impl Default for ClockEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockEngine {
+    /// Creates an engine with no components at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        ClockEngine {
+            components: Vec::new(),
+            now: Cycle::ZERO,
+            cycles_run: 0,
+        }
+    }
+
+    /// Registers a component and returns its identifier.
+    ///
+    /// Components are evaluated in registration order.
+    pub fn add(&mut self, component: Box<dyn Clocked>) -> ComponentId {
+        self.components.push(component);
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Number of registered components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total number of cycles executed so far.
+    #[must_use]
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// Immutable access to a registered component (for post-run inspection).
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> Option<&dyn Clocked> {
+        self.components.get(id.0).map(|c| c.as_ref())
+    }
+
+    /// Mutable access to a registered component.
+    pub fn component_mut(&mut self, id: ComponentId) -> Option<&mut Box<dyn Clocked>> {
+        self.components.get_mut(id.0)
+    }
+
+    /// Resets every component and rewinds time to zero.
+    pub fn reset(&mut self) {
+        for component in &mut self.components {
+            component.reset();
+        }
+        self.now = Cycle::ZERO;
+        self.cycles_run = 0;
+    }
+
+    /// Executes exactly one evaluate/commit cycle.
+    pub fn step(&mut self) {
+        for component in &mut self.components {
+            component.eval(self.now);
+        }
+        for component in &mut self.components {
+            component.commit(self.now);
+        }
+        self.now += CycleDelta::ONE;
+        self.cycles_run += 1;
+    }
+
+    /// Runs for `duration` cycles and returns throughput accounting.
+    pub fn run_for(&mut self, duration: CycleDelta) -> EngineReport {
+        let start = Instant::now();
+        let cycles = duration.value();
+        for _ in 0..cycles {
+            self.step();
+        }
+        EngineReport {
+            cycles,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs until `predicate` returns `true` (checked after every cycle) or
+    /// until `max` cycles have elapsed, whichever comes first.
+    ///
+    /// Returns the report together with a flag telling whether the predicate
+    /// was satisfied.
+    pub fn run_until<F>(&mut self, max: CycleDelta, mut predicate: F) -> (EngineReport, bool)
+    where
+        F: FnMut(&ClockEngine) -> bool,
+    {
+        let start = Instant::now();
+        let mut executed = 0;
+        let mut satisfied = false;
+        while executed < max.value() {
+            self.step();
+            executed += 1;
+            if predicate(self) {
+                satisfied = true;
+                break;
+            }
+        }
+        (
+            EngineReport {
+                cycles: executed,
+                wall_seconds: start.elapsed().as_secs_f64(),
+            },
+            satisfied,
+        )
+    }
+}
+
+/// Convenience wrapper: drive a single [`Clocked`] component for `duration`
+/// cycles with two-step semantics.
+///
+/// Useful for unit-testing an individual block without building an engine.
+pub fn run_clocked(component: &mut dyn Clocked, duration: CycleDelta) {
+    let mut now = Cycle::ZERO;
+    for _ in 0..duration.value() {
+        component.eval(now);
+        component.commit(now);
+        now += CycleDelta::ONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Register;
+
+    struct Counter {
+        value: Register<u64>,
+        limit: u64,
+    }
+
+    impl Clocked for Counter {
+        fn eval(&mut self, _now: Cycle) {
+            if self.value.get() < self.limit {
+                let v = self.value.get() + 1;
+                self.value.load(v);
+            }
+        }
+        fn commit(&mut self, _now: Cycle) {
+            self.value.commit();
+        }
+        fn reset(&mut self) {
+            self.value.reset_now();
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    struct Follower {
+        seen_cycles: u64,
+    }
+
+    impl Clocked for Follower {
+        fn eval(&mut self, _now: Cycle) {
+            self.seen_cycles += 1;
+        }
+        fn commit(&mut self, _now: Cycle) {}
+    }
+
+    #[test]
+    fn run_for_advances_time_and_counts_cycles() {
+        let mut engine = ClockEngine::new();
+        engine.add(Box::new(Counter {
+            value: Register::new(0),
+            limit: u64::MAX,
+        }));
+        let report = engine.run_for(CycleDelta::new(250));
+        assert_eq!(report.cycles, 250);
+        assert_eq!(engine.now(), Cycle::new(250));
+        assert_eq!(engine.cycles_run(), 250);
+    }
+
+    #[test]
+    fn every_component_is_stepped_every_cycle() {
+        let mut engine = ClockEngine::new();
+        engine.add(Box::new(Follower { seen_cycles: 0 }));
+        let id = engine.add(Box::new(Follower { seen_cycles: 0 }));
+        engine.run_for(CycleDelta::new(40));
+        assert_eq!(engine.component_count(), 2);
+        // The engine cannot expose concrete types, so the observable effect
+        // is simply that time advanced for all registered components.
+        assert!(engine.component(id).is_some());
+        assert_eq!(engine.now(), Cycle::new(40));
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut engine = ClockEngine::new();
+        engine.add(Box::new(Counter {
+            value: Register::new(0),
+            limit: u64::MAX,
+        }));
+        let (report, satisfied) =
+            engine.run_until(CycleDelta::new(1_000), |e| e.now() >= Cycle::new(17));
+        assert!(satisfied);
+        assert_eq!(report.cycles, 17);
+        assert_eq!(engine.now(), Cycle::new(17));
+    }
+
+    #[test]
+    fn run_until_respects_max_budget() {
+        let mut engine = ClockEngine::new();
+        let (report, satisfied) = engine.run_until(CycleDelta::new(5), |_| false);
+        assert!(!satisfied);
+        assert_eq!(report.cycles, 5);
+    }
+
+    #[test]
+    fn reset_rewinds_time_and_components() {
+        let mut engine = ClockEngine::new();
+        engine.add(Box::new(Counter {
+            value: Register::new(0),
+            limit: u64::MAX,
+        }));
+        engine.run_for(CycleDelta::new(10));
+        engine.reset();
+        assert_eq!(engine.now(), Cycle::ZERO);
+        assert_eq!(engine.cycles_run(), 0);
+    }
+
+    #[test]
+    fn report_computes_kcycles_per_second() {
+        let report = EngineReport {
+            cycles: 100_000,
+            wall_seconds: 2.0,
+        };
+        assert!((report.kcycles_per_second() - 50.0).abs() < 1e-9);
+        let degenerate = EngineReport {
+            cycles: 10,
+            wall_seconds: 0.0,
+        };
+        assert!(degenerate.kcycles_per_second().is_infinite());
+    }
+
+    #[test]
+    fn run_clocked_helper_steps_component() {
+        let mut counter = Counter {
+            value: Register::new(0),
+            limit: 5,
+        };
+        run_clocked(&mut counter, CycleDelta::new(20));
+        assert_eq!(counter.value.get(), 5, "counter saturates at its limit");
+    }
+}

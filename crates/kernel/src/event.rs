@@ -1,0 +1,273 @@
+//! Event-driven scheduling used by the transaction-level model.
+//!
+//! The transaction-level AHB+ model does not evaluate every component on
+//! every clock edge. Instead it schedules *events* — "data phase of the
+//! current burst completes at cycle T", "write buffer drain slot at cycle T"
+//! — and jumps the simulation clock from event to event. [`EventQueue`] is a
+//! time-ordered priority queue with stable FIFO ordering for events that are
+//! scheduled for the same cycle, plus O(log n) cancellation by [`EventId`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Returns the raw identifier value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within one
+        // cycle, the first-scheduled) event comes out first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// Events scheduled for the same cycle are delivered in the order they were
+/// scheduled (FIFO), which keeps the transaction-level model fully
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use simkern::event::EventQueue;
+/// use simkern::time::Cycle;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum BusEvent { DataPhaseDone, DrainWriteBuffer }
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(Cycle::new(8), BusEvent::DrainWriteBuffer);
+/// queue.schedule(Cycle::new(4), BusEvent::DataPhaseDone);
+/// assert_eq!(queue.peek_time(), Some(Cycle::new(4)));
+/// let (_, event) = queue.pop().unwrap();
+/// assert_eq!(event, BusEvent::DataPhaseDone);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: Vec<EventId>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at` and returns a
+    /// handle that can later be passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: Cycle, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped when
+    /// it reaches the front. Cancelling an event that already fired (or was
+    /// already cancelled) is a no-op and returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        let exists = self.heap.iter().any(|e| e.id == id);
+        if exists {
+            self.cancelled.push(id);
+            self.live -= 1;
+        }
+        exists
+    }
+
+    /// Returns the firing time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        self.live -= 1;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Removes and returns the earliest pending event only if it fires at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        match self.peek_time() {
+            Some(at) if at <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(front) = self.heap.peek() {
+            if let Some(pos) = self.cancelled.iter().position(|id| *id == front.id) {
+                self.cancelled.swap_remove(pos);
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(Cycle::new(30), "c");
+        queue.schedule(Cycle::new(10), "a");
+        queue.schedule(Cycle::new(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_cycle_events_fire_fifo() {
+        let mut queue = EventQueue::new();
+        queue.schedule(Cycle::new(5), 1);
+        queue.schedule(Cycle::new(5), 2);
+        queue.schedule(Cycle::new(5), 3);
+        let order: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut queue = EventQueue::new();
+        let keep = queue.schedule(Cycle::new(1), "keep");
+        let drop = queue.schedule(Cycle::new(2), "drop");
+        assert_eq!(queue.len(), 2);
+        assert!(queue.cancel(drop));
+        assert!(!queue.cancel(drop), "double cancel is a no-op");
+        assert_eq!(queue.len(), 1);
+        let fired: Vec<_> = std::iter::from_fn(|| queue.pop()).map(|(_, e)| e).collect();
+        assert_eq!(fired, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn cancel_front_event_is_skipped_on_peek() {
+        let mut queue = EventQueue::new();
+        let front = queue.schedule(Cycle::new(1), "front");
+        queue.schedule(Cycle::new(9), "back");
+        queue.cancel(front);
+        assert_eq!(queue.peek_time(), Some(Cycle::new(9)));
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut queue = EventQueue::new();
+        queue.schedule(Cycle::new(10), "later");
+        assert!(queue.pop_due(Cycle::new(9)).is_none());
+        assert_eq!(queue.pop_due(Cycle::new(10)).map(|(_, e)| e), Some("later"));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut queue = EventQueue::new();
+        assert!(queue.is_empty());
+        queue.schedule(Cycle::new(1), 1u32);
+        queue.schedule(Cycle::new(2), 2u32);
+        assert_eq!(queue.len(), 2);
+        queue.clear();
+        assert!(queue.is_empty());
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn cancelling_unknown_id_returns_false() {
+        let mut queue: EventQueue<u8> = EventQueue::new();
+        let id = queue.schedule(Cycle::new(1), 1);
+        assert_eq!(queue.pop().map(|(_, e)| e), Some(1));
+        assert!(!queue.cancel(id), "already fired");
+    }
+}

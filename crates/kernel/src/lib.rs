@@ -1,0 +1,61 @@
+//! `simkern` — simulation substrate for the AHB+ transaction-level and
+//! pin-accurate bus models.
+//!
+//! The original paper builds its models on top of a commercial *2-step
+//! cycle-based* simulation tool and uses *method-based* (function call)
+//! modeling instead of thread-based processes. This crate provides the same
+//! two execution styles in plain Rust:
+//!
+//! * [`engine::run_clocked`] / [`engine::ClockEngine`] — a two-phase
+//!   (evaluate, then commit) cycle-based engine used by the pin-accurate
+//!   RTL-style model. Every registered component is stepped every cycle,
+//!   which is exactly why signal-level simulation is slow.
+//! * [`event::EventQueue`] — an event-driven queue used by the
+//!   transaction-level model, which only wakes up when a transaction phase
+//!   boundary is reached.
+//!
+//! Supporting utilities shared by both models:
+//!
+//! * [`time`] — strongly-typed cycle counts.
+//! * [`signal`] — two-phase registers/signals with edge detection.
+//! * [`rng`] — deterministic pseudo random number generation so that the
+//!   RTL and TLM runs replay bit-identical stimulus.
+//! * [`stats`] — counters, histograms, running statistics, busy trackers.
+//! * [`trace`] — lightweight value-change tracing (VCD-style).
+//! * [`assertion`] — simulation-time property checking (paper §3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use simkern::time::Cycle;
+//! use simkern::event::EventQueue;
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(Cycle::new(5), "five");
+//! queue.schedule(Cycle::new(2), "two");
+//! let (when, what) = queue.pop().expect("event");
+//! assert_eq!(when, Cycle::new(2));
+//! assert_eq!(what, "two");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertion;
+pub mod component;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod signal;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use assertion::{AssertionKind, AssertionSink, Severity, Violation};
+pub use component::{Clocked, ComponentId};
+pub use engine::{run_clocked, ClockEngine, EngineReport};
+pub use event::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use signal::{Edge, Register, Signal};
+pub use stats::{BusyTracker, Counter, Histogram, RunningStats};
+pub use time::{Cycle, CycleDelta};

@@ -1,0 +1,281 @@
+//! Strongly-typed simulation time.
+//!
+//! Both the pin-accurate and the transaction-level model advance time in
+//! units of a single bus clock cycle (`HCLK` in AMBA terms). [`Cycle`] is an
+//! absolute point on that clock, [`CycleDelta`] is a distance between two
+//! points. Keeping the two types distinct catches a common class of modeling
+//! bugs (adding two absolute timestamps, subtracting a duration from a
+//! duration where a timestamp was meant, ...).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute simulation time expressed in bus clock cycles.
+///
+/// # Example
+///
+/// ```
+/// use simkern::time::{Cycle, CycleDelta};
+///
+/// let start = Cycle::new(10);
+/// let end = start + CycleDelta::new(5);
+/// assert_eq!(end.value(), 15);
+/// assert_eq!(end - start, CycleDelta::new(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+/// A duration expressed in bus clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CycleDelta(u64);
+
+impl Cycle {
+    /// Simulation time zero.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The largest representable simulation time, used as an "infinite"
+    /// sentinel for deadlines that are not armed.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates an absolute time from a raw cycle count.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Cycle(value)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time advanced by `delta`, saturating at [`Cycle::MAX`].
+    #[must_use]
+    pub const fn saturating_add(self, delta: CycleDelta) -> Self {
+        Cycle(self.0.saturating_add(delta.0))
+    }
+
+    /// Returns the distance from `earlier` to `self`, or zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Cycle) -> CycleDelta {
+        CycleDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns `self` if it is later than `other`, otherwise `other`.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `self` if it is earlier than `other`, otherwise `other`.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl CycleDelta {
+    /// A zero-length duration.
+    pub const ZERO: CycleDelta = CycleDelta(0);
+    /// A single cycle.
+    pub const ONE: CycleDelta = CycleDelta(1);
+
+    /// Creates a duration from a raw cycle count.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        CycleDelta(value)
+    }
+
+    /// Returns the raw cycle count of this duration.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the duration is zero cycles long.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction of two durations.
+    #[must_use]
+    pub const fn saturating_sub(self, other: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<CycleDelta> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: CycleDelta) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<CycleDelta> for Cycle {
+    fn add_assign(&mut self, rhs: CycleDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = CycleDelta;
+
+    fn sub(self, rhs: Cycle) -> CycleDelta {
+        CycleDelta(self.0 - rhs.0)
+    }
+}
+
+impl Sub<CycleDelta> for Cycle {
+    type Output = Cycle;
+
+    fn sub(self, rhs: CycleDelta) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Add for CycleDelta {
+    type Output = CycleDelta;
+
+    fn add(self, rhs: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CycleDelta {
+    fn add_assign(&mut self, rhs: CycleDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for CycleDelta {
+    type Output = CycleDelta;
+
+    fn sub(self, rhs: CycleDelta) -> CycleDelta {
+        CycleDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for CycleDelta {
+    fn sub_assign(&mut self, rhs: CycleDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(value: Cycle) -> Self {
+        value.0
+    }
+}
+
+impl From<u64> for CycleDelta {
+    fn from(value: u64) -> Self {
+        CycleDelta(value)
+    }
+}
+
+impl From<CycleDelta> for u64 {
+    fn from(value: CycleDelta) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl fmt::Display for CycleDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_round_trips() {
+        let start = Cycle::new(100);
+        let later = start + CycleDelta::new(23);
+        assert_eq!(later.value(), 123);
+        assert_eq!(later - start, CycleDelta::new(23));
+        assert_eq!(later - CycleDelta::new(23), start);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Cycle::new(5);
+        let late = Cycle::new(9);
+        assert_eq!(late.saturating_since(early), CycleDelta::new(4));
+        assert_eq!(early.saturating_since(late), CycleDelta::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let near_max = Cycle::new(u64::MAX - 1);
+        assert_eq!(near_max.saturating_add(CycleDelta::new(10)), Cycle::MAX);
+    }
+
+    #[test]
+    fn delta_min_max_behave_like_integers() {
+        let a = CycleDelta::new(4);
+        let b = CycleDelta::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.saturating_sub(a), CycleDelta::new(5));
+        assert_eq!(a.saturating_sub(b), CycleDelta::ZERO);
+    }
+
+    #[test]
+    fn conversions_to_and_from_u64() {
+        let c: Cycle = 42u64.into();
+        assert_eq!(u64::from(c), 42);
+        let d: CycleDelta = 7u64.into();
+        assert_eq!(u64::from(d), 7);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Cycle::new(3).to_string(), "cycle 3");
+        assert_eq!(CycleDelta::new(3).to_string(), "3 cycles");
+    }
+
+    #[test]
+    fn cycle_min_max_helpers() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+}

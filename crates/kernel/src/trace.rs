@@ -1,0 +1,258 @@
+//! Lightweight value-change tracing.
+//!
+//! The paper couples its models with a commercial EDA analysis environment;
+//! here the equivalent hook is a small in-memory change recorder that can be
+//! rendered either as a human-readable log or as a minimal VCD (value change
+//! dump) document that waveform viewers understand. Tracing is entirely
+//! opt-in — models call [`Tracer::change`] only when a tracer is attached —
+//! so it does not distort the speed comparison when disabled.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::Cycle;
+
+/// Identifier of a traced variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(usize);
+
+#[derive(Debug, Clone)]
+struct Var {
+    name: String,
+    width: u32,
+}
+
+/// One recorded value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change {
+    /// When the change was committed.
+    pub at: Cycle,
+    /// Which variable changed.
+    pub var: VarId,
+    /// New value (widths above 64 bits are not supported).
+    pub value: u64,
+}
+
+/// An in-memory value-change recorder.
+///
+/// # Example
+///
+/// ```
+/// use simkern::trace::Tracer;
+/// use simkern::time::Cycle;
+///
+/// let mut tracer = Tracer::new("ahb_plus");
+/// let hgrant = tracer.declare("hgrant_m0", 1);
+/// tracer.change(Cycle::new(4), hgrant, 1);
+/// tracer.change(Cycle::new(9), hgrant, 0);
+/// assert_eq!(tracer.changes().len(), 2);
+/// let vcd = tracer.to_vcd();
+/// assert!(vcd.contains("$var wire 1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    scope: String,
+    vars: Vec<Var>,
+    changes: Vec<Change>,
+    last_value: BTreeMap<VarId, u64>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates a tracer with the given top-level scope name.
+    #[must_use]
+    pub fn new(scope: &str) -> Self {
+        Tracer {
+            scope: scope.to_owned(),
+            vars: Vec::new(),
+            changes: Vec::new(),
+            last_value: BTreeMap::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled tracer: declarations succeed but changes are
+    /// discarded. Useful to keep call sites unconditional.
+    #[must_use]
+    pub fn disabled() -> Self {
+        let mut t = Tracer::new("disabled");
+        t.enabled = false;
+        t
+    }
+
+    /// Returns `true` when changes are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Declares a variable of `width` bits and returns its identifier.
+    pub fn declare(&mut self, name: &str, width: u32) -> VarId {
+        self.vars.push(Var {
+            name: name.to_owned(),
+            width,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Records a change of `var` to `value` at time `at`.
+    ///
+    /// Consecutive identical values are collapsed, matching VCD semantics.
+    pub fn change(&mut self, at: Cycle, var: VarId, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.last_value.get(&var) == Some(&value) {
+            return;
+        }
+        self.last_value.insert(var, value);
+        self.changes.push(Change { at, var, value });
+    }
+
+    /// All recorded changes in insertion order.
+    #[must_use]
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Number of declared variables.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Renders a minimal VCD document.
+    #[must_use]
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.scope);
+        for (index, var) in self.vars.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                var.width,
+                vcd_code(index),
+                var.name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last_time: Option<Cycle> = None;
+        for change in &self.changes {
+            if last_time != Some(change.at) {
+                let _ = writeln!(out, "#{}", change.at.value());
+                last_time = Some(change.at);
+            }
+            let var = &self.vars[change.var.0];
+            if var.width == 1 {
+                let _ = writeln!(out, "{}{}", change.value & 1, vcd_code(change.var.0));
+            } else {
+                let _ = writeln!(out, "b{:b} {}", change.value, vcd_code(change.var.0));
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable change log, one line per change.
+    #[must_use]
+    pub fn to_log(&self) -> String {
+        let mut out = String::new();
+        for change in &self.changes {
+            let var = &self.vars[change.var.0];
+            let _ = writeln!(
+                out,
+                "[{:>10}] {}.{} = 0x{:x}",
+                change.at.value(),
+                self.scope,
+                var.name,
+                change.value
+            );
+        }
+        out
+    }
+}
+
+/// Translates a variable index into a compact VCD identifier code.
+fn vcd_code(mut index: usize) -> String {
+    // Printable ASCII identifiers '!'..='~' as used by real VCD writers.
+    const BASE: usize = 94;
+    const FIRST: u8 = b'!';
+    let mut code = String::new();
+    loop {
+        code.push((FIRST + (index % BASE) as u8) as char);
+        index /= BASE;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_changes_and_collapses_duplicates() {
+        let mut t = Tracer::new("bus");
+        let v = t.declare("hready", 1);
+        t.change(Cycle::new(1), v, 1);
+        t.change(Cycle::new(2), v, 1); // duplicate, collapsed
+        t.change(Cycle::new(3), v, 0);
+        assert_eq!(t.changes().len(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        let v = t.declare("haddr", 32);
+        t.change(Cycle::new(1), v, 0x1000);
+        assert!(!t.is_enabled());
+        assert!(t.changes().is_empty());
+    }
+
+    #[test]
+    fn vcd_output_contains_declarations_and_changes() {
+        let mut t = Tracer::new("ahb");
+        let grant = t.declare("hgrant", 1);
+        let addr = t.declare("haddr", 32);
+        t.change(Cycle::new(5), grant, 1);
+        t.change(Cycle::new(5), addr, 0x2000_0000);
+        let vcd = t.to_vcd();
+        assert!(vcd.contains("$scope module ahb $end"));
+        assert!(vcd.contains("$var wire 1 ! hgrant $end"));
+        assert!(vcd.contains("$var wire 32 \" haddr $end"));
+        assert!(vcd.contains("#5"));
+        assert!(vcd.contains("b100000000000000000000000000000 \""));
+    }
+
+    #[test]
+    fn log_output_is_one_line_per_change() {
+        let mut t = Tracer::new("bus");
+        let v = t.declare("owner", 4);
+        t.change(Cycle::new(1), v, 2);
+        t.change(Cycle::new(7), v, 3);
+        let log = t.to_log();
+        assert_eq!(log.lines().count(), 2);
+        assert!(log.contains("bus.owner = 0x3"));
+    }
+
+    #[test]
+    fn vcd_codes_are_unique_for_many_vars() {
+        let codes: Vec<String> = (0..200).map(vcd_code).collect();
+        let mut unique = codes.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn var_count_reports_declarations() {
+        let mut t = Tracer::new("x");
+        t.declare("a", 1);
+        t.declare("b", 8);
+        assert_eq!(t.var_count(), 2);
+    }
+}

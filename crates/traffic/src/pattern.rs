@@ -1,0 +1,177 @@
+//! The traffic pattern catalogue used to regenerate Table 1.
+//!
+//! The paper simulates "a target system by changing the traffic patterns of
+//! the masters" and reports one block of Table 1 per pattern. The original
+//! patterns came from a Samsung DVD-player platform and are not public, so
+//! three representative mixes over the same four masters are defined here:
+//!
+//! * **Pattern A — balanced multimedia**: one CPU, one streaming DMA, one
+//!   real-time video reader, one block writer, all at their default rates.
+//! * **Pattern B — streaming heavy**: two DMA-style streams plus the video
+//!   master; the bus is dominated by long sequential read bursts.
+//! * **Pattern C — write heavy**: the block writer and a write-mostly CPU
+//!   dominate, exercising the AHB+ write buffer.
+//!
+//! Each pattern is a list of `(MasterId, MasterProfile)` pairs plus a label;
+//! the platform layer turns it into workloads with a common seed.
+
+use amba::ids::{Addr, MasterId};
+
+use crate::profile::{MasterProfile, ReleasePolicy};
+
+/// A named set of master profiles forming one Table-1 traffic pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficPattern {
+    /// Short name used in report tables ("pattern A", ...).
+    pub name: &'static str,
+    /// The participating masters and their profiles.
+    pub masters: Vec<(MasterId, MasterProfile)>,
+}
+
+impl TrafficPattern {
+    /// Number of masters in the pattern.
+    #[must_use]
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The profiles without their ids.
+    #[must_use]
+    pub fn profiles(&self) -> Vec<MasterProfile> {
+        self.masters.iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// All three Table-1 patterns.
+    #[must_use]
+    pub fn table1_catalogue() -> Vec<TrafficPattern> {
+        vec![pattern_a(), pattern_b(), pattern_c()]
+    }
+}
+
+/// Pattern A — balanced multimedia platform load.
+#[must_use]
+pub fn pattern_a() -> TrafficPattern {
+    TrafficPattern {
+        name: "pattern A (balanced)",
+        masters: vec![
+            (MasterId::new(0), MasterProfile::cpu()),
+            (MasterId::new(1), MasterProfile::video_realtime()),
+            (MasterId::new(2), MasterProfile::dma_stream()),
+            (MasterId::new(3), MasterProfile::block_writer()),
+        ],
+    }
+}
+
+/// Pattern B — streaming heavy: two DMA streams saturate the bus.
+#[must_use]
+pub fn pattern_b() -> TrafficPattern {
+    let second_stream = MasterProfile::dma_stream()
+        .with_region(Addr::new(0x2400_0000), 0x0100_0000)
+        .with_read_permille(300);
+    TrafficPattern {
+        name: "pattern B (streaming heavy)",
+        masters: vec![
+            (MasterId::new(0), MasterProfile::cpu().with_release(
+                ReleasePolicy::ClosedLoop {
+                    min_gap: 20,
+                    max_gap: 120,
+                },
+            )),
+            (MasterId::new(1), MasterProfile::video_realtime()),
+            (MasterId::new(2), MasterProfile::dma_stream()),
+            (MasterId::new(3), second_stream),
+        ],
+    }
+}
+
+/// Pattern C — write heavy: the write buffer is the critical resource.
+#[must_use]
+pub fn pattern_c() -> TrafficPattern {
+    let busy_writer = MasterProfile::block_writer().with_release(ReleasePolicy::ClosedLoop {
+        min_gap: 0,
+        max_gap: 12,
+    });
+    let write_mostly_cpu = MasterProfile::cpu().with_read_permille(250);
+    TrafficPattern {
+        name: "pattern C (write heavy)",
+        masters: vec![
+            (MasterId::new(0), write_mostly_cpu),
+            (MasterId::new(1), MasterProfile::video_realtime()),
+            (MasterId::new(2), MasterProfile::dma_stream().with_read_permille(200)),
+            (MasterId::new(3), busy_writer),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::qos::MasterClass;
+
+    #[test]
+    fn catalogue_has_three_patterns_of_four_masters() {
+        let catalogue = TrafficPattern::table1_catalogue();
+        assert_eq!(catalogue.len(), 3);
+        for pattern in &catalogue {
+            assert_eq!(pattern.master_count(), 4);
+            assert_eq!(pattern.profiles().len(), 4);
+        }
+    }
+
+    #[test]
+    fn master_ids_are_unique_within_each_pattern() {
+        for pattern in TrafficPattern::table1_catalogue() {
+            let mut ids: Vec<usize> = pattern.masters.iter().map(|(m, _)| m.index()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 4, "{}", pattern.name);
+        }
+    }
+
+    #[test]
+    fn every_pattern_protects_one_real_time_master() {
+        for pattern in TrafficPattern::table1_catalogue() {
+            let real_time = pattern
+                .masters
+                .iter()
+                .filter(|(_, p)| p.class == MasterClass::RealTime)
+                .count();
+            assert_eq!(real_time, 1, "{}", pattern.name);
+        }
+    }
+
+    #[test]
+    fn pattern_c_is_write_heavier_than_pattern_a() {
+        let write_share = |pattern: &TrafficPattern| -> u32 {
+            pattern
+                .masters
+                .iter()
+                .map(|(_, p)| 1000 - p.read_permille)
+                .sum()
+        };
+        assert!(write_share(&pattern_c()) > write_share(&pattern_a()));
+    }
+
+    #[test]
+    fn pattern_b_uses_distinct_regions_for_the_two_streams() {
+        let pattern = pattern_b();
+        let dma_regions: Vec<u32> = pattern
+            .masters
+            .iter()
+            .filter(|(_, p)| p.kind == crate::profile::MasterKind::StreamingDma)
+            .map(|(_, p)| p.region_base.value())
+            .collect();
+        assert_eq!(dma_regions.len(), 2);
+        assert_ne!(dma_regions[0], dma_regions[1]);
+    }
+
+    #[test]
+    fn pattern_names_are_distinct() {
+        let names: Vec<&str> = TrafficPattern::table1_catalogue()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"pattern A (balanced)"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Master workload profiles.
+//!
+//! A [`MasterProfile`] describes the statistical behaviour of one bus
+//! master: its QoS class and objective, the read/write mix, the burst-shape
+//! distribution, its address locality, and how it releases requests
+//! (closed-loop with a think time, or periodically like a real-time video
+//! scan-out engine). Profiles are pure data; [`crate::trace::Workload`]
+//! turns them into concrete transaction traces.
+
+use amba::burst::BurstKind;
+use amba::ids::Addr;
+use amba::qos::{MasterClass, QosConfig};
+use amba::signal::HSize;
+
+/// The broad behavioural family of a master, used for reporting only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MasterKind {
+    /// Latency-sensitive, mostly short random accesses (instruction/data
+    /// cache refills of a CPU).
+    Cpu,
+    /// Long sequential read/write bursts (DMA engine moving frames).
+    StreamingDma,
+    /// Periodic, deadline-driven reads (video/display scan-out).
+    VideoRealTime,
+    /// Bursty sequential writes (encoder output, disk buffer flush).
+    BlockWriter,
+}
+
+impl MasterKind {
+    /// A short human-readable label used in report tables.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            MasterKind::Cpu => "cpu",
+            MasterKind::StreamingDma => "dma",
+            MasterKind::VideoRealTime => "video",
+            MasterKind::BlockWriter => "writer",
+        }
+    }
+}
+
+/// How a master decides when to issue its next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// Issue the next request a think-time gap after the previous one
+    /// completes. The gap is drawn uniformly from `[min_gap, max_gap]`.
+    ClosedLoop {
+        /// Minimum think time in cycles.
+        min_gap: u32,
+        /// Maximum think time in cycles.
+        max_gap: u32,
+    },
+    /// Issue requests at a fixed period (with bounded jitter), independent
+    /// of completion — the behaviour of a real-time streaming IP.
+    Periodic {
+        /// Release period in cycles.
+        period: u32,
+        /// Maximum uniform jitter added to each release, in cycles.
+        jitter: u32,
+    },
+}
+
+/// Statistical description of one master's traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterProfile {
+    /// Behavioural family.
+    pub kind: MasterKind,
+    /// Real-time / non-real-time classification.
+    pub class: MasterClass,
+    /// QoS objective (grant-latency budget in cycles) for real-time masters.
+    pub qos_objective: u32,
+    /// Fixed priority used as the arbiter's final tie break.
+    pub fixed_priority: u8,
+    /// Probability (per-mille) that a request is a read.
+    pub read_permille: u32,
+    /// Burst-shape distribution as `(kind, weight)` pairs.
+    pub burst_weights: Vec<(BurstKind, u32)>,
+    /// Per-beat transfer size.
+    pub size: HSize,
+    /// Probability (per-mille) that the next request continues sequentially
+    /// from the previous one instead of jumping to a random address.
+    pub sequential_permille: u32,
+    /// Base address of the region this master works in.
+    pub region_base: Addr,
+    /// Size of the region in bytes (power of two).
+    pub region_bytes: u32,
+    /// Release policy.
+    pub release: ReleasePolicy,
+    /// Whether the master tolerates posting its writes into the AHB+ write
+    /// buffer.
+    pub posted_writes: bool,
+}
+
+impl MasterProfile {
+    /// A CPU-like master: short bursts, random addresses, moderate load,
+    /// non-real-time, highest fixed priority.
+    #[must_use]
+    pub fn cpu() -> Self {
+        MasterProfile {
+            kind: MasterKind::Cpu,
+            class: MasterClass::NonRealTime,
+            qos_objective: u32::MAX,
+            fixed_priority: 0,
+            read_permille: 700,
+            burst_weights: vec![
+                (BurstKind::Single, 2),
+                (BurstKind::Wrap4, 5),
+                (BurstKind::Wrap8, 3),
+            ],
+            size: HSize::Word,
+            sequential_permille: 300,
+            region_base: Addr::new(0x2000_0000),
+            region_bytes: 0x0100_0000,
+            release: ReleasePolicy::ClosedLoop {
+                min_gap: 4,
+                max_gap: 40,
+            },
+            posted_writes: true,
+        }
+    }
+
+    /// A streaming DMA engine: long sequential INCR8/INCR16 bursts,
+    /// read-dominated, almost back-to-back.
+    #[must_use]
+    pub fn dma_stream() -> Self {
+        MasterProfile {
+            kind: MasterKind::StreamingDma,
+            class: MasterClass::NonRealTime,
+            qos_objective: u32::MAX,
+            fixed_priority: 2,
+            read_permille: 600,
+            burst_weights: vec![(BurstKind::Incr8, 4), (BurstKind::Incr16, 6)],
+            size: HSize::Word,
+            sequential_permille: 900,
+            region_base: Addr::new(0x2100_0000),
+            region_bytes: 0x0100_0000,
+            release: ReleasePolicy::ClosedLoop {
+                min_gap: 0,
+                max_gap: 8,
+            },
+            posted_writes: true,
+        }
+    }
+
+    /// A real-time video master: periodic INCR16 reads with a QoS
+    /// objective — the master AHB+ was designed to protect.
+    #[must_use]
+    pub fn video_realtime() -> Self {
+        MasterProfile {
+            kind: MasterKind::VideoRealTime,
+            class: MasterClass::RealTime,
+            qos_objective: 200,
+            fixed_priority: 1,
+            read_permille: 1000,
+            burst_weights: vec![(BurstKind::Incr16, 1)],
+            size: HSize::Word,
+            sequential_permille: 950,
+            region_base: Addr::new(0x2200_0000),
+            region_bytes: 0x0080_0000,
+            release: ReleasePolicy::Periodic {
+                period: 120,
+                jitter: 8,
+            },
+            posted_writes: false,
+        }
+    }
+
+    /// A block writer: write-only sequential INCR8 bursts with relaxed
+    /// timing, the main beneficiary of the AHB+ write buffer.
+    #[must_use]
+    pub fn block_writer() -> Self {
+        MasterProfile {
+            kind: MasterKind::BlockWriter,
+            class: MasterClass::NonRealTime,
+            qos_objective: u32::MAX,
+            fixed_priority: 3,
+            read_permille: 0,
+            burst_weights: vec![(BurstKind::Incr8, 7), (BurstKind::Incr4, 3)],
+            size: HSize::Word,
+            sequential_permille: 800,
+            region_base: Addr::new(0x2300_0000),
+            region_bytes: 0x0100_0000,
+            release: ReleasePolicy::ClosedLoop {
+                min_gap: 10,
+                max_gap: 60,
+            },
+            posted_writes: true,
+        }
+    }
+
+    /// Returns a copy with a different release policy.
+    #[must_use]
+    pub fn with_release(mut self, release: ReleasePolicy) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Returns a copy with a different read probability (per-mille).
+    #[must_use]
+    pub fn with_read_permille(mut self, read_permille: u32) -> Self {
+        self.read_permille = read_permille.min(1000);
+        self
+    }
+
+    /// Returns a copy working in a different address region.
+    #[must_use]
+    pub fn with_region(mut self, base: Addr, bytes: u32) -> Self {
+        self.region_base = base;
+        self.region_bytes = bytes;
+        self
+    }
+
+    /// The QoS register programming corresponding to this profile.
+    #[must_use]
+    pub fn qos_config(&self) -> QosConfig {
+        match self.class {
+            MasterClass::RealTime => QosConfig::real_time(self.qos_objective, self.fixed_priority),
+            MasterClass::NonRealTime => QosConfig::non_real_time(self.fixed_priority),
+        }
+    }
+
+    /// The largest burst (in bytes) this profile can emit; used to align
+    /// generated addresses so bursts never cross a 1 KB boundary.
+    #[must_use]
+    pub fn max_burst_bytes(&self) -> u32 {
+        self.burst_weights
+            .iter()
+            .map(|(kind, _)| kind.beats() * self.size.bytes())
+            .max()
+            .unwrap_or(self.size.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_parameters() {
+        for profile in [
+            MasterProfile::cpu(),
+            MasterProfile::dma_stream(),
+            MasterProfile::video_realtime(),
+            MasterProfile::block_writer(),
+        ] {
+            assert!(!profile.burst_weights.is_empty());
+            assert!(profile.read_permille <= 1000);
+            assert!(profile.sequential_permille <= 1000);
+            assert!(profile.region_bytes.is_power_of_two());
+            assert!(profile.max_burst_bytes() <= 1024);
+        }
+    }
+
+    #[test]
+    fn video_master_is_real_time_with_objective() {
+        let video = MasterProfile::video_realtime();
+        assert_eq!(video.class, MasterClass::RealTime);
+        let qos = video.qos_config();
+        assert!(qos.class.is_real_time());
+        assert_eq!(qos.objective_cycles, 200);
+        assert!(matches!(video.release, ReleasePolicy::Periodic { .. }));
+    }
+
+    #[test]
+    fn block_writer_is_write_only_and_posted() {
+        let writer = MasterProfile::block_writer();
+        assert_eq!(writer.read_permille, 0);
+        assert!(writer.posted_writes);
+    }
+
+    #[test]
+    fn builder_helpers_modify_copies() {
+        let base = MasterProfile::cpu();
+        let modified = base
+            .clone()
+            .with_read_permille(1500)
+            .with_region(Addr::new(0x3000_0000), 0x1000)
+            .with_release(ReleasePolicy::Periodic {
+                period: 50,
+                jitter: 0,
+            });
+        assert_eq!(modified.read_permille, 1000, "clamped to 1000");
+        assert_eq!(modified.region_base, Addr::new(0x3000_0000));
+        assert!(matches!(modified.release, ReleasePolicy::Periodic { .. }));
+        assert_eq!(base.read_permille, 700, "original untouched");
+    }
+
+    #[test]
+    fn kind_labels_are_short() {
+        assert_eq!(MasterKind::Cpu.label(), "cpu");
+        assert_eq!(MasterKind::VideoRealTime.label(), "video");
+    }
+
+    #[test]
+    fn max_burst_bytes_reflects_largest_weighted_burst() {
+        let dma = MasterProfile::dma_stream();
+        assert_eq!(dma.max_burst_bytes(), 64, "INCR16 of words");
+    }
+}

@@ -1,0 +1,24 @@
+//! Accuracy validation (Table 1 of the paper): run the pin-accurate and the
+//! transaction-level model on identical stimulus for every traffic pattern
+//! and print the per-metric differences.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ahbplus --example accuracy_validation
+//! ```
+
+use ahbplus::validation::validate_table1;
+
+fn main() {
+    // 500 transactions per master per pattern keeps the example under a
+    // minute; the benchmark binary `table1_accuracy` runs the full-length
+    // version.
+    let table = validate_table1(500, 7);
+    println!("{}", table.format_table());
+    println!(
+        "paper reference: average difference below 3% (97% accuracy) on the\n\
+         authors' proprietary platform; see EXPERIMENTS.md for the discussion\n\
+         of where this reproduction diverges."
+    );
+}

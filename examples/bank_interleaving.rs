@@ -1,0 +1,71 @@
+//! Bank interleaving demonstration (paper §2): the Bus Interface forwards
+//! the next arbitrated transaction to the DDR controller so the target bank
+//! is pre-charged/activated in advance, hiding inter-transaction latency and
+//! raising bus utilization.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ahbplus --example bank_interleaving
+//! ```
+
+use ahbplus::{AhbPlusParams, DdrConfig, PlatformConfig};
+use amba::ids::{Addr, MasterId};
+use traffic::{MasterProfile, TrafficPattern};
+
+/// Two streaming masters working in different DRAM banks: the ideal
+/// candidate for bank interleaving.
+fn streaming_pattern() -> TrafficPattern {
+    TrafficPattern {
+        name: "dual stream",
+        masters: vec![
+            (MasterId::new(0), MasterProfile::dma_stream()),
+            (
+                MasterId::new(1),
+                MasterProfile::dma_stream().with_region(Addr::new(0x2400_0000), 0x0100_0000),
+            ),
+            (MasterId::new(2), MasterProfile::video_realtime()),
+            (MasterId::new(3), MasterProfile::block_writer()),
+        ],
+    }
+}
+
+fn run(label: &str, bi_hints: bool) {
+    let params = AhbPlusParams::ahb_plus().with_bi_hints(bi_hints);
+    let ddr = if bi_hints {
+        DdrConfig::ahb_plus()
+    } else {
+        DdrConfig::without_interleaving()
+    };
+    let config = PlatformConfig::new(streaming_pattern(), 600, 11)
+        .with_params(params)
+        .with_ddr(ddr);
+    let mut system = config.build_tlm();
+    let report = system.run();
+    let stats = system.ddr().stats();
+    // Completion of the streaming masters (the periodic video master always
+    // runs to its fixed schedule and would mask the difference).
+    let streams_done = report
+        .masters
+        .values()
+        .filter(|m| m.label != "video")
+        .map(|m| m.last_completion_cycle)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "{label:<26} streams done {:>8}  bus busy {:>8} cycles  DRAM hit rate {:>5.1}%  prepared hits {:>5}",
+        streams_done,
+        report.bus.busy_cycles,
+        stats.hit_rate() * 100.0,
+        stats.prepared_hits.value()
+    );
+}
+
+fn main() {
+    println!("two DMA streams + video + writer, DDR-266, 4 banks\n");
+    run("BI hints off (plain AHB)", false);
+    run("BI hints on (AHB+)", true);
+    println!("\nWith the next-transaction hint the controller opens the next bank while");
+    println!("the current burst is still on the bus, so more accesses become row hits");
+    println!("and the same workload occupies the bus for fewer cycles.");
+}

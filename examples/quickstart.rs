@@ -1,0 +1,42 @@
+//! Quickstart: build a small AHB+ platform, run the transaction-level model
+//! and print the profiling report.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ahbplus --example quickstart
+//! ```
+
+use ahbplus::PlatformConfig;
+use traffic::pattern_a;
+
+fn main() {
+    // A platform with the default AHB+ bus (all seven arbitration filters,
+    // write buffer depth 4, request pipelining, BI hints) and the balanced
+    // multimedia traffic pattern: CPU + real-time video + DMA + block writer.
+    let config = PlatformConfig::new(pattern_a(), 500, 42);
+
+    // Run the transaction-level model — the fast one you would use for
+    // day-to-day performance analysis.
+    let mut system = config.build_tlm();
+    let report = system.run();
+
+    println!("== transaction-level AHB+ run ==");
+    println!("{}", report.format_table());
+    println!(
+        "DRAM row-hit rate: {:.1}%  (prepared hits from BI hints: {})",
+        system.ddr().stats().hit_rate() * 100.0,
+        system.ddr().stats().prepared_hits.value()
+    );
+    println!(
+        "write buffer: {} absorbed, {} drained, peak occupancy {}",
+        system.write_buffer().absorbed(),
+        system.write_buffer().drained(),
+        system.write_buffer().peak_fill()
+    );
+    println!(
+        "assertions: {} errors, {} warnings",
+        system.assertions().error_count(),
+        system.assertions().warning_count()
+    );
+}

@@ -1,0 +1,93 @@
+//! Accuracy integration tests: the transaction-level model must track the
+//! pin-accurate reference on identical stimulus (the Table-1 experiment).
+
+use ahbplus::validation::{validate_pattern, validate_table1};
+use ahbplus::{AhbPlusParams, PlatformConfig};
+use analysis::AccuracyReport;
+use traffic::{pattern_a, pattern_b};
+
+/// Total bus work (busy cycles) must agree closely on every pattern — this
+/// is the metric least sensitive to how contention is attributed.
+#[test]
+fn bus_busy_cycles_agree_within_five_percent() {
+    let table = validate_table1(150, 7);
+    for validation in &table.patterns {
+        let busy = validation
+            .accuracy
+            .rows
+            .iter()
+            .find(|r| r.metric == "bus busy cycles")
+            .expect("busy row");
+        assert!(
+            busy.error_pct() < 5.0,
+            "{}: busy-cycle error {:.2}%",
+            validation.accuracy.pattern,
+            busy.error_pct()
+        );
+    }
+}
+
+/// The longest-running master (the periodic real-time video master) pins the
+/// end of the simulation; both models must agree on it almost exactly.
+#[test]
+fn video_completion_cycle_matches_almost_exactly() {
+    for pattern in [pattern_a(), pattern_b()] {
+        let validation = validate_pattern(pattern, 150, 3);
+        let row = validation
+            .accuracy
+            .rows
+            .iter()
+            .find(|r| r.metric.contains("video completion"))
+            .expect("video completion row");
+        assert!(
+            row.error_pct() < 1.0,
+            "video completion error {:.2}%",
+            row.error_pct()
+        );
+    }
+}
+
+/// With request pipelining disabled the two models are calibrated to within
+/// a few percent on every metric — evidence that the residual error of the
+/// full configuration comes from concurrency-dependent effects (write-buffer
+/// scheduling), not from mis-calibrated transaction timings.
+#[test]
+fn non_pipelined_configuration_matches_within_five_percent() {
+    let params = AhbPlusParams::ahb_plus().with_request_pipelining(false);
+    let config = PlatformConfig::new(pattern_a(), 200, 7).with_params(params);
+    let rtl = config.run_rtl();
+    let tlm = config.run_tlm();
+    let accuracy = AccuracyReport::compare("pattern A, no pipelining", &rtl, &tlm);
+    assert!(
+        accuracy.average_error_pct() < 5.0,
+        "average error {:.2}%\n{}",
+        accuracy.average_error_pct(),
+        accuracy.format_table()
+    );
+}
+
+/// Full AHB+ configuration: average difference across all compared metrics
+/// stays bounded (the paper reports <3% for its models; this reproduction's
+/// write-buffer dynamics diverge more — see EXPERIMENTS.md).
+#[test]
+fn full_configuration_average_error_is_bounded() {
+    let table = validate_table1(150, 7);
+    let error = table.average_error_pct();
+    assert!(
+        error < 30.0,
+        "overall average error {error:.2}%\n{}",
+        table.format_table()
+    );
+}
+
+/// Both models must see the exact same stimulus — equal transaction and byte
+/// counts per master.
+#[test]
+fn stimulus_is_identical_across_models() {
+    let validation = validate_pattern(pattern_a(), 100, 19);
+    for (id, rtl_m) in &validation.rtl.masters {
+        let tlm_m = &validation.tlm.masters[id];
+        assert_eq!(rtl_m.completed, tlm_m.completed, "{id} transaction count");
+        assert_eq!(rtl_m.bytes, tlm_m.bytes, "{id} byte count");
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the two architectural claims of AHB+ (paper §2):
+//! QoS guarantees for real-time masters and throughput gains from bank
+//! interleaving, on both abstraction levels.
+
+use ahbplus::{AhbPlusParams, ArbiterConfig, DdrConfig, PlatformConfig};
+use amba::ids::{Addr, MasterId};
+use traffic::{MasterProfile, ReleasePolicy, TrafficPattern};
+
+/// A stress pattern in which only the QoS filters can protect the video
+/// master: its fixed priority is the worst on the bus.
+fn qos_stress_pattern() -> TrafficPattern {
+    let mut video = MasterProfile::video_realtime();
+    video.fixed_priority = 7;
+    let aggressive_dma = MasterProfile::dma_stream().with_release(ReleasePolicy::ClosedLoop {
+        min_gap: 0,
+        max_gap: 2,
+    });
+    let second_dma = aggressive_dma
+        .clone()
+        .with_region(Addr::new(0x2400_0000), 0x0100_0000);
+    TrafficPattern {
+        name: "qos stress",
+        masters: vec![
+            (MasterId::new(0), aggressive_dma),
+            (MasterId::new(1), video),
+            (MasterId::new(2), second_dma),
+            (MasterId::new(3), MasterProfile::block_writer()),
+        ],
+    }
+}
+
+fn video_metrics(params: AhbPlusParams) -> (f64, u64) {
+    let config = PlatformConfig::new(qos_stress_pattern(), 150, 3).with_params(params);
+    let report = config.run_tlm();
+    let video = report
+        .masters
+        .values()
+        .find(|m| m.label == "video")
+        .expect("video master");
+    (video.avg_grant_latency, video.qos_violations)
+}
+
+#[test]
+fn ahb_plus_protects_the_demoted_real_time_master() {
+    let (plain_latency, plain_violations) = video_metrics(
+        AhbPlusParams::ahb_plus().with_arbiter(ArbiterConfig::plain_ahb_fixed_priority()),
+    );
+    let (plus_latency, plus_violations) = video_metrics(AhbPlusParams::ahb_plus());
+    assert!(
+        plus_latency < plain_latency,
+        "AHB+ grant latency {plus_latency:.1} must beat plain AHB {plain_latency:.1}"
+    );
+    assert!(
+        plus_violations <= plain_violations,
+        "AHB+ must not violate QoS more often ({plus_violations} vs {plain_violations})"
+    );
+}
+
+#[test]
+fn qos_protection_holds_on_the_pin_accurate_model_too() {
+    let run = |arbiter: ArbiterConfig| -> f64 {
+        let params = AhbPlusParams::ahb_plus().with_arbiter(arbiter);
+        let config = PlatformConfig::new(qos_stress_pattern(), 80, 3).with_params(params);
+        let report = config.run_rtl();
+        report
+            .masters
+            .values()
+            .find(|m| m.label == "video")
+            .map(|m| m.avg_grant_latency)
+            .expect("video master")
+    };
+    let plain = run(ArbiterConfig::plain_ahb_fixed_priority());
+    let plus = run(ArbiterConfig::ahb_plus());
+    assert!(
+        plus < plain,
+        "RTL: AHB+ grant latency {plus:.1} must beat plain AHB {plain:.1}"
+    );
+}
+
+/// Streaming workload used for the interleaving comparison.
+fn streaming_pattern() -> TrafficPattern {
+    TrafficPattern {
+        name: "dual stream",
+        masters: vec![
+            (MasterId::new(0), MasterProfile::dma_stream()),
+            (
+                MasterId::new(1),
+                MasterProfile::dma_stream().with_region(Addr::new(0x2400_0000), 0x0100_0000),
+            ),
+            (MasterId::new(2), MasterProfile::video_realtime()),
+            (MasterId::new(3), MasterProfile::block_writer()),
+        ],
+    }
+}
+
+fn streaming_completion(bi_hints: bool) -> (u64, f64) {
+    let params = AhbPlusParams::ahb_plus().with_bi_hints(bi_hints);
+    let ddr = if bi_hints {
+        DdrConfig::ahb_plus()
+    } else {
+        DdrConfig::without_interleaving()
+    };
+    let config = PlatformConfig::new(streaming_pattern(), 200, 11)
+        .with_params(params)
+        .with_ddr(ddr);
+    let mut system = config.build_tlm();
+    let report = system.run();
+    let done = report
+        .masters
+        .values()
+        .filter(|m| m.label != "video")
+        .map(|m| m.last_completion_cycle)
+        .max()
+        .unwrap();
+    (done, system.ddr().stats().hit_rate())
+}
+
+#[test]
+fn bank_interleaving_improves_hit_rate_and_completion_time() {
+    let (without_done, without_hits) = streaming_completion(false);
+    let (with_done, with_hits) = streaming_completion(true);
+    assert!(
+        with_hits > without_hits,
+        "BI hints must raise the DRAM hit rate ({with_hits:.3} vs {without_hits:.3})"
+    );
+    assert!(
+        with_done <= without_done,
+        "BI hints must not slow the streaming masters down ({with_done} vs {without_done})"
+    );
+}
+
+#[test]
+fn write_buffer_depth_reduces_writer_stalls() {
+    let writer_done = |depth: usize| -> u64 {
+        let params = AhbPlusParams::ahb_plus().with_write_buffer_depth(depth);
+        let config = PlatformConfig::new(traffic::pattern_c(), 150, 5).with_params(params);
+        let report = config.run_tlm();
+        report
+            .masters
+            .values()
+            .find(|m| m.label == "writer")
+            .map(|m| m.last_completion_cycle)
+            .expect("writer master")
+    };
+    let shallow = writer_done(0);
+    let deep = writer_done(8);
+    assert!(
+        deep <= shallow,
+        "a deeper write buffer must not slow the block writer ({deep} vs {shallow})"
+    );
+}
