@@ -162,7 +162,7 @@ impl RtlMaster {
     pub fn begin_transfer(&mut self) -> Transaction {
         assert!(!self.is_done(), "begin_transfer on a drained master");
         self.state = MasterState::Transferring;
-        self.trace.items()[self.next].txn.clone()
+        self.trace.items()[self.next].txn
     }
 
     /// Completes the in-flight transaction at `done` (last data beat) and

@@ -370,7 +370,7 @@ impl RtlSystem {
     fn start_burst(&mut self, owner: MasterId, now: Cycle) -> Option<BurstInProgress> {
         let (txn, issued_at, via_write_buffer) = if owner == RTL_WRITE_BUFFER_MASTER {
             let head = self.write_buffer.head()?;
-            (head.txn.clone(), head.absorbed_at, true)
+            (head.txn, head.absorbed_at, true)
         } else {
             let master = self.masters.iter_mut().find(|m| m.id() == owner)?;
             if !master.is_requesting() {

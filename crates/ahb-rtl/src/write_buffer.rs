@@ -93,7 +93,7 @@ impl RtlWriteBuffer {
             return false;
         }
         self.entries.push_back(PostedWrite {
-            txn: txn.clone(),
+            txn: *txn,
             absorbed_at: now,
         });
         self.absorbed += 1;

@@ -9,19 +9,25 @@
 
 use amba::arbitration::{ArbiterConfig, ArbitrationPolicy, Decision, RequestView};
 use amba::bi::NextTransactionInfo;
-use amba::ids::MasterId;
+use amba::ids::{Addr, MasterId};
 use amba::qos::{QosConfig, QosRegisterFile};
-use amba::txn::Transaction;
+use amba::txn::{Transaction, TxnHandle};
 use ddrc::DdrController;
 use simkern::time::Cycle;
 
 /// One pending request as presented to the arbiter.
-#[derive(Debug, Clone)]
+///
+/// Carries a pooled [`TxnHandle`] plus the copied-out address (the only
+/// transaction field arbitration needs) instead of a cloned transaction, so
+/// rebuilding the pending set every arbitration round stays allocation-free.
+#[derive(Debug, Clone, Copy)]
 pub struct PendingRequest {
     /// The requesting master (the write buffer uses its own id).
     pub master: MasterId,
-    /// The transaction the master wants to issue.
-    pub txn: Transaction,
+    /// Pooled handle of the transaction the master wants to issue.
+    pub handle: TxnHandle,
+    /// Starting address of the burst (for the bank-affinity filter).
+    pub addr: Addr,
     /// When the request was first raised (HBUSREQ assertion time).
     pub requested_at: Cycle,
     /// Whether the request comes from the write buffer.
@@ -37,6 +43,9 @@ pub struct TlmArbiter {
     qos: QosRegisterFile,
     bank_affinity_from_bi: bool,
     grants: u64,
+    /// Request-view buffer reused across arbitration rounds (zero-alloc
+    /// hot path: the capacity sticks after the first round).
+    views: Vec<RequestView>,
 }
 
 impl TlmArbiter {
@@ -52,6 +61,7 @@ impl TlmArbiter {
             qos: QosRegisterFile::new(),
             bank_affinity_from_bi,
             grants: 0,
+            views: Vec::new(),
         }
     }
 
@@ -74,30 +84,30 @@ impl TlmArbiter {
 
     /// Builds the request snapshots and runs the filter chain.
     ///
-    /// Returns the winning master, or `None` when `pending` is empty.
+    /// Returns the winning master, or `None` when `pending` is empty. Takes
+    /// `&mut self` only to reuse the internal view buffer; no decision
+    /// state changes until [`TlmArbiter::record_grant`].
     #[must_use]
     pub fn decide(
-        &self,
+        &mut self,
         now: Cycle,
         pending: &[PendingRequest],
         ddr: &DdrController,
     ) -> Option<Decision> {
-        let views: Vec<RequestView> = pending
-            .iter()
-            .map(|request| {
-                let mut view = RequestView::new(
-                    request.master,
-                    self.qos.lookup(request.master),
-                    now.saturating_since(request.requested_at).value(),
-                );
-                view.is_write_buffer = request.is_write_buffer;
-                view.write_buffer_fill = request.write_buffer_fill;
-                view.bank_ready =
-                    self.bank_affinity_from_bi && ddr.is_addr_ready(now, request.txn.addr);
-                view
-            })
-            .collect();
-        self.policy.decide(&views)
+        self.views.clear();
+        for request in pending {
+            let mut view = RequestView::new(
+                request.master,
+                self.qos.lookup(request.master),
+                now.saturating_since(request.requested_at).value(),
+            );
+            view.is_write_buffer = request.is_write_buffer;
+            view.write_buffer_fill = request.write_buffer_fill;
+            view.bank_ready =
+                self.bank_affinity_from_bi && ddr.is_addr_ready(now, request.addr);
+            self.views.push(view);
+        }
+        self.policy.decide(&self.views)
     }
 
     /// Commits a grant decision (advances the round-robin pointer).
@@ -124,9 +134,8 @@ impl TlmArbiter {
 mod tests {
     use super::*;
     use amba::burst::BurstKind;
-    use amba::ids::Addr;
     use amba::signal::HSize;
-    use amba::txn::TransferDirection;
+    use amba::txn::{TransferDirection, TxnArena};
     use ddrc::DdrConfig;
 
     fn txn(master: u8, addr: u32) -> Transaction {
@@ -139,10 +148,11 @@ mod tests {
         )
     }
 
-    fn request(master: u8, addr: u32, requested_at: u64) -> PendingRequest {
+    fn request(arena: &mut TxnArena, master: u8, addr: u32, requested_at: u64) -> PendingRequest {
         PendingRequest {
             master: MasterId::new(master),
-            txn: txn(master, addr),
+            handle: arena.alloc(txn(master, addr)),
+            addr: Addr::new(addr),
             requested_at: Cycle::new(requested_at),
             is_write_buffer: false,
             write_buffer_fill: 0,
@@ -151,7 +161,7 @@ mod tests {
 
     #[test]
     fn empty_pending_set_yields_no_grant() {
-        let arbiter = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let mut arbiter = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
         let ddr = DdrController::new(DdrConfig::ahb_plus());
         assert!(arbiter.decide(Cycle::new(0), &[], &ddr).is_none());
     }
@@ -162,7 +172,11 @@ mod tests {
         let ddr = DdrController::new(DdrConfig::ahb_plus());
         arbiter.program_qos(MasterId::new(0), QosConfig::non_real_time(0));
         arbiter.program_qos(MasterId::new(1), QosConfig::real_time(500, 5));
-        let pending = [request(0, 0x2000_0000, 0), request(1, 0x2000_0800, 0)];
+        let mut arena = TxnArena::new();
+        let pending = [
+            request(&mut arena, 0, 0x2000_0000, 0),
+            request(&mut arena, 1, 0x2000_0800, 0),
+        ];
         let decision = arbiter.decide(Cycle::new(10), &pending, &ddr).unwrap();
         assert_eq!(decision.master, MasterId::new(1), "real-time class wins");
         assert!(arbiter.qos_of(MasterId::new(1)).class.is_real_time());
@@ -176,13 +190,17 @@ mod tests {
         // targets the open row of bank 1 (ready).
         ddr.access(Cycle::new(0), Addr::new(0x2000_0000), false, 4);
         ddr.access(Cycle::new(20), Addr::new(0x2000_0800), false, 4);
-        let pending = [request(0, 0x2000_0000 + 4 * 2048, 0), request(1, 0x2000_0840, 0)];
+        let mut arena = TxnArena::new();
+        let pending = [
+            request(&mut arena, 0, 0x2000_0000 + 4 * 2048, 0),
+            request(&mut arena, 1, 0x2000_0840, 0),
+        ];
 
-        let with_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
+        let mut with_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), true);
         let decision = with_bi.decide(Cycle::new(50), &pending, &ddr).unwrap();
         assert_eq!(decision.master, MasterId::new(1), "ready bank preferred");
 
-        let without_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), false);
+        let mut without_bi = TlmArbiter::new(ArbiterConfig::ahb_plus(), false);
         let decision = without_bi.decide(Cycle::new(50), &pending, &ddr).unwrap();
         assert_eq!(
             decision.master,
@@ -197,7 +215,11 @@ mod tests {
         let ddr = DdrController::new(DdrConfig::ahb_plus());
         arbiter.program_qos(MasterId::new(0), QosConfig::non_real_time(3));
         arbiter.program_qos(MasterId::new(1), QosConfig::non_real_time(3));
-        let pending = [request(0, 0x2000_0000, 0), request(1, 0x2000_0000, 0)];
+        let mut arena = TxnArena::new();
+        let pending = [
+            request(&mut arena, 0, 0x2000_0000, 0),
+            request(&mut arena, 1, 0x2000_0000, 0),
+        ];
         let first = arbiter.decide(Cycle::new(0), &pending, &ddr).unwrap();
         arbiter.record_grant(first.master);
         let second = arbiter.decide(Cycle::new(0), &pending, &ddr).unwrap();

@@ -25,7 +25,7 @@ use amba::check::validate_transaction;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::signal::HResp;
-use amba::txn::Completion;
+use amba::txn::{Completion, TxnArena};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
 use ddrc::DdrController;
@@ -57,14 +57,51 @@ pub struct TlmSystem {
     ddr: DdrController,
     recorder: Recorder,
     assertions: AssertionSink,
+    /// Pool of in-flight transactions; see `amba::txn::TxnArena` for the
+    /// ownership rules the bus, masters and write buffer follow.
+    arena: TxnArena,
+    /// Pending-request buffer rebuilt (allocation-free) every arbitration
+    /// round.
+    pending: Vec<PendingRequest>,
     now: Cycle,
     last_completion: Cycle,
     /// Master speculatively selected to own the bus next (request
     /// pipelining); cleared on use.
     prepared_next: Option<MasterId>,
+    /// Every trace transaction passed `validate_transaction` at build time,
+    /// so the per-issue model-consistency check can be skipped.
+    traces_valid: bool,
+    /// Number of masters whose trace has fully drained (completion check
+    /// without a per-step scan).
+    masters_done: usize,
+    /// Horizon of the most recent `absorb_posted_writes` pass. Nothing that
+    /// affects absorption happens between the end of one transaction step
+    /// and the start of the next, so a second pass at the same horizon is a
+    /// guaranteed no-op and is skipped.
+    absorbed_at: Option<Cycle>,
+    /// Time at which `self.pending` was (re)collected, when it is still
+    /// current — lets the next step reuse the speculative pipelining
+    /// collection instead of rebuilding an identical set.
+    pending_fresh_at: Option<Cycle>,
+    /// The winner of the speculative arbitration round, committed as the
+    /// next grant while the pending set is unchanged: request pipelining
+    /// pre-arbitrates the next owner during the current data phase
+    /// (paper §2), so the pre-arbitrated master takes the bus without a
+    /// second arbitration pass.
+    speculative_winner: Option<(MasterId, amba::txn::TxnHandle, Cycle, bool)>,
     /// Cycle at which the most recent write-buffer slot became free after a
     /// full-buffer phase; posted writes cannot be absorbed earlier.
     slot_freed_at: Cycle,
+    /// Indices of masters that post writes — the only ones the write-buffer
+    /// absorption scan has to visit.
+    posted_masters: Vec<usize>,
+    /// Earliest release time among masters not pending at the last
+    /// `collect_pending` horizon (computed in the same pass, so the idle
+    /// path does not re-scan the masters).
+    next_release_hint: Option<Cycle>,
+    /// Earliest release time over the posted-write masters: the absorption
+    /// scan exits on one compare while nothing can possibly absorb.
+    posted_ready_min: Cycle,
 }
 
 impl std::fmt::Debug for TlmSystem {
@@ -105,6 +142,17 @@ impl TlmSystem {
         arbiter.program_qos(WRITE_BUFFER_MASTER, QosConfig::non_real_time(u8::MAX));
         let write_buffer = WriteBuffer::new(config.params.write_buffer_depth);
         let ddr = DdrController::new(config.ddr);
+        // In-flight transactions are bounded by one per master plus the
+        // write-buffer depth, so the arena never grows past this capacity.
+        let in_flight = trace_masters.len() + config.params.write_buffer_depth + 1;
+        let traces_valid = trace_masters.iter().all(|m| m.trace_is_valid());
+        let masters_done = trace_masters.iter().filter(|m| m.is_done()).count();
+        let posted_masters = trace_masters
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.posted_writes())
+            .map(|(i, _)| i)
+            .collect();
         TlmSystem {
             config,
             masters: trace_masters,
@@ -113,10 +161,20 @@ impl TlmSystem {
             ddr,
             recorder,
             assertions: AssertionSink::new(),
+            arena: TxnArena::with_capacity(in_flight),
+            pending: Vec::with_capacity(in_flight),
             now: Cycle::ZERO,
             last_completion: Cycle::ZERO,
             prepared_next: None,
+            traces_valid,
+            masters_done,
+            absorbed_at: None,
+            pending_fresh_at: None,
+            speculative_winner: None,
             slot_freed_at: Cycle::ZERO,
+            posted_masters,
+            next_release_hint: None,
+            posted_ready_min: Cycle::ZERO,
         }
     }
 
@@ -175,7 +233,7 @@ impl TlmSystem {
     /// buffer is empty.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.masters.iter().all(TraceMaster::is_done) && !self.write_buffer.is_occupied()
+        self.masters_done == self.masters.len() && !self.write_buffer.is_occupied()
     }
 
     /// Runs the platform until every trace has drained (or the configured
@@ -209,47 +267,72 @@ impl TlmSystem {
         // provided the buffer has space; the buffer then competes for the
         // bus on their behalf (paper §3.3). Only when the buffer is full
         // does the issuing master request the bus for a write itself.
-        self.absorb_posted_writes(self.now);
-        // Collect the requests pending at the current time.
-        let pending = self.collect_pending(self.now);
-        if pending.is_empty() {
-            // Nobody is ready: jump to the next release time.
-            let Some(next_ready) = self.next_release() else {
-                return false;
-            };
-            if next_ready >= max {
-                self.now = max;
-                return false;
+        let committed_winner = loop {
+            if self.absorbed_at != Some(self.now) {
+                self.absorb_posted_writes(self.now);
             }
-            self.now = next_ready.max(self.now);
-            return true;
-        }
-
-        let Some(decision) = self.arbiter.decide(self.now, &pending, &self.ddr) else {
-            return false;
+            // Collect the requests pending at the current time (reusing the
+            // speculative pipelining collection when it is still current).
+            let reused_collection = self.pending_fresh_at == Some(self.now);
+            if !reused_collection {
+                self.collect_pending(self.now);
+            }
+            self.pending_fresh_at = None;
+            let committed_winner = if reused_collection {
+                self.speculative_winner.take()
+            } else {
+                self.speculative_winner = None;
+                None
+            };
+            if self.pending.is_empty() {
+                // Nobody is ready: jump to the next release time (computed
+                // during the collect pass over the masters) and retry
+                // without bouncing through the outer run loop.
+                let Some(next_ready) = self.next_release_hint else {
+                    return false;
+                };
+                if next_ready >= max {
+                    self.now = max;
+                    return false;
+                }
+                self.now = next_ready.max(self.now);
+                continue;
+            }
+            break committed_winner;
         };
-        let winner = decision.master;
+
+        // The pre-arbitrated winner (request pipelining) takes the bus
+        // without a second arbitration pass; otherwise a sole candidate
+        // wins every filter chain, and only a genuinely contested round
+        // runs the filters. Alongside the winner, resolve its pooled
+        // transaction handle and request time.
+        let (winner, handle, requested_at, via_write_buffer) =
+            if let Some((winner, handle, requested_at, is_wb)) = committed_winner {
+                (winner, handle, requested_at, is_wb)
+            } else {
+                let winner = if self.pending.len() == 1 {
+                    self.pending[0].master
+                } else {
+                    let Some(decision) =
+                        self.arbiter.decide(self.now, &self.pending, &self.ddr)
+                    else {
+                        return false;
+                    };
+                    decision.master
+                };
+                let request = self
+                    .pending
+                    .iter()
+                    .find(|p| p.master == winner)
+                    .expect("granted master has no pending request");
+                (winner, request.handle, request.requested_at, request.is_write_buffer)
+            };
         self.arbiter.record_grant(winner);
+        let txn = *self.arena.get(handle);
 
-        // Identify the winning transaction.
-        let (txn, requested_at, via_write_buffer) = if winner == WRITE_BUFFER_MASTER {
-            let head = self
-                .write_buffer
-                .head()
-                .expect("write buffer granted while empty");
-            (head.txn.clone(), head.absorbed_at, true)
-        } else {
-            let master = self.master(winner);
-            let txn = master
-                .pending_at(self.now)
-                .expect("granted master has no pending transaction")
-                .clone();
-            let requested_at = master.ready_at().expect("granted master has no request");
-            (txn, requested_at, false)
-        };
-
-        // Functional-debug assertion (paper §3.5, first kind).
-        if validate_transaction(&txn).is_err() {
+        // Functional-debug assertion (paper §3.5, first kind). Pre-validated
+        // traces (the normal case) skip the per-issue re-check.
+        if !self.traces_valid && validate_transaction(&txn).is_err() {
             self.assertions.record(
                 self.now,
                 AssertionKind::ModelConsistency,
@@ -290,39 +373,56 @@ impl TlmSystem {
             "transaction completed before its address phase",
         );
 
-        // Profiling (paper §3.6).
-        let bus_occupied = completed_at.saturating_since(addr_phase);
-        self.recorder.add_busy_cycles(bus_occupied.value());
-        let others_waiting = pending.iter().any(|p| p.master != winner);
-        if others_waiting {
-            self.recorder.add_contention_cycles(bus_occupied.value());
+        // Profiling (paper §3.6) — skipped entirely when the profiling
+        // features are detached.
+        if self.config.profiling {
+            let bus_occupied = completed_at.saturating_since(addr_phase);
+            self.recorder.add_busy_cycles(bus_occupied.value());
+            let others_waiting = self.pending.iter().any(|p| p.master != winner);
+            if others_waiting {
+                self.recorder.add_contention_cycles(bus_occupied.value());
+            }
+            self.recorder
+                .observe_write_buffer_fill(self.write_buffer.fill());
+            let completion = Completion {
+                id: txn.id,
+                master: txn.master,
+                response: HResp::Okay,
+                granted_at: addr_phase,
+                completed_at,
+                issued_at: requested_at,
+                bytes: txn.bytes(),
+                via_write_buffer,
+            };
+            self.recorder.record_completion(&completion, txn.beats());
         }
-        self.recorder
-            .observe_write_buffer_fill(self.write_buffer.fill());
-        let completion = Completion {
-            id: txn.id,
-            master: txn.master,
-            response: HResp::Okay,
-            granted_at: addr_phase,
-            completed_at,
-            issued_at: requested_at,
-            bytes: txn.bytes(),
-            via_write_buffer,
-        };
-        self.recorder.record_completion(&completion, txn.beats());
         self.last_completion = self.last_completion.max(completed_at);
 
-        // Retire the transaction from its source.
+        // Retire the transaction from its source and return its pool slot.
         if via_write_buffer {
             let was_full = !self.write_buffer.has_space();
-            self.write_buffer.drain_head();
+            let drained = self
+                .write_buffer
+                .drain_head()
+                .expect("granted write buffer must drain");
+            self.arena.release(drained.handle);
             if was_full {
                 // A slot only became free when this drain finished; posted
                 // writes waiting for space are absorbed no earlier.
                 self.slot_freed_at = completed_at;
             }
         } else {
-            self.master_mut(winner).complete_current(completed_at);
+            self.arena.release(handle);
+            let master = self.master_mut(winner);
+            master.complete_current(completed_at);
+            let finished = master.is_done();
+            let posted = master.posted_writes();
+            if finished {
+                self.masters_done += 1;
+            }
+            if posted {
+                self.refresh_posted_ready_min();
+            }
         }
 
         // Posted writes raised while the data phase occupied the bus were
@@ -335,14 +435,28 @@ impl TlmSystem {
         // open the next bank in advance.
         self.prepared_next = None;
         if self.config.params.request_pipelining {
-            let future_pending = self.collect_pending(completed_at);
-            if let Some(next) = self.arbiter.decide(completed_at, &future_pending, &self.ddr) {
-                self.prepared_next = Some(next.master);
+            self.collect_pending(completed_at);
+            self.pending_fresh_at = Some(completed_at);
+            let next_master = if self.pending.len() == 1 {
+                Some(self.pending[0].master)
+            } else {
+                self.arbiter
+                    .decide(completed_at, &self.pending, &self.ddr)
+                    .map(|next| next.master)
+            };
+            self.speculative_winner = next_master.and_then(|master| {
+                self.pending.iter().find(|p| p.master == master).map(|p| {
+                    (master, p.handle, p.requested_at, p.is_write_buffer)
+                })
+            });
+            if let Some(next_master) = next_master {
+                self.prepared_next = Some(next_master);
                 if self.config.params.bi_next_transaction_hints {
                     if let Some(next_req) =
-                        future_pending.iter().find(|p| p.master == next.master)
+                        self.pending.iter().find(|p| p.master == next_master)
                     {
-                        let info = TlmArbiter::next_transaction_info(&next_req.txn);
+                        let info =
+                            TlmArbiter::next_transaction_info(self.arena.get(next_req.handle));
                         self.ddr.prepare(addr_phase + CycleDelta::ONE, info.addr);
                     }
                 }
@@ -358,11 +472,15 @@ impl TlmSystem {
         true
     }
 
-    fn master(&self, id: MasterId) -> &TraceMaster {
-        self.masters
-            .iter()
-            .find(|m| m.id() == id)
-            .expect("unknown master id")
+    /// Recomputes the earliest release time over the posted-write masters.
+    fn refresh_posted_ready_min(&mut self) {
+        let mut earliest = Cycle::MAX;
+        for &index in &self.posted_masters {
+            if let Some(ready) = self.masters[index].ready_at() {
+                earliest = earliest.min(ready);
+            }
+        }
+        self.posted_ready_min = earliest;
     }
 
     fn master_mut(&mut self, id: MasterId) -> &mut TraceMaster {
@@ -372,37 +490,43 @@ impl TlmSystem {
             .expect("unknown master id")
     }
 
-    fn collect_pending(&self, at: Cycle) -> Vec<PendingRequest> {
-        let mut pending: Vec<PendingRequest> = self
-            .masters
-            .iter()
-            .filter_map(|m| {
-                m.pending_at(at).map(|txn| PendingRequest {
-                    master: m.id(),
-                    txn: txn.clone(),
-                    requested_at: m.ready_at().unwrap_or(at),
-                    is_write_buffer: false,
-                    write_buffer_fill: 0,
-                })
-            })
-            .collect();
+    /// Rebuilds `self.pending` with the requests visible at `at`. The
+    /// buffer and the transaction pool are reused, so steady-state rounds
+    /// allocate nothing and clone no transaction.
+    fn collect_pending(&mut self, at: Cycle) {
+        self.pending.clear();
+        let mut next_release = Cycle::MAX;
+        for master in &mut self.masters {
+            let Some(handle) = master.intern_pending(at, &mut self.arena) else {
+                if let Some(ready) = master.ready_at() {
+                    next_release = next_release.min(ready);
+                }
+                continue;
+            };
+            self.pending.push(PendingRequest {
+                master: master.id(),
+                handle,
+                addr: self.arena.get(handle).addr,
+                requested_at: master.ready_at().unwrap_or(at),
+                is_write_buffer: false,
+                write_buffer_fill: 0,
+            });
+        }
+        self.next_release_hint = if next_release == Cycle::MAX {
+            None
+        } else {
+            Some(next_release)
+        };
         if let Some(head) = self.write_buffer.head() {
-            pending.push(PendingRequest {
+            self.pending.push(PendingRequest {
                 master: WRITE_BUFFER_MASTER,
-                txn: head.txn.clone(),
+                handle: head.handle,
+                addr: self.arena.get(head.handle).addr,
                 requested_at: head.absorbed_at,
                 is_write_buffer: true,
                 write_buffer_fill: self.write_buffer.fill(),
             });
         }
-        pending
-    }
-
-    fn next_release(&self) -> Option<Cycle> {
-        self.masters
-            .iter()
-            .filter_map(TraceMaster::ready_at)
-            .min()
     }
 
     /// Absorbs every posted write whose release time has arrived by
@@ -412,36 +536,41 @@ impl TlmSystem {
     /// write was absorbed may release another posted write inside the same
     /// window.
     fn absorb_posted_writes(&mut self, horizon: Cycle) {
-        if !self.write_buffer.is_enabled() {
+        self.absorbed_at = Some(horizon);
+        if !self.write_buffer.is_enabled() || self.posted_ready_min > horizon {
             return;
         }
         loop {
             let mut absorbed_any = false;
-            for index in 0..self.masters.len() {
+            for position in 0..self.posted_masters.len() {
+                let index = self.posted_masters[position];
                 if !self.write_buffer.has_space() {
-                    self.recorder
-                        .observe_write_buffer_fill(self.write_buffer.fill());
+                    if self.config.profiling {
+                        self.recorder
+                            .observe_write_buffer_fill(self.write_buffer.fill());
+                    }
                     return;
                 }
-                let master = &self.masters[index];
-                if !master.posted_writes() {
-                    continue;
-                }
+                let master = &mut self.masters[index];
                 let Some(ready_at) = master.ready_at() else {
                     continue;
                 };
                 if ready_at > horizon {
                     continue;
                 }
-                let Some(txn) = master.pending_at(horizon).cloned() else {
+                // Interning is free for non-postable heads: the handle stays
+                // cached and is reused by the next arbitration round.
+                let Some(handle) = master.intern_pending(horizon, &mut self.arena) else {
                     continue;
                 };
-                if !txn.is_write() || !txn.posted_ok {
-                    continue;
-                }
                 let absorbed_at = ready_at.max(self.slot_freed_at);
-                if self.write_buffer.absorb(&txn, absorbed_at) {
+                // On success the buffer takes handle ownership.
+                if self.write_buffer.absorb(&self.arena, handle, absorbed_at) {
                     self.masters[index].complete_current(absorbed_at);
+                    if self.masters[index].is_done() {
+                        self.masters_done += 1;
+                    }
+                    self.pending_fresh_at = None;
                     absorbed_any = true;
                 }
             }
@@ -449,8 +578,11 @@ impl TlmSystem {
                 break;
             }
         }
-        self.recorder
-            .observe_write_buffer_fill(self.write_buffer.fill());
+        self.refresh_posted_ready_min();
+        if self.config.profiling {
+            self.recorder
+                .observe_write_buffer_fill(self.write_buffer.fill());
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
-use amba::txn::Transaction;
+use amba::txn::{Transaction, TxnArena, TxnHandle};
 use simkern::time::Cycle;
 use traffic::{Release, TrafficTrace};
 
@@ -28,6 +28,11 @@ pub struct TraceMaster {
     ready_at: Cycle,
     issued: u64,
     completed: u64,
+    /// Pooled handle of the head-of-trace transaction, interned lazily the
+    /// first time the request becomes visible to the bus. The master owns
+    /// the handle until the transaction retires (bus releases it) or the
+    /// write buffer absorbs it (ownership transfers with the absorb).
+    handle: Option<TxnHandle>,
 }
 
 impl TraceMaster {
@@ -45,6 +50,7 @@ impl TraceMaster {
             ready_at,
             issued: 0,
             completed: 0,
+            handle: None,
         }
     }
 
@@ -120,15 +126,47 @@ impl TraceMaster {
         self.items.items().get(self.next).map(|i| &i.txn)
     }
 
+    /// Returns `true` when every transaction of this master's trace passes
+    /// `amba::check::validate_transaction`. Computed once so the bus can
+    /// skip the per-issue consistency re-check on pre-validated traces.
+    #[must_use]
+    pub fn trace_is_valid(&self) -> bool {
+        self.items
+            .items()
+            .iter()
+            .all(|item| amba::check::validate_transaction(&item.txn).is_ok())
+    }
+
+    /// Like [`TraceMaster::pending_at`], but returns (and caches) a pooled
+    /// handle instead of a borrow: the head transaction is copied into the
+    /// arena the first time the request becomes visible and the same handle
+    /// is returned until the transaction retires, so repeated arbitration
+    /// rounds never clone it.
+    pub fn intern_pending(&mut self, now: Cycle, arena: &mut TxnArena) -> Option<TxnHandle> {
+        if self.is_done() || self.ready_at > now {
+            return None;
+        }
+        if self.handle.is_none() {
+            let txn = self.items.items()[self.next].txn.issued(self.ready_at);
+            self.handle = Some(arena.alloc(txn));
+        }
+        self.handle
+    }
+
     /// Marks the head transaction as issued to the bus (or absorbed by the
     /// write buffer) and completed at `done`, then computes the release time
     /// of the next trace item.
+    ///
+    /// The cached arena handle is forgotten (not released): by this point
+    /// its ownership has either moved to the write buffer or the bus is
+    /// about to release it after recording the completion.
     ///
     /// # Panics
     ///
     /// Panics if the trace is already exhausted.
     pub fn complete_current(&mut self, done: Cycle) {
         assert!(!self.is_done(), "complete_current on an exhausted trace");
+        self.handle = None;
         self.issued += 1;
         self.completed += 1;
         self.next += 1;

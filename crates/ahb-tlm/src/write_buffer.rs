@@ -10,21 +10,27 @@
 //! arbitration filter chain under its own master identifier. The
 //! [`amba::arbitration::ArbitrationFilter::WriteBufferUrgency`] stage
 //! guarantees it wins once it gets close to overflowing.
+//!
+//! Transactions are held as pooled [`TxnHandle`]s, not cloned records: a
+//! successful [`WriteBuffer::absorb`] transfers handle ownership from the
+//! issuing master to the buffer, and [`WriteBuffer::drain_head`] hands it to
+//! the bus, which releases it back to the [`TxnArena`] once the data phase
+//! completes.
 
 use std::collections::VecDeque;
 
 use amba::ids::MasterId;
-use amba::txn::Transaction;
+use amba::txn::{TxnArena, TxnHandle};
 use simkern::time::Cycle;
 
 /// The master identifier under which the write buffer requests the bus.
 pub const WRITE_BUFFER_MASTER: MasterId = MasterId::new(15);
 
 /// One buffered posted write.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferedWrite {
-    /// The absorbed transaction.
-    pub txn: Transaction,
+    /// Pooled handle of the absorbed transaction (owned by the buffer).
+    pub handle: TxnHandle,
     /// Cycle at which the buffer accepted it.
     pub absorbed_at: Cycle,
 }
@@ -46,7 +52,7 @@ impl WriteBuffer {
     pub fn new(depth: usize) -> Self {
         WriteBuffer {
             depth,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(depth),
             absorbed: 0,
             drained: 0,
             peak_fill: 0,
@@ -97,14 +103,19 @@ impl WriteBuffer {
 
     /// Absorbs a posted write that lost arbitration at `now`.
     ///
-    /// Returns `false` (and drops nothing) if the buffer is disabled, full,
-    /// or the transaction is not a postable write.
-    pub fn absorb(&mut self, txn: &Transaction, now: Cycle) -> bool {
-        if !self.is_enabled() || !self.has_space() || !txn.posted_ok || !txn.is_write() {
+    /// On success the buffer takes ownership of `handle`. Returns `false`
+    /// (and leaves ownership with the caller) if the buffer is disabled,
+    /// full, or the pooled transaction is not a postable write.
+    pub fn absorb(&mut self, arena: &TxnArena, handle: TxnHandle, now: Cycle) -> bool {
+        if !self.is_enabled() || !self.has_space() {
+            return false;
+        }
+        let txn = arena.get(handle);
+        if !txn.posted_ok || !txn.is_write() {
             return false;
         }
         self.entries.push_back(BufferedWrite {
-            txn: txn.clone(),
+            handle,
             absorbed_at: now,
         });
         self.absorbed += 1;
@@ -119,7 +130,8 @@ impl WriteBuffer {
     }
 
     /// Removes and returns the oldest buffered write after it was granted
-    /// and transferred.
+    /// and transferred. Handle ownership passes to the caller, which must
+    /// release it once the data phase completes.
     pub fn drain_head(&mut self) -> Option<BufferedWrite> {
         let head = self.entries.pop_front();
         if head.is_some() {
@@ -135,7 +147,7 @@ mod tests {
     use amba::burst::BurstKind;
     use amba::ids::Addr;
     use amba::signal::HSize;
-    use amba::txn::TransferDirection;
+    use amba::txn::{Transaction, TransferDirection};
 
     fn write_txn(master: u8) -> Transaction {
         Transaction::new(
@@ -159,11 +171,15 @@ mod tests {
 
     #[test]
     fn absorbs_posted_writes_up_to_depth() {
+        let mut arena = TxnArena::new();
         let mut buffer = WriteBuffer::new(2);
         assert!(buffer.is_enabled());
-        assert!(buffer.absorb(&write_txn(0), Cycle::new(1)));
-        assert!(buffer.absorb(&write_txn(1), Cycle::new(2)));
-        assert!(!buffer.absorb(&write_txn(2), Cycle::new(3)), "full");
+        let w0 = arena.alloc(write_txn(0));
+        let w1 = arena.alloc(write_txn(1));
+        let w2 = arena.alloc(write_txn(2));
+        assert!(buffer.absorb(&arena, w0, Cycle::new(1)));
+        assert!(buffer.absorb(&arena, w1, Cycle::new(2)));
+        assert!(!buffer.absorb(&arena, w2, Cycle::new(3)), "full");
         assert_eq!(buffer.fill(), 2);
         assert_eq!(buffer.peak_fill(), 2);
         assert_eq!(buffer.absorbed(), 2);
@@ -171,40 +187,53 @@ mod tests {
 
     #[test]
     fn rejects_reads_and_non_posted_writes() {
+        let mut arena = TxnArena::new();
         let mut buffer = WriteBuffer::new(4);
-        assert!(!buffer.absorb(&read_txn(), Cycle::new(0)));
-        let strict_write = write_txn(0).with_posted(false);
-        assert!(!buffer.absorb(&strict_write, Cycle::new(0)));
+        let read = arena.alloc(read_txn());
+        assert!(!buffer.absorb(&arena, read, Cycle::new(0)));
+        let strict = arena.alloc(write_txn(0).with_posted(false));
+        assert!(!buffer.absorb(&arena, strict, Cycle::new(0)));
         assert_eq!(buffer.fill(), 0);
     }
 
     #[test]
     fn disabled_buffer_absorbs_nothing() {
+        let mut arena = TxnArena::new();
         let mut buffer = WriteBuffer::new(0);
         assert!(!buffer.is_enabled());
-        assert!(!buffer.absorb(&write_txn(0), Cycle::new(0)));
+        let w = arena.alloc(write_txn(0));
+        assert!(!buffer.absorb(&arena, w, Cycle::new(0)));
         assert!(!buffer.is_occupied());
     }
 
     #[test]
-    fn drains_in_fifo_order() {
+    fn drains_in_fifo_order_and_returns_owned_handles() {
+        let mut arena = TxnArena::new();
         let mut buffer = WriteBuffer::new(4);
-        buffer.absorb(&write_txn(0), Cycle::new(5));
-        buffer.absorb(&write_txn(1), Cycle::new(6));
-        assert_eq!(buffer.head().unwrap().txn.master, MasterId::new(0));
+        let w0 = arena.alloc(write_txn(0));
+        let w1 = arena.alloc(write_txn(1));
+        buffer.absorb(&arena, w0, Cycle::new(5));
+        buffer.absorb(&arena, w1, Cycle::new(6));
+        let head = buffer.head().unwrap();
+        assert_eq!(arena.get(head.handle).master, MasterId::new(0));
         let first = buffer.drain_head().unwrap();
-        assert_eq!(first.txn.master, MasterId::new(0));
+        assert_eq!(first.handle, w0);
         assert_eq!(first.absorbed_at, Cycle::new(5));
+        arena.release(first.handle);
         let second = buffer.drain_head().unwrap();
-        assert_eq!(second.txn.master, MasterId::new(1));
+        assert_eq!(arena.get(second.handle).master, MasterId::new(1));
+        arena.release(second.handle);
         assert!(buffer.drain_head().is_none());
         assert_eq!(buffer.drained(), 2);
+        assert_eq!(arena.live(), 0, "all handles returned to the pool");
     }
 
     #[test]
     fn occupancy_reflects_absorb_and_drain() {
+        let mut arena = TxnArena::new();
         let mut buffer = WriteBuffer::new(4);
-        buffer.absorb(&write_txn(0), Cycle::new(0));
+        let w = arena.alloc(write_txn(0));
+        buffer.absorb(&arena, w, Cycle::new(0));
         assert!(buffer.is_occupied());
         buffer.drain_head();
         assert!(!buffer.is_occupied());

@@ -210,6 +210,9 @@ pub struct Decision {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArbitrationPolicy {
     config: ArbiterConfig,
+    /// Bit `i` set ⇔ `ArbitrationFilter::ALL[i]` is enabled — precomputed so
+    /// the per-decision loop does not scan the config's filter list.
+    enabled_bits: u8,
     last_granted: Option<MasterId>,
 }
 
@@ -217,8 +220,15 @@ impl ArbitrationPolicy {
     /// Creates a policy from a configuration.
     #[must_use]
     pub fn new(config: ArbiterConfig) -> Self {
+        let mut enabled_bits = 0u8;
+        for (i, filter) in ArbitrationFilter::ALL.iter().enumerate() {
+            if config.is_enabled(*filter) {
+                enabled_bits |= 1 << i;
+            }
+        }
         ArbitrationPolicy {
             config,
+            enabled_bits,
             last_granted: None,
         }
     }
@@ -243,33 +253,84 @@ impl ArbitrationPolicy {
     /// can be called speculatively (the request-pipelining path does this).
     #[must_use]
     pub fn decide(&self, requests: &[RequestView]) -> Option<Decision> {
-        let mut candidates: Vec<&RequestView> = requests.iter().filter(|r| !r.masked).collect();
-        if candidates.is_empty() {
+        // The candidate set is a bitmask over `requests`, so the whole
+        // chain runs allocation-free (this is the innermost loop of both
+        // bus models; the transaction-level engine calls it twice per
+        // transaction).
+        // Request sets wider than the 64-bit mask are legal (master ids
+        // span 256) and take a cold, allocating path.
+        if requests.len() > 64 {
+            return self.decide_unbounded(requests);
+        }
+        // One pass over the candidates computes every per-request predicate
+        // as a bitmask; the first five chain stages then reduce to plain
+        // mask intersections.
+        let mut mask: u64 = 0;
+        let mut locked: u64 = 0;
+        let mut wb_urgent: u64 = 0;
+        let mut urgent: u64 = 0;
+        let mut real_time: u64 = 0;
+        let mut bank_ready: u64 = 0;
+        for (i, request) in requests.iter().enumerate() {
+            let bit = 1u64 << i;
+            if request.masked {
+                continue;
+            }
+            mask |= bit;
+            if request.holds_lock {
+                locked |= bit;
+            }
+            if request.is_write_buffer
+                && request.write_buffer_fill >= self.config.write_buffer_high_watermark
+            {
+                wb_urgent |= bit;
+            }
+            if request.qos.is_urgent(request.waited, self.config.urgency_margin) {
+                urgent |= bit;
+            }
+            if request.qos.class.is_real_time() {
+                real_time |= bit;
+            }
+            if request.bank_ready {
+                bank_ready |= bit;
+            }
+        }
+        if mask == 0 {
             return None;
         }
 
-        for filter in ArbitrationFilter::ALL {
-            if !self.config.is_enabled(filter) {
+        for (i, filter) in ArbitrationFilter::ALL.iter().enumerate() {
+            if self.enabled_bits & (1 << i) == 0 {
                 continue;
             }
-            let narrowed = self.apply_filter(filter, &candidates);
-            if !narrowed.is_empty() {
-                candidates = narrowed;
+            let narrowed = match filter {
+                ArbitrationFilter::RequestMask => mask & locked,
+                ArbitrationFilter::WriteBufferUrgency => mask & wb_urgent,
+                ArbitrationFilter::QosUrgency => mask & urgent,
+                ArbitrationFilter::RealTimeClass => mask & real_time,
+                ArbitrationFilter::BankAffinity => mask & bank_ready,
+                ArbitrationFilter::RoundRobin | ArbitrationFilter::FixedPriority => {
+                    self.filter_mask(*filter, requests, mask)
+                }
+            };
+            if narrowed != 0 {
+                mask = narrowed;
             }
-            if candidates.len() == 1 {
+            if mask.count_ones() == 1 {
+                let index = mask.trailing_zeros() as usize;
                 return Some(Decision {
-                    master: candidates[0].master,
-                    decided_by: filter,
+                    master: requests[index].master,
+                    decided_by: *filter,
                 });
             }
         }
 
         // Deterministic fallback: fixed priority, then master index.
-        let winner = candidates
-            .iter()
-            .min_by_key(|r| (r.qos.fixed_priority, r.master.index()))?;
+        let index = min_by_key_mask(mask, |i| {
+            (requests[i].qos.fixed_priority, requests[i].master.index())
+        })?;
         Some(Decision {
-            master: winner.master,
+            master: requests[index].master,
             decided_by: ArbitrationFilter::FixedPriority,
         })
     }
@@ -280,115 +341,198 @@ impl ArbitrationPolicy {
         self.last_granted = Some(master);
     }
 
-    fn apply_filter<'a>(
-        &self,
-        filter: ArbitrationFilter,
-        candidates: &[&'a RequestView],
-    ) -> Vec<&'a RequestView> {
+    /// Cold path for more than 64 concurrent requests: identical chain
+    /// semantics over an index vector instead of a bitmask.
+    #[cold]
+    fn decide_unbounded(&self, requests: &[RequestView]) -> Option<Decision> {
+        let mut candidates: Vec<usize> = (0..requests.len())
+            .filter(|&i| !requests[i].masked)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        for (bit, filter) in ArbitrationFilter::ALL.iter().enumerate() {
+            if self.enabled_bits & (1 << bit) == 0 {
+                continue;
+            }
+            let narrowed: Vec<usize> = match filter {
+                ArbitrationFilter::RequestMask => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].holds_lock)
+                    .collect(),
+                ArbitrationFilter::WriteBufferUrgency => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        requests[i].is_write_buffer
+                            && requests[i].write_buffer_fill
+                                >= self.config.write_buffer_high_watermark
+                    })
+                    .collect(),
+                ArbitrationFilter::QosUrgency => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        requests[i]
+                            .qos
+                            .is_urgent(requests[i].waited, self.config.urgency_margin)
+                    })
+                    .collect(),
+                ArbitrationFilter::RealTimeClass => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].qos.class.is_real_time())
+                    .collect(),
+                ArbitrationFilter::BankAffinity => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| requests[i].bank_ready)
+                    .collect(),
+                ArbitrationFilter::RoundRobin => match self.last_granted {
+                    None => candidates.clone(),
+                    Some(last) => {
+                        let distance = |m: MasterId| -> usize {
+                            let span = 256usize;
+                            (m.index() + span - last.index() - 1) % span
+                        };
+                        let best = candidates
+                            .iter()
+                            .map(|&i| distance(requests[i].master))
+                            .min()
+                            .unwrap_or(0);
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&i| distance(requests[i].master) == best)
+                            .collect()
+                    }
+                },
+                ArbitrationFilter::FixedPriority => {
+                    let best = candidates
+                        .iter()
+                        .map(|&i| (requests[i].qos.fixed_priority, requests[i].master.index()))
+                        .min();
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            Some((requests[i].qos.fixed_priority, requests[i].master.index()))
+                                == best
+                        })
+                        .collect()
+                }
+            };
+            if !narrowed.is_empty() {
+                candidates = narrowed;
+            }
+            if candidates.len() == 1 {
+                return Some(Decision {
+                    master: requests[candidates[0]].master,
+                    decided_by: *filter,
+                });
+            }
+        }
+        let index = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&i| (requests[i].qos.fixed_priority, requests[i].master.index()))?;
+        Some(Decision {
+            master: requests[index].master,
+            decided_by: ArbitrationFilter::FixedPriority,
+        })
+    }
+
+    /// Returns the subset of `mask` kept by `filter`, or 0 when the filter
+    /// does not discriminate (the caller then keeps the previous set,
+    /// preserving the "a filter that matches nobody is skipped" semantics
+    /// of the original chain).
+    fn filter_mask(&self, filter: ArbitrationFilter, requests: &[RequestView], mask: u64) -> u64 {
         match filter {
             ArbitrationFilter::RequestMask => {
                 // Locked sequences own the bus outright.
-                let locked: Vec<&RequestView> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|r| r.holds_lock)
-                    .collect();
-                if locked.is_empty() {
-                    candidates.to_vec()
-                } else {
-                    locked
-                }
+                retain_mask(mask, |i| requests[i].holds_lock)
             }
-            ArbitrationFilter::WriteBufferUrgency => {
-                let urgent: Vec<&RequestView> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|r| {
-                        r.is_write_buffer
-                            && r.write_buffer_fill >= self.config.write_buffer_high_watermark
-                    })
-                    .collect();
-                if urgent.is_empty() {
-                    candidates.to_vec()
-                } else {
-                    urgent
-                }
-            }
-            ArbitrationFilter::QosUrgency => {
-                let urgent: Vec<&RequestView> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|r| r.qos.is_urgent(r.waited, self.config.urgency_margin))
-                    .collect();
-                if urgent.is_empty() {
-                    candidates.to_vec()
-                } else {
-                    urgent
-                }
-            }
+            ArbitrationFilter::WriteBufferUrgency => retain_mask(mask, |i| {
+                requests[i].is_write_buffer
+                    && requests[i].write_buffer_fill >= self.config.write_buffer_high_watermark
+            }),
+            ArbitrationFilter::QosUrgency => retain_mask(mask, |i| {
+                requests[i]
+                    .qos
+                    .is_urgent(requests[i].waited, self.config.urgency_margin)
+            }),
             ArbitrationFilter::RealTimeClass => {
-                let real_time: Vec<&RequestView> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|r| r.qos.class.is_real_time())
-                    .collect();
-                if real_time.is_empty() {
-                    candidates.to_vec()
-                } else {
-                    real_time
-                }
+                retain_mask(mask, |i| requests[i].qos.class.is_real_time())
             }
-            ArbitrationFilter::BankAffinity => {
-                let ready: Vec<&RequestView> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|r| r.bank_ready)
-                    .collect();
-                if ready.is_empty() {
-                    candidates.to_vec()
-                } else {
-                    ready
-                }
-            }
+            ArbitrationFilter::BankAffinity => retain_mask(mask, |i| requests[i].bank_ready),
             ArbitrationFilter::RoundRobin => {
                 let Some(last) = self.last_granted else {
-                    return candidates.to_vec();
+                    return mask;
                 };
                 // Pick the candidate with the smallest positive cyclic
-                // distance from the last-granted master; keep only it and
-                // any candidates tied with it (there are none because master
-                // ids are unique, but staying set-valued keeps the filter
-                // composable).
+                // distance from the last-granted master; ties are kept
+                // set-valued to stay composable with later stages.
                 let distance = |m: MasterId| -> usize {
                     let span = 256usize;
                     (m.index() + span - last.index() - 1) % span
                 };
-                let best = candidates.iter().map(|r| distance(r.master)).min();
-                match best {
-                    Some(best) => candidates
-                        .iter()
-                        .copied()
-                        .filter(|r| distance(r.master) == best)
-                        .collect(),
-                    None => candidates.to_vec(),
+                match min_by_key_mask(mask, |i| distance(requests[i].master)) {
+                    Some(best_index) => {
+                        let best = distance(requests[best_index].master);
+                        retain_mask(mask, |i| distance(requests[i].master) == best)
+                    }
+                    None => mask,
                 }
             }
             ArbitrationFilter::FixedPriority => {
-                let best = candidates
-                    .iter()
-                    .map(|r| (r.qos.fixed_priority, r.master.index()))
-                    .min();
-                match best {
-                    Some(best) => candidates
-                        .iter()
-                        .copied()
-                        .filter(|r| (r.qos.fixed_priority, r.master.index()) == best)
-                        .collect(),
-                    None => candidates.to_vec(),
+                match min_by_key_mask(mask, |i| {
+                    (requests[i].qos.fixed_priority, requests[i].master.index())
+                }) {
+                    Some(best_index) => {
+                        let best = (
+                            requests[best_index].qos.fixed_priority,
+                            requests[best_index].master.index(),
+                        );
+                        retain_mask(mask, |i| {
+                            (requests[i].qos.fixed_priority, requests[i].master.index()) == best
+                        })
+                    }
+                    None => mask,
                 }
             }
         }
     }
+}
+
+/// Keeps the bits of `mask` whose index satisfies `keep`.
+fn retain_mask(mask: u64, mut keep: impl FnMut(usize) -> bool) -> u64 {
+    let mut out = 0u64;
+    let mut rest = mask;
+    while rest != 0 {
+        let index = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        if keep(index) {
+            out |= 1 << index;
+        }
+    }
+    out
+}
+
+/// Index (within `mask`) minimizing `key`, or `None` for an empty mask.
+fn min_by_key_mask<K: Ord>(mask: u64, mut key: impl FnMut(usize) -> K) -> Option<usize> {
+    let mut best: Option<(K, usize)> = None;
+    let mut rest = mask;
+    while rest != 0 {
+        let index = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let k = key(index);
+        match &best {
+            Some((bk, _)) if *bk <= k => {}
+            _ => best = Some((k, index)),
+        }
+    }
+    best.map(|(_, index)| index)
 }
 
 impl Default for ArbitrationPolicy {
@@ -408,6 +552,32 @@ mod tests {
             QosConfig::non_real_time(priority),
             waited,
         )
+    }
+
+    #[test]
+    fn wide_request_sets_use_the_unbounded_path_consistently() {
+        // More than 64 pending requests is legal (master ids span 256); the
+        // cold path must agree with the bitmask path on the winner.
+        let policy = ArbitrationPolicy::new(ArbiterConfig::ahb_plus());
+        let wide: Vec<RequestView> = (0u8..100)
+            .map(|m| nrt(m, 10 - (m % 7), u64::from(m)))
+            .collect();
+        let wide_winner = policy.decide(&wide).expect("someone wins");
+        // The same candidates restricted to 64 must elect the same master
+        // when that master survives the cut.
+        let narrow_winner = policy.decide(&wide[..64]).expect("someone wins");
+        if wide
+            .iter()
+            .position(|r| r.master == wide_winner.master)
+            .is_some_and(|p| p < 64)
+        {
+            assert_eq!(wide_winner.master, narrow_winner.master);
+        }
+        // A sole urgent real-time request wins regardless of width.
+        let mut urgent = wide.clone();
+        urgent[80] = rt(80, 10, 15, 100);
+        let decision = policy.decide(&urgent).expect("someone wins");
+        assert_eq!(decision.master, MasterId::new(80));
     }
 
     fn rt(master: u8, objective: u32, priority: u8, waited: u64) -> RequestView {

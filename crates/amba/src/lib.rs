@@ -12,7 +12,8 @@
 //!   wrapping address sequences, 1 KB boundary rule).
 //! * [`txn`] — the transaction vocabulary used at the TLM ports
 //!   (`Read(addr, *data, *ctrl)` in the paper) and by the workload
-//!   generators.
+//!   generators, plus the [`txn::TxnArena`] transaction pool backing the
+//!   zero-allocation TLM hot path.
 //! * [`qos`] — the AHB+ extension registers: real-time / non-real-time
 //!   master class and the QoS objective value (paper §2).
 //! * [`arbitration`] — the AHB+ arbitration filter chain, implemented once
@@ -24,6 +25,25 @@
 //!   and DDR controller (paper §2, §3.4).
 //! * [`memmap`] — the address decoder / memory map.
 //! * [`check`] — protocol rule checks shared by both models (paper §3.5).
+//!
+//! # Transaction pool ownership rules
+//!
+//! In-flight transactions live in a [`txn::TxnArena`]; components exchange
+//! `Copy`-able [`txn::TxnHandle`]s instead of cloning records. The rules:
+//!
+//! 1. Every live handle has exactly one owner — the component currently
+//!    responsible for the transaction (a master port while the request
+//!    pends, the write buffer after it absorbs a posted write, the bus
+//!    while the data phase runs).
+//! 2. Ownership moves with the transaction: master → write buffer on a
+//!    successful absorb, master/buffer → bus on grant.
+//! 3. Only the owner calls [`txn::TxnArena::release`], exactly once, after
+//!    the transaction completes; the handle is dead afterwards.
+//! 4. Anyone may *read* through [`txn::TxnArena::get`] while the handle is
+//!    live (the arbiter and the DDR path do).
+//!
+//! Slots are recycled LIFO, so steady-state simulation performs no heap
+//! allocation per transaction.
 //!
 //! # Example
 //!
@@ -62,4 +82,4 @@ pub use ids::{Addr, MasterId, SlaveId};
 pub use memmap::{MemoryMap, Region};
 pub use qos::{MasterClass, QosConfig, QosRegisterFile};
 pub use signal::{HBurst, HResp, HSize, HTrans};
-pub use txn::{Transaction, TransactionId, TransferDirection};
+pub use txn::{Transaction, TransactionId, TransferDirection, TxnArena, TxnHandle};

@@ -103,9 +103,23 @@ impl Default for QosConfig {
 }
 
 /// The AHB+ internal QoS register file: one [`QosConfig`] per master.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Lookups are on the arbitration hot path (once per pending request per
+/// decision), so the file keeps a direct-indexed table per master id next
+/// to the list of explicitly programmed masters.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QosRegisterFile {
     entries: Vec<(MasterId, QosConfig)>,
+    table: [QosConfig; 256],
+}
+
+impl Default for QosRegisterFile {
+    fn default() -> Self {
+        QosRegisterFile {
+            entries: Vec::new(),
+            table: [QosConfig::default(); 256],
+        }
+    }
 }
 
 impl QosRegisterFile {
@@ -122,17 +136,14 @@ impl QosRegisterFile {
         } else {
             self.entries.push((master, config));
         }
+        self.table[master.index()] = config;
     }
 
     /// Reads the registers for `master`; unprogrammed masters read back the
     /// default non-real-time configuration, matching hardware reset values.
     #[must_use]
     pub fn lookup(&self, master: MasterId) -> QosConfig {
-        self.entries
-            .iter()
-            .find(|(m, _)| *m == master)
-            .map(|(_, c)| *c)
-            .unwrap_or_default()
+        self.table[master.index()]
     }
 
     /// Number of explicitly programmed masters.

@@ -72,7 +72,7 @@ impl fmt::Display for TransferDirection {
 }
 
 /// One bus transaction (a complete burst) as exchanged at a TLM port.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Identifier assigned by the issuing master or generator.
     pub id: TransactionId,
@@ -223,6 +223,122 @@ impl Completion {
     }
 }
 
+/// Handle to a [`Transaction`] owned by a [`TxnArena`].
+///
+/// Handles are plain `Copy` indices: cheap to pass through the arbiter, the
+/// write buffer and the DDR-controller path without cloning the transaction
+/// record. A handle is only meaningful together with the arena that issued
+/// it; see the arena's ownership rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnHandle(u32);
+
+impl TxnHandle {
+    /// Raw slot index (stable for the lifetime of the allocation).
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A pool of in-flight [`Transaction`] records with O(1) allocate/release
+/// and slot reuse — the zero-allocation backbone of the TLM hot path.
+///
+/// # Ownership rules
+///
+/// * Exactly one owner per live handle: the component that currently holds
+///   responsibility for the transaction (a master port while the request is
+///   pending, the write buffer after it absorbs a posted write, the bus
+///   while the data phase runs).
+/// * The owner — and only the owner — must either pass the handle on or
+///   [`TxnArena::release`] it after the transaction completes. Releasing
+///   returns the slot to the free list; the handle must not be used again.
+/// * Reads through [`TxnArena::get`] are fine from anywhere while the
+///   handle is live (the arbiter and DDR path do this), but only the owner
+///   may release.
+///
+/// Slots are recycled LIFO, so a steady-state simulation allocates only
+/// during its warm-up transient (the high-water mark of concurrently
+/// in-flight transactions).
+#[derive(Debug, Clone, Default)]
+pub struct TxnArena {
+    slots: Vec<Transaction>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TxnArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        TxnArena::default()
+    }
+
+    /// Creates an arena with room for `capacity` in-flight transactions
+    /// before it has to grow.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TxnArena {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Moves `txn` into the pool and returns its handle.
+    pub fn alloc(&mut self, txn: Transaction) -> TxnHandle {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            self.slots[index as usize] = txn;
+            TxnHandle(index)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("transaction arena overflow");
+            self.slots.push(txn);
+            TxnHandle(index)
+        }
+    }
+
+    /// Reads a pooled transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not come from this arena.
+    #[must_use]
+    pub fn get(&self, handle: TxnHandle) -> &Transaction {
+        &self.slots[handle.0 as usize]
+    }
+
+    /// Mutable access to a pooled transaction (for stamping issue times).
+    pub fn get_mut(&mut self, handle: TxnHandle) -> &mut Transaction {
+        &mut self.slots[handle.0 as usize]
+    }
+
+    /// Returns a completed (or cancelled) transaction's slot to the pool.
+    ///
+    /// Only the handle's current owner may call this, and the handle must
+    /// not be used afterwards.
+    pub fn release(&mut self, handle: TxnHandle) {
+        debug_assert!(
+            !self.free.contains(&handle.0),
+            "double release of transaction slot {}",
+            handle.0
+        );
+        self.free.push(handle.0);
+        self.live -= 1;
+    }
+
+    /// Number of live (allocated, not yet released) transactions.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever created — the high-water mark of concurrency.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +417,36 @@ mod tests {
         assert!(text.contains("M1"));
         assert!(text.contains("write"));
         assert!(text.contains("8 beats"));
+    }
+
+    #[test]
+    fn arena_allocates_reads_and_releases() {
+        let mut arena = TxnArena::new();
+        let a = arena.alloc(sample_txn().with_id(TransactionId::new(1)));
+        let b = arena.alloc(sample_txn().with_id(TransactionId::new(2)));
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.get(a).id.value(), 1);
+        assert_eq!(arena.get(b).id.value(), 2);
+        arena.get_mut(a).issued_at = Cycle::new(77);
+        assert_eq!(arena.get(a).issued_at, Cycle::new(77));
+        arena.release(a);
+        assert_eq!(arena.live(), 1);
+    }
+
+    #[test]
+    fn arena_recycles_slots_without_growing() {
+        let mut arena = TxnArena::with_capacity(4);
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            handles.push(arena.alloc(sample_txn().with_id(TransactionId::new(i))));
+        }
+        let high_water = arena.capacity();
+        for _ in 0..100 {
+            let h = handles.pop().unwrap();
+            arena.release(h);
+            handles.push(arena.alloc(sample_txn()));
+        }
+        assert_eq!(arena.capacity(), high_water, "steady state must not grow");
+        assert_eq!(arena.live(), 4);
     }
 }

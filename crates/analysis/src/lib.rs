@@ -41,4 +41,4 @@ pub mod speed;
 pub use accuracy::{AccuracyReport, AccuracyRow};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
-pub use speed::SpeedReport;
+pub use speed::{SpeedBenchRecord, SpeedReport};

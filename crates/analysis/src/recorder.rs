@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::txn::Completion;
-use simkern::stats::RunningStats;
+use simkern::stats::CycleStats;
 
 use crate::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 
@@ -22,8 +22,8 @@ struct MasterAccumulator {
     completed: u64,
     bytes: u64,
     last_completion_cycle: u64,
-    latency: RunningStats,
-    grant_latency: RunningStats,
+    latency: CycleStats,
+    grant_latency: CycleStats,
     qos_violations: u64,
 }
 
@@ -31,8 +31,16 @@ struct MasterAccumulator {
 #[derive(Debug, Clone)]
 pub struct Recorder {
     model: ModelKind,
-    masters: BTreeMap<MasterId, MasterAccumulator>,
+    /// Per-master accumulators plus a direct-indexed slot map
+    /// (`master.index()` → accumulator position): completion recording is
+    /// once per transaction and must not pay a tree lookup.
+    accumulators: Vec<(MasterId, MasterAccumulator)>,
+    slots: [u8; 256],
     qos: BTreeMap<MasterId, QosConfig>,
+    /// Direct-indexed QoS objectives (`master.index()` → objective cycles,
+    /// `u64::MAX` = not real-time): completion recording is once per
+    /// transaction, so it must not pay a tree lookup.
+    qos_objective: [u64; 256],
     busy_cycles: u64,
     contention_cycles: u64,
     transactions: u64,
@@ -50,8 +58,10 @@ impl Recorder {
     pub fn new(model: ModelKind) -> Self {
         Recorder {
             model,
-            masters: BTreeMap::new(),
+            accumulators: Vec::new(),
+            slots: [u8::MAX; 256],
             qos: BTreeMap::new(),
+            qos_objective: [u64::MAX; 256],
             busy_cycles: 0,
             contention_cycles: 0,
             transactions: 0,
@@ -67,31 +77,47 @@ impl Recorder {
     /// Declares a master so it appears in the report even if it never
     /// completes a transaction.
     pub fn register_master(&mut self, master: MasterId, label: &str) {
-        self.masters
-            .entry(master)
-            .or_default()
-            .label = label.to_owned();
+        let slot = self.slot_of(master);
+        self.accumulators[slot].1.label = label.to_owned();
+    }
+
+    /// Accumulator position for `master`, creating one on first sight.
+    fn slot_of(&mut self, master: MasterId) -> usize {
+        let slot = self.slots[master.index()];
+        if slot != u8::MAX {
+            return usize::from(slot);
+        }
+        let position = self.accumulators.len();
+        assert!(position < usize::from(u8::MAX), "too many masters");
+        self.accumulators.push((master, MasterAccumulator::default()));
+        self.slots[master.index()] = position as u8;
+        position
     }
 
     /// Declares the QoS programming of a master, used to count violations.
     pub fn register_qos(&mut self, master: MasterId, qos: QosConfig) {
+        self.qos_objective[master.index()] = if qos.class.is_real_time() {
+            u64::from(qos.objective_cycles)
+        } else {
+            u64::MAX
+        };
         self.qos.insert(master, qos);
     }
 
     /// Records one completed transaction.
     pub fn record_completion(&mut self, completion: &Completion, beats: u32) {
-        let acc = self.masters.entry(completion.master).or_default();
+        let objective = self.qos_objective[completion.master.index()];
+        let slot = self.slot_of(completion.master);
+        let acc = &mut self.accumulators[slot].1;
         acc.completed += 1;
         acc.bytes += u64::from(completion.bytes);
         acc.last_completion_cycle = acc
             .last_completion_cycle
             .max(completion.completed_at.value());
-        acc.latency.record(completion.total_latency() as f64);
-        acc.grant_latency.record(completion.grant_latency() as f64);
-        if let Some(qos) = self.qos.get(&completion.master) {
-            if qos.is_violated(completion.grant_latency()) {
-                acc.qos_violations += 1;
-            }
+        acc.latency.record(completion.total_latency());
+        acc.grant_latency.record(completion.grant_latency());
+        if completion.grant_latency() > objective {
+            acc.qos_violations += 1;
         }
         self.transactions += 1;
         self.data_beats += u64::from(beats);
@@ -138,7 +164,7 @@ impl Recorder {
     #[must_use]
     pub fn finish(&self, total_cycles: u64, wall_seconds: f64) -> SimReport {
         let masters = self
-            .masters
+            .accumulators
             .iter()
             .map(|(id, acc)| {
                 let label = if acc.label.is_empty() {
@@ -154,7 +180,7 @@ impl Recorder {
                         bytes: acc.bytes,
                         last_completion_cycle: acc.last_completion_cycle,
                         avg_latency: acc.latency.mean(),
-                        max_latency: acc.latency.max(),
+                        max_latency: acc.latency.max() as f64,
                         avg_grant_latency: acc.grant_latency.mean(),
                         qos_violations: acc.qos_violations,
                     },

@@ -72,6 +72,140 @@ impl SpeedReport {
     }
 }
 
+/// The paper's Table 2 reference numbers (Kcycles/s on the authors' 2005
+/// setup), kept with the report so every emitted benchmark artifact can
+/// carry the comparison target.
+pub mod paper_reference {
+    /// Pin-accurate RTL model throughput.
+    pub const RTL_KCYCLES_PER_SEC: f64 = 0.47;
+    /// Transaction-level model throughput (full master set).
+    pub const TLM_KCYCLES_PER_SEC: f64 = 166.0;
+    /// Transaction-level model with a single master.
+    pub const TLM_SINGLE_MASTER_KCYCLES_PER_SEC: f64 = 456.0;
+    /// Headline TL/RTL speed-up factor.
+    pub const SPEEDUP: f64 = 353.0;
+}
+
+/// A machine-readable record of one speed measurement, emitted by the
+/// benchmark harness as `BENCH_speed.json` so every PR leaves a comparable
+/// perf data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedBenchRecord {
+    /// Free-form workload label, e.g. `"pattern_a"`.
+    pub workload: String,
+    /// Transactions generated per master.
+    pub transactions_per_master: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulated bus cycles of the RTL run.
+    pub rtl_cycles: u64,
+    /// Simulated bus cycles of the TLM run.
+    pub tlm_cycles: u64,
+    /// TLM throughput with the §3.6 profiling features detached (the pure
+    /// simulation engine), if measured.
+    pub tlm_detached_kcycles_per_sec: Option<f64>,
+    /// The measured throughput numbers.
+    pub speed: SpeedReport,
+}
+
+impl SpeedBenchRecord {
+    /// Serializes the record as a self-contained JSON object (no external
+    /// serializer available in this build environment; the format is flat
+    /// and stable on purpose).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-speed/v1\",");
+        let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
+        let _ = writeln!(
+            out,
+            "  \"transactions_per_master\": {},",
+            self.transactions_per_master
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"rtl_cycles\": {},", self.rtl_cycles);
+        let _ = writeln!(out, "  \"tlm_cycles\": {},", self.tlm_cycles);
+        let _ = writeln!(
+            out,
+            "  \"rtl_kcycles_per_sec\": {},",
+            json_f64(self.speed.rtl_kcycles_per_sec)
+        );
+        let _ = writeln!(
+            out,
+            "  \"tlm_kcycles_per_sec\": {},",
+            json_f64(self.speed.tlm_kcycles_per_sec)
+        );
+        match self.speed.tlm_single_master_kcycles_per_sec {
+            Some(single) => {
+                let _ = writeln!(
+                    out,
+                    "  \"tlm_single_master_kcycles_per_sec\": {},",
+                    json_f64(single)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"tlm_single_master_kcycles_per_sec\": null,");
+            }
+        }
+        match self.tlm_detached_kcycles_per_sec {
+            Some(detached) => {
+                let _ = writeln!(
+                    out,
+                    "  \"tlm_detached_kcycles_per_sec\": {},",
+                    json_f64(detached)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"tlm_detached_kcycles_per_sec\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speed.speedup()));
+        let _ = writeln!(out, "  \"paper_reference\": {{");
+        let _ = writeln!(
+            out,
+            "    \"rtl_kcycles_per_sec\": {},",
+            json_f64(paper_reference::RTL_KCYCLES_PER_SEC)
+        );
+        let _ = writeln!(
+            out,
+            "    \"tlm_kcycles_per_sec\": {},",
+            json_f64(paper_reference::TLM_KCYCLES_PER_SEC)
+        );
+        let _ = writeln!(
+            out,
+            "    \"tlm_single_master_kcycles_per_sec\": {},",
+            json_f64(paper_reference::TLM_SINGLE_MASTER_KCYCLES_PER_SEC)
+        );
+        let _ = writeln!(out, "    \"speedup\": {}", json_f64(paper_reference::SPEEDUP));
+        let _ = writeln!(out, "  }}");
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a float as JSON: finite values print plainly, non-finite ones
+/// (which JSON cannot represent) become null.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 impl fmt::Display for SpeedReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -129,6 +263,48 @@ mod tests {
             tlm_single_master_kcycles_per_sec: None,
         };
         assert!(speed.speedup().is_infinite());
+    }
+
+    #[test]
+    fn bench_record_serializes_to_stable_json() {
+        let record = SpeedBenchRecord {
+            workload: "pattern_a".to_owned(),
+            transactions_per_master: 1_000,
+            seed: 2005,
+            rtl_cycles: 123_456,
+            tlm_cycles: 123_400,
+            tlm_detached_kcycles_per_sec: Some(70_000.0),
+            speed: SpeedReport {
+                rtl_kcycles_per_sec: 250.5,
+                tlm_kcycles_per_sec: 60_000.0,
+                tlm_single_master_kcycles_per_sec: Some(90_000.0),
+            },
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"schema\": \"ahbplus-bench-speed/v1\""));
+        assert!(json.contains("\"workload\": \"pattern_a\""));
+        assert!(json.contains("\"tlm_kcycles_per_sec\": 60000"));
+        assert!(json.contains("\"paper_reference\""));
+        assert!(json.contains("\"speedup\""));
+        // Non-finite numbers must degrade to null, not invalid JSON.
+        let degenerate = SpeedBenchRecord {
+            speed: SpeedReport {
+                rtl_kcycles_per_sec: 0.0,
+                tlm_kcycles_per_sec: 1.0,
+                tlm_single_master_kcycles_per_sec: None,
+            },
+            ..record
+        };
+        let json = degenerate.to_json();
+        assert!(json.contains("\"speedup\": null"));
+        assert!(json.contains("\"tlm_single_master_kcycles_per_sec\": null"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
     }
 
     #[test]

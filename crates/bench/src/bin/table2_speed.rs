@@ -3,25 +3,40 @@
 //! transaction-level model, and the transaction-level model driven by a
 //! single master, plus the TL/RTL speed-up factor.
 //!
+//! Besides the human-readable table, the run emits a machine-readable
+//! `BENCH_speed.json` (schema `ahbplus-bench-speed/v1`) into the current
+//! directory — or the path given as the first CLI argument — so CI can
+//! archive a perf data point per commit and PRs can be compared.
+//!
 //! ```text
-//! cargo run --release -p ahbplus-bench --bin table2_speed
+//! cargo run --release -p ahbplus-bench --bin table2_speed [OUTPUT.json]
 //! ```
 
-use ahbplus::speed::measure_speed;
+use ahbplus::speed::measure_speed_record;
 use ahbplus_bench::{harness_platform, FULL_RUN_TRANSACTIONS};
 use traffic::pattern_a;
 
 fn main() {
+    let output_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_speed.json".to_owned());
     println!(
         "Simulation speed — pattern A, {} transactions per master\n",
         FULL_RUN_TRANSACTIONS
     );
     let config = harness_platform(pattern_a(), FULL_RUN_TRANSACTIONS);
-    let speed = measure_speed(&config);
-    println!("{}", speed.format_table());
+    let record = measure_speed_record(&config, "pattern_a");
+    println!("{}", record.speed.format_table());
     println!("paper reference: RTL 0.47 Kcycles/s, TL 166 Kcycles/s (353x),");
     println!("TL with a single master 456 Kcycles/s.");
     println!("Absolute numbers differ (the reference here is a signal-level Rust model,");
     println!("not a commercial HDL simulator on 2005 hardware); the shape — TL orders of");
     println!("magnitude faster than pin-accurate, single-master TL faster still — holds.");
+    match std::fs::write(&output_path, record.to_json()) {
+        Ok(()) => println!("\nwrote {output_path}"),
+        Err(error) => {
+            eprintln!("failed to write {output_path}: {error}");
+            std::process::exit(1);
+        }
+    }
 }

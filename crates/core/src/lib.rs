@@ -35,7 +35,7 @@ pub mod speed;
 pub mod validation;
 
 pub use platform::PlatformConfig;
-pub use speed::measure_speed;
+pub use speed::{measure_speed, measure_speed_record};
 pub use validation::{validate_pattern, validate_table1, Table1};
 
 // Re-export the building blocks so downstream users need only one

@@ -77,6 +77,7 @@ impl PlatformConfig {
             params: self.params.clone(),
             ddr: self.ddr,
             max_cycles: self.max_cycles,
+            profiling: true,
         }
     }
 

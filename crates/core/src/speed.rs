@@ -6,7 +6,7 @@
 //! three numbers the paper reports as 0.47, 166 and 456 Kcycles/s (a 353×
 //! speed-up).
 
-use analysis::speed::SpeedReport;
+use analysis::speed::{SpeedBenchRecord, SpeedReport};
 
 use crate::platform::PlatformConfig;
 
@@ -17,10 +17,63 @@ use crate::platform::PlatformConfig;
 /// single-master measurement of the bus model's pure performance.
 #[must_use]
 pub fn measure_speed(config: &PlatformConfig) -> SpeedReport {
-    let rtl = config.run_rtl();
-    let tlm = config.run_tlm();
-    let single = config.clone().with_master_subset(1).run_tlm();
-    SpeedReport::from_reports(&rtl, &tlm, Some(&single))
+    measure_speed_record(config, "ad-hoc").speed
+}
+
+/// Number of repetitions per model in [`measure_speed_record`]; the fastest
+/// run is reported. The runs are short (milliseconds), so a single sample
+/// is dominated by scheduler noise — best-of-N reports the machine's actual
+/// capability and is stable across invocations.
+pub const SPEED_MEASUREMENT_REPS: usize = 5;
+
+/// Runs the speed measurements and packages them as a machine-readable
+/// benchmark record (the `BENCH_speed.json` payload).
+///
+/// Four configurations are measured, each [`SPEED_MEASUREMENT_REPS`] times
+/// with the fastest run kept: the pin-accurate RTL model, the
+/// transaction-level model, the TLM restricted to a single master (the
+/// paper's third Table 2 row), and the TLM with the §3.6 profiling
+/// features detached (the pure simulation engine).
+#[must_use]
+pub fn measure_speed_record(config: &PlatformConfig, workload: &str) -> SpeedBenchRecord {
+    let rtl = best_of(SPEED_MEASUREMENT_REPS, || config.run_rtl());
+    let tlm = best_of(SPEED_MEASUREMENT_REPS, || config.run_tlm());
+    let single = {
+        let subset = config.clone().with_master_subset(1);
+        best_of(SPEED_MEASUREMENT_REPS, move || subset.run_tlm())
+    };
+    let detached = best_of(SPEED_MEASUREMENT_REPS, || {
+        let mut system = ahb_tlm::TlmSystem::from_pattern(
+            config.tlm_config().with_profiling(false),
+            &config.pattern,
+            config.transactions_per_master,
+            config.seed,
+        );
+        system.run()
+    });
+    SpeedBenchRecord {
+        workload: workload.to_owned(),
+        transactions_per_master: config.transactions_per_master,
+        seed: config.seed,
+        rtl_cycles: rtl.total_cycles,
+        tlm_cycles: tlm.total_cycles,
+        tlm_detached_kcycles_per_sec: Some(detached.kcycles_per_second()),
+        speed: SpeedReport::from_reports(&rtl, &tlm, Some(&single)),
+    }
+}
+
+/// Runs `run` `reps` times and keeps the report with the highest
+/// throughput (each run constructs a fresh system, so state never leaks
+/// between repetitions).
+fn best_of(reps: usize, mut run: impl FnMut() -> analysis::report::SimReport) -> analysis::report::SimReport {
+    let mut best = run();
+    for _ in 1..reps.max(1) {
+        let candidate = run();
+        if candidate.kcycles_per_second() > best.kcycles_per_second() {
+            best = candidate;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

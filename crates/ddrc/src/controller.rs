@@ -298,8 +298,7 @@ impl DdrController {
             let until = start + CycleDelta::new(u64::from(self.config.timing.t_rfc));
             self.refresh_until = Some(until);
             self.stats.refreshes.incr();
-            self.next_refresh_at =
-                self.next_refresh_at + CycleDelta::new(u64::from(self.config.timing.t_refi));
+            self.next_refresh_at += CycleDelta::new(u64::from(self.config.timing.t_refi));
         }
         match self.refresh_until {
             Some(until) if until > now => until,

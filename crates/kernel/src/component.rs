@@ -85,6 +85,37 @@ pub trait Clocked {
     fn name(&self) -> &str {
         "component"
     }
+
+    /// Idle-skip contract: returns `true` when stepping this component with
+    /// `eval`/`commit` would not change any observable state *and* the
+    /// component raises no new activity on its own before
+    /// [`Clocked::wake_at`].
+    ///
+    /// When every component registered with a
+    /// [`crate::engine::ClockEngine`] reports quiescence, the engine may
+    /// fast-forward simulated time in one jump instead of virtual-
+    /// dispatching both phases on every component every cycle. A component
+    /// that cannot cheaply prove quiescence must keep the default (`false`),
+    /// which disables skipping — correctness first, speed second.
+    ///
+    /// Implementations must uphold: if `is_quiescent()` is true at cycle
+    /// `T`, then running `eval`/`commit` for every cycle in
+    /// `[T, min(wake_at, end))` is state-identical to not running them.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+
+    /// The earliest future cycle at which this (currently quiescent)
+    /// component becomes active again of its own accord, or `None` when it
+    /// stays quiescent until some other component's activity reaches it.
+    ///
+    /// Only consulted when [`Clocked::is_quiescent`] returned `true`. The
+    /// engine fast-forwards to the minimum `wake_at` over all components
+    /// (clamped to the run's end), so a periodic component (a refresh
+    /// timer, a frame-paced master) must report its next deadline here.
+    fn wake_at(&self) -> Option<Cycle> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -149,12 +149,56 @@ impl ClockEngine {
         self.cycles_run += 1;
     }
 
+    /// Returns the number of cycles (capped at `limit`) the engine may skip
+    /// right now because every component reports quiescence, or 0 when any
+    /// component is active. See [`Clocked::is_quiescent`] for the contract.
+    fn skippable_cycles(&self, limit: u64) -> u64 {
+        if limit == 0 || self.components.is_empty() {
+            return 0;
+        }
+        let mut skip = limit;
+        for component in &self.components {
+            if !component.is_quiescent() {
+                return 0;
+            }
+            if let Some(wake) = component.wake_at() {
+                if wake <= self.now {
+                    return 0;
+                }
+                skip = skip.min(wake.saturating_since(self.now).value());
+            }
+        }
+        skip
+    }
+
+    /// Jumps simulated time forward by `cycles` without stepping any
+    /// component. Only sound when [`ClockEngine::skippable_cycles`] granted
+    /// at least that many cycles.
+    fn fast_forward(&mut self, cycles: u64) {
+        self.now = self.now.saturating_add(CycleDelta::new(cycles));
+        self.cycles_run += cycles;
+    }
+
     /// Runs for `duration` cycles and returns throughput accounting.
+    ///
+    /// Cycles during which *every* component reports
+    /// [`Clocked::is_quiescent`] are fast-forwarded in one jump (bounded by
+    /// the components' [`Clocked::wake_at`] deadlines) instead of being
+    /// stepped one by one; the skipped cycles still count towards the
+    /// report and towards [`ClockEngine::cycles_run`].
     pub fn run_for(&mut self, duration: CycleDelta) -> EngineReport {
         let start = Instant::now();
         let cycles = duration.value();
-        for _ in 0..cycles {
-            self.step();
+        let mut executed = 0;
+        while executed < cycles {
+            let skip = self.skippable_cycles(cycles - executed);
+            if skip > 0 {
+                self.fast_forward(skip);
+                executed += skip;
+            } else {
+                self.step();
+                executed += 1;
+            }
         }
         EngineReport {
             cycles,
@@ -317,6 +361,110 @@ mod tests {
             wall_seconds: 0.0,
         };
         assert!(degenerate.kcycles_per_second().is_infinite());
+    }
+
+    /// A component that is busy below cycle `busy_until`, then quiescent,
+    /// optionally with a periodic self-wake every `period` cycles. Steps are
+    /// counted through a shared cell so tests can observe them after the
+    /// engine has taken ownership.
+    struct IdleAware {
+        steps: std::rc::Rc<std::cell::Cell<u64>>,
+        busy_until: u64,
+        period: u64,
+        now: u64,
+    }
+
+    impl IdleAware {
+        fn new(busy_until: u64, period: u64) -> (Self, std::rc::Rc<std::cell::Cell<u64>>) {
+            let steps = std::rc::Rc::new(std::cell::Cell::new(0));
+            (
+                IdleAware {
+                    steps: steps.clone(),
+                    busy_until,
+                    period,
+                    now: 0,
+                },
+                steps,
+            )
+        }
+    }
+
+    impl Clocked for IdleAware {
+        fn eval(&mut self, now: Cycle) {
+            self.steps.set(self.steps.get() + 1);
+            self.now = now.value();
+        }
+        fn commit(&mut self, now: Cycle) {
+            self.now = now.value() + 1;
+        }
+        fn is_quiescent(&self) -> bool {
+            self.now >= self.busy_until
+        }
+        fn wake_at(&self) -> Option<Cycle> {
+            if self.period == 0 {
+                None
+            } else {
+                // Next multiple of `period` at or after the current cycle.
+                Some(Cycle::new(self.now.div_ceil(self.period).max(1) * self.period))
+            }
+        }
+    }
+
+    #[test]
+    fn idle_skip_fast_forwards_quiescent_components() {
+        let mut engine = ClockEngine::new();
+        let (component, steps) = IdleAware::new(10, 0);
+        engine.add(Box::new(component));
+        let report = engine.run_for(CycleDelta::new(1_000_000));
+        assert_eq!(report.cycles, 1_000_000, "skipped cycles still count");
+        assert_eq!(engine.now(), Cycle::new(1_000_000));
+        assert_eq!(engine.cycles_run(), 1_000_000);
+        assert!(
+            steps.get() <= 11,
+            "everything after the busy prefix must be skipped, stepped {}",
+            steps.get()
+        );
+    }
+
+    #[test]
+    fn idle_skip_respects_wake_deadlines() {
+        // Quiescent from the start, but with a self-wake every 100 cycles:
+        // the engine must step the component at every deadline rather than
+        // skipping to the end of the run.
+        let mut engine = ClockEngine::new();
+        let (component, steps) = IdleAware::new(0, 100);
+        engine.add(Box::new(component));
+        engine.run_for(CycleDelta::new(1_000));
+        assert_eq!(engine.now(), Cycle::new(1_000));
+        let stepped = steps.get();
+        assert!(
+            (9..=20).contains(&stepped),
+            "one or two steps per 100-cycle deadline, stepped {stepped}"
+        );
+    }
+
+    #[test]
+    fn idle_skip_disabled_while_any_component_is_active() {
+        // One always-active component pins the engine to per-cycle stepping
+        // even though its neighbour is always quiescent.
+        let mut engine = ClockEngine::new();
+        engine.add(Box::new(Counter {
+            value: Register::new(0),
+            limit: u64::MAX,
+        }));
+        let (component, steps) = IdleAware::new(0, 0);
+        engine.add(Box::new(component));
+        engine.run_for(CycleDelta::new(50));
+        assert_eq!(engine.now(), Cycle::new(50));
+        assert_eq!(steps.get(), 50, "no cycle may be skipped");
+    }
+
+    #[test]
+    fn empty_engine_still_advances_time_per_cycle() {
+        let mut engine = ClockEngine::new();
+        let report = engine.run_for(CycleDelta::new(25));
+        assert_eq!(report.cycles, 25);
+        assert_eq!(engine.now(), Cycle::new(25));
     }
 
     #[test]

@@ -5,14 +5,53 @@
 //! current burst completes at cycle T", "write buffer drain slot at cycle T"
 //! — and jumps the simulation clock from event to event. [`EventQueue`] is a
 //! time-ordered priority queue with stable FIFO ordering for events that are
-//! scheduled for the same cycle, plus O(log n) cancellation by [`EventId`].
+//! scheduled for the same cycle, plus O(1) cancellation by [`EventId`].
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! The queue is a hashed hierarchical timing wheel (the structure SystemC
+//! class kernels and calendar-queue DES schedulers use for near-monotone
+//! event distributions), not a binary heap:
+//!
+//! * [`LEVELS`] wheel levels of [`SLOTS`] slots each. An event lands on the
+//!   level given by the highest bit in which its firing time differs from
+//!   the wheel cursor, so level 0 resolves single cycles and each level up
+//!   widens the span by 64×. Schedule and pop are O(1) amortized for events
+//!   within the wheel horizon (64⁴ ≈ 16.7 M cycles).
+//! * Events beyond the horizon go to an **overflow tree** (a `BTreeMap`
+//!   keyed by firing time) and migrate into the wheel when the cursor
+//!   reaches their 2²⁴-cycle block.
+//! * Cancellation is O(1) via **generation-stamped slots**: every event
+//!   lives in a slab record whose generation is bumped when the record is
+//!   freed (popped or cancelled). Wheel slots store `(index, generation)`
+//!   pairs, so stale entries — including an [`EventId`] that was cancelled
+//!   after it already fired and whose record was reused by a newer event —
+//!   are recognised and skipped without scanning.
+//!
+//! Determinism contract (unchanged from the heap-based kernel): events fire
+//! in ascending time order, FIFO within one cycle.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 use crate::time::Cycle;
 
+/// log2 of the number of slots per wheel level.
+const BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << BITS;
+/// Number of wheel levels; events within `2^(BITS * LEVELS)` cycles of the
+/// cursor live in the wheel, everything farther in the overflow tree.
+const LEVELS: usize = 4;
+/// Bit width covered by the wheel (24: blocks of ~16.7 M cycles).
+const WHEEL_BITS: u32 = BITS * LEVELS as u32;
+/// Sentinel for "no record" in the slab free list.
+const NIL: u32 = u32::MAX;
+
 /// Identifier of a scheduled event, used for cancellation.
+///
+/// Encodes the slab slot of the event plus the slot's generation stamp, so
+/// an identifier whose event already fired (or was cancelled) can never
+/// alias a newer event that happens to reuse the same slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
@@ -22,39 +61,47 @@ impl EventId {
     pub const fn value(self) -> u64 {
         self.0
     }
+
+    const fn pack(index: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | index as u64)
+    }
+
+    const fn index(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    const fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One wheel-slot reference: slab index plus the generation it was created
+/// under. A mismatch against the slab record marks the entry stale.
+type SlotEntry = (u32, u32);
+
+/// One due-buffer entry: the slot reference plus its immutable ordering
+/// key, captured at insertion so later slab reuse cannot corrupt the order.
+#[derive(Debug, Clone, Copy)]
+struct DueEntry {
+    at: u64,
+    seq: u64,
+    index: u32,
+    generation: u32,
+}
+
+impl DueEntry {
+    fn slot(self) -> SlotEntry {
+        (self.index, self.generation)
+    }
 }
 
 #[derive(Debug)]
-struct Entry<E> {
-    at: Cycle,
+struct Record<E> {
+    at: u64,
     seq: u64,
-    id: EventId,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within one
-        // cycle, the first-scheduled) event comes out first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    generation: u32,
+    next_free: u32,
+    payload: Option<E>,
 }
 
 /// A deterministic, time-ordered event queue.
@@ -81,10 +128,27 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Slab of event records; freed records are recycled via `free_head`.
+    records: Vec<Record<E>>,
+    free_head: u32,
+    /// `LEVELS × SLOTS` buckets, flattened. Bucket vectors keep their
+    /// capacity across drains, so the steady state allocates nothing.
+    wheel: Vec<Vec<SlotEntry>>,
+    /// One occupancy bitmap per level: bit `s` set ⇔ bucket `s` non-empty.
+    occupied: [u64; LEVELS],
+    /// Far-future events, keyed by absolute firing time.
+    overflow: BTreeMap<u64, Vec<SlotEntry>>,
+    /// Events at or before the cursor, sorted by (time, seq) *descending*
+    /// so the next event to fire is at the back. Each entry carries its own
+    /// ordering key: a cancelled entry's slab record may be reused by a
+    /// newer event at a different time, so the key must not be re-read
+    /// through the slab.
+    due: Vec<DueEntry>,
+    /// Scratch buffer reused by cascades.
+    scratch: Vec<SlotEntry>,
+    /// Wheel time: the firing time of the most recently surfaced event.
+    cursor: u64,
     next_seq: u64,
-    next_id: u64,
-    cancelled: Vec<EventId>,
     live: usize,
 }
 
@@ -99,10 +163,15 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            records: Vec::new(),
+            free_head: NIL,
+            wheel: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            due: Vec::new(),
+            scratch: Vec::new(),
+            cursor: 0,
             next_seq: 0,
-            next_id: 0,
-            cancelled: Vec::new(),
             live: 0,
         }
     }
@@ -110,50 +179,72 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` to fire at absolute time `at` and returns a
     /// handle that can later be passed to [`EventQueue::cancel`].
     pub fn schedule(&mut self, at: Cycle, payload: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            id,
-            payload,
-        });
+        let t = at.value();
+        let index = self.alloc(t, seq, payload);
+        let generation = self.records[index as usize].generation;
+        let entry = (index, generation);
         self.live += 1;
-        id
+        if t <= self.cursor {
+            // The wheel has already advanced past `t`; deliver the event at
+            // the earliest opportunity, ordered by its true (time, seq) key.
+            self.due_insert(entry);
+        } else {
+            self.wheel_insert(entry, t);
+        }
+        EventId::pack(index, generation)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is skipped when
-    /// it reaches the front. Cancelling an event that already fired (or was
-    /// already cancelled) is a no-op and returns `false`.
+    /// The wheel entry stays in its bucket and is recognised as stale (its
+    /// generation no longer matches the slab record) when it surfaces.
+    /// Cancelling an event that already fired (or was already cancelled) is
+    /// a no-op and returns `false` — even if the event's slab record has
+    /// since been reused by a newer event, because reuse bumps the
+    /// generation stamp.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.cancelled.contains(&id) {
+        let index = id.index();
+        let Some(record) = self.records.get(index as usize) else {
+            return false;
+        };
+        if record.generation != id.generation() || record.payload.is_none() {
             return false;
         }
-        let exists = self.heap.iter().any(|e| e.id == id);
-        if exists {
-            self.cancelled.push(id);
-            self.live -= 1;
-        }
-        exists
+        self.free(index);
+        self.live -= 1;
+        true
     }
 
     /// Returns the firing time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Cycle> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.at)
+        loop {
+            self.ensure_due();
+            let entry = *self.due.last()?;
+            if self.is_live(entry.slot()) {
+                return Some(Cycle::new(entry.at));
+            }
+            self.due.pop();
+        }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.skip_cancelled();
-        let entry = self.heap.pop()?;
-        self.live -= 1;
-        Some((entry.at, entry.payload))
+        loop {
+            self.ensure_due();
+            let entry = self.due.pop()?;
+            if !self.is_live(entry.slot()) {
+                continue;
+            }
+            let record = &mut self.records[entry.index as usize];
+            let at = record.at;
+            let payload = record.payload.take().expect("live record has a payload");
+            self.free(entry.index);
+            self.live -= 1;
+            return Some((Cycle::new(at), payload));
+        }
     }
 
     /// Removes and returns the earliest pending event only if it fires at or
@@ -177,22 +268,209 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
-    /// Drops every pending event.
+    /// Drops every pending event. Outstanding [`EventId`]s are invalidated
+    /// (their generation stamps are bumped), so cancelling one later safely
+    /// returns `false`.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancelled.clear();
-        self.live = 0;
-    }
-
-    fn skip_cancelled(&mut self) {
-        while let Some(front) = self.heap.peek() {
-            if let Some(pos) = self.cancelled.iter().position(|id| *id == front.id) {
-                self.cancelled.swap_remove(pos);
-                self.heap.pop();
-            } else {
-                break;
+        for index in 0..self.records.len() {
+            if self.records[index].payload.is_some() {
+                self.free(index as u32);
             }
         }
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.overflow.clear();
+        self.due.clear();
+        self.live = 0;
+        self.cursor = 0;
+    }
+
+    fn is_live(&self, (index, generation): SlotEntry) -> bool {
+        let record = &self.records[index as usize];
+        record.generation == generation && record.payload.is_some()
+    }
+
+    fn alloc(&mut self, at: u64, seq: u64, payload: E) -> u32 {
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let record = &mut self.records[index as usize];
+            self.free_head = record.next_free;
+            record.at = at;
+            record.seq = seq;
+            record.next_free = NIL;
+            record.payload = Some(payload);
+            index
+        } else {
+            let index = u32::try_from(self.records.len()).expect("event slab overflow");
+            self.records.push(Record {
+                at,
+                seq,
+                generation: 0,
+                next_free: NIL,
+                payload: Some(payload),
+            });
+            index
+        }
+    }
+
+    /// Returns a record to the free list and bumps its generation so every
+    /// outstanding reference (wheel entries, `EventId`s) becomes stale.
+    fn free(&mut self, index: u32) {
+        let record = &mut self.records[index as usize];
+        record.payload = None;
+        record.generation = record.generation.wrapping_add(1);
+        record.next_free = self.free_head;
+        self.free_head = index;
+    }
+
+    /// Files an entry under the wheel level picked by the highest bit in
+    /// which `t` differs from the cursor, or into the overflow tree when the
+    /// difference exceeds the wheel horizon.
+    fn wheel_insert(&mut self, entry: SlotEntry, t: u64) {
+        debug_assert!(t > self.cursor || self.due.is_empty());
+        if t <= self.cursor {
+            self.due_insert(entry);
+            return;
+        }
+        let diff = self.cursor ^ t;
+        if diff >> WHEEL_BITS != 0 {
+            self.overflow.entry(t).or_default().push(entry);
+            return;
+        }
+        let level = ((63 - diff.leading_zeros()) / BITS) as usize;
+        let slot = ((t >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.wheel[level * SLOTS + slot].push(entry);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Inserts into the due buffer keeping it sorted by (time, seq)
+    /// descending, so the back of the vector is always the next event.
+    fn due_insert(&mut self, (index, generation): SlotEntry) {
+        let record = &self.records[index as usize];
+        let entry = DueEntry {
+            at: record.at,
+            seq: record.seq,
+            index,
+            generation,
+        };
+        let key = (entry.at, entry.seq);
+        let pos = self.due.partition_point(|e| (e.at, e.seq) > key);
+        self.due.insert(pos, entry);
+    }
+
+    /// Advances the cursor until the due buffer holds the earliest pending
+    /// events (or the queue is verifiably empty).
+    fn ensure_due(&mut self) {
+        while self.due.is_empty() {
+            self.pull_overflow();
+            // Level 0: buckets at or after the cursor inside its 64-cycle
+            // frame. All resident level-0 entries share the cursor's frame,
+            // so the lowest set bit is the earliest pending event.
+            let start = (self.cursor & (SLOTS as u64 - 1)) as u32;
+            let ahead = self.occupied[0] & (!0u64 << start);
+            if ahead != 0 {
+                let bit = u64::from(ahead.trailing_zeros());
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | bit;
+                self.surface_slot(bit as usize);
+                continue; // the bucket may have held only stale entries
+            }
+            // Upper levels: jump the cursor to the start of the nearest
+            // occupied slot and cascade it downwards.
+            let mut advanced = false;
+            for level in 1..LEVELS {
+                let shift = BITS * level as u32;
+                let index = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+                let ahead = self.occupied[level] & (!0u64 << index);
+                if ahead != 0 {
+                    let bit = u64::from(ahead.trailing_zeros());
+                    let lap = self.cursor & !((1u64 << (shift + BITS)) - 1);
+                    self.cursor = lap | (bit << shift);
+                    self.cascade(level, bit as usize);
+                    advanced = true;
+                    break;
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // The wheel is empty; jump straight to the first overflow block.
+            if let Some((&key, _)) = self.overflow.iter().next() {
+                self.cursor = key;
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Migrates overflow batches whose 2²⁴-cycle block the cursor has
+    /// reached into the wheel.
+    fn pull_overflow(&mut self) {
+        loop {
+            let Some((&key, _)) = self.overflow.iter().next() else {
+                return;
+            };
+            if (key ^ self.cursor) >> WHEEL_BITS != 0 {
+                return;
+            }
+            let batch = self.overflow.remove(&key).expect("first key exists");
+            for entry in batch {
+                if self.is_live(entry) {
+                    if key <= self.cursor {
+                        self.due_insert(entry);
+                    } else {
+                        self.wheel_insert(entry, key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves the live entries of the current level-0 bucket into the due
+    /// buffer (they all fire at the same cycle; FIFO is restored by seq).
+    fn surface_slot(&mut self, slot: usize) {
+        let records = &self.records;
+        let bucket = &mut self.wheel[slot];
+        let due = &mut self.due;
+        for &(index, generation) in bucket.iter() {
+            let record = &records[index as usize];
+            if record.generation == generation && record.payload.is_some() {
+                due.push(DueEntry {
+                    at: record.at,
+                    seq: record.seq,
+                    index,
+                    generation,
+                });
+            }
+        }
+        bucket.clear();
+        self.occupied[0] &= !(1 << slot);
+        // Bucket entries arrive seq-ascending by construction; sort anyway
+        // as a cheap invariant net and flip to the descending due order.
+        due.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+    }
+
+    /// Redistributes a level-`level` bucket into lower levels (or the due
+    /// buffer) after the cursor reached the bucket's start time.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let bucket = &mut self.wheel[level * SLOTS + slot];
+        scratch.extend_from_slice(bucket);
+        bucket.clear();
+        self.occupied[level] &= !(1 << slot);
+        for entry in scratch.drain(..) {
+            if self.is_live(entry) {
+                let t = self.records[entry.0 as usize].at;
+                if t <= self.cursor {
+                    self.due_insert(entry);
+                } else {
+                    self.wheel_insert(entry, t);
+                }
+            }
+        }
+        self.scratch = scratch;
     }
 }
 
@@ -269,5 +547,108 @@ mod tests {
         let id = queue.schedule(Cycle::new(1), 1);
         assert_eq!(queue.pop().map(|(_, e)| e), Some(1));
         assert!(!queue.cancel(id), "already fired");
+    }
+
+    #[test]
+    fn cancelling_a_fired_id_does_not_poison_a_reused_slot() {
+        // Regression for the generation-stamp guarantee: cancel on an id
+        // whose event already fired must not kill the newer event that
+        // recycled the same slab record.
+        let mut queue = EventQueue::new();
+        let old = queue.schedule(Cycle::new(1), "old");
+        assert_eq!(queue.pop().map(|(_, e)| e), Some("old"));
+        // This reuses the freed record of `old`.
+        let new = queue.schedule(Cycle::new(2), "new");
+        assert!(!queue.cancel(old), "stale id must be rejected");
+        assert_eq!(queue.len(), 1, "the reused slot must stay scheduled");
+        assert_eq!(queue.pop().map(|(_, e)| e), Some("new"));
+        assert!(!queue.cancel(new), "fired id is rejected too");
+    }
+
+    #[test]
+    fn cancelled_id_does_not_poison_a_reused_slot_either() {
+        let mut queue = EventQueue::new();
+        let victim = queue.schedule(Cycle::new(5), "victim");
+        assert!(queue.cancel(victim));
+        let survivor = queue.schedule(Cycle::new(6), "survivor");
+        assert!(!queue.cancel(victim), "double cancel via stale id");
+        assert_eq!(queue.pop().map(|(_, e)| e), Some("survivor"));
+        let _ = survivor;
+    }
+
+    #[test]
+    fn far_future_events_go_through_the_overflow_tree() {
+        let mut queue = EventQueue::new();
+        // Far beyond the 64^4-cycle wheel horizon, plus one near event.
+        queue.schedule(Cycle::new(1 << 40), "far");
+        queue.schedule(Cycle::new(3), "near");
+        queue.schedule(Cycle::new((1 << 40) + 1), "farther");
+        assert_eq!(queue.pop().map(|(_, e)| e), Some("near"));
+        assert_eq!(queue.pop(), Some((Cycle::new(1 << 40), "far")));
+        assert_eq!(queue.pop(), Some((Cycle::new((1 << 40) + 1), "farther")));
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn cycle_max_sentinel_events_are_representable() {
+        let mut queue = EventQueue::new();
+        let sentinel = queue.schedule(Cycle::MAX, "deadline-not-armed");
+        queue.schedule(Cycle::new(10), "real");
+        assert_eq!(queue.peek_time(), Some(Cycle::new(10)));
+        assert_eq!(queue.pop().map(|(_, e)| e), Some("real"));
+        assert!(queue.cancel(sentinel));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn scheduling_behind_the_cursor_fires_immediately_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(Cycle::new(100), "late");
+        queue.schedule(Cycle::new(100), "late2");
+        assert_eq!(queue.peek_time(), Some(Cycle::new(100)));
+        // The wheel cursor now sits at cycle 100; schedule into the past.
+        queue.schedule(Cycle::new(40), "past");
+        assert_eq!(queue.pop(), Some((Cycle::new(40), "past")));
+        assert_eq!(queue.pop(), Some((Cycle::new(100), "late")));
+        assert_eq!(queue.pop(), Some((Cycle::new(100), "late2")));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(Cycle::new(10), 10u64);
+        queue.schedule(Cycle::new(70), 70u64);
+        assert_eq!(queue.pop().map(|(_, e)| e), Some(10));
+        // Insert between the popped event and the next one, crossing a
+        // level-0 frame boundary relative to the cursor.
+        queue.schedule(Cycle::new(64), 64u64);
+        queue.schedule(Cycle::new(65), 65u64);
+        assert_eq!(queue.pop().map(|(_, e)| e), Some(64));
+        assert_eq!(queue.pop().map(|(_, e)| e), Some(65));
+        assert_eq!(queue.pop().map(|(_, e)| e), Some(70));
+    }
+
+    #[test]
+    fn deep_cascade_across_levels_preserves_exact_times() {
+        let mut queue = EventQueue::new();
+        // One event per wheel level span.
+        let times = [1u64, 100, 5_000, 300_000, 10_000_000];
+        for &t in &times {
+            queue.schedule(Cycle::new(t), t);
+        }
+        for &t in &times {
+            assert_eq!(queue.pop(), Some((Cycle::new(t), t)));
+        }
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn clear_invalidates_outstanding_ids() {
+        let mut queue = EventQueue::new();
+        let id = queue.schedule(Cycle::new(5), 1u8);
+        queue.clear();
+        let _newer = queue.schedule(Cycle::new(7), 2u8);
+        assert!(!queue.cancel(id), "pre-clear id must not cancel a new event");
+        assert_eq!(queue.len(), 1);
     }
 }

@@ -10,9 +10,30 @@
 //!   (evaluate, then commit) cycle-based engine used by the pin-accurate
 //!   RTL-style model. Every registered component is stepped every cycle,
 //!   which is exactly why signal-level simulation is slow.
-//! * [`event::EventQueue`] — an event-driven queue used by the
-//!   transaction-level model, which only wakes up when a transaction phase
-//!   boundary is reached.
+//! * [`event::EventQueue`] — a hierarchical timing-wheel event queue used
+//!   by the transaction-level model: O(1) amortized schedule/pop inside the
+//!   wheel horizon, an overflow tree beyond it, and O(1) cancellation via
+//!   generation-stamped slots.
+//!
+//! # Idle-skip contract
+//!
+//! The two-phase engine normally virtual-dispatches `eval` and `commit` on
+//! every component every cycle. Components that can cheaply prove they are
+//! *quiescent* opt into fast-forwarding by overriding two trait hooks:
+//!
+//! * [`component::Clocked::is_quiescent`] — return `true` at cycle `T` only
+//!   if stepping the component over `[T, wake_at)` would change no
+//!   observable state. The default (`false`) always disables skipping, so
+//!   correctness never depends on a component opting in.
+//! * [`component::Clocked::wake_at`] — the earliest future cycle at which
+//!   the (currently quiescent) component becomes active *of its own
+//!   accord*; `None` means "only other components' activity can wake me".
+//!
+//! [`engine::ClockEngine::run_for`] fast-forwards time in one jump while
+//! **all** components report quiescence, bounded by the minimum `wake_at`
+//! and the end of the run; skipped cycles still count toward the report and
+//! `cycles_run`. `run_until` never skips, because its predicate must be
+//! evaluated after every cycle.
 //!
 //! Supporting utilities shared by both models:
 //!
@@ -57,5 +78,5 @@ pub use engine::{run_clocked, ClockEngine, EngineReport};
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use signal::{Edge, Register, Signal};
-pub use stats::{BusyTracker, Counter, Histogram, RunningStats};
+pub use stats::{BusyTracker, Counter, CycleStats, Histogram, RunningStats};
 pub use time::{Cycle, CycleDelta};

@@ -1,0 +1,252 @@
+//! Oracle property test for the timing-wheel event queue.
+//!
+//! The wheel must produce the *exact* pop order of a reference binary-heap
+//! scheduler — ascending time, FIFO (schedule order) within one cycle —
+//! across randomized interleavings of schedule / cancel / pop / peek,
+//! including cancellations of already-fired ids and far-future (overflow
+//! tree) events. Randomness comes from `simkern::rng`, so every run replays
+//! the same sequences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simkern::event::{EventId, EventQueue};
+use simkern::rng::SimRng;
+use simkern::time::Cycle;
+
+/// Reference implementation: the seed kernel's BinaryHeap with eager
+/// cancellation bookkeeping. Deliberately simple and obviously correct.
+struct HeapQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_key: u64,
+    cancelled: Vec<bool>,
+}
+
+struct HeapEntry {
+    at: u64,
+    seq: u64,
+    payload: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so the earliest (time, seq) pops first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_key: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Returns a dense per-event key used to pair heap events with wheel
+    /// [`EventId`]s on the test side.
+    fn schedule(&mut self, at: u64, payload: u64) -> u64 {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.cancelled.push(false);
+        self.heap.push(HeapEntry {
+            at,
+            seq: key,
+            payload,
+        });
+        key
+    }
+
+    fn cancel(&mut self, key: u64) -> bool {
+        let slot = &mut self.cancelled[key as usize];
+        if *slot {
+            return false;
+        }
+        // Only cancellable while still in the heap.
+        if !self.heap.iter().any(|e| e.seq == key) {
+            return false;
+        }
+        *slot = true;
+        true
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled[entry.seq as usize] {
+                continue;
+            }
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<u64> {
+        while let Some(front) = self.heap.peek() {
+            if self.cancelled[front.seq as usize] {
+                self.heap.pop();
+                continue;
+            }
+            return Some(front.at);
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled[e.seq as usize])
+            .count()
+    }
+}
+
+/// Drives both queues through one randomized scenario and checks lock-step
+/// agreement of every observable: pop order, peek times, lengths, cancel
+/// results.
+fn run_scenario(seed: u64, steps: usize, time_span: u64, monotone: bool) {
+    let mut rng = SimRng::new(seed);
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    // Ids of events scheduled so far (live, fired or cancelled — stale ids
+    // are deliberately kept so cancel is exercised against them).
+    let mut ids: Vec<(EventId, u64)> = Vec::new();
+    let mut next_payload = 0u64;
+    let mut watermark = 0u64; // grows in monotone scenarios
+
+    for _ in 0..steps {
+        match rng.pick_weighted(&[55, 15, 25, 5]).unwrap() {
+            // Schedule.
+            0 => {
+                let at = if monotone {
+                    watermark += rng.range_u64(0, 32);
+                    watermark
+                } else if rng.chance_permille(30) {
+                    // Occasionally far-future: exercises the overflow tree.
+                    rng.range_u64(1 << 26, 1 << 42)
+                } else {
+                    rng.range_u64(0, time_span)
+                };
+                let payload = next_payload;
+                next_payload += 1;
+                let wheel_id = wheel.schedule(Cycle::new(at), payload);
+                let heap_key = heap.schedule(at, payload);
+                ids.push((wheel_id, heap_key));
+            }
+            // Cancel a random id (live, fired or already cancelled).
+            1 => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let pick = rng.range_usize(0, ids.len());
+                let (wheel_id, heap_key) = ids[pick];
+                let wheel_result = wheel.cancel(wheel_id);
+                let heap_result = heap.cancel(heap_key);
+                assert_eq!(
+                    wheel_result, heap_result,
+                    "cancel diverged (seed {seed}, id {wheel_id:?})"
+                );
+            }
+            // Pop.
+            2 => {
+                let wheel_popped = wheel.pop();
+                let heap_popped = heap.pop();
+                assert_eq!(
+                    wheel_popped.map(|(at, p)| (at.value(), p)),
+                    heap_popped,
+                    "pop order diverged (seed {seed})"
+                );
+            }
+            // Peek.
+            _ => {
+                assert_eq!(
+                    wheel.peek_time().map(Cycle::value),
+                    heap.peek_time(),
+                    "peek diverged (seed {seed})"
+                );
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "length diverged (seed {seed})");
+    }
+
+    // Drain both completely: the tails must match event for event.
+    loop {
+        let wheel_popped = wheel.pop();
+        let heap_popped = heap.pop();
+        assert_eq!(
+            wheel_popped.map(|(at, p)| (at.value(), p)),
+            heap_popped,
+            "drain order diverged (seed {seed})"
+        );
+        if wheel_popped.is_none() {
+            assert!(wheel.is_empty());
+            break;
+        }
+    }
+}
+
+#[test]
+fn wheel_matches_heap_on_uniform_times() {
+    for seed in 0..24 {
+        run_scenario(0xA5A5_0000 + seed, 400, 4_096, false);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_on_wide_time_spans() {
+    // Spans crossing every wheel level and the overflow horizon.
+    for (i, span) in [64u64, 4_096, 262_144, 1 << 24, 1 << 30].iter().enumerate() {
+        for seed in 0..8 {
+            run_scenario(0xB0B0_0000 + (i as u64) * 131 + seed, 300, *span, false);
+        }
+    }
+}
+
+#[test]
+fn wheel_matches_heap_on_monotone_times() {
+    // The near-monotone distribution a bus model produces: event times only
+    // grow, mostly by small deltas.
+    for seed in 0..24 {
+        run_scenario(0xC3C3_0000 + seed, 500, 0, true);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_under_heavy_cancellation() {
+    let mut rng = SimRng::new(77);
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap = HeapQueue::new();
+    let mut ids = Vec::new();
+    for payload in 0..512u64 {
+        let at = rng.range_u64(0, 1_024);
+        ids.push((wheel.schedule(Cycle::new(at), payload), heap.schedule(at, payload)));
+    }
+    // Cancel every other event, in a scrambled order.
+    for step in 0..ids.len() {
+        if step % 2 == 0 {
+            let (wheel_id, heap_key) = ids[(step * 131) % ids.len()];
+            assert_eq!(wheel.cancel(wheel_id), heap.cancel(heap_key));
+        }
+    }
+    loop {
+        let expected = heap.pop();
+        let got = wheel.pop().map(|(at, p)| (at.value(), p));
+        assert_eq!(got, expected);
+        if expected.is_none() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest)
+//! property-testing API.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the slice of proptest the workspace tests use: the
+//! [`Strategy`] trait with `prop_map`, range and [`Just`] strategies,
+//! [`any`], `prop::collection::vec`, [`prop_oneof!`], the [`proptest!`] test
+//! macro and the `prop_assert*` macros. Sampling is a deterministic
+//! splitmix64 stream seeded per test (FNV hash of the test name), so runs
+//! are reproducible; there is no shrinking — a failing case panics with the
+//! sampled values still recoverable from the assertion message.
+//!
+//! Swap in the real proptest by replacing the path dependency with a
+//! registry dependency; no test source changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test executes.
+pub const DEFAULT_CASES: u32 = 96;
+
+/// Deterministic splitmix64 sampling stream used by the shim.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from its name.
+#[must_use]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + rng.below(span + 1) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy producing any value of `T` (subset of `proptest::arbitrary`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform choice over boxed alternatives, built by [`prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given variants (at least one required).
+    #[must_use]
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.variants.len() as u64) as usize;
+        self.variants[pick].sample(rng)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`: element strategy + length range.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Just, Strategy, TestRng,
+    };
+}
+
+/// Uniform random choice between strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each function runs [`DEFAULT_CASES`] times with
+/// inputs sampled from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = $crate::TestRng::new(seed);
+                for case in 0..$crate::DEFAULT_CASES {
+                    let _ = case;
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(42);
+        for bound in [1u64, 2, 3, 17, 1_000_003] {
+            for _ in 0..64 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_strategies_stay_in_range() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..256 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (5u8..=9).sample(&mut rng);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        let strategy = prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)];
+        let mut rng = TestRng::new(3);
+        for _ in 0..64 {
+            let v: u32 = strategy.sample(&mut rng);
+            assert!(v == 1 || (20u32..40).contains(&v));
+        }
+        let vecs = collection::vec(0u8..4, 1..5);
+        let sampled = vecs.sample(&mut rng);
+        assert!(!sampled.is_empty() && sampled.len() < 5);
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_macro_runs_with_sampled_inputs(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}

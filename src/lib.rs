@@ -1,0 +1,11 @@
+//! Workspace umbrella for the AHB+ bus-architecture reproduction
+//! (conf_date_KimKKSCCKE05).
+//!
+//! The real code lives in the `crates/` workspace members; this root package
+//! only hosts the cross-crate integration tests under `tests/` and the
+//! runnable examples under `examples/`. It re-exports the [`ahbplus`] facade
+//! so examples and downstream tooling have a single import root.
+
+#![forbid(unsafe_code)]
+
+pub use ahbplus;
