@@ -18,6 +18,13 @@ pub struct RtlConfig {
     /// Whether to attach the streaming protocol checker to the address
     /// phases (paper §3.5). Costs a little extra time per beat.
     pub protocol_checks: bool,
+    /// Whether the run loop may fast-forward through quiescent stretches
+    /// (no burst in flight, no request pending, write buffer and DDR slave
+    /// idle — the `Clocked::is_quiescent`/`wake_at` contract). Skipped
+    /// cycles are provably state-identical to stepped ones, so reports are
+    /// bit-identical either way; the toggle exists to demonstrate exactly
+    /// that.
+    pub idle_skip: bool,
 }
 
 impl RtlConfig {
@@ -29,6 +36,7 @@ impl RtlConfig {
             ddr: DdrConfig::ahb_plus(),
             max_cycles: 5_000_000,
             protocol_checks: true,
+            idle_skip: true,
         }
     }
 
@@ -40,6 +48,7 @@ impl RtlConfig {
             ddr: DdrConfig::without_interleaving(),
             max_cycles: 5_000_000,
             protocol_checks: true,
+            idle_skip: true,
         }
     }
 
@@ -54,6 +63,13 @@ impl RtlConfig {
     #[must_use]
     pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
         self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Returns a copy with idle-skip fast-forwarding enabled or disabled.
+    #[must_use]
+    pub fn with_idle_skip(mut self, idle_skip: bool) -> Self {
+        self.idle_skip = idle_skip;
         self
     }
 }
@@ -87,8 +103,11 @@ mod tests {
     fn builders_replace_fields() {
         let config = RtlConfig::default()
             .with_max_cycles(99)
-            .with_params(AhbPlusParams::plain_ahb());
+            .with_params(AhbPlusParams::plain_ahb())
+            .with_idle_skip(false);
         assert_eq!(config.max_cycles, 99);
         assert!(!config.params.request_pipelining);
+        assert!(!config.idle_skip);
+        assert!(RtlConfig::default().idle_skip, "idle-skip is on by default");
     }
 }

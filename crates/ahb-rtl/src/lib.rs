@@ -21,6 +21,18 @@
 //!   which is precisely why signal-level simulation is slow and why the
 //!   transaction-level model of `ahb-tlm` exists.
 //!
+//! [`RtlSystem`] implements the unified [`analysis::BusModel`] trait
+//! (bounded `run_until`/`step`, [`analysis::Probe`] snapshots, idempotent
+//! reports), so every driver that works on the transaction-level model —
+//! lockstep co-simulation included — drives this one too. One permitted
+//! optimization rides on the [`simkern::component::Clocked`] idle-skip
+//! contract: when the write buffer and the DDR slave report quiescence
+//! and no master is requesting, the run loop fast-forwards to the next
+//! release time instead of evaluating no-op cycles
+//! ([`RtlConfig::idle_skip`], on by default). Skipped stretches are
+//! provably state-identical, so reports are bit-identical with the skip
+//! on or off — the model keeps its cycle-accuracy claim.
+//!
 //! # Example
 //!
 //! ```

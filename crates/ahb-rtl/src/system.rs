@@ -19,6 +19,7 @@ use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::signal::{HResp, HTrans};
 use amba::txn::{Completion, Transaction};
+use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
 use simkern::assertion::AssertionSink;
@@ -64,6 +65,12 @@ pub struct RtlSystem {
     now: Cycle,
     last_completion: Cycle,
     last_bi_hint: Option<amba::ids::Addr>,
+    /// Wall-clock seconds spent inside `run_until` so far (accumulated
+    /// across bounded steps).
+    wall_seconds: f64,
+    /// Cycles fast-forwarded by idle-skip (observability: lets tests and
+    /// probes confirm the skip path actually engaged).
+    idle_skipped_cycles: u64,
 }
 
 impl std::fmt::Debug for RtlSystem {
@@ -115,6 +122,8 @@ impl RtlSystem {
             now: Cycle::ZERO,
             last_completion: Cycle::ZERO,
             last_bi_hint: None,
+            wall_seconds: 0.0,
+            idle_skipped_cycles: 0,
         }
     }
 
@@ -183,29 +192,133 @@ impl RtlSystem {
             && self.masters.iter().all(RtlMaster::is_done)
     }
 
-    /// Runs the platform to completion (or the cycle limit) and returns the
-    /// metric report.
-    pub fn run(&mut self) -> SimReport {
+    /// Cycles fast-forwarded through quiescent stretches so far.
+    #[must_use]
+    pub fn idle_skipped_cycles(&self) -> u64 {
+        self.idle_skipped_cycles
+    }
+
+    /// Whole-platform quiescence: `None` while any block is active or a
+    /// wake-up is due at or before `now`; otherwise the earliest cycle at
+    /// which the platform becomes active of its own accord
+    /// (`Cycle::MAX` = never again, i.e. the workload has drained).
+    ///
+    /// Quiescence composes over the registered blocks exactly as the
+    /// [`Clocked`] contract requires: no burst in flight, no grant pending
+    /// in the registered `HGRANT`, the write buffer and the DDR slave
+    /// quiescent ([`Clocked::is_quiescent`]), and every master idle with a
+    /// release time still in the future. Between `now` and the returned
+    /// cycle every `eval`/`commit` pair is a provable no-op (the arbiter's
+    /// filter chain is pure and sees no candidates; the recorder observes
+    /// nothing), so jumping is state-identical to stepping.
+    fn quiescent_wake(&self) -> Option<Cycle> {
+        if self.burst.is_some()
+            || self.shared.hgrant.get().is_some()
+            || !self.write_buffer.is_quiescent()
+            || !self.slave.is_quiescent()
+        {
+            return None;
+        }
+        let mut wake = self.slave.wake_at().unwrap_or(Cycle::MAX);
+        for master in &self.masters {
+            if master.is_requesting() {
+                return None;
+            }
+            if let Some(ready) = master.ready_at() {
+                if ready <= self.now {
+                    return None;
+                }
+                wake = wake.min(ready);
+            }
+        }
+        Some(wake)
+    }
+
+    /// The cycle the run loop may fast-forward to, when quiescent and a
+    /// finite wake-up exists (a drained platform is quiescent but has
+    /// nothing to jump to — the loop's completion check handles it).
+    fn idle_skip_target(&self) -> Option<Cycle> {
+        match self.quiescent_wake() {
+            Some(wake) if wake < Cycle::MAX => Some(wake),
+            _ => None,
+        }
+    }
+
+    /// Advances the platform cycle by cycle until `now()` reaches
+    /// `target`, the workload drains, or the configured cycle limit is
+    /// hit, and returns the new time. This is the [`BusModel::run_until`]
+    /// entry point and the only simulation loop; `run` and bounded
+    /// stepping share it. With [`RtlConfig::idle_skip`] enabled, fully
+    /// quiescent stretches are fast-forwarded in one jump.
+    pub fn run_until(&mut self, target: Cycle) -> Cycle {
         let wall_start = Instant::now();
-        let max = self.config.max_cycles;
-        while !self.is_finished() && self.now.value() < max {
+        let end = target.min(Cycle::new(self.config.max_cycles));
+        while !self.is_finished() && self.now < end {
+            if self.config.idle_skip {
+                if let Some(wake) = self.idle_skip_target() {
+                    let jump_to = wake.min(end);
+                    self.idle_skipped_cycles += jump_to.saturating_since(self.now).value();
+                    self.now = jump_to;
+                    if self.now >= end {
+                        break;
+                    }
+                }
+            }
             let now = self.now;
             self.eval(now);
             self.commit(now);
             self.now += CycleDelta::ONE;
         }
+        self.wall_seconds += wall_start.elapsed().as_secs_f64();
+        self.now
+    }
+
+    /// The metric report as of the current time. Idempotent: external
+    /// totals are published, not accumulated, so mid-run snapshots are
+    /// safe.
+    #[must_use]
+    pub fn report(&mut self) -> SimReport {
         let total_cycles = self.now.value();
         let dram = self.slave.controller().stats();
-        self.recorder.add_dram_stats(
+        self.recorder.set_dram_stats(
             dram.row_hits.value() + dram.prepared_hits.value(),
             dram.accesses(),
         );
         self.recorder
             .observe_write_buffer_fill(self.write_buffer.peak_fill());
         self.recorder
-            .add_assertion_errors(self.assertions.error_count() as u64);
-        self.recorder
-            .finish(total_cycles, wall_start.elapsed().as_secs_f64())
+            .set_assertion_errors(self.assertions.error_count() as u64);
+        self.recorder.finish(total_cycles, self.wall_seconds)
+    }
+
+    /// Snapshot of the observable state at the current time (the uniform
+    /// surface behind [`BusModel::probe`]).
+    #[must_use]
+    pub fn probe(&self) -> Probe {
+        let dram = self.slave.controller().stats();
+        Probe {
+            cycle: self.now.value(),
+            transactions: self.recorder.completions(),
+            bytes: self.recorder.total_bytes(),
+            data_beats: self.recorder.data_beats(),
+            busy_cycles: self.recorder.busy_cycles(),
+            write_buffer_fill: self.write_buffer.fill() as u64,
+            write_buffer_absorbed: self.write_buffer.absorbed(),
+            write_buffer_drained: self.write_buffer.drained(),
+            write_buffer_peak: self.write_buffer.peak_fill() as u64,
+            dram_row_hits: dram.row_hits.value(),
+            dram_prepared_hits: dram.prepared_hits.value(),
+            dram_accesses: dram.accesses(),
+            assertion_errors: self.assertions.error_count() as u64,
+            assertion_warnings: self.assertions.warning_count() as u64,
+        }
+    }
+
+    /// Runs the platform to completion (or the cycle limit) and returns the
+    /// metric report.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(Cycle::MAX);
+        self.report()
     }
 
     // ---- per-cycle phases -------------------------------------------------
@@ -467,6 +580,42 @@ impl Clocked for RtlSystem {
     fn name(&self) -> &str {
         "ahb-plus-rtl"
     }
+
+    fn is_quiescent(&self) -> bool {
+        self.quiescent_wake().is_some()
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        // `Cycle::MAX` means the platform never wakes of its own accord
+        // (drained) — the contract's `None`.
+        self.quiescent_wake().filter(|wake| *wake < Cycle::MAX)
+    }
+}
+
+impl BusModel for RtlSystem {
+    fn kind(&self) -> ModelKind {
+        ModelKind::PinAccurateRtl
+    }
+
+    fn now(&self) -> Cycle {
+        RtlSystem::now(self)
+    }
+
+    fn finished(&self) -> bool {
+        self.is_finished() || self.now >= Cycle::new(self.config.max_cycles)
+    }
+
+    fn run_until(&mut self, target: Cycle) -> Cycle {
+        RtlSystem::run_until(self, target)
+    }
+
+    fn probe(&self) -> Probe {
+        RtlSystem::probe(self)
+    }
+
+    fn report(&mut self) -> SimReport {
+        RtlSystem::report(self)
+    }
 }
 
 #[cfg(test)]
@@ -567,6 +716,87 @@ mod tests {
 
         assert!(hinted > 0);
         assert_eq!(unhinted, 0);
+    }
+
+    #[test]
+    fn idle_skip_reports_are_bit_identical_to_full_stepping() {
+        // The idle-skip contract (`Clocked::is_quiescent`/`wake_at`): for
+        // every catalogue pattern, fast-forwarding quiescent stretches
+        // must produce a metrically identical report to stepping through
+        // every cycle — and on gap-heavy traffic it must actually skip.
+        for pattern in [pattern_a(), pattern_c()] {
+            let name = pattern.name;
+            let mut skipping =
+                RtlSystem::from_pattern(RtlConfig::default().with_idle_skip(true), &pattern, 30, 7);
+            let mut stepping =
+                RtlSystem::from_pattern(RtlConfig::default().with_idle_skip(false), &pattern, 30, 7);
+            let fast = skipping.run();
+            let slow = stepping.run();
+            assert!(
+                fast.metrics_eq(&slow),
+                "{name}: idle-skip must not change any metric"
+            );
+            assert_eq!(stepping.idle_skipped_cycles(), 0);
+        }
+        // A sparse single-master workload has long quiescent stretches.
+        let profile = MasterProfile::video_realtime();
+        let trace = Workload::new(MasterId::new(0), profile.clone(), 3).generate(40);
+        let build = |idle_skip: bool| {
+            RtlSystem::new(
+                RtlConfig::default().with_idle_skip(idle_skip),
+                vec![(
+                    trace.clone(),
+                    "video".to_owned(),
+                    profile.qos_config(),
+                    profile.posted_writes,
+                )],
+            )
+        };
+        let mut skipping = build(true);
+        let mut stepping = build(false);
+        let fast = skipping.run();
+        let slow = stepping.run();
+        assert!(fast.metrics_eq(&slow));
+        assert!(
+            skipping.idle_skipped_cycles() > 0,
+            "sparse traffic must exercise the skip path"
+        );
+    }
+
+    #[test]
+    fn bounded_stepping_matches_one_shot_run() {
+        let one_shot = small_system(15).run();
+        let mut stepped = small_system(15);
+        while !BusModel::finished(&stepped) {
+            stepped.step(CycleDelta::new(1));
+        }
+        let report = stepped.report();
+        assert!(one_shot.metrics_eq(&report));
+    }
+
+    #[test]
+    fn drained_system_is_quiescent_with_no_wakeup() {
+        // Clocked contract: a finished platform's eval/commit are no-ops
+        // forever, so it must report quiescent with wake_at = None (not
+        // "never quiescent") — otherwise it would pin a ClockEngine's
+        // all-components-quiescent fast-forward for the rest of the run.
+        let mut system = small_system(5);
+        system.run();
+        assert!(system.is_finished());
+        assert!(Clocked::is_quiescent(&system));
+        assert!(Clocked::wake_at(&system).is_none());
+    }
+
+    #[test]
+    fn probe_matches_the_final_report() {
+        let mut system = small_system(15);
+        let report = system.run();
+        let probe = system.probe();
+        assert_eq!(probe.transactions, report.total_transactions());
+        assert_eq!(probe.bytes, report.total_bytes());
+        assert_eq!(probe.busy_cycles, report.bus.busy_cycles);
+        assert_eq!(probe.cycle, report.total_cycles);
+        assert_eq!(probe.assertion_errors, 0);
     }
 
     #[test]

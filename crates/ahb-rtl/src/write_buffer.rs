@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use amba::ids::MasterId;
 use amba::txn::Transaction;
+use simkern::component::Clocked;
 use simkern::time::Cycle;
 
 /// The master identifier under which the write buffer requests the bus.
@@ -117,6 +118,33 @@ impl RtlWriteBuffer {
     }
 }
 
+/// The write buffer as a clocked block. Its sequential state only changes
+/// through the bus phases (`absorb` / `drain_head`), so `eval` and
+/// `commit` are empty — the value of the impl is the idle-skip contract:
+/// an *empty* buffer is quiescent (stepping it changes nothing and it
+/// never raises activity on its own), while an occupied buffer is actively
+/// requesting the bus and must not be skipped over.
+impl Clocked for RtlWriteBuffer {
+    fn eval(&mut self, _now: Cycle) {}
+
+    fn commit(&mut self, _now: Cycle) {}
+
+    fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    fn name(&self) -> &str {
+        "ahb-plus-write-buffer"
+    }
+
+    fn is_quiescent(&self) -> bool {
+        !self.is_occupied()
+    }
+
+    // Default `wake_at` (None) is correct: an empty buffer only becomes
+    // active again when a master posts a write into it.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +202,17 @@ mod tests {
     #[test]
     fn reserved_master_id_matches_tlm() {
         assert_eq!(RTL_WRITE_BUFFER_MASTER.index(), 15);
+    }
+
+    #[test]
+    fn quiescence_follows_occupancy() {
+        let mut buffer = RtlWriteBuffer::new(2);
+        assert!(buffer.is_quiescent(), "empty buffer is skippable");
+        assert!(buffer.wake_at().is_none(), "wakes only on external posts");
+        assert!(buffer.absorb(&posted_write(), Cycle::new(1)));
+        assert!(!buffer.is_quiescent(), "occupied buffer requests the bus");
+        buffer.drain_head();
+        assert!(buffer.is_quiescent());
+        assert_eq!(Clocked::name(&buffer), "ahb-plus-write-buffer");
     }
 }

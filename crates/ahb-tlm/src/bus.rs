@@ -26,6 +26,7 @@ use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::signal::HResp;
 use amba::txn::{Completion, TxnArena};
+use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
 use ddrc::DdrController;
@@ -102,6 +103,10 @@ pub struct TlmSystem {
     /// Earliest release time over the posted-write masters: the absorption
     /// scan exits on one compare while nothing can possibly absorb.
     posted_ready_min: Cycle,
+    /// Wall-clock seconds spent inside `run_until` so far (accumulated
+    /// across bounded steps so a step-driven run reports the same speed
+    /// accounting as a one-shot run).
+    wall_seconds: f64,
 }
 
 impl std::fmt::Debug for TlmSystem {
@@ -175,6 +180,7 @@ impl TlmSystem {
             posted_masters,
             next_release_hint: None,
             posted_ready_min: Cycle::ZERO,
+            wall_seconds: 0.0,
         }
     }
 
@@ -236,33 +242,83 @@ impl TlmSystem {
         self.masters_done == self.masters.len() && !self.write_buffer.is_occupied()
     }
 
-    /// Runs the platform until every trace has drained (or the configured
-    /// cycle limit is hit) and returns the metric report.
-    pub fn run(&mut self) -> SimReport {
+    /// Advances the platform transaction by transaction until `now()`
+    /// reaches `target`, the workload drains, or the configured cycle
+    /// limit is hit, and returns the new time. Because the model only
+    /// stops on transaction boundaries it may overshoot `target` by part
+    /// of one transaction (idle stretches pause exactly at `target`).
+    /// This is the [`BusModel::run_until`] entry point and the *only*
+    /// simulation loop — `run` and bounded stepping share it, so they are
+    /// trivially identical step for step.
+    pub fn run_until(&mut self, target: Cycle) -> Cycle {
         let wall_start = Instant::now();
         let max = Cycle::new(self.config.max_cycles);
-        while !self.is_finished() && self.now < max {
-            if !self.step_transaction(max) {
+        let end = target.min(max);
+        while !self.is_finished() && self.now < end {
+            if !self.step_transaction(max, end) {
                 break;
             }
         }
+        self.wall_seconds += wall_start.elapsed().as_secs_f64();
+        self.now
+    }
+
+    /// The metric report as of the current time. Idempotent: external
+    /// totals (DRAM stats, assertion counts) are *published* into the
+    /// recorder, not accumulated, so mid-run snapshots and the final
+    /// report can both be taken.
+    #[must_use]
+    pub fn report(&mut self) -> SimReport {
         let total_cycles = self.last_completion.max(self.now).value();
         let dram = self.ddr.stats();
-        self.recorder.add_dram_stats(
+        self.recorder.set_dram_stats(
             dram.row_hits.value() + dram.prepared_hits.value(),
             dram.accesses(),
         );
         self.recorder
             .observe_write_buffer_fill(self.write_buffer.peak_fill());
         self.recorder
-            .add_assertion_errors(self.assertions.error_count() as u64);
-        self.recorder
-            .finish(total_cycles, wall_start.elapsed().as_secs_f64())
+            .set_assertion_errors(self.assertions.error_count() as u64);
+        self.recorder.finish(total_cycles, self.wall_seconds)
     }
 
-    /// Serves at most one transaction. Returns `false` when nothing can make
-    /// progress any more (all traces drained or past the cycle limit).
-    fn step_transaction(&mut self, max: Cycle) -> bool {
+    /// Snapshot of the observable state at the current time (the uniform
+    /// surface behind [`BusModel::probe`]). With profiling detached the
+    /// recorder-backed counters stay zero.
+    #[must_use]
+    pub fn probe(&self) -> Probe {
+        let dram = self.ddr.stats();
+        Probe {
+            cycle: self.last_completion.max(self.now).value(),
+            transactions: self.recorder.completions(),
+            bytes: self.recorder.total_bytes(),
+            data_beats: self.recorder.data_beats(),
+            busy_cycles: self.recorder.busy_cycles(),
+            write_buffer_fill: self.write_buffer.fill() as u64,
+            write_buffer_absorbed: self.write_buffer.absorbed(),
+            write_buffer_drained: self.write_buffer.drained(),
+            write_buffer_peak: self.write_buffer.peak_fill() as u64,
+            dram_row_hits: dram.row_hits.value(),
+            dram_prepared_hits: dram.prepared_hits.value(),
+            dram_accesses: dram.accesses(),
+            assertion_errors: self.assertions.error_count() as u64,
+            assertion_warnings: self.assertions.warning_count() as u64,
+        }
+    }
+
+    /// Runs the platform until every trace has drained (or the configured
+    /// cycle limit is hit) and returns the metric report.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(Cycle::MAX);
+        self.report()
+    }
+
+    /// Serves at most one transaction, never advancing an *idle* bus past
+    /// `end` (a transaction that started before `end` may still complete
+    /// after it). Returns `false` when nothing can make progress any more
+    /// (all traces drained or past the cycle limit) or when the idle bus
+    /// reached `end`.
+    fn step_transaction(&mut self, max: Cycle, end: Cycle) -> bool {
         // Posted writes enter the write buffer as soon as they are raised,
         // provided the buffer has space; the buffer then competes for the
         // bus on their behalf (paper §3.3). Only when the buffer is full
@@ -293,6 +349,16 @@ impl TlmSystem {
                 };
                 if next_ready >= max {
                     self.now = max;
+                    return false;
+                }
+                if next_ready > end {
+                    // The bounded-run horizon falls inside this idle
+                    // stretch: pause exactly at `end` so `run_until` only
+                    // ever overshoots by part of a transaction, never by
+                    // an idle gap. (Absorption and release times are
+                    // horizon-independent, so resuming later is
+                    // state-identical to having jumped straight through.)
+                    self.now = end;
                     return false;
                 }
                 self.now = next_ready.max(self.now);
@@ -586,6 +652,32 @@ impl TlmSystem {
     }
 }
 
+impl BusModel for TlmSystem {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TransactionLevel
+    }
+
+    fn now(&self) -> Cycle {
+        TlmSystem::now(self)
+    }
+
+    fn finished(&self) -> bool {
+        self.is_finished() || self.now >= Cycle::new(self.config.max_cycles)
+    }
+
+    fn run_until(&mut self, target: Cycle) -> Cycle {
+        TlmSystem::run_until(self, target)
+    }
+
+    fn probe(&self) -> Probe {
+        TlmSystem::probe(self)
+    }
+
+    fn report(&mut self) -> SimReport {
+        TlmSystem::report(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +807,54 @@ mod tests {
         let report = system.run();
         assert_eq!(report.total_transactions(), 100);
         assert_eq!(report.masters.len(), 1);
+    }
+
+    #[test]
+    fn bounded_stepping_matches_one_shot_run() {
+        // `run()` routes through `run_until`, so driving the model with
+        // single-cycle steps must replay the exact same transaction
+        // sequence and land on a metrically identical report.
+        let one_shot = small_system(40).run();
+        let mut stepped = small_system(40);
+        let mut guard = 0u64;
+        while !BusModel::finished(&stepped) {
+            stepped.step(CycleDelta::ONE);
+            guard += 1;
+            assert!(guard < 1_000_000, "stepping must terminate");
+        }
+        let report = stepped.report();
+        assert!(
+            one_shot.metrics_eq(&report),
+            "step(1)-driven run must be metrically identical to run()"
+        );
+    }
+
+    #[test]
+    fn probe_tracks_progress_and_matches_the_final_report() {
+        let mut system = small_system(30);
+        let start = system.probe();
+        assert_eq!(start.transactions, 0);
+        system.run_until(Cycle::new(2_000));
+        let mid = system.probe();
+        assert!(mid.transactions > 0, "mid-run probe sees progress");
+        let report = system.run();
+        let end = system.probe();
+        assert_eq!(end.transactions, report.total_transactions());
+        assert_eq!(end.bytes, report.total_bytes());
+        assert_eq!(end.busy_cycles, report.bus.busy_cycles);
+        assert_eq!(end.cycle, report.total_cycles);
+        assert!(mid.transactions <= end.transactions);
+    }
+
+    #[test]
+    fn report_is_idempotent_mid_run_and_after() {
+        let mut system = small_system(20);
+        system.run_until(Cycle::new(1_500));
+        let first = system.report();
+        let second = system.report();
+        assert!(first.metrics_eq(&second), "snapshots must not double-count");
+        let done = system.run();
+        assert!(done.metrics_eq(&system.report()));
     }
 
     #[test]

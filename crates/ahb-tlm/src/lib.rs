@@ -32,16 +32,29 @@
 //!   top-level object that runs a platform and produces a
 //!   [`analysis::SimReport`].
 //!
+//! [`TlmSystem`] implements the unified [`analysis::BusModel`] trait —
+//! bounded stepping (`run_until`/`step`), [`analysis::Probe`] snapshots
+//! and idempotent reports — so run-control code (lockstep co-simulation,
+//! design-space sweeps, the speed harness) drives it interchangeably with
+//! the pin-accurate reference. The transaction hot loop lives inside
+//! `run_until` and stays monomorphized; the trait only fronts it.
+//!
 //! # Example
 //!
 //! ```
 //! use ahb_tlm::{TlmConfig, TlmSystem};
+//! use simkern::time::Cycle;
 //! use traffic::{pattern_a, TrafficPattern};
 //!
 //! let pattern = pattern_a();
 //! let mut system = TlmSystem::from_pattern(TlmConfig::default(), &pattern, 50, 1);
+//! // Bounded stepping through the unified interface...
+//! system.run_until(Cycle::new(1_000));
+//! let mid = system.probe();
+//! // ...and running to completion.
 //! let report = system.run();
 //! assert!(report.total_transactions() > 0);
+//! assert!(mid.transactions <= report.total_transactions());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -6,6 +6,9 @@
 //! traffic patterns) and the simulation-speed comparison (0.47 Kcycles/s at
 //! RTL vs 166 Kcycles/s at TL, 353×).
 //!
+//! * [`model`] — the unified [`model::BusModel`] trait both abstraction
+//!   levels implement (bounded stepping, probes, reports), which every
+//!   driver, sweep and harness is written against.
 //! * [`recorder`] — the metric recorder both bus models fill while they run
 //!   (completions, bus busy spans, contention, write-buffer occupancy, QoS
 //!   violations).
@@ -34,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod model;
 pub mod recorder;
 pub mod report;
 pub mod speed;
 
 pub use accuracy::{AccuracyReport, AccuracyRow};
+pub use model::{BusModel, Probe};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
-pub use speed::{SpeedBenchRecord, SpeedReport};
+pub use speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};

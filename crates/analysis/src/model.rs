@@ -1,0 +1,252 @@
+//! The unified bus-model API.
+//!
+//! Both abstraction levels of the platform — the pin-accurate reference
+//! (`ahb-rtl`) and the transaction-level model (`ahb-tlm`) — implement
+//! [`BusModel`]: bounded time advancement ([`BusModel::run_until`] /
+//! [`BusModel::step`]), a completion predicate, and a uniform observability
+//! surface ([`BusModel::probe`] for mid-run snapshots, [`BusModel::report`]
+//! for the final metric report). Everything that drives a simulation —
+//! the `ahbplus` run-control facade, lockstep co-simulation, design-space
+//! sweeps, the speed harness — is written against this trait, so a new
+//! backend (a cycle-approximate model, a sharded model) only has to
+//! implement it to appear everywhere.
+//!
+//! The trait is object-safe on purpose: sweep and registry code may hold
+//! models as `Box<dyn BusModel>`. The per-cycle / per-transaction hot loops
+//! live *inside* each implementation's `run_until`, so dynamic dispatch
+//! only ever happens at the run-control boundary, never per simulated
+//! cycle.
+
+use simkern::time::{Cycle, CycleDelta};
+
+use crate::report::{ModelKind, SimReport};
+
+/// A point-in-time snapshot of a model's observable state.
+///
+/// The probe replaces the ad-hoc `ddr()` / `write_buffer()` /
+/// `assertions()` accessors of the concrete systems: every counter a
+/// harness, example or divergence check needs is collected into one plain
+/// struct that both abstraction levels fill identically.
+///
+/// All fields are exact integer counters, so two probes can be compared
+/// for bit-identity ([`Probe::divergence`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Probe {
+    /// Simulated cycle the snapshot was taken at (the model's notion of
+    /// elapsed time; transaction-level models may overshoot a requested
+    /// horizon by part of one transaction).
+    pub cycle: u64,
+    /// Transactions completed so far.
+    pub transactions: u64,
+    /// Bytes transferred so far.
+    pub bytes: u64,
+    /// Data beats transferred so far.
+    pub data_beats: u64,
+    /// Cycles the bus spent transferring data so far.
+    pub busy_cycles: u64,
+    /// Current write-buffer occupancy.
+    pub write_buffer_fill: u64,
+    /// Posted writes absorbed by the write buffer so far.
+    pub write_buffer_absorbed: u64,
+    /// Posted writes drained onto the bus so far.
+    pub write_buffer_drained: u64,
+    /// Peak write-buffer occupancy observed so far.
+    pub write_buffer_peak: u64,
+    /// DRAM row hits so far.
+    pub dram_row_hits: u64,
+    /// DRAM prepared hits (Bus-Interface hints) so far.
+    pub dram_prepared_hits: u64,
+    /// Total DRAM accesses so far.
+    pub dram_accesses: u64,
+    /// Assertion errors recorded so far.
+    pub assertion_errors: u64,
+    /// Assertion warnings recorded so far.
+    pub assertion_warnings: u64,
+}
+
+/// Reads one counter out of a probe (field-comparison table entry).
+type FieldAccessor = fn(&Probe) -> u64;
+
+/// The probe fields compared by [`Probe::divergence`], paired with
+/// accessors. `cycle` is deliberately excluded: models at different
+/// abstraction levels advance time with different granularity, so elapsed
+/// time is reported alongside a divergence, not treated as one.
+const COMPARED_FIELDS: [(&str, FieldAccessor); 13] = [
+    ("transactions", |p| p.transactions),
+    ("bytes", |p| p.bytes),
+    ("data_beats", |p| p.data_beats),
+    ("busy_cycles", |p| p.busy_cycles),
+    ("write_buffer_fill", |p| p.write_buffer_fill),
+    ("write_buffer_absorbed", |p| p.write_buffer_absorbed),
+    ("write_buffer_drained", |p| p.write_buffer_drained),
+    ("write_buffer_peak", |p| p.write_buffer_peak),
+    ("dram_row_hits", |p| p.dram_row_hits),
+    ("dram_prepared_hits", |p| p.dram_prepared_hits),
+    ("dram_accesses", |p| p.dram_accesses),
+    ("assertion_errors", |p| p.assertion_errors),
+    ("assertion_warnings", |p| p.assertion_warnings),
+];
+
+impl Probe {
+    /// Names of the observable fields in which `self` and `other` differ
+    /// (empty when the two snapshots agree). Elapsed time (`cycle`) is not
+    /// compared: models at different abstraction levels advance time with
+    /// different granularity, so it is reported alongside a divergence,
+    /// not treated as one.
+    #[must_use]
+    pub fn divergence(&self, other: &Probe) -> Vec<&'static str> {
+        COMPARED_FIELDS
+            .iter()
+            .filter(|(_, get)| get(self) != get(other))
+            .map(|(name, _)| *name)
+            .collect()
+    }
+
+    /// DRAM hit rate in `[0, 1]` (row hits + prepared hits over all
+    /// accesses), `0.0` before the first access.
+    #[must_use]
+    pub fn dram_hit_rate(&self) -> f64 {
+        if self.dram_accesses == 0 {
+            return 0.0;
+        }
+        (self.dram_row_hits + self.dram_prepared_hits) as f64 / self.dram_accesses as f64
+    }
+
+    /// Whether the end-of-run *results* agree: same completed work (
+    /// transactions, bytes, beats) and a clean assertion record on both
+    /// sides. This is the paper's "simulation results were identical"
+    /// claim reduced to its operational core; cycle counts are compared
+    /// separately because the transaction-level model is only
+    /// approximately cycle-accurate.
+    #[must_use]
+    pub fn results_match(&self, other: &Probe) -> bool {
+        self.transactions == other.transactions
+            && self.bytes == other.bytes
+            && self.data_beats == other.data_beats
+            && self.assertion_errors == other.assertion_errors
+    }
+}
+
+/// A bus-architecture model that can be driven by the run-control facade.
+///
+/// # Time-advancement contract
+///
+/// * [`BusModel::run_until`] advances the model until its clock reaches at
+///   least `target`, the workload drains, or the configured cycle limit is
+///   hit — whichever comes first. A cycle-level model lands exactly on
+///   `target`; a transaction-level model may overshoot by part of one
+///   transaction (it only stops on transaction boundaries).
+/// * Progress is guaranteed: while [`BusModel::finished`] is `false`, a
+///   call with `target > now()` advances the model. Driving a model with
+///   repeated [`BusModel::step`]`(1)` calls therefore terminates, and —
+///   because implementations route their one-shot `run` through the same
+///   code path — produces a [`SimReport`] identical (up to wall-clock
+///   time) to a single [`BusModel::run`].
+/// * [`BusModel::report`] may be called at any point (including mid-run)
+///   and is idempotent; it does not advance time.
+pub trait BusModel {
+    /// Which abstraction level this model implements.
+    fn kind(&self) -> ModelKind;
+
+    /// Short machine-readable model name (`"rtl"`, `"tlm"`, ...), used by
+    /// benchmark artifacts and CLI filters. Defaults to the
+    /// [`ModelKind::id`] of [`BusModel::kind`].
+    fn model_name(&self) -> &'static str {
+        self.kind().id()
+    }
+
+    /// Current simulated time.
+    fn now(&self) -> Cycle;
+
+    /// `true` once the model cannot make further progress: the workload
+    /// has drained (and all buffered work retired) or the configured cycle
+    /// limit has been reached.
+    fn finished(&self) -> bool;
+
+    /// Advances simulation until `now() >= target`, the workload drains,
+    /// or the cycle limit is hit. Returns the new [`BusModel::now`].
+    fn run_until(&mut self, target: Cycle) -> Cycle;
+
+    /// Advances simulation by at most `cycles` (same overshoot rules as
+    /// [`BusModel::run_until`]). Returns the new [`BusModel::now`].
+    fn step(&mut self, cycles: CycleDelta) -> Cycle {
+        let target = self.now() + cycles;
+        self.run_until(target)
+    }
+
+    /// Snapshot of the observable state at the current time.
+    fn probe(&self) -> Probe;
+
+    /// The metric report as of the current time. Idempotent; callable
+    /// mid-run and after completion.
+    fn report(&mut self) -> SimReport;
+
+    /// Runs the model to completion (or the cycle limit) and reports.
+    fn run(&mut self) -> SimReport {
+        self.run_until(Cycle::MAX);
+        self.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_lists_exactly_the_fields_that_differ() {
+        let a = Probe {
+            cycle: 100,
+            transactions: 5,
+            bytes: 320,
+            ..Probe::default()
+        };
+        let mut b = a;
+        assert!(a.divergence(&b).is_empty());
+        b.bytes = 321;
+        b.dram_accesses = 1;
+        assert_eq!(a.divergence(&b), vec!["bytes", "dram_accesses"]);
+    }
+
+    #[test]
+    fn elapsed_time_is_not_a_divergence() {
+        let a = Probe { cycle: 100, ..Probe::default() };
+        let b = Probe { cycle: 107, ..Probe::default() };
+        assert!(a.divergence(&b).is_empty(), "cycle alignment differs across levels");
+        assert!(a.results_match(&b));
+    }
+
+    #[test]
+    fn results_match_ignores_timing_but_not_work() {
+        let a = Probe {
+            transactions: 10,
+            bytes: 640,
+            data_beats: 80,
+            busy_cycles: 400,
+            ..Probe::default()
+        };
+        let mut b = a;
+        b.busy_cycles = 500; // timing detail: still the same results
+        assert!(a.results_match(&b));
+        b.transactions = 9; // lost work: not the same results
+        assert!(!a.results_match(&b));
+    }
+
+    #[test]
+    fn dram_hit_rate_guards_the_empty_case() {
+        let empty = Probe::default();
+        assert_eq!(empty.dram_hit_rate(), 0.0);
+        let probe = Probe {
+            dram_row_hits: 6,
+            dram_prepared_hits: 3,
+            dram_accesses: 10,
+            ..Probe::default()
+        };
+        assert!((probe.dram_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compared_fields_cover_every_counter_except_cycle() {
+        // 14 fields in the struct, one (cycle) excluded by design.
+        assert_eq!(COMPARED_FIELDS.len(), 13);
+    }
+}

@@ -142,22 +142,49 @@ impl Recorder {
         self.write_buffer_peak = self.write_buffer_peak.max(fill as u64);
     }
 
-    /// Records DRAM access classification counts (hits include prepared
-    /// hits).
-    pub fn add_dram_stats(&mut self, row_hits: u64, accesses: u64) {
-        self.dram_row_hits += row_hits;
-        self.dram_accesses += accesses;
+    /// Publishes the DRAM access classification counts (hits include
+    /// prepared hits). *Set* semantics, not accumulate: the owning system
+    /// copies the controller's live totals in whenever a report or probe
+    /// is produced, so repeated snapshots must not double-count.
+    pub fn set_dram_stats(&mut self, row_hits: u64, accesses: u64) {
+        self.dram_row_hits = row_hits;
+        self.dram_accesses = accesses;
     }
 
-    /// Records the number of assertion errors observed.
-    pub fn add_assertion_errors(&mut self, errors: u64) {
-        self.assertion_errors += errors;
+    /// Publishes the number of assertion errors observed so far (*set*
+    /// semantics, see [`Recorder::set_dram_stats`]).
+    pub fn set_assertion_errors(&mut self, errors: u64) {
+        self.assertion_errors = errors;
     }
 
     /// Number of completions recorded so far (cheap progress probe).
     #[must_use]
     pub fn completions(&self) -> u64 {
         self.transactions
+    }
+
+    /// Total bytes recorded across all masters so far.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.accumulators.iter().map(|(_, acc)| acc.bytes).sum()
+    }
+
+    /// Data beats recorded so far.
+    #[must_use]
+    pub fn data_beats(&self) -> u64 {
+        self.data_beats
+    }
+
+    /// Bus busy cycles recorded so far.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Transactions served out of the write buffer so far.
+    #[must_use]
+    pub fn write_buffer_hits(&self) -> u64 {
+        self.write_buffer_hits
     }
 
     /// Condenses everything into a [`SimReport`].
@@ -266,8 +293,8 @@ mod tests {
         r.observe_write_buffer_fill(2);
         r.observe_write_buffer_fill(5);
         r.observe_write_buffer_fill(1);
-        r.add_dram_stats(7, 10);
-        r.add_assertion_errors(1);
+        r.set_dram_stats(7, 10);
+        r.set_assertion_errors(1);
         let mut wb = completion(2, 0, 0, 9, 32);
         wb.via_write_buffer = true;
         r.record_completion(&wb, 8);
@@ -280,6 +307,25 @@ mod tests {
         assert_eq!(report.bus.assertion_errors, 1);
         assert_eq!(report.bus.data_beats, 8);
         assert_eq!(r.completions(), 1);
+        assert_eq!(r.total_bytes(), 32);
+        assert_eq!(r.data_beats(), 8);
+        assert_eq!(r.busy_cycles(), 60);
+        assert_eq!(r.write_buffer_hits(), 1);
+    }
+
+    #[test]
+    fn set_counters_are_idempotent_across_snapshots() {
+        // A step-driven run publishes external totals on every report;
+        // repeating the publication must not inflate the counters.
+        let mut r = Recorder::new(ModelKind::TransactionLevel);
+        r.set_dram_stats(7, 10);
+        r.set_assertion_errors(2);
+        r.set_dram_stats(7, 10);
+        r.set_assertion_errors(2);
+        let report = r.finish(100, 0.1);
+        assert_eq!(report.bus.dram_row_hits, 7);
+        assert_eq!(report.bus.dram_accesses, 10);
+        assert_eq!(report.bus.assertion_errors, 2);
     }
 
     #[test]

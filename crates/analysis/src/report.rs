@@ -21,6 +21,18 @@ pub enum ModelKind {
     TransactionLevel,
 }
 
+impl ModelKind {
+    /// Short machine-readable identifier (`"rtl"` / `"tlm"`), used for
+    /// benchmark-artifact keys and CLI model filters.
+    #[must_use]
+    pub const fn id(self) -> &'static str {
+        match self {
+            ModelKind::PinAccurateRtl => "rtl",
+            ModelKind::TransactionLevel => "tlm",
+        }
+    }
+}
+
 impl fmt::Display for ModelKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -169,6 +181,19 @@ impl SimReport {
             .map(|m| m.last_completion_cycle)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Whether two reports carry identical simulation metrics — every
+    /// field except the wall-clock time, which depends on the host, not
+    /// the model. This is the equality the determinism and idle-skip
+    /// guarantees are stated in: "bit-identical reports" means
+    /// `metrics_eq`, not `==`.
+    #[must_use]
+    pub fn metrics_eq(&self, other: &SimReport) -> bool {
+        self.model == other.model
+            && self.total_cycles == other.total_cycles
+            && self.masters == other.masters
+            && self.bus == other.bus
     }
 
     /// Renders the report as a human-readable table.
@@ -334,5 +359,17 @@ mod tests {
     fn model_kind_display() {
         assert_eq!(ModelKind::PinAccurateRtl.to_string(), "RTL");
         assert_eq!(ModelKind::TransactionLevel.to_string(), "TL");
+        assert_eq!(ModelKind::PinAccurateRtl.id(), "rtl");
+        assert_eq!(ModelKind::TransactionLevel.id(), "tlm");
+    }
+
+    #[test]
+    fn metrics_eq_ignores_wall_clock_only() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.wall_seconds = a.wall_seconds * 3.0;
+        assert!(a.metrics_eq(&b), "wall clock must not affect metric equality");
+        b.total_cycles += 1;
+        assert!(!a.metrics_eq(&b));
     }
 }

@@ -49,25 +49,32 @@ impl SpeedReport {
         self.tlm_kcycles_per_sec / self.rtl_kcycles_per_sec
     }
 
-    /// Renders the §4 speed table.
+    /// Renders the §4 speed table. Models that were filtered out of the
+    /// measurement (non-finite throughput) are omitted from the table.
     #[must_use]
     pub fn format_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{:<28} {:>16}", "model", "Kcycles/s");
-        let _ = writeln!(
-            out,
-            "{:<28} {:>16.2}",
-            "pin-accurate RTL", self.rtl_kcycles_per_sec
-        );
-        let _ = writeln!(
-            out,
-            "{:<28} {:>16.2}",
-            "transaction-level", self.tlm_kcycles_per_sec
-        );
+        if self.rtl_kcycles_per_sec.is_finite() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>16.2}",
+                "pin-accurate RTL", self.rtl_kcycles_per_sec
+            );
+        }
+        if self.tlm_kcycles_per_sec.is_finite() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>16.2}",
+                "transaction-level", self.tlm_kcycles_per_sec
+            );
+        }
         if let Some(single) = self.tlm_single_master_kcycles_per_sec {
             let _ = writeln!(out, "{:<28} {:>16.2}", "transaction-level (1 master)", single);
         }
-        let _ = writeln!(out, "{:<28} {:>15.1}x", "TL / RTL speed-up", self.speedup());
+        if self.rtl_kcycles_per_sec.is_finite() && self.tlm_kcycles_per_sec.is_finite() {
+            let _ = writeln!(out, "{:<28} {:>15.1}x", "TL / RTL speed-up", self.speedup());
+        }
         out
     }
 }
@@ -86,9 +93,40 @@ pub mod paper_reference {
     pub const SPEEDUP: f64 = 353.0;
 }
 
+/// Canonical model names used by the speed harness. The base names come
+/// from [`crate::report::ModelKind::id`] (what `BusModel::model_name`
+/// reports); configuration variants append a suffix.
+pub mod model_names {
+    /// The pin-accurate RTL reference.
+    pub const RTL: &str = "rtl";
+    /// The transaction-level model, full master set.
+    pub const TLM: &str = "tlm";
+    /// The transaction-level model restricted to a single master.
+    pub const TLM_SINGLE_MASTER: &str = "tlm-single-master";
+    /// The transaction-level model with §3.6 profiling detached.
+    pub const TLM_DETACHED: &str = "tlm-detached";
+}
+
+/// One measured model configuration inside a [`SpeedBenchRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMeasurement {
+    /// Model name as reported by `BusModel::model_name` (plus a variant
+    /// suffix for derived configurations, e.g. `"tlm-single-master"`).
+    pub name: String,
+    /// Simulated bus cycles of the measured run.
+    pub cycles: u64,
+    /// Measured throughput in kilo-cycles per second (best of N runs).
+    pub kcycles_per_sec: f64,
+}
+
 /// A machine-readable record of one speed measurement, emitted by the
 /// benchmark harness as `BENCH_speed.json` so every PR leaves a comparable
 /// perf data point.
+///
+/// The record is a list of named [`ModelMeasurement`]s, so a new backend
+/// measured by the harness appears in the artifact without schema edits.
+/// The flat `rtl_*` / `tlm_*` keys of schema v1 are still emitted (derived
+/// from the list) so cross-PR comparisons keep working.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpeedBenchRecord {
     /// Free-form workload label, e.g. `"pattern_a"`.
@@ -97,25 +135,43 @@ pub struct SpeedBenchRecord {
     pub transactions_per_master: usize,
     /// Workload seed.
     pub seed: u64,
-    /// Simulated bus cycles of the RTL run.
-    pub rtl_cycles: u64,
-    /// Simulated bus cycles of the TLM run.
-    pub tlm_cycles: u64,
-    /// TLM throughput with the §3.6 profiling features detached (the pure
-    /// simulation engine), if measured.
-    pub tlm_detached_kcycles_per_sec: Option<f64>,
-    /// The measured throughput numbers.
-    pub speed: SpeedReport,
+    /// One entry per measured model configuration.
+    pub models: Vec<ModelMeasurement>,
 }
 
 impl SpeedBenchRecord {
+    /// The measurement with the given model name, if it was run.
+    #[must_use]
+    pub fn model(&self, name: &str) -> Option<&ModelMeasurement> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Condenses the measurement list into the three-number §4 summary.
+    /// Models that were not measured appear as NaN / `None` (rendered as
+    /// `null` in JSON and omitted from tables).
+    #[must_use]
+    pub fn speed_report(&self) -> SpeedReport {
+        let throughput = |name: &str| self.model(name).map(|m| m.kcycles_per_sec);
+        SpeedReport {
+            rtl_kcycles_per_sec: throughput(model_names::RTL).unwrap_or(f64::NAN),
+            tlm_kcycles_per_sec: throughput(model_names::TLM).unwrap_or(f64::NAN),
+            tlm_single_master_kcycles_per_sec: throughput(model_names::TLM_SINGLE_MASTER),
+        }
+    }
+
     /// Serializes the record as a self-contained JSON object (no external
     /// serializer available in this build environment; the format is flat
-    /// and stable on purpose).
+    /// and stable on purpose). Every v1 key is preserved; v2 adds the
+    /// per-model `models` array.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let speed = self.speed_report();
+        let cycles_of = |name: &str| self.model(name).map(|m| m.cycles);
+        let json_u64 = |value: Option<u64>| {
+            value.map_or_else(|| "null".to_owned(), |v| v.to_string())
+        };
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-speed/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-speed/v2\",");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(
             out,
@@ -123,43 +179,52 @@ impl SpeedBenchRecord {
             self.transactions_per_master
         );
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
-        let _ = writeln!(out, "  \"rtl_cycles\": {},", self.rtl_cycles);
-        let _ = writeln!(out, "  \"tlm_cycles\": {},", self.tlm_cycles);
+        let _ = writeln!(
+            out,
+            "  \"rtl_cycles\": {},",
+            json_u64(cycles_of(model_names::RTL))
+        );
+        let _ = writeln!(
+            out,
+            "  \"tlm_cycles\": {},",
+            json_u64(cycles_of(model_names::TLM))
+        );
         let _ = writeln!(
             out,
             "  \"rtl_kcycles_per_sec\": {},",
-            json_f64(self.speed.rtl_kcycles_per_sec)
+            json_f64(speed.rtl_kcycles_per_sec)
         );
         let _ = writeln!(
             out,
             "  \"tlm_kcycles_per_sec\": {},",
-            json_f64(self.speed.tlm_kcycles_per_sec)
+            json_f64(speed.tlm_kcycles_per_sec)
         );
-        match self.speed.tlm_single_master_kcycles_per_sec {
-            Some(single) => {
-                let _ = writeln!(
-                    out,
-                    "  \"tlm_single_master_kcycles_per_sec\": {},",
-                    json_f64(single)
-                );
-            }
-            None => {
-                let _ = writeln!(out, "  \"tlm_single_master_kcycles_per_sec\": null,");
-            }
+        let _ = writeln!(
+            out,
+            "  \"tlm_single_master_kcycles_per_sec\": {},",
+            speed
+                .tlm_single_master_kcycles_per_sec
+                .map_or_else(|| "null".to_owned(), json_f64)
+        );
+        let _ = writeln!(
+            out,
+            "  \"tlm_detached_kcycles_per_sec\": {},",
+            self.model(model_names::TLM_DETACHED)
+                .map_or_else(|| "null".to_owned(), |m| json_f64(m.kcycles_per_sec))
+        );
+        let _ = writeln!(out, "  \"speedup\": {},", json_f64(speed.speedup()));
+        let _ = writeln!(out, "  \"models\": [");
+        for (index, model) in self.models.iter().enumerate() {
+            let comma = if index + 1 < self.models.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}}}{comma}",
+                escape_json(&model.name),
+                model.cycles,
+                json_f64(model.kcycles_per_sec)
+            );
         }
-        match self.tlm_detached_kcycles_per_sec {
-            Some(detached) => {
-                let _ = writeln!(
-                    out,
-                    "  \"tlm_detached_kcycles_per_sec\": {},",
-                    json_f64(detached)
-                );
-            }
-            None => {
-                let _ = writeln!(out, "  \"tlm_detached_kcycles_per_sec\": null,");
-            }
-        }
-        let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speed.speedup()));
+        let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"paper_reference\": {{");
         let _ = writeln!(
             out,
@@ -265,39 +330,64 @@ mod tests {
         assert!(speed.speedup().is_infinite());
     }
 
+    fn measurement(name: &str, cycles: u64, kcycles_per_sec: f64) -> ModelMeasurement {
+        ModelMeasurement {
+            name: name.to_owned(),
+            cycles,
+            kcycles_per_sec,
+        }
+    }
+
     #[test]
     fn bench_record_serializes_to_stable_json() {
         let record = SpeedBenchRecord {
             workload: "pattern_a".to_owned(),
             transactions_per_master: 1_000,
             seed: 2005,
-            rtl_cycles: 123_456,
-            tlm_cycles: 123_400,
-            tlm_detached_kcycles_per_sec: Some(70_000.0),
-            speed: SpeedReport {
-                rtl_kcycles_per_sec: 250.5,
-                tlm_kcycles_per_sec: 60_000.0,
-                tlm_single_master_kcycles_per_sec: Some(90_000.0),
-            },
+            models: vec![
+                measurement(model_names::RTL, 123_456, 250.5),
+                measurement(model_names::TLM, 123_400, 60_000.0),
+                measurement(model_names::TLM_SINGLE_MASTER, 60_000, 90_000.0),
+                measurement(model_names::TLM_DETACHED, 123_400, 70_000.0),
+            ],
         };
         let json = record.to_json();
-        assert!(json.contains("\"schema\": \"ahbplus-bench-speed/v1\""));
+        assert!(json.contains("\"schema\": \"ahbplus-bench-speed/v2\""));
         assert!(json.contains("\"workload\": \"pattern_a\""));
+        // v1-compatible flat keys are derived from the model list.
+        assert!(json.contains("\"rtl_cycles\": 123456"));
         assert!(json.contains("\"tlm_kcycles_per_sec\": 60000"));
+        assert!(json.contains("\"tlm_detached_kcycles_per_sec\": 70000"));
         assert!(json.contains("\"paper_reference\""));
         assert!(json.contains("\"speedup\""));
-        // Non-finite numbers must degrade to null, not invalid JSON.
-        let degenerate = SpeedBenchRecord {
-            speed: SpeedReport {
-                rtl_kcycles_per_sec: 0.0,
-                tlm_kcycles_per_sec: 1.0,
-                tlm_single_master_kcycles_per_sec: None,
-            },
-            ..record
+        // v2 per-model array carries every measured configuration by name.
+        assert!(json.contains("{\"name\": \"tlm-single-master\", \"cycles\": 60000"));
+    }
+
+    #[test]
+    fn filtered_record_degrades_missing_models_to_null() {
+        // A harness run filtered to the TLM only must still emit valid
+        // JSON: every key about unmeasured models becomes null.
+        let record = SpeedBenchRecord {
+            workload: "pattern_a".to_owned(),
+            transactions_per_master: 100,
+            seed: 1,
+            models: vec![measurement(model_names::TLM, 50_000, 1_000.0)],
         };
-        let json = degenerate.to_json();
-        assert!(json.contains("\"speedup\": null"));
+        let json = record.to_json();
+        assert!(json.contains("\"rtl_cycles\": null"));
+        assert!(json.contains("\"rtl_kcycles_per_sec\": null"));
+        assert!(json.contains("\"tlm_kcycles_per_sec\": 1000"));
         assert!(json.contains("\"tlm_single_master_kcycles_per_sec\": null"));
+        assert!(json.contains("\"speedup\": null"));
+        let speed = record.speed_report();
+        assert!(speed.rtl_kcycles_per_sec.is_nan());
+        assert!(speed.tlm_single_master_kcycles_per_sec.is_none());
+        // The table omits unmeasured models instead of printing NaN.
+        let table = speed.format_table();
+        assert!(!table.contains("NaN"));
+        assert!(table.contains("transaction-level"));
+        assert!(!table.contains("pin-accurate"));
     }
 
     #[test]

@@ -1,33 +1,74 @@
 //! Regenerates the §4 simulation-speed comparison: Kcycles of simulated bus
-//! time per wall-clock second for the pin-accurate model, the
-//! transaction-level model, and the transaction-level model driven by a
-//! single master, plus the TL/RTL speed-up factor.
+//! time per wall-clock second for every model configuration registered with
+//! the speed harness, plus the TL/RTL speed-up factor.
 //!
-//! Besides the human-readable table, the run emits a machine-readable
-//! `BENCH_speed.json` (schema `ahbplus-bench-speed/v1`) into the current
-//! directory — or the path given as the first CLI argument — so CI can
-//! archive a perf data point per commit and PRs can be compared.
+//! Model names come from the models themselves (`BusModel::model_name`
+//! plus a variant suffix), so a backend registered in
+//! `ahbplus::speed::standard_models` appears here — and in the emitted
+//! `BENCH_speed.json` (schema `ahbplus-bench-speed/v2`, v1-compatible
+//! keys preserved) — without harness edits.
 //!
 //! ```text
-//! cargo run --release -p ahbplus-bench --bin table2_speed [OUTPUT.json]
+//! cargo run --release -p ahbplus-bench --bin table2_speed \
+//!     [OUTPUT.json] [--models rtl,tlm,tlm-single-master,tlm-detached]
 //! ```
+//!
+//! `--models` restricts the measurement to a comma-separated subset;
+//! unmeasured models appear as `null` in the JSON artifact.
 
-use ahbplus::speed::measure_speed_record;
-use ahbplus_bench::{harness_platform, FULL_RUN_TRANSACTIONS};
-use traffic::pattern_a;
+use ahbplus::speed::{measure_models, standard_models};
+use ahbplus::scenario;
 
 fn main() {
-    let output_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_speed.json".to_owned());
+    let mut output_path = "BENCH_speed.json".to_owned();
+    let mut filter: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(list) = arg.strip_prefix("--models=") {
+            filter = Some(list.split(',').map(str::to_owned).collect());
+        } else if arg == "--models" {
+            let Some(list) = args.next() else {
+                eprintln!("--models needs a comma-separated list of model names");
+                std::process::exit(2);
+            };
+            filter = Some(list.split(',').map(str::to_owned).collect());
+        } else if arg.starts_with("--") {
+            // A typo'd flag must not be mistaken for the output path and
+            // silently trigger a full multi-minute measurement.
+            eprintln!("unknown option '{arg}' (usage: table2_speed [OUTPUT.json] [--models a,b,...])");
+            std::process::exit(2);
+        } else {
+            output_path = arg;
+        }
+    }
+
+    let spec = scenario("table2-speed").expect("catalogued speed scenario");
+    let config = spec.resolve().expect("speed scenario resolves");
     println!(
-        "Simulation speed — pattern A, {} transactions per master\n",
-        FULL_RUN_TRANSACTIONS
+        "Simulation speed — {}, {} transactions per master\n",
+        config.pattern.name, config.transactions_per_master
     );
-    let config = harness_platform(pattern_a(), FULL_RUN_TRANSACTIONS);
-    let record = measure_speed_record(&config, "pattern_a");
-    println!("{}", record.speed.format_table());
-    println!("paper reference: RTL 0.47 Kcycles/s, TL 166 Kcycles/s (353x),");
+    let record = match measure_models(
+        &config,
+        "pattern_a",
+        &standard_models(),
+        filter.as_deref(),
+    ) {
+        Ok(record) => record,
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", record.speed_report().format_table());
+    println!("measured models:");
+    for model in &record.models {
+        println!(
+            "  {:<24} {:>12.2} Kcycles/s  ({} cycles)",
+            model.name, model.kcycles_per_sec, model.cycles
+        );
+    }
+    println!("\npaper reference: RTL 0.47 Kcycles/s, TL 166 Kcycles/s (353x),");
     println!("TL with a single master 456 Kcycles/s.");
     println!("Absolute numbers differ (the reference here is a signal-level Rust model,");
     println!("not a commercial HDL simulator on 2005 hardware); the shape — TL orders of");

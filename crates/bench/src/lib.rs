@@ -16,7 +16,9 @@ use ahbplus::PlatformConfig;
 use traffic::TrafficPattern;
 
 /// The workload length (transactions per master) used by the full table
-/// regenerations.
+/// regenerations. The `table2_speed` binary resolves the equivalent
+/// workload from the scenario catalogue (`ahbplus::scenario("table2-speed")`);
+/// this constant remains the length used by `table1_accuracy`.
 pub const FULL_RUN_TRANSACTIONS: usize = 1_000;
 
 /// The workload length used by the criterion benches (kept small so a bench
@@ -42,5 +44,21 @@ mod tests {
         let config = harness_platform(pattern_a(), 10);
         assert_eq!(config.seed, HARNESS_SEED);
         assert_eq!(config.transactions_per_master, 10);
+    }
+
+    #[test]
+    fn speed_scenario_matches_the_harness_constants() {
+        // `table2_speed` resolves its workload from the scenario
+        // catalogue; the perf trajectory across PRs is only comparable if
+        // that scenario pins the same workload as the harness constants.
+        let config = ahbplus::scenario("table2-speed")
+            .expect("catalogued")
+            .resolve()
+            .expect("resolvable");
+        let legacy = harness_platform(pattern_a(), FULL_RUN_TRANSACTIONS);
+        assert_eq!(config.seed, legacy.seed);
+        assert_eq!(config.transactions_per_master, legacy.transactions_per_master);
+        assert_eq!(config.pattern, legacy.pattern);
+        assert_eq!(config.max_cycles, legacy.max_cycles);
     }
 }

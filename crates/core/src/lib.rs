@@ -1,41 +1,73 @@
 //! `ahbplus` — the public façade of the AHB+ bus-architecture models.
 //!
-//! This crate ties the individual subsystems together into the platform the
-//! paper evaluates:
+//! The façade is organized around one idea: **every backend is a
+//! [`BusModel`]**. The pin-accurate reference ([`ahb_rtl::RtlSystem`]) and
+//! the transaction-level model ([`ahb_tlm::TlmSystem`]) implement the same
+//! trait — bounded stepping, a completion predicate, [`Probe`] snapshots
+//! and [`SimReport`]s — so everything above them works for both (and for
+//! any future backend) without special cases:
 //!
-//! * [`platform`] — a single [`PlatformConfig`] describing the bus
-//!   parameters, the DDR device, the traffic pattern and the workload size,
-//!   from which **both** abstraction levels are built: the pin-accurate
-//!   reference ([`ahb_rtl::RtlSystem`]) and the transaction-level model
-//!   ([`ahb_tlm::TlmSystem`]).
+//! * [`platform`] — a single [`PlatformConfig`] describing bus parameters,
+//!   DDR device, traffic pattern and workload size, from which **both**
+//!   abstraction levels (or a boxed [`BusModel`] of either) are built.
+//! * [`mod@scenario`] — declarative [`ScenarioSpec`]s plus the
+//!   named-scenario catalogue: experiments as data, resolved to platforms
+//!   on demand.
+//! * [`simulation`] — run control: the [`Simulation`] stepping driver
+//!   with mid-run snapshots, and [`run_lockstep`] co-simulation that runs
+//!   two models on identical stimulus and reports the first cycle at
+//!   which their observable state diverges — the paper's "simulation
+//!   results were identical" claim as an executable check.
 //! * [`validation`] — the Table-1 experiment: run both models on identical
 //!   stimulus and compare their cycle-count metrics
 //!   ([`analysis::AccuracyReport`]).
-//! * [`speed`] — the §4 speed experiment: wall-clock throughput of both
-//!   models plus the single-master TLM configuration
-//!   ([`analysis::SpeedReport`]).
+//! * [`speed`] — the §4 speed experiment over the registered model set
+//!   ([`analysis::SpeedReport`], `BENCH_speed.json`).
 //!
 //! # Quick start
 //!
 //! ```
-//! use ahbplus::PlatformConfig;
+//! use ahbplus::{scenario, Simulation};
+//! use simkern::time::CycleDelta;
+//!
+//! // Resolve a named scenario into a platform, shrink it for the doc
+//! // test, and drive the fast model with mid-run snapshots.
+//! let spec = scenario("table1-a").expect("catalogued").with_transactions(20);
+//! let mut sim = Simulation::new(spec.resolve().expect("resolvable").build_tlm());
+//! let report = sim.run_with_snapshots(CycleDelta::new(1_000));
+//! assert_eq!(report.total_transactions(), 4 * 20);
+//! assert!(!sim.snapshots().is_empty());
+//! ```
+//!
+//! # Co-simulation
+//!
+//! ```
+//! use ahbplus::{run_lockstep, PlatformConfig};
+//! use simkern::time::CycleDelta;
 //! use traffic::pattern_a;
 //!
-//! // A small platform: pattern A, 20 transactions per master.
-//! let config = PlatformConfig::new(pattern_a(), 20, 42);
-//! let report = config.run_tlm();
-//! assert_eq!(report.total_transactions(), 4 * 20);
+//! let config = PlatformConfig::new(pattern_a(), 15, 42);
+//! let mut rtl = config.build_rtl();
+//! let mut tlm = config.build_tlm();
+//! let outcome = run_lockstep(&mut rtl, &mut tlm, CycleDelta::new(256));
+//! // Across abstraction levels the completed work must be identical even
+//! // when mid-run timing alignment differs.
+//! assert!(outcome.results_match, "{}", outcome.summary());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod platform;
+pub mod scenario;
+pub mod simulation;
 pub mod speed;
 pub mod validation;
 
 pub use platform::PlatformConfig;
-pub use speed::{measure_speed, measure_speed_record};
+pub use scenario::{scenario, scenario_catalogue, ScenarioError, ScenarioSpec};
+pub use simulation::{run_lockstep, Divergence, LockstepReport, Simulation};
+pub use speed::{measure_models, measure_speed, measure_speed_record, standard_models, ModelSpec};
 pub use validation::{validate_pattern, validate_table1, Table1};
 
 // Re-export the building blocks so downstream users need only one
@@ -43,6 +75,6 @@ pub use validation::{validate_pattern, validate_table1, Table1};
 pub use ahb_rtl::{RtlConfig, RtlSystem};
 pub use ahb_tlm::{TlmConfig, TlmSystem};
 pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};
-pub use analysis::{AccuracyReport, SimReport, SpeedReport};
+pub use analysis::{AccuracyReport, BusModel, ModelKind, Probe, SimReport, SpeedReport};
 pub use ddrc::{DdrConfig, DdrController, DdrGeometry, DdrTiming};
 pub use traffic::{pattern_a, pattern_b, pattern_c, MasterProfile, TrafficPattern, Workload};

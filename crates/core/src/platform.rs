@@ -3,7 +3,8 @@
 use ahb_rtl::{RtlConfig, RtlSystem};
 use ahb_tlm::{TlmConfig, TlmSystem};
 use amba::params::AhbPlusParams;
-use analysis::report::SimReport;
+use analysis::model::BusModel;
+use analysis::report::{ModelKind, SimReport};
 use ddrc::DdrConfig;
 use traffic::TrafficPattern;
 
@@ -64,9 +65,20 @@ impl PlatformConfig {
 
     /// Returns a copy restricted to the first `count` masters of the
     /// pattern (the paper's single-master speed measurement uses `count = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0`: a platform without masters cannot run,
+    /// and silently clamping to one master (the old behaviour) made
+    /// sweep bugs invisible. Use [`crate::scenario::ScenarioSpec`] for a
+    /// non-panicking, validated way to express master subsets.
     #[must_use]
     pub fn with_master_subset(mut self, count: usize) -> Self {
-        self.pattern.masters.truncate(count.max(1));
+        assert!(
+            count >= 1,
+            "with_master_subset(0): a platform needs at least one master"
+        );
+        self.pattern.masters.truncate(count);
         self
     }
 
@@ -89,6 +101,7 @@ impl PlatformConfig {
             ddr: self.ddr,
             max_cycles: self.max_cycles,
             protocol_checks: true,
+            idle_skip: true,
         }
     }
 
@@ -112,6 +125,22 @@ impl PlatformConfig {
             self.transactions_per_master,
             self.seed,
         )
+    }
+
+    /// Builds the system of the given abstraction level behind the
+    /// unified [`BusModel`] interface.
+    ///
+    /// Registry and sweep code that treats backends uniformly uses this;
+    /// hot-loop call sites keep the concrete [`PlatformConfig::build_tlm`]
+    /// / [`PlatformConfig::build_rtl`] builders (generics at the driver
+    /// boundary, `dyn` only at the selection boundary — the simulation
+    /// loops themselves are monomorphized either way).
+    #[must_use]
+    pub fn build_model(&self, kind: ModelKind) -> Box<dyn BusModel> {
+        match kind {
+            ModelKind::PinAccurateRtl => Box::new(self.build_rtl()),
+            ModelKind::TransactionLevel => Box::new(self.build_tlm()),
+        }
     }
 
     /// Builds and runs the transaction-level system.
@@ -161,5 +190,25 @@ mod tests {
         assert_eq!(config.pattern.master_count(), 1);
         let report = config.run_tlm();
         assert_eq!(report.masters.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_master_subset_panics_instead_of_clamping() {
+        let _ = PlatformConfig::new(pattern_a(), 10, 1).with_master_subset(0);
+    }
+
+    #[test]
+    fn build_model_yields_both_backends_behind_the_trait() {
+        let config = PlatformConfig::new(pattern_a(), 10, 5);
+        for kind in [ModelKind::PinAccurateRtl, ModelKind::TransactionLevel] {
+            let mut model = config.build_model(kind);
+            assert_eq!(model.kind(), kind);
+            assert_eq!(model.model_name(), kind.id());
+            let report = model.run();
+            assert_eq!(report.model, kind);
+            assert_eq!(report.total_transactions(), 4 * 10);
+            assert!(model.finished());
+        }
     }
 }

@@ -1,0 +1,268 @@
+//! Declarative scenario descriptions and the named-scenario catalogue.
+//!
+//! A [`ScenarioSpec`] describes one complete experiment — traffic pattern
+//! (by registry key), bus parameters, DDR configuration, optional master
+//! subset, workload length, seed and cycle limit — as plain data. Specs
+//! resolve to a [`PlatformConfig`] (and from there to any
+//! [`analysis::BusModel`] backend), so sweeps, examples, benches and
+//! tests iterate over *specs*
+//! instead of hand-wiring configs, and a new scenario is one catalogue
+//! entry instead of edits in five call sites.
+//!
+//! [`scenario_catalogue`] names the standard experiments of the paper's
+//! evaluation (the Table-1 patterns, the §4 speed workload, the QoS
+//! starvation stress, the dual-stream interleaving workload, and the §3.7
+//! design-space baseline); [`scenario`] looks one up by name.
+
+use std::fmt;
+
+use amba::params::AhbPlusParams;
+use ddrc::DdrConfig;
+use traffic::{pattern_by_name, pattern_registry};
+
+use crate::platform::PlatformConfig;
+
+/// Why a scenario could not be resolved into a platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The pattern key does not exist in `traffic::pattern_registry`.
+    UnknownPattern {
+        /// The unresolvable key.
+        requested: String,
+        /// The keys the registry does know.
+        available: Vec<&'static str>,
+    },
+    /// The requested master subset is empty or larger than the pattern.
+    InvalidMasterSubset {
+        /// The requested subset size.
+        requested: usize,
+        /// Masters actually present in the pattern.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownPattern { requested, available } => write!(
+                f,
+                "unknown traffic pattern '{requested}' (available: {})",
+                available.join(", ")
+            ),
+            ScenarioError::InvalidMasterSubset { requested, available } => write!(
+                f,
+                "invalid master subset {requested} (pattern has {available} masters; \
+                 at least 1 required)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One declaratively described experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (catalogue key / report label).
+    pub name: String,
+    /// Traffic pattern registry key (see `traffic::pattern_registry`).
+    pub pattern: String,
+    /// Bus parameters.
+    pub params: AhbPlusParams,
+    /// DDR device and controller configuration.
+    pub ddr: DdrConfig,
+    /// Restrict the pattern to its first `n` masters (`None` = all).
+    pub masters: Option<usize>,
+    /// Transactions each master generates.
+    pub transactions_per_master: usize,
+    /// Workload seed (identical stimulus for every backend).
+    pub seed: u64,
+    /// Hard simulation length limit in bus cycles.
+    pub max_cycles: u64,
+}
+
+impl ScenarioSpec {
+    /// A spec with the default AHB+ bus and DDR over a named pattern.
+    #[must_use]
+    pub fn new(name: &str, pattern: &str, transactions_per_master: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            name: name.to_owned(),
+            pattern: pattern.to_owned(),
+            params: AhbPlusParams::ahb_plus(),
+            ddr: DdrConfig::ahb_plus(),
+            masters: None,
+            transactions_per_master,
+            seed,
+            max_cycles: 20_000_000,
+        }
+    }
+
+    /// Returns a copy with a different name (for sweep variants).
+    #[must_use]
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: AhbPlusParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a different DDR configuration.
+    #[must_use]
+    pub fn with_ddr(mut self, ddr: DdrConfig) -> Self {
+        self.ddr = ddr;
+        self
+    }
+
+    /// Returns a copy restricted to the first `count` masters.
+    #[must_use]
+    pub fn with_masters(mut self, count: usize) -> Self {
+        self.masters = Some(count);
+        self
+    }
+
+    /// Returns a copy with a different workload length.
+    #[must_use]
+    pub fn with_transactions(mut self, transactions_per_master: usize) -> Self {
+        self.transactions_per_master = transactions_per_master;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Resolves the spec into a buildable platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownPattern`] when the pattern key is not
+    /// registered; [`ScenarioError::InvalidMasterSubset`] when the subset
+    /// is zero or exceeds the pattern's master count.
+    pub fn resolve(&self) -> Result<PlatformConfig, ScenarioError> {
+        let pattern = pattern_by_name(&self.pattern).ok_or_else(|| {
+            ScenarioError::UnknownPattern {
+                requested: self.pattern.clone(),
+                available: pattern_registry().into_iter().map(|(key, _)| key).collect(),
+            }
+        })?;
+        let available = pattern.master_count();
+        let config = PlatformConfig::new(pattern, self.transactions_per_master, self.seed)
+            .with_params(self.params.clone())
+            .with_ddr(self.ddr)
+            .with_max_cycles(self.max_cycles);
+        match self.masters {
+            None => Ok(config),
+            Some(count) if count >= 1 && count <= available => {
+                Ok(config.with_master_subset(count))
+            }
+            Some(count) => Err(ScenarioError::InvalidMasterSubset {
+                requested: count,
+                available,
+            }),
+        }
+    }
+}
+
+/// The named scenarios of the standard evaluation.
+#[must_use]
+pub fn scenario_catalogue() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::new("table1-a", "a", 500, 7),
+        ScenarioSpec::new("table1-b", "b", 500, 7),
+        ScenarioSpec::new("table1-c", "c", 500, 7),
+        // The §4 speed workload (pattern A at full length, harness seed).
+        ScenarioSpec::new("table2-speed", "a", 1_000, 2005),
+        ScenarioSpec::new("qos-stress", "qos-stress", 400, 3),
+        ScenarioSpec::new("dual-stream", "dual-stream", 600, 11),
+        // The §3.7 design-space baseline the depth/arbitration sweeps
+        // derive their variants from.
+        ScenarioSpec::new("design-space", "c", 400, 21),
+    ]
+}
+
+/// Looks a catalogue scenario up by name.
+#[must_use]
+pub fn scenario(name: &str) -> Option<ScenarioSpec> {
+    scenario_catalogue().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogue_scenario_resolves() {
+        let catalogue = scenario_catalogue();
+        assert!(catalogue.len() >= 6);
+        for spec in &catalogue {
+            let config = spec.resolve().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(config.pattern.master_count() >= 1, "{}", spec.name);
+            assert_eq!(config.seed, spec.seed);
+            assert_eq!(config.transactions_per_master, spec.transactions_per_master);
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_is_an_explicit_error() {
+        let spec = ScenarioSpec::new("bogus", "no-such-pattern", 10, 1);
+        let error = spec.resolve().unwrap_err();
+        let message = error.to_string();
+        assert!(message.contains("no-such-pattern"));
+        assert!(message.contains("dual-stream"), "lists the valid keys");
+    }
+
+    #[test]
+    fn master_subset_bounds_are_checked() {
+        let zero = ScenarioSpec::new("s", "a", 10, 1).with_masters(0);
+        assert_eq!(
+            zero.resolve().unwrap_err(),
+            ScenarioError::InvalidMasterSubset { requested: 0, available: 4 }
+        );
+        let too_many = ScenarioSpec::new("s", "a", 10, 1).with_masters(9);
+        assert!(too_many.resolve().is_err());
+        let ok = ScenarioSpec::new("s", "a", 10, 1).with_masters(2);
+        assert_eq!(ok.resolve().unwrap().pattern.master_count(), 2);
+    }
+
+    #[test]
+    fn builders_flow_into_the_resolved_config() {
+        let spec = ScenarioSpec::new("s", "a", 10, 1)
+            .with_params(AhbPlusParams::plain_ahb())
+            .with_ddr(DdrConfig::without_interleaving())
+            .with_max_cycles(4_321)
+            .with_seed(99)
+            .with_transactions(17)
+            .named("renamed");
+        assert_eq!(spec.name, "renamed");
+        let config = spec.resolve().unwrap();
+        assert!(!config.params.request_pipelining);
+        assert!(!config.ddr.honour_prepare_hints);
+        assert_eq!(config.max_cycles, 4_321);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.transactions_per_master, 17);
+    }
+
+    #[test]
+    fn resolved_scenarios_run_on_both_backends() {
+        let spec = scenario("table1-a").unwrap().with_transactions(15);
+        let config = spec.resolve().unwrap();
+        let rtl = config.run_rtl();
+        let tlm = config.run_tlm();
+        assert_eq!(rtl.total_transactions(), tlm.total_transactions());
+    }
+}

@@ -1,0 +1,259 @@
+//! Run control: bounded stepping with snapshots and lockstep
+//! co-simulation.
+//!
+//! [`Simulation`] wraps any [`BusModel`] and drives it in bounded slices,
+//! collecting a [`Probe`] after each one — the "attach a logic analyzer to
+//! the run" workflow that the one-shot `run()` cannot give.
+//!
+//! [`run_lockstep`] operationalizes the paper's validation methodology:
+//! the §4 experiment runs the pin-accurate and the transaction-level
+//! model on identical stimulus and reports that "the simulation results
+//! were identical". Lockstep co-simulation advances *two* models over the
+//! same horizon schedule, compares their observable state at every
+//! horizon, and reports the first cycle at which they diverge (or that
+//! they never do) plus whether the end-of-run results match. Between two
+//! cycle-accurate instances (e.g. idle-skip on vs off) the expectation is
+//! bit-identity at every horizon; between abstraction levels, transient
+//! mid-run divergence with matching final results is the expected — and
+//! now measurable — shape.
+//!
+//! Both drivers are generic over the model type, so the per-cycle /
+//! per-transaction hot loops stay monomorphized; nothing here dispatches
+//! dynamically inside a run.
+
+use analysis::model::{BusModel, Probe};
+use analysis::report::SimReport;
+use simkern::time::{Cycle, CycleDelta};
+
+/// A stepping driver around one [`BusModel`], accumulating mid-run
+/// snapshots.
+#[derive(Debug)]
+pub struct Simulation<M: BusModel> {
+    model: M,
+    snapshots: Vec<Probe>,
+}
+
+impl<M: BusModel> Simulation<M> {
+    /// Wraps a freshly built model.
+    #[must_use]
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Whether the model can make further progress.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.model.finished()
+    }
+
+    /// Advances by at most `cycles`, records a snapshot, and returns it.
+    pub fn step(&mut self, cycles: CycleDelta) -> Probe {
+        self.model.step(cycles);
+        let probe = self.model.probe();
+        self.snapshots.push(probe);
+        probe
+    }
+
+    /// Runs to completion in `stride`-sized slices, recording a snapshot
+    /// after each slice, and returns the final report.
+    pub fn run_with_snapshots(&mut self, stride: CycleDelta) -> SimReport {
+        while !self.model.finished() {
+            self.step(stride);
+        }
+        self.model.report()
+    }
+
+    /// The snapshots collected so far, in step order.
+    #[must_use]
+    pub fn snapshots(&self) -> &[Probe] {
+        &self.snapshots
+    }
+
+    /// Final report plus the collected snapshots, consuming the driver.
+    pub fn into_report(mut self) -> (SimReport, Vec<Probe>) {
+        (self.model.report(), self.snapshots)
+    }
+}
+
+/// The first observed divergence of a lockstep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The horizon cycle at which the divergence was observed. The
+    /// resolution is the lockstep stride: the true first divergent cycle
+    /// lies in `(cycle - stride, cycle]`.
+    pub cycle: u64,
+    /// The probe fields that differed.
+    pub fields: Vec<&'static str>,
+    /// Snapshot of the first model at the divergence horizon.
+    pub a: Probe,
+    /// Snapshot of the second model at the divergence horizon.
+    pub b: Probe,
+}
+
+/// The outcome of a lockstep co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockstepReport {
+    /// Comparison stride in cycles.
+    pub stride: u64,
+    /// Number of horizons compared.
+    pub horizons: u64,
+    /// First horizon at which the observable state differed, if any.
+    pub first_divergence: Option<Divergence>,
+    /// Whether the end-of-run *results* match ([`Probe::results_match`]):
+    /// same completed transactions, bytes and beats, clean assertions on
+    /// both sides — the paper's "results identical" claim.
+    pub results_match: bool,
+    /// Final report of the first model.
+    pub a: SimReport,
+    /// Final report of the second model.
+    pub b: SimReport,
+}
+
+impl LockstepReport {
+    /// `true` when the two models never observably diverged at any
+    /// compared horizon.
+    #[must_use]
+    pub fn is_identical(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        match &self.first_divergence {
+            None => format!(
+                "lockstep: no divergence over {} horizons (stride {}), results match: {}",
+                self.horizons, self.stride, self.results_match
+            ),
+            Some(d) => format!(
+                "lockstep: first divergence at cycle <= {} in [{}], results match: {}",
+                d.cycle,
+                d.fields.join(", "),
+                self.results_match
+            ),
+        }
+    }
+}
+
+/// Runs two models on lockstep horizons and compares their observable
+/// state at every horizon.
+///
+/// Both models must have been built from identical stimulus for the
+/// comparison to be meaningful. The drive loop continues past the first
+/// divergence so the final reports (and the end-of-run results check)
+/// always cover complete runs.
+pub fn run_lockstep<A: BusModel, B: BusModel>(
+    a: &mut A,
+    b: &mut B,
+    stride: CycleDelta,
+) -> LockstepReport {
+    assert!(stride > CycleDelta::ZERO, "lockstep stride must be positive");
+    let mut first_divergence = None;
+    let mut horizons = 0u64;
+    let mut horizon = Cycle::ZERO;
+    while !(a.finished() && b.finished()) {
+        horizon += stride;
+        a.run_until(horizon);
+        b.run_until(horizon);
+        horizons += 1;
+        if first_divergence.is_none() {
+            let pa = a.probe();
+            let pb = b.probe();
+            let fields = pa.divergence(&pb);
+            if !fields.is_empty() {
+                first_divergence = Some(Divergence {
+                    cycle: horizon.value(),
+                    fields,
+                    a: pa,
+                    b: pb,
+                });
+            }
+        }
+    }
+    let results_match = a.probe().results_match(&b.probe());
+    LockstepReport {
+        stride: stride.value(),
+        horizons,
+        first_divergence,
+        results_match,
+        a: a.report(),
+        b: b.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+    use traffic::pattern_a;
+
+    fn config() -> PlatformConfig {
+        PlatformConfig::new(pattern_a(), 25, 11)
+    }
+
+    #[test]
+    fn stepped_simulation_snapshots_are_monotone_and_complete() {
+        let mut sim = Simulation::new(config().build_tlm());
+        let report = sim.run_with_snapshots(CycleDelta::new(500));
+        assert!(!sim.snapshots().is_empty());
+        for pair in sim.snapshots().windows(2) {
+            assert!(pair[0].transactions <= pair[1].transactions);
+            assert!(pair[0].bytes <= pair[1].bytes);
+        }
+        let last = sim.snapshots().last().unwrap();
+        assert_eq!(last.transactions, report.total_transactions());
+        // The stepped run must agree with a one-shot run of the same
+        // platform.
+        let one_shot = config().run_tlm();
+        assert!(report.metrics_eq(&one_shot));
+    }
+
+    #[test]
+    fn lockstep_of_identical_models_never_diverges() {
+        let mut a = config().build_rtl();
+        let mut b = config().build_rtl();
+        let outcome = run_lockstep(&mut a, &mut b, CycleDelta::new(64));
+        assert!(outcome.is_identical(), "{}", outcome.summary());
+        assert!(outcome.results_match);
+        assert!(outcome.a.metrics_eq(&outcome.b));
+        assert!(outcome.horizons > 0);
+        assert!(outcome.summary().contains("no divergence"));
+    }
+
+    #[test]
+    fn lockstep_across_abstraction_levels_matches_final_results() {
+        // RTL vs TLM: mid-run timing alignment differs (that is the point
+        // of the abstraction), but the completed work must be identical.
+        let mut rtl = config().build_rtl();
+        let mut tlm = config().build_tlm();
+        let outcome = run_lockstep(&mut rtl, &mut tlm, CycleDelta::new(256));
+        assert!(outcome.results_match, "{}", outcome.summary());
+        assert_eq!(outcome.a.total_transactions(), outcome.b.total_transactions());
+        assert_eq!(outcome.a.total_bytes(), outcome.b.total_bytes());
+    }
+
+    #[test]
+    fn lockstep_pinpoints_a_seeded_divergence() {
+        // Different stimulus seeds must be caught as a divergence.
+        let mut a = config().build_tlm();
+        let mut b = PlatformConfig::new(pattern_a(), 25, 12).build_tlm();
+        let outcome = run_lockstep(&mut a, &mut b, CycleDelta::new(128));
+        let divergence = outcome.first_divergence.as_ref().expect("seeds differ");
+        assert!(!divergence.fields.is_empty());
+        assert!(outcome.summary().contains("first divergence"));
+    }
+}

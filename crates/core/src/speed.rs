@@ -1,71 +1,193 @@
 //! The §4 simulation-speed experiment.
 //!
-//! Measures the wall-clock throughput (kilo-cycles of simulated bus time per
-//! second of host time) of the pin-accurate model, the transaction-level
-//! model, and the transaction-level model driven by a single master — the
-//! three numbers the paper reports as 0.47, 166 and 456 Kcycles/s (a 353×
-//! speed-up).
+//! Measures the wall-clock throughput (kilo-cycles of simulated bus time
+//! per second of host time) of every registered model configuration — the
+//! paper reports 0.47 Kcycles/s (pin-accurate), 166 Kcycles/s
+//! (transaction-level, 353×) and 456 Kcycles/s (single master).
+//!
+//! The harness is written against the [`BusModel`] trait: each
+//! measurement entry is a named builder returning a boxed model, and the
+//! model's *own* [`BusModel::model_name`] provides the name under which
+//! it appears in tables, filters and `BENCH_speed.json`. Registering a
+//! new backend in [`standard_models`] (or passing a custom list to
+//! [`measure_models`]) is all it takes for it to show up everywhere —
+//! the harness binaries never change. Dynamic dispatch happens once per
+//! run; the simulation loops inside `run_until` stay monomorphized.
 
-use analysis::speed::{SpeedBenchRecord, SpeedReport};
+use analysis::model::BusModel;
+use analysis::report::SimReport;
+use analysis::speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};
 
 use crate::platform::PlatformConfig;
 
-/// Runs the three speed measurements on the given platform.
-///
-/// The RTL and TLM runs use the full master set of `config`; the third run
-/// truncates the pattern to its first master, mirroring the paper's
-/// single-master measurement of the bus model's pure performance.
-#[must_use]
-pub fn measure_speed(config: &PlatformConfig) -> SpeedReport {
-    measure_speed_record(config, "ad-hoc").speed
+/// Builds a fresh boxed model from a platform configuration.
+type ModelBuilder = Box<dyn Fn(&PlatformConfig) -> Box<dyn BusModel>>;
+
+/// One measurable model configuration: how to build it from a platform,
+/// plus an optional variant suffix appended to the model's own name
+/// (e.g. `"tlm"` + `"single-master"` → `"tlm-single-master"`).
+pub struct ModelSpec {
+    variant: Option<&'static str>,
+    build: ModelBuilder,
 }
 
-/// Number of repetitions per model in [`measure_speed_record`]; the fastest
-/// run is reported. The runs are short (milliseconds), so a single sample
-/// is dominated by scheduler noise — best-of-N reports the machine's actual
-/// capability and is stable across invocations.
+impl ModelSpec {
+    /// A spec measuring the plain model produced by `build`.
+    #[must_use]
+    pub fn new(build: impl Fn(&PlatformConfig) -> Box<dyn BusModel> + 'static) -> Self {
+        ModelSpec {
+            variant: None,
+            build: Box::new(build),
+        }
+    }
+
+    /// A spec measuring a derived configuration; `variant` is appended to
+    /// the model's [`BusModel::model_name`].
+    #[must_use]
+    pub fn variant(
+        variant: &'static str,
+        build: impl Fn(&PlatformConfig) -> Box<dyn BusModel> + 'static,
+    ) -> Self {
+        ModelSpec {
+            variant: Some(variant),
+            build: Box::new(build),
+        }
+    }
+
+    /// Builds a fresh model for one measurement run.
+    #[must_use]
+    pub fn build(&self, config: &PlatformConfig) -> Box<dyn BusModel> {
+        (self.build)(config)
+    }
+
+    /// The name an already-built model is measured under (its own
+    /// [`BusModel::model_name`] plus this spec's variant suffix).
+    #[must_use]
+    pub fn qualified_name(&self, model: &dyn BusModel) -> String {
+        let base = model.model_name();
+        match self.variant {
+            None => base.to_owned(),
+            Some(variant) => format!("{base}-{variant}"),
+        }
+    }
+
+    /// The name this spec is measured under (builds a throwaway instance
+    /// to ask it; [`measure_models`] instead reuses its first measurement
+    /// build for this).
+    #[must_use]
+    pub fn name(&self, config: &PlatformConfig) -> String {
+        self.qualified_name(self.build(config).as_ref())
+    }
+}
+
+/// The standard measurement set: the pin-accurate reference, the
+/// transaction-level model, the paper's single-master TLM configuration,
+/// and the TLM with the §3.6 profiling features detached.
+#[must_use]
+pub fn standard_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::new(|config| Box::new(config.build_rtl())),
+        ModelSpec::new(|config| Box::new(config.build_tlm())),
+        ModelSpec::variant("single-master", |config| {
+            Box::new(config.clone().with_master_subset(1).build_tlm())
+        }),
+        ModelSpec::variant("detached", |config| {
+            Box::new(ahb_tlm::TlmSystem::from_pattern(
+                config.tlm_config().with_profiling(false),
+                &config.pattern,
+                config.transactions_per_master,
+                config.seed,
+            ))
+        }),
+    ]
+}
+
+/// Number of repetitions per model; the fastest run is reported. The runs
+/// are short (milliseconds), so a single sample is dominated by scheduler
+/// noise — best-of-N reports the machine's actual capability and is
+/// stable across invocations.
 pub const SPEED_MEASUREMENT_REPS: usize = 5;
 
-/// Runs the speed measurements and packages them as a machine-readable
-/// benchmark record (the `BENCH_speed.json` payload).
+/// Measures the given model specs on `config`, optionally restricted to
+/// the model names in `filter` (as printed in tables and accepted by the
+/// `table2_speed --models` flag). Unknown filter names are reported back
+/// as an error listing what is measurable.
 ///
-/// Four configurations are measured, each [`SPEED_MEASUREMENT_REPS`] times
-/// with the fastest run kept: the pin-accurate RTL model, the
-/// transaction-level model, the TLM restricted to a single master (the
-/// paper's third Table 2 row), and the TLM with the §3.6 profiling
-/// features detached (the pure simulation engine).
-#[must_use]
-pub fn measure_speed_record(config: &PlatformConfig, workload: &str) -> SpeedBenchRecord {
-    let rtl = best_of(SPEED_MEASUREMENT_REPS, || config.run_rtl());
-    let tlm = best_of(SPEED_MEASUREMENT_REPS, || config.run_tlm());
-    let single = {
-        let subset = config.clone().with_master_subset(1);
-        best_of(SPEED_MEASUREMENT_REPS, move || subset.run_tlm())
-    };
-    let detached = best_of(SPEED_MEASUREMENT_REPS, || {
-        let mut system = ahb_tlm::TlmSystem::from_pattern(
-            config.tlm_config().with_profiling(false),
-            &config.pattern,
-            config.transactions_per_master,
-            config.seed,
-        );
-        system.run()
-    });
-    SpeedBenchRecord {
+/// # Errors
+///
+/// Returns the offending name and the available names when `filter`
+/// contains a model that no spec produces.
+pub fn measure_models(
+    config: &PlatformConfig,
+    workload: &str,
+    specs: &[ModelSpec],
+    filter: Option<&[String]>,
+) -> Result<SpeedBenchRecord, String> {
+    // One prototype per spec: it supplies the trait-reported name (for
+    // filter validation and the artifact) and doubles as the first
+    // measurement run, so asking for names costs no extra construction
+    // for models that are actually measured.
+    let mut prototypes: Vec<Option<Box<dyn BusModel>>> =
+        specs.iter().map(|spec| Some(spec.build(config))).collect();
+    let available: Vec<String> = specs
+        .iter()
+        .zip(&prototypes)
+        .map(|(spec, proto)| spec.qualified_name(proto.as_deref().expect("unused prototype")))
+        .collect();
+    if let Some(wanted) = filter {
+        for name in wanted {
+            if !available.iter().any(|a| a == name) {
+                return Err(format!(
+                    "unknown model '{name}' (available: {})",
+                    available.join(", ")
+                ));
+            }
+        }
+    }
+    let mut models = Vec::new();
+    for ((spec, name), prototype) in specs.iter().zip(available).zip(&mut prototypes) {
+        if let Some(wanted) = filter {
+            if !wanted.contains(&name) {
+                continue;
+            }
+        }
+        let report = best_of(SPEED_MEASUREMENT_REPS, || match prototype.take() {
+            Some(mut model) => model.run(),
+            None => spec.build(config).run(),
+        });
+        models.push(ModelMeasurement {
+            name,
+            cycles: report.total_cycles,
+            kcycles_per_sec: report.kcycles_per_second(),
+        });
+    }
+    Ok(SpeedBenchRecord {
         workload: workload.to_owned(),
         transactions_per_master: config.transactions_per_master,
         seed: config.seed,
-        rtl_cycles: rtl.total_cycles,
-        tlm_cycles: tlm.total_cycles,
-        tlm_detached_kcycles_per_sec: Some(detached.kcycles_per_second()),
-        speed: SpeedReport::from_reports(&rtl, &tlm, Some(&single)),
-    }
+        models,
+    })
+}
+
+/// Runs the full standard measurement set and packages it as the
+/// `BENCH_speed.json` payload.
+#[must_use]
+pub fn measure_speed_record(config: &PlatformConfig, workload: &str) -> SpeedBenchRecord {
+    measure_models(config, workload, &standard_models(), None)
+        .expect("unfiltered measurement cannot name unknown models")
+}
+
+/// Runs the standard measurements and condenses them into the
+/// three-number §4 summary.
+#[must_use]
+pub fn measure_speed(config: &PlatformConfig) -> SpeedReport {
+    measure_speed_record(config, "ad-hoc").speed_report()
 }
 
 /// Runs `run` `reps` times and keeps the report with the highest
 /// throughput (each run constructs a fresh system, so state never leaks
 /// between repetitions).
-fn best_of(reps: usize, mut run: impl FnMut() -> analysis::report::SimReport) -> analysis::report::SimReport {
+fn best_of(reps: usize, mut run: impl FnMut() -> SimReport) -> SimReport {
     let mut best = run();
     for _ in 1..reps.max(1) {
         let candidate = run();
@@ -79,6 +201,7 @@ fn best_of(reps: usize, mut run: impl FnMut() -> analysis::report::SimReport) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use analysis::speed::model_names;
     use traffic::pattern_a;
 
     #[test]
@@ -93,5 +216,45 @@ mod tests {
         );
         assert!(speed.speedup() > 1.0);
         assert!(speed.tlm_single_master_kcycles_per_sec.is_some());
+    }
+
+    #[test]
+    fn model_names_come_from_the_trait() {
+        let config = PlatformConfig::new(pattern_a(), 10, 1);
+        let names: Vec<String> = standard_models()
+            .iter()
+            .map(|spec| spec.name(&config))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                model_names::RTL,
+                model_names::TLM,
+                model_names::TLM_SINGLE_MASTER,
+                model_names::TLM_DETACHED,
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_restricts_the_measured_set() {
+        let config = PlatformConfig::new(pattern_a(), 20, 13);
+        let filter = vec![model_names::TLM.to_owned()];
+        let record =
+            measure_models(&config, "t", &standard_models(), Some(&filter)).expect("valid filter");
+        assert_eq!(record.models.len(), 1);
+        assert_eq!(record.models[0].name, model_names::TLM);
+        assert!(record.model(model_names::RTL).is_none());
+        // The derived summary degrades unmeasured models gracefully.
+        assert!(record.speed_report().rtl_kcycles_per_sec.is_nan());
+    }
+
+    #[test]
+    fn unknown_filter_names_are_rejected_with_the_available_list() {
+        let config = PlatformConfig::new(pattern_a(), 10, 1);
+        let filter = vec!["warp-drive".to_owned()];
+        let error = measure_models(&config, "t", &standard_models(), Some(&filter)).unwrap_err();
+        assert!(error.contains("warp-drive"));
+        assert!(error.contains(model_names::TLM_SINGLE_MASTER));
     }
 }

@@ -13,7 +13,7 @@
 //! class kernels and calendar-queue DES schedulers use for near-monotone
 //! event distributions), not a binary heap:
 //!
-//! * [`LEVELS`] wheel levels of [`SLOTS`] slots each. An event lands on the
+//! * `LEVELS` (4) wheel levels of `SLOTS` (64) slots each. An event lands on the
 //!   level given by the highest bit in which its firing time differs from
 //!   the wheel cursor, so level 0 resolves single cycles and each level up
 //!   widens the span by 64×. Schedule and pop are O(1) amortized for events

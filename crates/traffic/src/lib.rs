@@ -35,6 +35,9 @@ pub mod pattern;
 pub mod profile;
 pub mod trace;
 
-pub use pattern::{pattern_a, pattern_b, pattern_c, TrafficPattern};
+pub use pattern::{
+    pattern_a, pattern_b, pattern_by_name, pattern_c, pattern_dual_stream, pattern_qos_stress,
+    pattern_registry, TrafficPattern,
+};
 pub use profile::{MasterKind, MasterProfile, ReleasePolicy};
 pub use trace::{Release, TraceItem, TrafficTrace, Workload};

@@ -14,6 +14,14 @@
 //!
 //! Each pattern is a list of `(MasterId, MasterProfile)` pairs plus a label;
 //! the platform layer turns it into workloads with a common seed.
+//!
+//! Beyond the Table-1 catalogue, two stress patterns that used to be
+//! re-built by hand in every example and test are first-class here: the
+//! QoS starvation stress ([`pattern_qos_stress`]) and the dual-stream bank
+//! interleaving workload ([`pattern_dual_stream`]). All named patterns are
+//! reachable through the string-keyed [`pattern_registry`] /
+//! [`pattern_by_name`], which is what declarative scenario descriptions
+//! resolve against.
 
 use amba::ids::{Addr, MasterId};
 
@@ -46,6 +54,34 @@ impl TrafficPattern {
     pub fn table1_catalogue() -> Vec<TrafficPattern> {
         vec![pattern_a(), pattern_b(), pattern_c()]
     }
+}
+
+/// A registered pattern constructor.
+pub type PatternConstructor = fn() -> TrafficPattern;
+
+/// The registry of named traffic patterns: `(key, constructor)` pairs.
+///
+/// Scenario descriptions reference patterns by these keys, so adding a
+/// pattern here makes it available to every spec-driven example, sweep and
+/// test without further wiring.
+#[must_use]
+pub fn pattern_registry() -> Vec<(&'static str, PatternConstructor)> {
+    vec![
+        ("a", pattern_a as PatternConstructor),
+        ("b", pattern_b),
+        ("c", pattern_c),
+        ("qos-stress", pattern_qos_stress),
+        ("dual-stream", pattern_dual_stream),
+    ]
+}
+
+/// Resolves a registry key to its pattern, or `None` for unknown keys.
+#[must_use]
+pub fn pattern_by_name(name: &str) -> Option<TrafficPattern> {
+    pattern_registry()
+        .into_iter()
+        .find(|(key, _)| *key == name)
+        .map(|(_, build)| build())
 }
 
 /// Pattern A — balanced multimedia platform load.
@@ -99,6 +135,55 @@ pub fn pattern_c() -> TrafficPattern {
             (MasterId::new(1), MasterProfile::video_realtime()),
             (MasterId::new(2), MasterProfile::dma_stream().with_read_permille(200)),
             (MasterId::new(3), busy_writer),
+        ],
+    }
+}
+
+/// QoS starvation stress (paper §2): the real-time video master is demoted
+/// to the *worst* fixed priority while two back-to-back DMA streams and a
+/// busy block writer hammer the bus — only the QoS filter chain can keep
+/// the video master inside its latency objective.
+#[must_use]
+pub fn pattern_qos_stress() -> TrafficPattern {
+    let mut video = MasterProfile::video_realtime();
+    video.fixed_priority = 7; // worst priority: only the QoS filters can save it
+    let aggressive_dma = MasterProfile::dma_stream().with_release(ReleasePolicy::ClosedLoop {
+        min_gap: 0,
+        max_gap: 2,
+    });
+    let second_dma = aggressive_dma
+        .clone()
+        .with_region(Addr::new(0x2400_0000), 0x0100_0000);
+    let busy_writer = MasterProfile::block_writer().with_release(ReleasePolicy::ClosedLoop {
+        min_gap: 0,
+        max_gap: 8,
+    });
+    TrafficPattern {
+        name: "qos stress",
+        masters: vec![
+            (MasterId::new(0), aggressive_dma),
+            (MasterId::new(1), video),
+            (MasterId::new(2), second_dma),
+            (MasterId::new(3), busy_writer),
+        ],
+    }
+}
+
+/// Dual-stream interleaving workload (paper §2): two DMA streams working
+/// in different DRAM banks — the ideal candidate for the Bus Interface's
+/// next-transaction bank preparation.
+#[must_use]
+pub fn pattern_dual_stream() -> TrafficPattern {
+    TrafficPattern {
+        name: "dual stream",
+        masters: vec![
+            (MasterId::new(0), MasterProfile::dma_stream()),
+            (
+                MasterId::new(1),
+                MasterProfile::dma_stream().with_region(Addr::new(0x2400_0000), 0x0100_0000),
+            ),
+            (MasterId::new(2), MasterProfile::video_realtime()),
+            (MasterId::new(3), MasterProfile::block_writer()),
         ],
     }
 }
@@ -163,6 +248,34 @@ mod tests {
             .collect();
         assert_eq!(dma_regions.len(), 2);
         assert_ne!(dma_regions[0], dma_regions[1]);
+    }
+
+    #[test]
+    fn registry_resolves_every_named_pattern() {
+        let registry = pattern_registry();
+        assert_eq!(registry.len(), 5);
+        for (key, build) in &registry {
+            let from_key = pattern_by_name(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert_eq!(from_key, build(), "{key} must resolve to its constructor");
+            assert!(from_key.master_count() >= 1);
+        }
+        assert!(pattern_by_name("no-such-pattern").is_none());
+    }
+
+    #[test]
+    fn stress_patterns_keep_the_standard_master_set_shape() {
+        for pattern in [pattern_qos_stress(), pattern_dual_stream()] {
+            assert_eq!(pattern.master_count(), 4, "{}", pattern.name);
+            let real_time = pattern
+                .masters
+                .iter()
+                .filter(|(_, p)| p.class == MasterClass::RealTime)
+                .count();
+            assert_eq!(real_time, 1, "{}", pattern.name);
+        }
+        // The stress pattern's whole point: worst fixed priority on video.
+        let video = pattern_qos_stress().masters[1].1.clone();
+        assert_eq!(video.fixed_priority, 7);
     }
 
     #[test]

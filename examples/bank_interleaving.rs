@@ -3,46 +3,30 @@
 //! is pre-charged/activated in advance, hiding inter-transaction latency and
 //! raising bus utilization.
 //!
+//! Uses the catalogued `dual-stream` scenario (two DMA streams in
+//! different DRAM banks) and reads all DRAM/bus counters from the uniform
+//! `BusModel::probe` surface.
+//!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ahbplus --example bank_interleaving
+//! cargo run --release -p ahbplus-repro --example bank_interleaving
 //! ```
 
-use ahbplus::{AhbPlusParams, DdrConfig, PlatformConfig};
-use amba::ids::{Addr, MasterId};
-use traffic::{MasterProfile, TrafficPattern};
-
-/// Two streaming masters working in different DRAM banks: the ideal
-/// candidate for bank interleaving.
-fn streaming_pattern() -> TrafficPattern {
-    TrafficPattern {
-        name: "dual stream",
-        masters: vec![
-            (MasterId::new(0), MasterProfile::dma_stream()),
-            (
-                MasterId::new(1),
-                MasterProfile::dma_stream().with_region(Addr::new(0x2400_0000), 0x0100_0000),
-            ),
-            (MasterId::new(2), MasterProfile::video_realtime()),
-            (MasterId::new(3), MasterProfile::block_writer()),
-        ],
-    }
-}
+use ahbplus::{scenario, AhbPlusParams, DdrConfig};
 
 fn run(label: &str, bi_hints: bool) {
-    let params = AhbPlusParams::ahb_plus().with_bi_hints(bi_hints);
-    let ddr = if bi_hints {
-        DdrConfig::ahb_plus()
-    } else {
-        DdrConfig::without_interleaving()
-    };
-    let config = PlatformConfig::new(streaming_pattern(), 600, 11)
-        .with_params(params)
-        .with_ddr(ddr);
-    let mut system = config.build_tlm();
+    let spec = scenario("dual-stream")
+        .expect("catalogued scenario")
+        .with_params(AhbPlusParams::ahb_plus().with_bi_hints(bi_hints))
+        .with_ddr(if bi_hints {
+            DdrConfig::ahb_plus()
+        } else {
+            DdrConfig::without_interleaving()
+        });
+    let mut system = spec.resolve().expect("scenario resolves").build_tlm();
     let report = system.run();
-    let stats = system.ddr().stats();
+    let probe = system.probe();
     // Completion of the streaming masters (the periodic video master always
     // runs to its fixed schedule and would mask the difference).
     let streams_done = report
@@ -55,9 +39,9 @@ fn run(label: &str, bi_hints: bool) {
     println!(
         "{label:<26} streams done {:>8}  bus busy {:>8} cycles  DRAM hit rate {:>5.1}%  prepared hits {:>5}",
         streams_done,
-        report.bus.busy_cycles,
-        stats.hit_rate() * 100.0,
-        stats.prepared_hits.value()
+        probe.busy_cycles,
+        probe.dram_hit_rate() * 100.0,
+        probe.dram_prepared_hits
     );
 }
 

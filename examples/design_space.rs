@@ -2,6 +2,12 @@
 //! sweep the write-buffer depth and the arbitration configuration and watch
 //! how completion time, utilization and the real-time master's latency move.
 //!
+//! The sweep iterates over declarative `ScenarioSpec` variants derived
+//! from the catalogued `design-space` baseline — each configuration point
+//! is data, not hand-wired setup code — and every point runs through the
+//! unified `BusModel` facade, so swapping in a different backend (or
+//! comparing two) needs no changes here.
+//!
 //! This is the use case transaction-level modeling exists for: each
 //! configuration point takes milliseconds instead of the minutes a
 //! pin-accurate run would need.
@@ -9,66 +15,84 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ahbplus --example design_space
+//! cargo run --release -p ahbplus-repro --example design_space
 //! ```
 
-use ahbplus::{AhbPlusParams, ArbiterConfig, ArbitrationFilter, PlatformConfig};
-use traffic::pattern_c;
+use ahbplus::{scenario, AhbPlusParams, ArbiterConfig, ArbitrationFilter, ScenarioSpec};
 
-fn run(label: &str, params: AhbPlusParams) {
-    let config = PlatformConfig::new(pattern_c(), 400, 21).with_params(params);
-    let report = config.run_tlm();
-    let video = report
-        .masters
-        .values()
-        .find(|m| m.label == "video")
-        .expect("video master");
-    // Completion of everything except the fixed-schedule video master.
-    let workload_done = report
-        .masters
-        .values()
-        .filter(|m| m.label != "video")
-        .map(|m| m.last_completion_cycle)
-        .max()
-        .unwrap_or(0);
-    println!(
-        "{label:<34} workload done {:>8}  bus busy {:>8}  wbuf hits {:>5}  video avg lat {:>6.1}",
-        workload_done,
-        report.bus.busy_cycles,
-        report.bus.write_buffer_hits,
-        video.avg_latency
-    );
+/// The sweep, one section per dimension explored.
+fn sweep() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
+    let base = scenario("design-space").expect("catalogued baseline");
+    let depths = [0usize, 2, 4, 8]
+        .into_iter()
+        .map(|depth| {
+            base.clone()
+                .named(&format!("write buffer depth {depth}"))
+                .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(depth))
+        })
+        .collect();
+    let ablations = vec![
+        base.clone().named("full AHB+"),
+        base.clone()
+            .named("no request pipelining")
+            .with_params(AhbPlusParams::ahb_plus().with_request_pipelining(false)),
+        base.clone().named("no bank-affinity filter").with_params(
+            AhbPlusParams::ahb_plus()
+                .with_arbiter(ArbiterConfig::ahb_plus().without(ArbitrationFilter::BankAffinity)),
+        ),
+        base.clone().named("no QoS filters").with_params(
+            AhbPlusParams::ahb_plus().with_arbiter(
+                ArbiterConfig::ahb_plus()
+                    .without(ArbitrationFilter::QosUrgency)
+                    .without(ArbitrationFilter::RealTimeClass),
+            ),
+        ),
+        base.named("plain AMBA 2.0 AHB")
+            .with_params(AhbPlusParams::plain_ahb()),
+    ];
+    vec![
+        ("-- write buffer depth sweep (all filters on) --", depths),
+        ("-- arbitration / feature ablations --", ablations),
+    ]
 }
 
 fn main() {
-    println!("write-heavy pattern C, 400 transactions per master\n");
-
-    println!("-- write buffer depth sweep (all filters on) --");
-    for depth in [0usize, 2, 4, 8] {
-        run(
-            &format!("write buffer depth {depth}"),
-            AhbPlusParams::ahb_plus().with_write_buffer_depth(depth),
-        );
+    let base = scenario("design-space").expect("catalogued baseline");
+    println!(
+        "write-heavy {}, {} transactions per master",
+        base.resolve().expect("baseline resolves").pattern.name,
+        base.transactions_per_master
+    );
+    for (section, points) in sweep() {
+        println!("\n{section}");
+        for spec in points {
+            let config = spec.resolve().expect("sweep point resolves");
+            // The sweep holds each point as `dyn BusModel` — the trait is
+            // the whole interface a configuration point needs.
+            let mut model = config.build_model(ahbplus::ModelKind::TransactionLevel);
+            let report = model.run();
+            let video = report
+                .masters
+                .values()
+                .find(|m| m.label == "video")
+                .expect("video master");
+            // Completion of everything except the fixed-schedule video
+            // master.
+            let workload_done = report
+                .masters
+                .values()
+                .filter(|m| m.label != "video")
+                .map(|m| m.last_completion_cycle)
+                .max()
+                .unwrap_or(0);
+            println!(
+                "{:<34} workload done {:>8}  bus busy {:>8}  wbuf hits {:>5}  video avg lat {:>6.1}",
+                spec.name,
+                workload_done,
+                report.bus.busy_cycles,
+                report.bus.write_buffer_hits,
+                video.avg_latency
+            );
+        }
     }
-
-    println!("\n-- arbitration / feature ablations --");
-    run("full AHB+", AhbPlusParams::ahb_plus());
-    run(
-        "no request pipelining",
-        AhbPlusParams::ahb_plus().with_request_pipelining(false),
-    );
-    run(
-        "no bank-affinity filter",
-        AhbPlusParams::ahb_plus()
-            .with_arbiter(ArbiterConfig::ahb_plus().without(ArbitrationFilter::BankAffinity)),
-    );
-    run(
-        "no QoS filters",
-        AhbPlusParams::ahb_plus().with_arbiter(
-            ArbiterConfig::ahb_plus()
-                .without(ArbitrationFilter::QosUrgency)
-                .without(ArbitrationFilter::RealTimeClass),
-        ),
-    );
-    run("plain AMBA 2.0 AHB", AhbPlusParams::plain_ahb());
 }

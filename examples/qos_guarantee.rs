@@ -1,52 +1,25 @@
 //! QoS guarantee demonstration (paper §2): plain AMBA 2.0 AHB cannot bound
 //! the grant latency of a latency-critical master, AHB+ can.
 //!
-//! The real-time video master is demoted to the *worst* fixed priority so
-//! that a plain fixed-priority arbiter starves it behind the streaming
-//! masters, and then the same workload is run with the full AHB+ filter
-//! chain (real-time class + QoS-urgency filters).
+//! The catalogued `qos-stress` scenario demotes the real-time video master
+//! to the *worst* fixed priority so that a plain fixed-priority arbiter
+//! starves it behind the streaming masters; the same stimulus is then run
+//! with the full AHB+ filter chain (real-time class + QoS-urgency
+//! filters).
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ahbplus --example qos_guarantee
+//! cargo run --release -p ahbplus-repro --example qos_guarantee
 //! ```
 
-use ahbplus::{AhbPlusParams, ArbiterConfig, PlatformConfig};
-use amba::ids::{Addr, MasterId};
-use traffic::{MasterProfile, ReleasePolicy, TrafficPattern};
-
-/// A stress pattern: the video master has the worst fixed priority and two
-/// aggressive streaming masters plus a busy writer compete with it.
-fn stress_pattern() -> TrafficPattern {
-    let mut video = MasterProfile::video_realtime();
-    video.fixed_priority = 7; // worst priority: only the QoS filters can save it
-    let aggressive_dma = MasterProfile::dma_stream().with_release(ReleasePolicy::ClosedLoop {
-        min_gap: 0,
-        max_gap: 2,
-    });
-    let second_dma = aggressive_dma
-        .clone()
-        .with_region(Addr::new(0x2400_0000), 0x0100_0000);
-    let busy_writer = MasterProfile::block_writer().with_release(ReleasePolicy::ClosedLoop {
-        min_gap: 0,
-        max_gap: 8,
-    });
-    TrafficPattern {
-        name: "qos stress",
-        masters: vec![
-            (MasterId::new(0), aggressive_dma),
-            (MasterId::new(1), video),
-            (MasterId::new(2), second_dma),
-            (MasterId::new(3), busy_writer),
-        ],
-    }
-}
+use ahbplus::{scenario, AhbPlusParams, ArbiterConfig};
 
 fn run(label: &str, arbiter: ArbiterConfig) {
-    let params = AhbPlusParams::ahb_plus().with_arbiter(arbiter);
-    let config = PlatformConfig::new(stress_pattern(), 400, 3).with_params(params);
-    let report = config.run_tlm();
+    let spec = scenario("qos-stress")
+        .expect("catalogued stress scenario")
+        .with_params(AhbPlusParams::ahb_plus().with_arbiter(arbiter));
+    let report = spec.resolve().expect("scenario resolves").run_tlm();
     let video = report
         .masters
         .values()

@@ -1,42 +1,55 @@
-//! Quickstart: build a small AHB+ platform, run the transaction-level model
-//! and print the profiling report.
+//! Quickstart: resolve a named scenario, drive the transaction-level
+//! model through the unified `BusModel` facade, and read the results from
+//! a probe and the final report.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p ahbplus --example quickstart
+//! cargo run --release -p ahbplus-repro --example quickstart
 //! ```
 
-use ahbplus::PlatformConfig;
-use traffic::pattern_a;
+use ahbplus::{scenario, Simulation};
+use simkern::time::CycleDelta;
 
 fn main() {
-    // A platform with the default AHB+ bus (all seven arbitration filters,
-    // write buffer depth 4, request pipelining, BI hints) and the balanced
-    // multimedia traffic pattern: CPU + real-time video + DMA + block writer.
-    let config = PlatformConfig::new(pattern_a(), 500, 42);
+    // Every standard experiment is a named scenario: pattern, bus
+    // parameters (all seven arbitration filters, write buffer depth 4,
+    // request pipelining, BI hints), DDR device, workload length and
+    // seed, resolvable into a platform that builds either backend.
+    let spec = scenario("table1-a").expect("catalogued scenario");
+    let config = spec.resolve().expect("scenario resolves");
 
-    // Run the transaction-level model — the fast one you would use for
-    // day-to-day performance analysis.
-    let mut system = config.build_tlm();
-    let report = system.run();
+    // Drive the transaction-level model — the fast one you would use for
+    // day-to-day performance analysis — in bounded slices, taking a
+    // snapshot of the observable state every 50k cycles.
+    let mut sim = Simulation::new(config.build_tlm());
+    let report = sim.run_with_snapshots(CycleDelta::new(50_000));
 
-    println!("== transaction-level AHB+ run ==");
+    println!("== transaction-level AHB+ run ({}) ==", spec.name);
     println!("{}", report.format_table());
+
+    println!("progress snapshots ({}):", sim.snapshots().len());
+    for probe in sim.snapshots() {
+        println!(
+            "  cycle {:>8}  {:>5} txns  {:>9} bytes  wbuf fill {}",
+            probe.cycle, probe.transactions, probe.bytes, probe.write_buffer_fill
+        );
+    }
+
+    // The probe is the uniform observability surface: the same fields,
+    // from any backend, at any point of the run.
+    let end = sim.model().probe();
     println!(
         "DRAM row-hit rate: {:.1}%  (prepared hits from BI hints: {})",
-        system.ddr().stats().hit_rate() * 100.0,
-        system.ddr().stats().prepared_hits.value()
+        end.dram_hit_rate() * 100.0,
+        end.dram_prepared_hits
     );
     println!(
         "write buffer: {} absorbed, {} drained, peak occupancy {}",
-        system.write_buffer().absorbed(),
-        system.write_buffer().drained(),
-        system.write_buffer().peak_fill()
+        end.write_buffer_absorbed, end.write_buffer_drained, end.write_buffer_peak
     );
     println!(
         "assertions: {} errors, {} warnings",
-        system.assertions().error_count(),
-        system.assertions().warning_count()
+        end.assertion_errors, end.assertion_warnings
     );
 }

@@ -2,7 +2,7 @@
 //! pin-accurate reference on identical stimulus (the Table-1 experiment).
 
 use ahbplus::validation::{validate_pattern, validate_table1};
-use ahbplus::{AhbPlusParams, PlatformConfig};
+use ahbplus::{scenario, AhbPlusParams};
 use analysis::AccuracyReport;
 use traffic::{pattern_a, pattern_b};
 
@@ -53,8 +53,14 @@ fn video_completion_cycle_matches_almost_exactly() {
 /// scheduling), not from mis-calibrated transaction timings.
 #[test]
 fn non_pipelined_configuration_matches_within_five_percent() {
-    let params = AhbPlusParams::ahb_plus().with_request_pipelining(false);
-    let config = PlatformConfig::new(pattern_a(), 200, 7).with_params(params);
+    // The catalogued Table-1 scenario (same pattern and seed) with the
+    // pipelining ablation applied as a spec variant.
+    let config = scenario("table1-a")
+        .expect("catalogued")
+        .with_transactions(200)
+        .with_params(AhbPlusParams::ahb_plus().with_request_pipelining(false))
+        .resolve()
+        .expect("resolvable");
     let rtl = config.run_rtl();
     let tlm = config.run_tlm();
     let accuracy = AccuracyReport::compare("pattern A, no pipelining", &rtl, &tlm);

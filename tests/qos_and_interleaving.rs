@@ -3,34 +3,10 @@
 //! interleaving, on both abstraction levels.
 
 use ahbplus::{AhbPlusParams, ArbiterConfig, DdrConfig, PlatformConfig};
-use amba::ids::{Addr, MasterId};
-use traffic::{MasterProfile, ReleasePolicy, TrafficPattern};
-
-/// A stress pattern in which only the QoS filters can protect the video
-/// master: its fixed priority is the worst on the bus.
-fn qos_stress_pattern() -> TrafficPattern {
-    let mut video = MasterProfile::video_realtime();
-    video.fixed_priority = 7;
-    let aggressive_dma = MasterProfile::dma_stream().with_release(ReleasePolicy::ClosedLoop {
-        min_gap: 0,
-        max_gap: 2,
-    });
-    let second_dma = aggressive_dma
-        .clone()
-        .with_region(Addr::new(0x2400_0000), 0x0100_0000);
-    TrafficPattern {
-        name: "qos stress",
-        masters: vec![
-            (MasterId::new(0), aggressive_dma),
-            (MasterId::new(1), video),
-            (MasterId::new(2), second_dma),
-            (MasterId::new(3), MasterProfile::block_writer()),
-        ],
-    }
-}
+use traffic::{pattern_dual_stream, pattern_qos_stress};
 
 fn video_metrics(params: AhbPlusParams) -> (f64, u64) {
-    let config = PlatformConfig::new(qos_stress_pattern(), 150, 3).with_params(params);
+    let config = PlatformConfig::new(pattern_qos_stress(), 150, 3).with_params(params);
     let report = config.run_tlm();
     let video = report
         .masters
@@ -60,7 +36,7 @@ fn ahb_plus_protects_the_demoted_real_time_master() {
 fn qos_protection_holds_on_the_pin_accurate_model_too() {
     let run = |arbiter: ArbiterConfig| -> f64 {
         let params = AhbPlusParams::ahb_plus().with_arbiter(arbiter);
-        let config = PlatformConfig::new(qos_stress_pattern(), 80, 3).with_params(params);
+        let config = PlatformConfig::new(pattern_qos_stress(), 80, 3).with_params(params);
         let report = config.run_rtl();
         report
             .masters
@@ -77,21 +53,6 @@ fn qos_protection_holds_on_the_pin_accurate_model_too() {
     );
 }
 
-/// Streaming workload used for the interleaving comparison.
-fn streaming_pattern() -> TrafficPattern {
-    TrafficPattern {
-        name: "dual stream",
-        masters: vec![
-            (MasterId::new(0), MasterProfile::dma_stream()),
-            (
-                MasterId::new(1),
-                MasterProfile::dma_stream().with_region(Addr::new(0x2400_0000), 0x0100_0000),
-            ),
-            (MasterId::new(2), MasterProfile::video_realtime()),
-            (MasterId::new(3), MasterProfile::block_writer()),
-        ],
-    }
-}
 
 fn streaming_completion(bi_hints: bool) -> (u64, f64) {
     let params = AhbPlusParams::ahb_plus().with_bi_hints(bi_hints);
@@ -100,7 +61,7 @@ fn streaming_completion(bi_hints: bool) -> (u64, f64) {
     } else {
         DdrConfig::without_interleaving()
     };
-    let config = PlatformConfig::new(streaming_pattern(), 200, 11)
+    let config = PlatformConfig::new(pattern_dual_stream(), 200, 11)
         .with_params(params)
         .with_ddr(ddr);
     let mut system = config.build_tlm();

@@ -1,18 +1,34 @@
 //! Cross-crate integration tests: both bus models driven end-to-end from the
-//! platform façade.
+//! platform façade, iterating over declarative scenario specs instead of
+//! hand-built configurations.
 
-use ahbplus::{AhbPlusParams, PlatformConfig};
-use traffic::{pattern_a, pattern_b, pattern_c, TrafficPattern};
+use ahbplus::{AhbPlusParams, PlatformConfig, ScenarioSpec};
+use traffic::{pattern_a, pattern_b};
 
-fn patterns() -> Vec<TrafficPattern> {
-    vec![pattern_a(), pattern_b(), pattern_c()]
+/// The Table-1 scenarios, shrunk and reseeded for the integration tests.
+fn table1_specs(transactions: usize, seed: u64) -> Vec<ScenarioSpec> {
+    ["table1-a", "table1-b", "table1-c"]
+        .into_iter()
+        .map(|name| {
+            ahbplus::scenario(name)
+                .unwrap_or_else(|| panic!("{name} missing from the catalogue"))
+                .with_transactions(transactions)
+                .with_seed(seed)
+        })
+        .collect()
+}
+
+fn configs(transactions: usize, seed: u64) -> Vec<PlatformConfig> {
+    table1_specs(transactions, seed)
+        .iter()
+        .map(|spec| spec.resolve().unwrap_or_else(|e| panic!("{}: {e}", spec.name)))
+        .collect()
 }
 
 #[test]
 fn both_models_drain_every_pattern() {
-    for pattern in patterns() {
-        let name = pattern.name;
-        let config = PlatformConfig::new(pattern, 50, 9);
+    for config in configs(50, 9) {
+        let name = config.pattern.name;
         let rtl = config.run_rtl();
         let tlm = config.run_tlm();
         assert_eq!(rtl.total_transactions(), 4 * 50, "{name} rtl");
@@ -84,8 +100,7 @@ fn ahb_plus_moves_the_same_data_in_fewer_bus_cycles_than_plain_ahb() {
 
 #[test]
 fn utilization_and_hit_rates_are_within_physical_bounds() {
-    for pattern in patterns() {
-        let config = PlatformConfig::new(pattern, 60, 31);
+    for config in configs(60, 31) {
         for report in [config.run_rtl(), config.run_tlm()] {
             let utilization = report.bus.utilization(report.total_cycles);
             assert!((0.0..=1.0).contains(&utilization));
