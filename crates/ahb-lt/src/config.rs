@@ -1,0 +1,81 @@
+//! Loosely-timed model configuration.
+
+use amba::params::AhbPlusParams;
+use ddrc::DdrConfig;
+
+/// Configuration of a loosely-timed AHB+ platform.
+///
+/// The same bus and DDR parameters as the other backends — the loosely
+/// timed model derives its per-burst latency estimates from them — plus
+/// the shared cycle limit. There is no profiling switch: the metric
+/// accounting is a handful of integer adds per transaction and is always
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LtConfig {
+    /// Bus parameters (write buffer depth, pipelining, BI hints; the
+    /// arbitration filter chain is not evaluated at this abstraction
+    /// level).
+    pub params: AhbPlusParams,
+    /// DDR device configuration (timing parameters and geometry feed the
+    /// latency estimator).
+    pub ddr: DdrConfig,
+    /// Hard simulation length limit in bus cycles. The run also stops as
+    /// soon as every master has drained its trace.
+    pub max_cycles: u64,
+}
+
+impl LtConfig {
+    /// The default evaluation platform: full AHB+ feature set, DDR-266,
+    /// generous cycle limit.
+    #[must_use]
+    pub fn ahb_plus() -> Self {
+        LtConfig {
+            params: AhbPlusParams::ahb_plus(),
+            ddr: DdrConfig::ahb_plus(),
+            max_cycles: 5_000_000,
+        }
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: AhbPlusParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a different cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+}
+
+impl Default for LtConfig {
+    fn default() -> Self {
+        LtConfig::ahb_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_platform_feature_set() {
+        let config = LtConfig::default();
+        assert!(config.params.request_pipelining);
+        assert!(config.params.has_write_buffer());
+        assert!(config.ddr.honour_prepare_hints);
+        assert!(config.max_cycles > 0);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let config = LtConfig::default()
+            .with_max_cycles(77)
+            .with_params(AhbPlusParams::plain_ahb());
+        assert_eq!(config.max_cycles, 77);
+        assert!(!config.params.request_pipelining);
+    }
+}

@@ -1,0 +1,778 @@
+//! The loosely-timed AHB+ bus engine.
+//!
+//! [`LtSystem`] runs the same deterministic traces as the other two
+//! backends but advances time with *estimates*: the bus is a single
+//! cursor, DRAM latency comes from a per-bank row sketch, and the write
+//! buffer is a batch queue. Every trace transaction still completes with
+//! its exact functional payload (count, bytes, beats, assertion
+//! outcome), which is what makes the backend a drop-in [`BusModel`]: the
+//! lockstep results-match check against the other models holds by
+//! construction, while elapsed time carries a documented, measured error
+//! (see [`crate::LT_TIMING_ERROR_BOUND_PCT`]).
+//!
+//! # What is and is not modeled
+//!
+//! | modeled approximately | dropped entirely |
+//! |---|---|
+//! | grant latency (idle +1, pipelined overlap) | arbitration filter chain |
+//! | per-class DRAM latency (CAS/tRCD/tRP) via row sketch | bank FSM, tRAS/tRC windows, refresh |
+//! | BI-hint activation hiding on bank switches | DRAM data-bus queueing |
+//! | write-buffer capacity + batch drain | per-entry buffer arbitration |
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use amba::check::validate_transaction;
+use amba::ids::MasterId;
+use amba::qos::QosConfig;
+use analysis::model::{BusModel, Probe};
+use analysis::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
+use ddrc::DdrGeometry;
+use simkern::time::Cycle;
+use traffic::{Release, TrafficPattern, TrafficTrace, Workload};
+
+use crate::config::LtConfig;
+
+/// Cycles from an idle-bus request until the granted master drives its
+/// address phase (request → grant register → address), matching the other
+/// backends.
+const GRANT_TO_ADDRESS_CYCLES: u64 = 1;
+
+/// Cycles from the address phase until the DDR controller sees the
+/// access (the bus-side handoff the cycle-counting models pay per burst).
+const ADDRESS_TO_ACCESS_CYCLES: u64 = 0;
+
+/// Extra turnaround paid between back-to-back transactions when request
+/// pipelining is disabled (idle cycle + re-arbitration).
+const NON_PIPELINED_TURNAROUND: u64 = 2;
+
+/// Per-burst latency estimates derived once from the DDR timing
+/// parameters: cycles from the access until the first data beat, by
+/// access class and direction.
+#[derive(Debug, Clone, Copy)]
+struct LatencyTable {
+    read_hit: u64,
+    read_miss: u64,
+    read_conflict: u64,
+    write_hit: u64,
+    write_miss: u64,
+    write_conflict: u64,
+}
+
+impl LatencyTable {
+    fn new(config: &LtConfig) -> Self {
+        let t = config.ddr.timing;
+        let (rcd, rp) = (u64::from(t.t_rcd), u64::from(t.t_rp));
+        let (cl, cwl) = (u64::from(t.cl), u64::from(t.cwl));
+        LatencyTable {
+            read_hit: cl,
+            read_miss: rcd + cl,
+            read_conflict: rp + rcd + cl,
+            write_hit: cwl,
+            write_miss: rcd + cwl,
+            write_conflict: rp + rcd + cwl,
+        }
+    }
+}
+
+/// One trace-driven master port of the loosely-timed platform.
+#[derive(Debug, Clone)]
+struct LtMaster {
+    id: MasterId,
+    label: String,
+    qos: QosConfig,
+    posted: bool,
+    items: TrafficTrace,
+    next: usize,
+    ready_at: u64,
+    // Integer metric accumulators (averaged only at report time).
+    completed: u64,
+    bytes: u64,
+    last_completion: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    grant_latency_sum: u64,
+    qos_violations: u64,
+}
+
+impl LtMaster {
+    fn new(trace: TrafficTrace, label: &str, qos: QosConfig, posted: bool) -> Self {
+        let ready_at = match trace.items().first().map(|i| i.release) {
+            Some(Release::AfterPrevious(gap)) => gap.value(),
+            Some(Release::At(at)) => at.value(),
+            None => u64::MAX,
+        };
+        LtMaster {
+            id: trace.master(),
+            label: label.to_owned(),
+            qos,
+            posted,
+            items: trace,
+            next: 0,
+            ready_at,
+            completed: 0,
+            bytes: 0,
+            last_completion: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            grant_latency_sum: 0,
+            qos_violations: 0,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.next >= self.items.len()
+    }
+
+    /// Advances the trace past its head, released for the next item at
+    /// `done` (the head's completion or absorption time).
+    fn advance(&mut self, done: u64) {
+        self.next += 1;
+        if self.next < self.items.len() {
+            self.ready_at = match self.items.items()[self.next].release {
+                Release::AfterPrevious(gap) => done + gap.value(),
+                Release::At(at) => at.value().max(done),
+            };
+        }
+    }
+
+    /// Records the completion metrics of one transaction of this master.
+    fn record(&mut self, bytes: u32, latency: u64, grant_latency: u64, completed_at: u64) {
+        self.completed += 1;
+        self.bytes += u64::from(bytes);
+        self.last_completion = self.last_completion.max(completed_at);
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        self.grant_latency_sum += grant_latency;
+        let objective = if self.qos.class.is_real_time() {
+            u64::from(self.qos.objective_cycles)
+        } else {
+            u64::MAX
+        };
+        if grant_latency > objective {
+            self.qos_violations += 1;
+        }
+    }
+
+    fn metrics(&self) -> MasterMetrics {
+        let completed = self.completed.max(1) as f64;
+        MasterMetrics {
+            label: self.label.clone(),
+            completed: self.completed,
+            bytes: self.bytes,
+            last_completion_cycle: self.last_completion,
+            avg_latency: self.latency_sum as f64 / completed,
+            max_latency: self.latency_max as f64,
+            avg_grant_latency: self.grant_latency_sum as f64 / completed,
+            qos_violations: self.qos_violations,
+        }
+    }
+}
+
+/// One write absorbed by the batch write buffer, waiting to drain.
+#[derive(Debug, Clone, Copy)]
+struct BacklogEntry {
+    master_index: usize,
+    absorbed_at: u64,
+    addr: amba::ids::Addr,
+    beats: u32,
+    bytes: u32,
+}
+
+/// The loosely-timed AHB+ platform.
+pub struct LtSystem {
+    config: LtConfig,
+    masters: Vec<LtMaster>,
+    latency: LatencyTable,
+    geometry: DdrGeometry,
+    /// Open-row sketch: the last accessed row per bank, or `None` while
+    /// the bank is untouched. This is the whole DRAM state.
+    rows: Vec<Option<u32>>,
+    /// Bank of the previous burst, for the BI-hint hiding estimate.
+    prev_bank: Option<u8>,
+    /// Data-phase length of the previous burst (cycles the hint had to
+    /// hide activation behind).
+    prev_data_cycles: u64,
+    /// Posted writes absorbed but not yet drained onto the bus.
+    backlog: VecDeque<BacklogEntry>,
+    now: u64,
+    /// Cycle at which the bus finishes its current burst (the single
+    /// resource cursor replacing arbitration).
+    bus_free_at: u64,
+    last_completion: u64,
+    masters_done: usize,
+    traces_valid: bool,
+    // Bus-level accumulators.
+    transactions: u64,
+    total_bytes: u64,
+    data_beats: u64,
+    busy_cycles: u64,
+    contention_cycles: u64,
+    wb_absorbed: u64,
+    wb_drained: u64,
+    wb_peak: usize,
+    dram_row_hits: u64,
+    dram_prepared_hits: u64,
+    dram_misses: u64,
+    dram_conflicts: u64,
+    assertion_errors: u64,
+    wall_seconds: f64,
+}
+
+impl std::fmt::Debug for LtSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LtSystem")
+            .field("masters", &self.masters.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl LtSystem {
+    /// Builds a platform from explicit per-master traces (same element
+    /// shape as `ahb_tlm::TlmSystem::new`).
+    #[must_use]
+    pub fn new(config: LtConfig, masters: Vec<(TrafficTrace, String, QosConfig, bool)>) -> Self {
+        let lt_masters: Vec<LtMaster> = masters
+            .into_iter()
+            .map(|(trace, label, qos, posted)| LtMaster::new(trace, &label, qos, posted))
+            .collect();
+        let traces_valid = lt_masters.iter().all(|m| {
+            m.items
+                .items()
+                .iter()
+                .all(|item| validate_transaction(&item.txn).is_ok())
+        });
+        let masters_done = lt_masters.iter().filter(|m| m.is_done()).count();
+        let latency = LatencyTable::new(&config);
+        let geometry = config.ddr.geometry;
+        let banks = usize::from(geometry.banks);
+        LtSystem {
+            config,
+            masters: lt_masters,
+            latency,
+            geometry,
+            rows: vec![None; banks],
+            prev_bank: None,
+            prev_data_cycles: 0,
+            backlog: VecDeque::new(),
+            now: 0,
+            bus_free_at: 0,
+            last_completion: 0,
+            masters_done,
+            traces_valid,
+            transactions: 0,
+            total_bytes: 0,
+            data_beats: 0,
+            busy_cycles: 0,
+            contention_cycles: 0,
+            wb_absorbed: 0,
+            wb_drained: 0,
+            wb_peak: 0,
+            dram_row_hits: 0,
+            dram_prepared_hits: 0,
+            dram_misses: 0,
+            dram_conflicts: 0,
+            assertion_errors: 0,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Builds a platform from a named traffic pattern with the shared
+    /// deterministic workload expansion (identical stimulus to the other
+    /// backends for the same pattern/count/seed).
+    #[must_use]
+    pub fn from_pattern(
+        config: LtConfig,
+        pattern: &TrafficPattern,
+        transactions_per_master: usize,
+        seed: u64,
+    ) -> Self {
+        let masters = pattern
+            .masters
+            .iter()
+            .map(|(id, profile)| {
+                let trace =
+                    Workload::new(*id, profile.clone(), seed).generate(transactions_per_master);
+                (
+                    trace,
+                    profile.kind.label().to_owned(),
+                    profile.qos_config(),
+                    profile.posted_writes,
+                )
+            })
+            .collect();
+        LtSystem::new(config, masters)
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        Cycle::new(self.now)
+    }
+
+    /// Returns `true` once every master trace has drained and the write
+    /// backlog is empty.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.masters_done == self.masters.len() && self.backlog.is_empty()
+    }
+
+    /// Estimated bus occupancy of one burst: address handoff, first-data
+    /// latency from the row sketch, then one cycle per beat. Updates the
+    /// sketch and the DRAM statistics.
+    fn burst_cost(&mut self, addr: amba::ids::Addr, is_write: bool, beats: u32) -> u64 {
+        let decoded = self.geometry.decode(addr);
+        let bank = usize::from(decoded.bank);
+        let open = self.rows[bank];
+        let (mut first_data, hit) = match open {
+            Some(row) if row == decoded.row => {
+                let latency = if is_write {
+                    self.latency.write_hit
+                } else {
+                    self.latency.read_hit
+                };
+                (latency, true)
+            }
+            Some(_) => {
+                let latency = if is_write {
+                    self.latency.write_conflict
+                } else {
+                    self.latency.read_conflict
+                };
+                (latency, false)
+            }
+            None => {
+                let latency = if is_write {
+                    self.latency.write_miss
+                } else {
+                    self.latency.read_miss
+                };
+                (latency, false)
+            }
+        };
+        if hit {
+            self.dram_row_hits += 1;
+        } else {
+            // The BI next-transaction hint starts activating the bank of
+            // the *following* burst while the current one transfers, so a
+            // bank switch hides (part of) the activation behind the
+            // previous data phase. The CAS component cannot be hidden.
+            let cas = if is_write {
+                self.latency.write_hit
+            } else {
+                self.latency.read_hit
+            };
+            let hidable = first_data - cas;
+            let hints = self.config.params.bi_next_transaction_hints
+                && self.config.params.request_pipelining
+                && self.config.ddr.honour_prepare_hints;
+            if hints && self.prev_bank.is_some() && self.prev_bank != Some(decoded.bank) {
+                let hidden = hidable.min(self.prev_data_cycles);
+                first_data -= hidden;
+                if hidden > 0 {
+                    self.dram_prepared_hits += 1;
+                } else if open.is_some() {
+                    self.dram_conflicts += 1;
+                } else {
+                    self.dram_misses += 1;
+                }
+            } else if open.is_some() {
+                self.dram_conflicts += 1;
+            } else {
+                self.dram_misses += 1;
+            }
+        }
+        self.rows[bank] = Some(decoded.row);
+        self.prev_bank = Some(decoded.bank);
+        self.prev_data_cycles = u64::from(beats);
+        ADDRESS_TO_ACCESS_CYCLES + first_data + u64::from(beats)
+    }
+
+    /// Records the bus-level share of one completed burst.
+    fn record_bus(&mut self, bytes: u32, beats: u32, cost: u64, contended: bool, completed: u64) {
+        self.transactions += 1;
+        self.total_bytes += u64::from(bytes);
+        self.data_beats += u64::from(beats);
+        self.busy_cycles += cost;
+        if contended {
+            self.contention_cycles += cost;
+        }
+        self.last_completion = self.last_completion.max(completed);
+    }
+
+    /// Drains the oldest backlog entry onto the bus, starting no earlier
+    /// than `bus_free_at` and the entry's absorption time. Returns the
+    /// drain completion cycle.
+    fn drain_one(&mut self) -> u64 {
+        let entry = self.backlog.pop_front().expect("drain_one on empty backlog");
+        let start = self.bus_free_at.max(entry.absorbed_at);
+        let cost = self.burst_cost(entry.addr, true, entry.beats);
+        let completed = start + cost;
+        self.bus_free_at = completed;
+        self.wb_drained += 1;
+        self.record_bus(entry.bytes, entry.beats, cost, false, completed);
+        let latency = completed - entry.absorbed_at;
+        let grant_latency = start - entry.absorbed_at;
+        self.masters[entry.master_index].record(entry.bytes, latency, grant_latency, completed);
+        completed
+    }
+
+    /// Drains backlog entries whose bus slot *starts* by `horizon`
+    /// (non-preemptive: a drain that starts in time may complete past the
+    /// horizon).
+    fn drain_started_by(&mut self, horizon: u64) {
+        while let Some(head) = self.backlog.front() {
+            if self.bus_free_at.max(head.absorbed_at) > horizon {
+                break;
+            }
+            self.drain_one();
+        }
+    }
+
+    /// Serves the next event: one absorption or one bus burst. `max` is
+    /// the configured cycle limit, `end` the bounded-run horizon. Returns
+    /// `false` when nothing can make progress (all traces drained or past
+    /// the cycle limit) or when the idle bus reached `end`.
+    fn step_event(&mut self, max: u64, end: u64) -> bool {
+        // The earliest-released pending request (ties to the lowest
+        // master index, like the shared arbitration chain's final
+        // tie-break).
+        let mut next: Option<usize> = None;
+        let mut ready = u64::MAX;
+        for (index, master) in self.masters.iter().enumerate() {
+            if !master.is_done() && master.ready_at < ready {
+                ready = master.ready_at;
+                next = Some(index);
+            }
+        }
+        let Some(index) = next else {
+            // Every trace has drained; the remaining backlog drains
+            // back-to-back (bounded overshoot past `end` is allowed only
+            // per entry, so stop once a drain would start after `end`).
+            self.drain_started_by(end);
+            if let Some(head) = self.backlog.front() {
+                let start = self.bus_free_at.max(head.absorbed_at);
+                self.now = self.now.max(end.min(start));
+                return false;
+            }
+            self.now = self.now.max(self.last_completion.min(end));
+            return false;
+        };
+        if ready >= max {
+            // The cycle limit falls inside this idle stretch.
+            self.drain_started_by(max);
+            self.now = max;
+            return false;
+        }
+        if ready > end {
+            // The bounded-run horizon falls inside an idle stretch: drain
+            // what the gap allows and pause exactly at `end`.
+            self.drain_started_by(end);
+            self.now = end;
+            return false;
+        }
+
+        let item = &self.masters[index].items.items()[self.masters[index].next];
+        let txn = item.txn;
+        if !self.traces_valid && validate_transaction(&txn).is_err() {
+            // Same functional-debug assertion the other backends raise;
+            // counted so assertion outcomes stay results-identical.
+            self.assertion_errors += 1;
+        }
+        let beats = txn.beats();
+        let bytes = txn.bytes();
+
+        let depth = self.config.params.write_buffer_depth;
+        if depth > 0 && self.masters[index].posted && txn.posted_ok && txn.is_write() {
+            if self.backlog.len() >= depth {
+                // Overflow protection: the buffer wins the bus and drains
+                // its head before the new write is absorbed — the batch
+                // equivalent of the write-buffer urgency filter.
+                self.drain_one();
+            }
+            self.backlog.push_back(BacklogEntry {
+                master_index: index,
+                absorbed_at: ready,
+                addr: txn.addr,
+                beats,
+                bytes,
+            });
+            self.wb_absorbed += 1;
+            self.wb_peak = self.wb_peak.max(self.backlog.len());
+            self.masters[index].advance(ready);
+            if self.masters[index].is_done() {
+                self.masters_done += 1;
+            }
+            self.now = self.now.max(ready);
+            return true;
+        }
+
+        // Demand path. The buffer is the lowest-priority requester: it
+        // only drains ahead of this burst through bus slots that start
+        // before the demand request was raised.
+        if self.bus_free_at < ready {
+            self.drain_started_by(ready.saturating_sub(1));
+        }
+        let contended = self.bus_free_at > ready;
+        let grant = if self.config.params.request_pipelining {
+            (ready + GRANT_TO_ADDRESS_CYCLES).max(self.bus_free_at)
+        } else {
+            (ready + GRANT_TO_ADDRESS_CYCLES).max(self.bus_free_at + NON_PIPELINED_TURNAROUND)
+        };
+        let cost = self.burst_cost(txn.addr, txn.is_write(), beats);
+        let completed = grant + cost;
+        self.bus_free_at = completed;
+        self.record_bus(bytes, beats, cost, contended, completed);
+        let latency = completed - ready;
+        let grant_latency = grant - ready;
+        self.masters[index].record(bytes, latency, grant_latency, completed);
+        self.masters[index].advance(completed);
+        if self.masters[index].is_done() {
+            self.masters_done += 1;
+        }
+        self.now = self.now.max(completed);
+        true
+    }
+
+    /// Advances the platform event by event until `now()` reaches
+    /// `target`, the workload drains, or the configured cycle limit is
+    /// hit, and returns the new time. Transaction-boundary overshoot
+    /// rules match the transaction-level model; this is the
+    /// [`BusModel::run_until`] entry point and the only simulation loop.
+    pub fn run_until(&mut self, target: Cycle) -> Cycle {
+        let wall_start = Instant::now();
+        let max = self.config.max_cycles;
+        let end = target.value().min(max);
+        while !self.is_finished() && self.now < end {
+            if !self.step_event(max, end) {
+                break;
+            }
+        }
+        self.wall_seconds += wall_start.elapsed().as_secs_f64();
+        Cycle::new(self.now)
+    }
+
+    /// Snapshot of the observable state at the current time.
+    #[must_use]
+    pub fn probe(&self) -> Probe {
+        Probe {
+            cycle: self.last_completion.max(self.now),
+            transactions: self.transactions,
+            bytes: self.total_bytes,
+            data_beats: self.data_beats,
+            busy_cycles: self.busy_cycles,
+            write_buffer_fill: self.backlog.len() as u64,
+            write_buffer_absorbed: self.wb_absorbed,
+            write_buffer_drained: self.wb_drained,
+            write_buffer_peak: self.wb_peak as u64,
+            dram_row_hits: self.dram_row_hits,
+            dram_prepared_hits: self.dram_prepared_hits,
+            dram_accesses: self.dram_row_hits
+                + self.dram_prepared_hits
+                + self.dram_misses
+                + self.dram_conflicts,
+            assertion_errors: self.assertion_errors,
+            assertion_warnings: 0,
+        }
+    }
+
+    /// The metric report as of the current time. Idempotent: every
+    /// counter is an accumulator published into a fresh report.
+    #[must_use]
+    pub fn report(&mut self) -> SimReport {
+        let masters = self
+            .masters
+            .iter()
+            .map(|m| (m.id, m.metrics()))
+            .collect();
+        let probe = self.probe();
+        SimReport {
+            model: ModelKind::LooselyTimed,
+            total_cycles: probe.cycle,
+            wall_seconds: self.wall_seconds,
+            masters,
+            bus: BusMetrics {
+                busy_cycles: self.busy_cycles,
+                contention_cycles: self.contention_cycles,
+                transactions: self.transactions,
+                data_beats: self.data_beats,
+                write_buffer_hits: self.wb_drained,
+                write_buffer_peak: self.wb_peak as u64,
+                dram_row_hits: self.dram_row_hits + self.dram_prepared_hits,
+                dram_accesses: probe.dram_accesses,
+                assertion_errors: self.assertion_errors,
+            },
+        }
+    }
+
+    /// Runs the platform until every trace has drained (or the cycle
+    /// limit is hit) and returns the metric report.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(Cycle::MAX);
+        self.report()
+    }
+}
+
+impl BusModel for LtSystem {
+    fn kind(&self) -> ModelKind {
+        ModelKind::LooselyTimed
+    }
+
+    fn now(&self) -> Cycle {
+        LtSystem::now(self)
+    }
+
+    fn finished(&self) -> bool {
+        self.is_finished() || self.now >= self.config.max_cycles
+    }
+
+    fn run_until(&mut self, target: Cycle) -> Cycle {
+        LtSystem::run_until(self, target)
+    }
+
+    fn probe(&self) -> Probe {
+        LtSystem::probe(self)
+    }
+
+    fn report(&mut self) -> SimReport {
+        LtSystem::report(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amba::params::AhbPlusParams;
+    use simkern::time::CycleDelta;
+    use traffic::{pattern_a, pattern_c};
+
+    fn small_system(transactions: usize) -> LtSystem {
+        LtSystem::from_pattern(LtConfig::default(), &pattern_a(), transactions, 7)
+    }
+
+    #[test]
+    fn runs_a_pattern_to_completion() {
+        let mut system = small_system(40);
+        let report = system.run();
+        assert!(system.is_finished(), "all traces must drain");
+        assert_eq!(report.total_transactions(), 4 * 40);
+        assert!(report.total_cycles > 0);
+        assert_eq!(report.model, ModelKind::LooselyTimed);
+    }
+
+    #[test]
+    fn functional_results_match_the_trace_payload() {
+        // The LT claim in miniature: whatever the timing estimates do,
+        // the completed work equals the generated workload exactly.
+        let pattern = pattern_c();
+        let mut expected_bytes = 0u64;
+        let mut expected_beats = 0u64;
+        for (id, profile) in &pattern.masters {
+            let trace = Workload::new(*id, profile.clone(), 3).generate(50);
+            expected_bytes += trace.total_bytes();
+            expected_beats += trace.total_beats();
+        }
+        let mut system = LtSystem::from_pattern(LtConfig::default(), &pattern, 50, 3);
+        let report = system.run();
+        let probe = system.probe();
+        assert_eq!(report.total_transactions(), 4 * 50);
+        assert_eq!(probe.bytes, expected_bytes);
+        assert_eq!(probe.data_beats, expected_beats);
+        assert_eq!(probe.assertion_errors, 0);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_reports() {
+        let a = small_system(30).run();
+        let b = small_system(30).run();
+        assert!(a.metrics_eq(&b));
+    }
+
+    #[test]
+    fn write_heavy_pattern_exercises_the_batch_buffer() {
+        let mut system = LtSystem::from_pattern(LtConfig::default(), &pattern_c(), 60, 3);
+        let report = system.run();
+        assert!(report.bus.write_buffer_hits > 0, "pattern C posts writes");
+        assert!(report.bus.write_buffer_peak > 0);
+        let probe = system.probe();
+        assert_eq!(probe.write_buffer_absorbed, probe.write_buffer_drained);
+        assert_eq!(probe.write_buffer_fill, 0);
+    }
+
+    #[test]
+    fn disabling_the_write_buffer_removes_buffer_hits() {
+        let config = LtConfig::default()
+            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
+        let mut system = LtSystem::from_pattern(config, &pattern_c(), 40, 3);
+        let report = system.run();
+        assert_eq!(report.bus.write_buffer_hits, 0);
+        assert_eq!(report.total_transactions(), 4 * 40);
+    }
+
+    #[test]
+    fn cycle_limit_stops_the_run() {
+        let config = LtConfig::default().with_max_cycles(200);
+        let mut system = LtSystem::from_pattern(config, &pattern_a(), 500, 1);
+        let report = system.run();
+        assert!(!system.is_finished());
+        assert!(BusModel::finished(&system), "limit reached counts as finished");
+        assert!(report.total_cycles <= 1_000, "run must stop near the limit");
+    }
+
+    #[test]
+    fn bounded_stepping_matches_one_shot_run() {
+        let one_shot = small_system(40).run();
+        let mut stepped = small_system(40);
+        let mut guard = 0u64;
+        while !BusModel::finished(&stepped) {
+            stepped.step(CycleDelta::ONE);
+            guard += 1;
+            assert!(guard < 1_000_000, "stepping must terminate");
+        }
+        let report = stepped.report();
+        assert!(
+            one_shot.metrics_eq(&report),
+            "step(1)-driven run must be metrically identical to run()"
+        );
+    }
+
+    #[test]
+    fn probe_tracks_progress_and_matches_the_final_report() {
+        let mut system = small_system(30);
+        assert_eq!(system.probe().transactions, 0);
+        system.run_until(Cycle::new(2_000));
+        let mid = system.probe();
+        assert!(mid.transactions > 0, "mid-run probe sees progress");
+        let report = system.run();
+        let end = system.probe();
+        assert_eq!(end.transactions, report.total_transactions());
+        assert_eq!(end.bytes, report.total_bytes());
+        assert_eq!(end.cycle, report.total_cycles);
+        assert!(mid.transactions <= end.transactions);
+    }
+
+    #[test]
+    fn report_is_idempotent_mid_run_and_after() {
+        let mut system = small_system(20);
+        system.run_until(Cycle::new(1_500));
+        let first = system.report();
+        let second = system.report();
+        assert!(first.metrics_eq(&second), "snapshots must not double-count");
+        let done = system.run();
+        assert!(done.metrics_eq(&system.report()));
+    }
+
+    #[test]
+    fn row_sketch_produces_dram_locality_stats() {
+        let mut system = small_system(60);
+        system.run();
+        let probe = system.probe();
+        assert!(probe.dram_accesses > 0);
+        assert!(
+            probe.dram_row_hits + probe.dram_prepared_hits > 0,
+            "streaming masters must hit open rows"
+        );
+        assert!(probe.dram_row_hits + probe.dram_prepared_hits <= probe.dram_accesses);
+    }
+}

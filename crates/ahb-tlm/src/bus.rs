@@ -37,6 +37,7 @@ use traffic::{TrafficPattern, TrafficTrace, Workload};
 use crate::arbiter::{PendingRequest, TlmArbiter};
 use crate::config::TlmConfig;
 use crate::master::TraceMaster;
+use crate::ready::ReadySet;
 use crate::write_buffer::{WriteBuffer, WRITE_BUFFER_MASTER};
 
 /// Cycles from a request being visible to the arbiter until the granted
@@ -93,16 +94,17 @@ pub struct TlmSystem {
     /// Cycle at which the most recent write-buffer slot became free after a
     /// full-buffer phase; posted writes cannot be absorbed earlier.
     slot_freed_at: Cycle,
-    /// Indices of masters that post writes — the only ones the write-buffer
-    /// absorption scan has to visit.
-    posted_masters: Vec<usize>,
-    /// Earliest release time among masters not pending at the last
-    /// `collect_pending` horizon (computed in the same pass, so the idle
-    /// path does not re-scan the masters).
-    next_release_hint: Option<Cycle>,
-    /// Earliest release time over the posted-write masters: the absorption
-    /// scan exits on one compare while nothing can possibly absorb.
-    posted_ready_min: Cycle,
+    /// The incrementally maintained released-request set (bitset of ready
+    /// masters + release-time table with a cached minimum), replacing the
+    /// per-round O(N) master scans — see [`ReadySet`]. Positions are
+    /// indices into `masters`.
+    ready: ReadySet,
+    /// Constant bitmask of the masters that post writes; the absorption
+    /// pass visits `ready ∩ posted_mask` only.
+    posted_mask: Vec<u64>,
+    /// Master-id → position map (`masters` is position-indexed; grant
+    /// decisions carry ids).
+    index_by_id: Vec<usize>,
     /// Wall-clock seconds spent inside `run_until` so far (accumulated
     /// across bounded steps so a step-driven run reports the same speed
     /// accounting as a one-shot run).
@@ -152,12 +154,24 @@ impl TlmSystem {
         let in_flight = trace_masters.len() + config.params.write_buffer_depth + 1;
         let traces_valid = trace_masters.iter().all(|m| m.trace_is_valid());
         let masters_done = trace_masters.iter().filter(|m| m.is_done()).count();
-        let posted_masters = trace_masters
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.posted_writes())
-            .map(|(i, _)| i)
-            .collect();
+        let mut ready = ReadySet::new(trace_masters.len());
+        for (position, master) in trace_masters.iter().enumerate() {
+            if let Some(at) = master.ready_at() {
+                ready.schedule(position, at);
+            }
+        }
+        let posted_mask = ReadySet::mask_of(
+            trace_masters.len(),
+            trace_masters
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.posted_writes())
+                .map(|(i, _)| i),
+        );
+        let mut index_by_id = vec![usize::MAX; 256];
+        for (position, master) in trace_masters.iter().enumerate() {
+            index_by_id[master.id().index()] = position;
+        }
         TlmSystem {
             config,
             masters: trace_masters,
@@ -177,9 +191,9 @@ impl TlmSystem {
             pending_fresh_at: None,
             speculative_winner: None,
             slot_freed_at: Cycle::ZERO,
-            posted_masters,
-            next_release_hint: None,
-            posted_ready_min: Cycle::ZERO,
+            ready,
+            posted_mask,
+            index_by_id,
             wall_seconds: 0.0,
         }
     }
@@ -341,10 +355,10 @@ impl TlmSystem {
                 None
             };
             if self.pending.is_empty() {
-                // Nobody is ready: jump to the next release time (computed
-                // during the collect pass over the masters) and retry
-                // without bouncing through the outer run loop.
-                let Some(next_ready) = self.next_release_hint else {
+                // Nobody is ready: jump to the next release time (the
+                // ready set's cached minimum) and retry without bouncing
+                // through the outer run loop.
+                let Some(next_ready) = self.ready.next_release() else {
                     return false;
                 };
                 if next_ready >= max {
@@ -479,15 +493,13 @@ impl TlmSystem {
             }
         } else {
             self.arena.release(handle);
-            let master = self.master_mut(winner);
+            let position = self.index_by_id[winner.index()];
+            let master = &mut self.masters[position];
             master.complete_current(completed_at);
-            let finished = master.is_done();
-            let posted = master.posted_writes();
-            if finished {
-                self.masters_done += 1;
-            }
-            if posted {
-                self.refresh_posted_ready_min();
+            self.ready.clear(position);
+            match master.ready_at() {
+                Some(next) => self.ready.schedule(position, next),
+                None => self.masters_done += 1,
             }
         }
 
@@ -538,36 +550,20 @@ impl TlmSystem {
         true
     }
 
-    /// Recomputes the earliest release time over the posted-write masters.
-    fn refresh_posted_ready_min(&mut self) {
-        let mut earliest = Cycle::MAX;
-        for &index in &self.posted_masters {
-            if let Some(ready) = self.masters[index].ready_at() {
-                earliest = earliest.min(ready);
-            }
-        }
-        self.posted_ready_min = earliest;
-    }
-
-    fn master_mut(&mut self, id: MasterId) -> &mut TraceMaster {
-        self.masters
-            .iter_mut()
-            .find(|m| m.id() == id)
-            .expect("unknown master id")
-    }
-
-    /// Rebuilds `self.pending` with the requests visible at `at`. The
-    /// buffer and the transaction pool are reused, so steady-state rounds
-    /// allocate nothing and clone no transaction.
+    /// Rebuilds `self.pending` with the requests visible at `at`. Only
+    /// the masters in the ready set are touched (the O(N) full scan this
+    /// replaces survives only inside `ReadySet::sync`'s cold half, paid
+    /// once per release crossing). The buffer and the transaction pool
+    /// are reused, so steady-state rounds allocate nothing and clone no
+    /// transaction.
     fn collect_pending(&mut self, at: Cycle) {
         self.pending.clear();
-        let mut next_release = Cycle::MAX;
-        for master in &mut self.masters {
+        self.ready.sync(at);
+        self.ready.for_each(|position| {
+            let master = &mut self.masters[position];
             let Some(handle) = master.intern_pending(at, &mut self.arena) else {
-                if let Some(ready) = master.ready_at() {
-                    next_release = next_release.min(ready);
-                }
-                continue;
+                debug_assert!(false, "ready-set master must have a released head");
+                return;
             };
             self.pending.push(PendingRequest {
                 master: master.id(),
@@ -577,12 +573,7 @@ impl TlmSystem {
                 is_write_buffer: false,
                 write_buffer_fill: 0,
             });
-        }
-        self.next_release_hint = if next_release == Cycle::MAX {
-            None
-        } else {
-            Some(next_release)
-        };
+        });
         if let Some(head) = self.write_buffer.head() {
             self.pending.push(PendingRequest {
                 master: WRITE_BUFFER_MASTER,
@@ -600,51 +591,59 @@ impl TlmSystem {
     /// the write's release time (the cycle the pin-accurate model would have
     /// accepted it) and repeats until a fixed point because a master whose
     /// write was absorbed may release another posted write inside the same
-    /// window.
+    /// window. The pass visits `ready ∩ posted` only — while no posted
+    /// master has a released request the whole call is two bitset words of
+    /// work.
     fn absorb_posted_writes(&mut self, horizon: Cycle) {
         self.absorbed_at = Some(horizon);
-        if !self.write_buffer.is_enabled() || self.posted_ready_min > horizon {
+        if !self.write_buffer.is_enabled() {
             return;
         }
+        self.ready.sync(horizon);
+        if !self.ready.intersects(&self.posted_mask) {
+            return;
+        }
+        let mut buffer_filled = false;
         loop {
             let mut absorbed_any = false;
-            for position in 0..self.posted_masters.len() {
-                let index = self.posted_masters[position];
+            // The mask is moved out for the duration of the pass so the
+            // ready set can hand itself to the visitor mutably.
+            let mask = std::mem::take(&mut self.posted_mask);
+            self.ready.for_each_masked(&mask, |ready, position| {
                 if !self.write_buffer.has_space() {
-                    if self.config.profiling {
-                        self.recorder
-                            .observe_write_buffer_fill(self.write_buffer.fill());
-                    }
-                    return;
+                    buffer_filled = true;
+                    return false;
                 }
-                let master = &mut self.masters[index];
+                let master = &mut self.masters[position];
                 let Some(ready_at) = master.ready_at() else {
-                    continue;
+                    debug_assert!(false, "ready-set master must have a released head");
+                    return true;
                 };
-                if ready_at > horizon {
-                    continue;
-                }
                 // Interning is free for non-postable heads: the handle stays
                 // cached and is reused by the next arbitration round.
                 let Some(handle) = master.intern_pending(horizon, &mut self.arena) else {
-                    continue;
+                    return true;
                 };
                 let absorbed_at = ready_at.max(self.slot_freed_at);
                 // On success the buffer takes handle ownership.
                 if self.write_buffer.absorb(&self.arena, handle, absorbed_at) {
-                    self.masters[index].complete_current(absorbed_at);
-                    if self.masters[index].is_done() {
-                        self.masters_done += 1;
+                    let master = &mut self.masters[position];
+                    master.complete_current(absorbed_at);
+                    ready.clear(position);
+                    match master.ready_at() {
+                        Some(next) => ready.schedule(position, next),
+                        None => self.masters_done += 1,
                     }
                     self.pending_fresh_at = None;
                     absorbed_any = true;
                 }
-            }
-            if !absorbed_any {
+                true
+            });
+            self.posted_mask = mask;
+            if buffer_filled || !absorbed_any {
                 break;
             }
         }
-        self.refresh_posted_ready_min();
         if self.config.profiling {
             self.recorder
                 .observe_write_buffer_fill(self.write_buffer.fill());

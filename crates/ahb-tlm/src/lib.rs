@@ -64,10 +64,12 @@ pub mod arbiter;
 pub mod bus;
 pub mod config;
 pub mod master;
+pub mod ready;
 pub mod write_buffer;
 
 pub use arbiter::TlmArbiter;
 pub use bus::TlmSystem;
 pub use config::TlmConfig;
 pub use master::TraceMaster;
+pub use ready::ReadySet;
 pub use write_buffer::{WriteBuffer, WRITE_BUFFER_MASTER};

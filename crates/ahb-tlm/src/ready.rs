@@ -1,0 +1,282 @@
+//! The ready-master set: which masters have a released request *now*,
+//! and when the next one joins.
+//!
+//! The transaction-level engine used to rediscover this by scanning every
+//! master per arbitration round — O(N) per transaction, fine at the
+//! paper's 4 masters, quadratic pain at 64. The set is now maintained
+//! incrementally: a bitset of currently released masters (indexed by the
+//! platform's master *position*, so iteration order equals the old scan
+//! order) plus a flat release-time table with a cached minimum. The
+//! common operations are branch-cheap:
+//!
+//! * [`ReadySet::sync`] — one compare while no queued release has
+//!   arrived; a single pass over the release table when one has (paid
+//!   once per release event, not per arbitration round);
+//! * [`ReadySet::schedule`] / [`ReadySet::clear`] — one store and one
+//!   `min` per transaction retirement, no heap sifting;
+//! * arbitration and absorption passes iterate set bits only, so idle
+//!   masters cost nothing per round.
+//!
+//! The invariant that keeps the table exact (no stale entries): a
+//! master's release time only changes when its head transaction
+//! completes, and a transaction can only complete while its master is in
+//! the *ready* state — so a queued time is never invalidated in place.
+
+use simkern::time::Cycle;
+
+/// Incrementally maintained set of masters with a released request.
+#[derive(Debug, Clone, Default)]
+pub struct ReadySet {
+    /// Bitset of ready masters, by position.
+    words: Vec<u64>,
+    /// Pending release time per position (`u64::MAX` = ready, done, or
+    /// never scheduled).
+    release_times: Vec<u64>,
+    /// Time the bitset is synchronized to (monotone).
+    synced_at: u64,
+    /// Cached `min(release_times)` (`u64::MAX` when nothing is queued),
+    /// so the common no-op [`ReadySet::sync`] is one compare that never
+    /// touches the table.
+    next_release: u64,
+}
+
+impl ReadySet {
+    /// An empty set able to track `masters` positions.
+    #[must_use]
+    pub fn new(masters: usize) -> Self {
+        ReadySet {
+            words: vec![0; masters.div_ceil(64)],
+            release_times: vec![u64::MAX; masters],
+            synced_at: 0,
+            next_release: u64::MAX,
+        }
+    }
+
+    /// Builds the `posted`-style constant mask over the same positions:
+    /// a bitset with the given positions set, usable with
+    /// [`ReadySet::intersects`] / [`ReadySet::for_each_masked`].
+    #[must_use]
+    pub fn mask_of(masters: usize, positions: impl IntoIterator<Item = usize>) -> Vec<u64> {
+        let mut mask = vec![0u64; masters.div_ceil(64)];
+        for position in positions {
+            mask[position / 64] |= 1 << (position % 64);
+        }
+        mask
+    }
+
+    /// Advances the set to `at`: every master whose release time has
+    /// arrived moves from the release table into the bitset. Monotone;
+    /// earlier times are a no-op.
+    #[inline]
+    pub fn sync(&mut self, at: Cycle) {
+        let at = at.value();
+        if at > self.synced_at {
+            self.synced_at = at;
+        }
+        if self.next_release > self.synced_at {
+            return;
+        }
+        self.sync_slow();
+    }
+
+    /// The cold half of [`ReadySet::sync`]: at least one queued release
+    /// has arrived, so one pass moves every due master into the bitset
+    /// and recomputes the cached minimum.
+    fn sync_slow(&mut self) {
+        let mut next = u64::MAX;
+        for (position, time) in self.release_times.iter_mut().enumerate() {
+            if *time <= self.synced_at {
+                self.words[position / 64] |= 1 << (position % 64);
+                *time = u64::MAX;
+            } else {
+                next = next.min(*time);
+            }
+        }
+        self.next_release = next;
+    }
+
+    /// Registers the next release of the master at `position`: into the
+    /// bitset if the time has already arrived, into the release table
+    /// otherwise.
+    #[inline]
+    pub fn schedule(&mut self, position: usize, at: Cycle) {
+        if at.value() <= self.synced_at {
+            self.words[position / 64] |= 1 << (position % 64);
+        } else {
+            self.release_times[position] = at.value();
+            self.next_release = self.next_release.min(at.value());
+        }
+    }
+
+    /// Removes the master at `position` from the ready bitset (its head
+    /// transaction retired).
+    #[inline]
+    pub fn clear(&mut self, position: usize) {
+        self.words[position / 64] &= !(1 << (position % 64));
+    }
+
+    /// Whether the master at `position` currently has a released request.
+    #[must_use]
+    pub fn contains(&self, position: usize) -> bool {
+        self.words[position / 64] & (1 << (position % 64)) != 0
+    }
+
+    /// `true` when no master is currently released.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The earliest future release time, if any master is still waiting.
+    #[must_use]
+    #[inline]
+    pub fn next_release(&self) -> Option<Cycle> {
+        if self.next_release == u64::MAX {
+            None
+        } else {
+            Some(Cycle::new(self.next_release))
+        }
+    }
+
+    /// `true` when the ready bitset intersects `mask`.
+    #[must_use]
+    #[inline]
+    pub fn intersects(&self, mask: &[u64]) -> bool {
+        self.words.iter().zip(mask).any(|(&w, &m)| w & m != 0)
+    }
+
+    /// Calls `f` for every ready position, in ascending order.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (word_index, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(word_index * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Calls `f` for every position in `ready ∩ mask`, in ascending
+    /// order, over a per-word *snapshot*: positions set by `f` itself are
+    /// not revisited within this pass (callers run a fixed-point loop,
+    /// exactly like the scan this replaces).
+    pub fn for_each_masked(&mut self, mask: &[u64], mut f: impl FnMut(&mut Self, usize) -> bool) {
+        for (word_index, &mask_word) in mask.iter().enumerate() {
+            let mut bits = self.words[word_index] & mask_word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !f(self, word_index * 64 + bit) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_releases_masters_in_time_order() {
+        let mut set = ReadySet::new(70);
+        set.schedule(0, Cycle::new(10));
+        set.schedule(65, Cycle::new(5));
+        set.schedule(3, Cycle::new(20));
+        assert!(set.is_empty());
+        assert_eq!(set.next_release(), Some(Cycle::new(5)));
+
+        set.sync(Cycle::new(10));
+        assert!(set.contains(0));
+        assert!(set.contains(65));
+        assert!(!set.contains(3));
+        assert_eq!(set.next_release(), Some(Cycle::new(20)));
+
+        let mut seen = Vec::new();
+        set.for_each(|p| seen.push(p));
+        assert_eq!(seen, vec![0, 65], "ascending position order");
+    }
+
+    #[test]
+    fn immediate_schedule_sets_the_bit_directly() {
+        let mut set = ReadySet::new(4);
+        set.sync(Cycle::new(100));
+        set.schedule(2, Cycle::new(50));
+        assert!(set.contains(2), "past release is ready immediately");
+        set.clear(2);
+        assert!(set.is_empty());
+        assert_eq!(set.next_release(), None);
+    }
+
+    #[test]
+    fn sync_is_monotone() {
+        let mut set = ReadySet::new(2);
+        set.schedule(0, Cycle::new(30));
+        set.sync(Cycle::new(40));
+        assert!(set.contains(0));
+        // Going "back in time" must not un-release anything.
+        set.sync(Cycle::new(10));
+        assert!(set.contains(0));
+        set.schedule(1, Cycle::new(35));
+        assert!(set.contains(1), "synced_at stays at 40");
+    }
+
+    #[test]
+    fn rescheduling_after_release_works_repeatedly() {
+        let mut set = ReadySet::new(1);
+        for round in 0u64..5 {
+            let release = (round + 1) * 100;
+            set.schedule(0, Cycle::new(release));
+            assert!(!set.contains(0));
+            assert_eq!(set.next_release(), Some(Cycle::new(release)));
+            set.sync(Cycle::new(release));
+            assert!(set.contains(0));
+            assert_eq!(set.next_release(), None);
+            set.clear(0);
+        }
+    }
+
+    #[test]
+    fn masked_iteration_intersects_and_snapshots() {
+        let mut set = ReadySet::new(130);
+        let mask = ReadySet::mask_of(130, [1usize, 64, 128]);
+        for position in [0usize, 1, 64, 100, 128] {
+            set.schedule(position, Cycle::ZERO);
+        }
+        set.sync(Cycle::ZERO);
+        assert!(set.intersects(&mask));
+        let mut seen = Vec::new();
+        set.for_each_masked(&mask, |set, position| {
+            seen.push(position);
+            // Setting a *lower* bit of an already-visited word must not
+            // extend this pass.
+            if position == 64 {
+                set.schedule(1, Cycle::ZERO);
+                set.clear(64);
+            }
+            true
+        });
+        assert_eq!(seen, vec![1, 64, 128]);
+        let empty_mask = ReadySet::mask_of(130, [2usize]);
+        assert!(!set.intersects(&empty_mask));
+    }
+
+    #[test]
+    fn masked_iteration_stops_when_the_callback_says_so() {
+        let mut set = ReadySet::new(8);
+        let mask = ReadySet::mask_of(8, 0..8);
+        for position in 0..8 {
+            set.schedule(position, Cycle::ZERO);
+        }
+        set.sync(Cycle::ZERO);
+        let mut count = 0;
+        set.for_each_masked(&mask, |_, _| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+    }
+}

@@ -1,14 +1,28 @@
-//! RTL-vs-TLM accuracy comparison (Table 1 of the paper).
+//! Model-accuracy comparison (Table 1 of the paper, generalized).
 //!
 //! The paper validates the transaction-level AHB+ model by simulating the
 //! same target system at both abstraction levels and comparing cycle-count
 //! metrics; "the average accuracy difference is below 3%" (§4). This module
-//! performs exactly that comparison: it pairs two [`SimReport`]s produced
-//! from identical stimulus and reports the relative error of every shared
-//! metric, the per-pattern average and the derived accuracy percentage.
+//! performs that comparison twice over:
+//!
+//! * [`AccuracyReport`] is the original Table-1 shape — it pairs two
+//!   [`SimReport`]s produced from identical stimulus and reports the
+//!   relative error of every shared metric, the per-pattern average and
+//!   the derived accuracy percentage.
+//! * [`compare_models`] / [`ModelComparison`] generalize the methodology
+//!   to *any pair of [`BusModel`] backends*: run both on identical
+//!   stimulus, compare every [`Probe`] counter, and report per-counter
+//!   error percentages plus whether the functional results are identical
+//!   ([`Probe::results_match`]). A set of comparisons over the scenario
+//!   catalogue packs into an [`AccuracyBenchRecord`], the payload of the
+//!   `BENCH_accuracy.json` artifact — the accuracy axis of the paper's
+//!   speed/accuracy trade-off, emitted per commit alongside
+//!   `BENCH_speed.json`.
 
 use std::fmt::Write as _;
 
+use crate::jsonfmt::{escape_json, json_f64};
+use crate::model::{BusModel, Probe, PROBE_FIELDS};
 use crate::report::SimReport;
 
 /// One compared metric.
@@ -150,6 +164,340 @@ impl AccuracyReport {
     }
 }
 
+/// One observable counter compared between two backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterComparison {
+    /// Probe field name (see [`PROBE_FIELDS`]).
+    pub counter: &'static str,
+    /// Value on the reference (more timing-accurate) model.
+    pub reference: u64,
+    /// Value on the candidate model.
+    pub candidate: u64,
+}
+
+impl CounterComparison {
+    /// Relative error of the candidate against the reference, in percent.
+    /// A zero reference yields 0% when both agree and 100% otherwise.
+    #[must_use]
+    pub fn error_pct(&self) -> f64 {
+        if self.reference == 0 {
+            if self.candidate == 0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            let reference = self.reference as f64;
+            ((self.candidate as f64 - reference) / reference * 100.0).abs()
+        }
+    }
+}
+
+/// The full accuracy comparison of one backend pair on one scenario:
+/// every probe counter side by side, plus the functional-identity verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComparison {
+    /// Scenario label the two runs were produced under.
+    pub scenario: String,
+    /// `model_name` of the reference backend.
+    pub reference: String,
+    /// `model_name` of the candidate backend.
+    pub candidate: String,
+    /// Whether the end-of-run *results* are identical
+    /// ([`Probe::results_match`]) — the paper's hard requirement; timing
+    /// counters may differ, completed work may not.
+    pub results_match: bool,
+    /// First cycle at which lockstep co-simulation observed a divergence,
+    /// when the comparison was driven in lockstep (`None` = never
+    /// diverged, or the runs were only compared at completion).
+    pub first_divergence_cycle: Option<u64>,
+    /// Per-counter comparison rows, in [`PROBE_FIELDS`] order.
+    pub counters: Vec<CounterComparison>,
+}
+
+impl ModelComparison {
+    /// Builds the per-counter comparison from two end-of-run probes.
+    #[must_use]
+    pub fn from_probes(
+        scenario: &str,
+        reference_name: &str,
+        candidate_name: &str,
+        reference: &Probe,
+        candidate: &Probe,
+    ) -> Self {
+        let counters = PROBE_FIELDS
+            .iter()
+            .map(|(name, get)| CounterComparison {
+                counter: name,
+                reference: get(reference),
+                candidate: get(candidate),
+            })
+            .collect();
+        ModelComparison {
+            scenario: scenario.to_owned(),
+            reference: reference_name.to_owned(),
+            candidate: candidate_name.to_owned(),
+            results_match: reference.results_match(candidate),
+            first_divergence_cycle: None,
+            counters,
+        }
+    }
+
+    /// Records the first lockstep divergence horizon.
+    #[must_use]
+    pub fn with_divergence(mut self, cycle: Option<u64>) -> Self {
+        self.first_divergence_cycle = cycle;
+        self
+    }
+
+    /// The comparison row of one counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<&CounterComparison> {
+        self.counters.iter().find(|c| c.counter == name)
+    }
+
+    /// Relative error of the elapsed-cycle count — the headline timing
+    /// error of a faster backend.
+    #[must_use]
+    pub fn cycle_error_pct(&self) -> f64 {
+        self.counter("cycle").map_or(0.0, CounterComparison::error_pct)
+    }
+
+    /// Relative error of the bus-busy-cycle count. On workloads whose
+    /// end time is pinned by a periodic master the elapsed-cycle error
+    /// can be deceptively small; busy cycles expose the timing estimate
+    /// itself.
+    #[must_use]
+    pub fn busy_error_pct(&self) -> f64 {
+        self.counter("busy_cycles")
+            .map_or(0.0, CounterComparison::error_pct)
+    }
+
+    /// Largest error over every compared counter.
+    #[must_use]
+    pub fn max_counter_error_pct(&self) -> f64 {
+        self.counters
+            .iter()
+            .map(CounterComparison::error_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the comparison as a table: counter, reference, candidate,
+    /// error %. Counters that agree exactly are summarized in one line.
+    #[must_use]
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — {} vs {} (results match: {})",
+            self.scenario, self.candidate, self.reference, self.results_match
+        );
+        let mut exact = 0usize;
+        for row in &self.counters {
+            if row.reference == row.candidate {
+                exact += 1;
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>14} {:>14} {:>9.2}%",
+                row.counter,
+                row.reference,
+                row.candidate,
+                row.error_pct()
+            );
+        }
+        let _ = writeln!(out, "  ({exact} counters agree exactly)");
+        out
+    }
+}
+
+/// Runs two backends (already built from identical stimulus) to
+/// completion and compares their end-of-run observable state counter by
+/// counter.
+///
+/// This is the trait-level entry point — it works for any two
+/// [`BusModel`]s and never inspects the concrete types. Drivers that also
+/// want the first divergence *cycle* should advance the models in
+/// lockstep themselves (`ahbplus::run_lockstep`) and attach the horizon
+/// via [`ModelComparison::with_divergence`].
+pub fn compare_models(
+    scenario: &str,
+    reference: &mut dyn BusModel,
+    candidate: &mut dyn BusModel,
+) -> ModelComparison {
+    reference.run_until(simkern::time::Cycle::MAX);
+    candidate.run_until(simkern::time::Cycle::MAX);
+    let reference_name = reference.model_name();
+    let candidate_name = candidate.model_name();
+    ModelComparison::from_probes(
+        scenario,
+        reference_name,
+        candidate_name,
+        &reference.probe(),
+        &candidate.probe(),
+    )
+}
+
+/// The `BENCH_accuracy.json` payload: every pairwise model comparison over
+/// the scenario catalogue, plus per-pair aggregates — the accuracy
+/// counterpart of [`crate::speed::SpeedBenchRecord`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AccuracyBenchRecord {
+    /// One entry per (scenario, reference, candidate) triple.
+    pub comparisons: Vec<ModelComparison>,
+}
+
+/// Aggregate accuracy of one (reference, candidate) pair across every
+/// compared scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairSummary {
+    /// `model_name` of the reference backend.
+    pub reference: String,
+    /// `model_name` of the candidate backend.
+    pub candidate: String,
+    /// Number of scenarios compared.
+    pub scenarios: usize,
+    /// Whether the functional results matched on *every* scenario.
+    pub results_match_all: bool,
+    /// Mean elapsed-cycle error over the scenarios, in percent.
+    pub mean_cycle_error_pct: f64,
+    /// Worst elapsed-cycle error over the scenarios, in percent.
+    pub max_cycle_error_pct: f64,
+    /// Mean bus-busy-cycle error over the scenarios, in percent.
+    pub mean_busy_error_pct: f64,
+    /// Worst bus-busy-cycle error over the scenarios, in percent.
+    pub max_busy_error_pct: f64,
+}
+
+impl AccuracyBenchRecord {
+    /// Aggregates the comparisons into one summary row per backend pair,
+    /// in first-seen order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<PairSummary> {
+        let mut out: Vec<PairSummary> = Vec::new();
+        for cmp in &self.comparisons {
+            let entry = out
+                .iter_mut()
+                .find(|s| s.reference == cmp.reference && s.candidate == cmp.candidate);
+            let error = cmp.cycle_error_pct();
+            let busy = cmp.busy_error_pct();
+            match entry {
+                Some(summary) => {
+                    summary.scenarios += 1;
+                    summary.results_match_all &= cmp.results_match;
+                    summary.mean_cycle_error_pct += error;
+                    summary.max_cycle_error_pct = summary.max_cycle_error_pct.max(error);
+                    summary.mean_busy_error_pct += busy;
+                    summary.max_busy_error_pct = summary.max_busy_error_pct.max(busy);
+                }
+                None => out.push(PairSummary {
+                    reference: cmp.reference.clone(),
+                    candidate: cmp.candidate.clone(),
+                    scenarios: 1,
+                    results_match_all: cmp.results_match,
+                    mean_cycle_error_pct: error,
+                    max_cycle_error_pct: error,
+                    mean_busy_error_pct: busy,
+                    max_busy_error_pct: busy,
+                }),
+            }
+        }
+        for summary in &mut out {
+            summary.mean_cycle_error_pct /= summary.scenarios as f64;
+            summary.mean_busy_error_pct /= summary.scenarios as f64;
+        }
+        out
+    }
+
+    /// Whether every comparison produced identical functional results —
+    /// the regression gate CI enforces per commit.
+    #[must_use]
+    pub fn all_results_match(&self) -> bool {
+        self.comparisons.iter().all(|c| c.results_match)
+    }
+
+    /// Serializes the record as the `BENCH_accuracy.json` artifact
+    /// (schema `ahbplus-bench-accuracy/v1`). Only counters that differ
+    /// are listed per comparison; agreement is the default and is implied
+    /// by absence, which keeps the artifact readable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-accuracy/v1\",");
+        let _ = writeln!(
+            out,
+            "  \"all_results_match\": {},",
+            self.all_results_match()
+        );
+        let _ = writeln!(out, "  \"summaries\": [");
+        let summaries = self.summaries();
+        for (index, s) in summaries.iter().enumerate() {
+            let comma = if index + 1 < summaries.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"reference\": \"{}\", \"candidate\": \"{}\", \"scenarios\": {}, \
+                 \"results_match_all\": {}, \"mean_cycle_error_pct\": {}, \
+                 \"max_cycle_error_pct\": {}, \"mean_busy_error_pct\": {}, \
+                 \"max_busy_error_pct\": {}}}{comma}",
+                escape_json(&s.reference),
+                escape_json(&s.candidate),
+                s.scenarios,
+                s.results_match_all,
+                json_f64(s.mean_cycle_error_pct),
+                json_f64(s.max_cycle_error_pct),
+                json_f64(s.mean_busy_error_pct),
+                json_f64(s.max_busy_error_pct)
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"comparisons\": [");
+        for (index, cmp) in self.comparisons.iter().enumerate() {
+            let comma = if index + 1 < self.comparisons.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"scenario\": \"{}\",", escape_json(&cmp.scenario));
+            let _ = writeln!(out, "      \"reference\": \"{}\",", escape_json(&cmp.reference));
+            let _ = writeln!(out, "      \"candidate\": \"{}\",", escape_json(&cmp.candidate));
+            let _ = writeln!(out, "      \"results_match\": {},", cmp.results_match);
+            let _ = writeln!(
+                out,
+                "      \"first_divergence_cycle\": {},",
+                cmp.first_divergence_cycle
+                    .map_or_else(|| "null".to_owned(), |c| c.to_string())
+            );
+            let _ = writeln!(
+                out,
+                "      \"cycle_error_pct\": {},",
+                json_f64(cmp.cycle_error_pct())
+            );
+            let _ = writeln!(out, "      \"diverging_counters\": [");
+            let diverging: Vec<&CounterComparison> = cmp
+                .counters
+                .iter()
+                .filter(|c| c.reference != c.candidate)
+                .collect();
+            for (i, row) in diverging.iter().enumerate() {
+                let row_comma = if i + 1 < diverging.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "        {{\"counter\": \"{}\", \"reference\": {}, \"candidate\": {}, \
+                     \"error_pct\": {}}}{row_comma}",
+                    row.counter,
+                    row.reference,
+                    row.candidate,
+                    json_f64(row.error_pct())
+                );
+            }
+            let _ = writeln!(out, "      ]");
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +606,92 @@ mod tests {
         let overall = AccuracyReport::overall_average_error(&[exact, off]);
         assert!((overall - 2.0).abs() < 1e-9);
         assert_eq!(AccuracyReport::overall_average_error(&[]), 0.0);
+    }
+
+    fn probe(cycle: u64, transactions: u64, busy: u64) -> Probe {
+        Probe {
+            cycle,
+            transactions,
+            bytes: transactions * 64,
+            data_beats: transactions * 8,
+            busy_cycles: busy,
+            ..Probe::default()
+        }
+    }
+
+    #[test]
+    fn counter_comparison_error_handles_zero_reference() {
+        let both_zero = CounterComparison { counter: "x", reference: 0, candidate: 0 };
+        assert_eq!(both_zero.error_pct(), 0.0);
+        let zero_ref = CounterComparison { counter: "x", reference: 0, candidate: 3 };
+        assert_eq!(zero_ref.error_pct(), 100.0);
+        let off = CounterComparison { counter: "x", reference: 200, candidate: 190 };
+        assert!((off.error_pct() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_comparison_covers_every_probe_field() {
+        let a = probe(1_000, 40, 700);
+        let b = probe(1_050, 40, 690);
+        let cmp = ModelComparison::from_probes("s", "tlm", "lt", &a, &b);
+        assert_eq!(cmp.counters.len(), crate::model::PROBE_FIELDS.len());
+        assert!(cmp.results_match, "identical work is a results match");
+        assert!((cmp.cycle_error_pct() - 5.0).abs() < 1e-9);
+        assert!(cmp.max_counter_error_pct() >= cmp.cycle_error_pct());
+        let table = cmp.format_table();
+        assert!(table.contains("cycle"));
+        assert!(table.contains("busy_cycles"));
+        assert!(table.contains("agree exactly"));
+    }
+
+    #[test]
+    fn lost_work_breaks_the_results_match() {
+        let a = probe(1_000, 40, 700);
+        let b = probe(1_000, 39, 700);
+        let cmp = ModelComparison::from_probes("s", "tlm", "lt", &a, &b);
+        assert!(!cmp.results_match);
+        assert!(cmp.counter("transactions").unwrap().error_pct() > 0.0);
+    }
+
+    #[test]
+    fn bench_record_aggregates_and_serializes() {
+        let reference = probe(10_000, 100, 6_000);
+        let close = probe(10_200, 100, 6_100);
+        let exact = probe(10_000, 100, 6_000);
+        let record = AccuracyBenchRecord {
+            comparisons: vec![
+                ModelComparison::from_probes("a", "rtl", "lt", &reference, &close)
+                    .with_divergence(Some(512)),
+                ModelComparison::from_probes("b", "rtl", "lt", &reference, &exact),
+                ModelComparison::from_probes("a", "rtl", "tlm", &reference, &exact),
+            ],
+        };
+        assert!(record.all_results_match());
+        let summaries = record.summaries();
+        assert_eq!(summaries.len(), 2);
+        let lt = &summaries[0];
+        assert_eq!(lt.candidate, "lt");
+        assert_eq!(lt.scenarios, 2);
+        assert!(lt.results_match_all);
+        assert!((lt.mean_cycle_error_pct - 1.0).abs() < 1e-9);
+        assert!((lt.max_cycle_error_pct - 2.0).abs() < 1e-9);
+        let json = record.to_json();
+        assert!(json.contains("\"schema\": \"ahbplus-bench-accuracy/v1\""));
+        assert!(json.contains("\"all_results_match\": true"));
+        assert!(json.contains("\"first_divergence_cycle\": 512"));
+        assert!(json.contains("\"candidate\": \"lt\""));
+        // Counters that agree are implied by absence.
+        assert!(!json.contains("\"counter\": \"transactions\""));
+        assert!(json.contains("\"counter\": \"cycle\""));
+    }
+
+    #[test]
+    fn empty_record_serializes_and_trivially_matches() {
+        let record = AccuracyBenchRecord::default();
+        assert!(record.all_results_match());
+        assert!(record.summaries().is_empty());
+        let json = record.to_json();
+        assert!(json.contains("\"comparisons\": ["));
     }
 
     #[test]

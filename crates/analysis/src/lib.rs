@@ -37,13 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod jsonfmt;
 pub mod model;
 pub mod recorder;
 pub mod report;
 pub mod speed;
 
-pub use accuracy::{AccuracyReport, AccuracyRow};
-pub use model::{BusModel, Probe};
+pub use accuracy::{
+    compare_models, AccuracyBenchRecord, AccuracyReport, AccuracyRow, CounterComparison,
+    ModelComparison,
+};
+pub use model::{BusModel, Probe, PROBE_FIELDS};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 pub use speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};

@@ -65,7 +65,29 @@ pub struct Probe {
 }
 
 /// Reads one counter out of a probe (field-comparison table entry).
-type FieldAccessor = fn(&Probe) -> u64;
+pub type FieldAccessor = fn(&Probe) -> u64;
+
+/// Every probe field paired with a named accessor, `cycle` first. This is
+/// the schema of the uniform observability surface: the accuracy harness
+/// iterates it to compute per-counter errors, and the snapshot sinks use
+/// it as the CSV/JSON column set, so a field added to [`Probe`] shows up
+/// in every artifact by adding one row here.
+pub const PROBE_FIELDS: [(&str, FieldAccessor); 14] = [
+    ("cycle", |p| p.cycle),
+    ("transactions", |p| p.transactions),
+    ("bytes", |p| p.bytes),
+    ("data_beats", |p| p.data_beats),
+    ("busy_cycles", |p| p.busy_cycles),
+    ("write_buffer_fill", |p| p.write_buffer_fill),
+    ("write_buffer_absorbed", |p| p.write_buffer_absorbed),
+    ("write_buffer_drained", |p| p.write_buffer_drained),
+    ("write_buffer_peak", |p| p.write_buffer_peak),
+    ("dram_row_hits", |p| p.dram_row_hits),
+    ("dram_prepared_hits", |p| p.dram_prepared_hits),
+    ("dram_accesses", |p| p.dram_accesses),
+    ("assertion_errors", |p| p.assertion_errors),
+    ("assertion_warnings", |p| p.assertion_warnings),
+];
 
 /// The probe fields compared by [`Probe::divergence`], paired with
 /// accessors. `cycle` is deliberately excluded: models at different
@@ -188,6 +210,39 @@ pub trait BusModel {
     }
 }
 
+/// Boxed models are models: run-control drivers that hold backends as
+/// `Box<dyn BusModel>` (sweeps, registries) plug into the same generic
+/// drivers as concrete systems.
+impl<M: BusModel + ?Sized> BusModel for Box<M> {
+    fn kind(&self) -> ModelKind {
+        (**self).kind()
+    }
+
+    fn model_name(&self) -> &'static str {
+        (**self).model_name()
+    }
+
+    fn now(&self) -> Cycle {
+        (**self).now()
+    }
+
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+
+    fn run_until(&mut self, target: Cycle) -> Cycle {
+        (**self).run_until(target)
+    }
+
+    fn probe(&self) -> Probe {
+        (**self).probe()
+    }
+
+    fn report(&mut self) -> SimReport {
+        (**self).report()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +303,30 @@ mod tests {
     fn compared_fields_cover_every_counter_except_cycle() {
         // 14 fields in the struct, one (cycle) excluded by design.
         assert_eq!(COMPARED_FIELDS.len(), 13);
+        assert_eq!(PROBE_FIELDS.len(), 14);
+        assert_eq!(PROBE_FIELDS[0].0, "cycle");
+        for (name, get) in COMPARED_FIELDS {
+            let (probe_name, probe_get) = PROBE_FIELDS
+                .iter()
+                .find(|(n, _)| *n == name)
+                .expect("compared field present in the full schema");
+            let sample = Probe {
+                cycle: 1,
+                transactions: 2,
+                bytes: 3,
+                data_beats: 4,
+                busy_cycles: 5,
+                write_buffer_fill: 6,
+                write_buffer_absorbed: 7,
+                write_buffer_drained: 8,
+                write_buffer_peak: 9,
+                dram_row_hits: 10,
+                dram_prepared_hits: 11,
+                dram_accesses: 12,
+                assertion_errors: 13,
+                assertion_warnings: 14,
+            };
+            assert_eq!(get(&sample), probe_get(&sample), "{probe_name}");
+        }
     }
 }

@@ -19,16 +19,29 @@ pub enum ModelKind {
     PinAccurateRtl,
     /// The transaction-level model (`ahb-tlm`).
     TransactionLevel,
+    /// The loosely-timed model (`ahb-lt`): exact functional results,
+    /// per-burst latency estimates instead of a bank state machine.
+    LooselyTimed,
 }
 
 impl ModelKind {
-    /// Short machine-readable identifier (`"rtl"` / `"tlm"`), used for
-    /// benchmark-artifact keys and CLI model filters.
+    /// Every abstraction level of the spectrum, from most to least
+    /// timing-accurate. The accuracy harness compares each pair in this
+    /// order (earlier kind = reference).
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::PinAccurateRtl,
+        ModelKind::TransactionLevel,
+        ModelKind::LooselyTimed,
+    ];
+
+    /// Short machine-readable identifier (`"rtl"` / `"tlm"` / `"lt"`),
+    /// used for benchmark-artifact keys and CLI model filters.
     #[must_use]
     pub const fn id(self) -> &'static str {
         match self {
             ModelKind::PinAccurateRtl => "rtl",
             ModelKind::TransactionLevel => "tlm",
+            ModelKind::LooselyTimed => "lt",
         }
     }
 }
@@ -38,6 +51,7 @@ impl fmt::Display for ModelKind {
         match self {
             ModelKind::PinAccurateRtl => write!(f, "RTL"),
             ModelKind::TransactionLevel => write!(f, "TL"),
+            ModelKind::LooselyTimed => write!(f, "LT"),
         }
     }
 }
@@ -359,8 +373,16 @@ mod tests {
     fn model_kind_display() {
         assert_eq!(ModelKind::PinAccurateRtl.to_string(), "RTL");
         assert_eq!(ModelKind::TransactionLevel.to_string(), "TL");
+        assert_eq!(ModelKind::LooselyTimed.to_string(), "LT");
         assert_eq!(ModelKind::PinAccurateRtl.id(), "rtl");
         assert_eq!(ModelKind::TransactionLevel.id(), "tlm");
+        assert_eq!(ModelKind::LooselyTimed.id(), "lt");
+    }
+
+    #[test]
+    fn model_kind_ids_are_unique_and_ordered_by_accuracy() {
+        let ids: Vec<&str> = ModelKind::ALL.iter().map(|k| k.id()).collect();
+        assert_eq!(ids, vec!["rtl", "tlm", "lt"]);
     }
 
     #[test]

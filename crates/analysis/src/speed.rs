@@ -9,6 +9,7 @@
 use std::fmt;
 use std::fmt::Write as _;
 
+use crate::jsonfmt::{escape_json, json_f64};
 use crate::report::SimReport;
 
 /// Simulation-speed summary for one platform configuration.
@@ -105,6 +106,12 @@ pub mod model_names {
     pub const TLM_SINGLE_MASTER: &str = "tlm-single-master";
     /// The transaction-level model with §3.6 profiling detached.
     pub const TLM_DETACHED: &str = "tlm-detached";
+    /// The loosely-timed model.
+    pub const LT: &str = "lt";
+    /// The transaction-level model scaled to 32 masters.
+    pub const TLM_32_MASTER: &str = "tlm-32-master";
+    /// The transaction-level model scaled to 64 masters.
+    pub const TLM_64_MASTER: &str = "tlm-64-master";
 }
 
 /// One measured model configuration inside a [`SpeedBenchRecord`].
@@ -212,6 +219,12 @@ impl SpeedBenchRecord {
             self.model(model_names::TLM_DETACHED)
                 .map_or_else(|| "null".to_owned(), |m| json_f64(m.kcycles_per_sec))
         );
+        let _ = writeln!(
+            out,
+            "  \"lt_kcycles_per_sec\": {},",
+            self.model(model_names::LT)
+                .map_or_else(|| "null".to_owned(), |m| json_f64(m.kcycles_per_sec))
+        );
         let _ = writeln!(out, "  \"speedup\": {},", json_f64(speed.speedup()));
         let _ = writeln!(out, "  \"models\": [");
         for (index, model) in self.models.iter().enumerate() {
@@ -247,28 +260,6 @@ impl SpeedBenchRecord {
         out.push('\n');
         out
     }
-}
-
-/// Formats a float as JSON: finite values print plainly, non-finite ones
-/// (which JSON cannot represent) become null.
-fn json_f64(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-fn escape_json(text: &str) -> String {
-    text.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 impl fmt::Display for SpeedReport {
@@ -388,13 +379,6 @@ mod tests {
         assert!(!table.contains("NaN"));
         assert!(table.contains("transaction-level"));
         assert!(!table.contains("pin-accurate"));
-    }
-
-    #[test]
-    fn json_escaping_handles_special_characters() {
-        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(2.5), "2.5");
     }
 
     #[test]

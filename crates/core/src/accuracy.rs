@@ -1,0 +1,230 @@
+//! The N-backend accuracy experiment: every registered model pair,
+//! lockstepped over the scenario catalogue.
+//!
+//! Table 1 of the paper compares *two* abstraction levels on a handful of
+//! traffic patterns. With the model spectrum generalized behind
+//! [`BusModel`], the experiment generalizes too: for
+//! every ordered pair of [`ModelKind`]s (more-accurate model as the
+//! reference) and every catalogue scenario, run the two backends in
+//! lockstep on identical stimulus, record the first observable divergence
+//! horizon, verify the end-of-run results match, and compute per-counter
+//! error percentages. The result packs into an
+//! [`AccuracyBenchRecord`] — the `BENCH_accuracy.json` artifact CI emits
+//! next to `BENCH_speed.json`, so every commit leaves a speed *and* an
+//! accuracy data point per backend.
+
+use analysis::accuracy::{AccuracyBenchRecord, ModelComparison};
+use analysis::model::{BusModel, Probe};
+use analysis::report::ModelKind;
+use simkern::time::{Cycle, CycleDelta};
+
+use crate::scenario::{scenario_catalogue, ScenarioSpec};
+use crate::simulation::run_lockstep;
+
+/// Lockstep comparison stride used by the accuracy experiment. Coarse
+/// enough to keep the harness fast, fine enough to localize divergences
+/// to a few hundred cycles.
+pub const ACCURACY_LOCKSTEP_STRIDE: u64 = 256;
+
+/// Every ordered backend pair of the spectrum: the more timing-accurate
+/// kind first (the reference the error is measured against).
+#[must_use]
+pub fn model_pairs() -> Vec<(ModelKind, ModelKind)> {
+    let kinds = ModelKind::ALL;
+    let mut pairs = Vec::new();
+    for (i, &reference) in kinds.iter().enumerate() {
+        for &candidate in &kinds[i + 1..] {
+            pairs.push((reference, candidate));
+        }
+    }
+    pairs
+}
+
+/// Lockstep-compares one backend pair on one scenario.
+///
+/// # Panics
+///
+/// Panics when the spec does not resolve (catalogue scenarios always do).
+#[must_use]
+pub fn compare_pair_on(
+    spec: &ScenarioSpec,
+    reference: ModelKind,
+    candidate: ModelKind,
+) -> ModelComparison {
+    let config = spec
+        .resolve()
+        .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
+    let mut a = config.build_model(reference);
+    let mut b = config.build_model(candidate);
+    let outcome = run_lockstep(
+        a.as_mut(),
+        b.as_mut(),
+        CycleDelta::new(ACCURACY_LOCKSTEP_STRIDE),
+    );
+    ModelComparison::from_probes(
+        &spec.name,
+        reference.id(),
+        candidate.id(),
+        &a.probe(),
+        &b.probe(),
+    )
+    .with_divergence(outcome.first_divergence.as_ref().map(|d| d.cycle))
+}
+
+/// Runs one model to completion, recording its probe at every lockstep
+/// horizon. Because the models are deterministic, two recorded streams
+/// reconstruct exactly what [`run_lockstep`] would have observed on the
+/// pair — without re-simulating either model.
+fn probe_stream(model: &mut dyn BusModel, stride: CycleDelta) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    let mut horizon = Cycle::ZERO;
+    while !model.finished() {
+        horizon += stride;
+        model.run_until(horizon);
+        probes.push(model.probe());
+    }
+    probes
+}
+
+/// Pairwise comparison of two recorded probe streams: first divergence
+/// horizon plus the end-of-run counter comparison. A model that finished
+/// early holds its last probe, matching the lockstep driver's no-op
+/// `run_until` on a finished model.
+fn compare_streams(
+    scenario: &str,
+    reference: ModelKind,
+    candidate: ModelKind,
+    stride: CycleDelta,
+    a: &[Probe],
+    b: &[Probe],
+) -> ModelComparison {
+    let last = |stream: &[Probe]| stream.last().copied().unwrap_or_default();
+    let mut divergence = None;
+    for index in 0..a.len().max(b.len()) {
+        let pa = a.get(index).copied().unwrap_or_else(|| last(a));
+        let pb = b.get(index).copied().unwrap_or_else(|| last(b));
+        if !pa.divergence(&pb).is_empty() {
+            divergence = Some((index as u64 + 1) * stride.value());
+            break;
+        }
+    }
+    ModelComparison::from_probes(scenario, reference.id(), candidate.id(), &last(a), &last(b))
+        .with_divergence(divergence)
+}
+
+/// Runs the full accuracy experiment: every model pair over every
+/// catalogue scenario, optionally with the per-master workload capped at
+/// `max_transactions` (used by tests and smoke runs; `None` runs the
+/// catalogue lengths). Each backend is simulated **once** per scenario
+/// and the pairs are compared on the recorded probe streams, so the slow
+/// reference does not pay one run per pair.
+#[must_use]
+pub fn measure_accuracy_record(max_transactions: Option<usize>) -> AccuracyBenchRecord {
+    let stride = CycleDelta::new(ACCURACY_LOCKSTEP_STRIDE);
+    let mut comparisons = Vec::new();
+    for spec in scenario_catalogue() {
+        let spec = match max_transactions {
+            Some(cap) if spec.transactions_per_master > cap => spec.with_transactions(cap),
+            _ => spec,
+        };
+        let config = spec
+            .resolve()
+            .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
+        let streams: Vec<(ModelKind, Vec<Probe>)> = ModelKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut model = config.build_model(kind);
+                (kind, probe_stream(model.as_mut(), stride))
+            })
+            .collect();
+        for (i, (reference, ref_stream)) in streams.iter().enumerate() {
+            for (candidate, cand_stream) in &streams[i + 1..] {
+                comparisons.push(compare_streams(
+                    &spec.name,
+                    *reference,
+                    *candidate,
+                    stride,
+                    ref_stream,
+                    cand_stream,
+                ));
+            }
+        }
+    }
+    AccuracyBenchRecord { comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn model_pairs_cover_the_spectrum_in_accuracy_order() {
+        let pairs = model_pairs();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(
+            pairs,
+            vec![
+                (ModelKind::PinAccurateRtl, ModelKind::TransactionLevel),
+                (ModelKind::PinAccurateRtl, ModelKind::LooselyTimed),
+                (ModelKind::TransactionLevel, ModelKind::LooselyTimed),
+            ]
+        );
+    }
+
+    #[test]
+    fn one_scenario_pair_compares_and_matches_results() {
+        let spec = scenario("table1-a").expect("catalogued").with_transactions(25);
+        let cmp = compare_pair_on(&spec, ModelKind::TransactionLevel, ModelKind::LooselyTimed);
+        assert_eq!(cmp.reference, "tlm");
+        assert_eq!(cmp.candidate, "lt");
+        assert!(cmp.results_match, "{}", cmp.format_table());
+    }
+
+    #[test]
+    fn stream_comparison_agrees_with_true_lockstep() {
+        // The record is built from one probe stream per backend; that
+        // reconstruction must agree with genuinely lockstepped models.
+        let spec = scenario("table1-c").expect("catalogued").with_transactions(30);
+        let lockstepped =
+            compare_pair_on(&spec, ModelKind::TransactionLevel, ModelKind::LooselyTimed);
+        let config = spec.resolve().expect("resolves");
+        let stride = CycleDelta::new(ACCURACY_LOCKSTEP_STRIDE);
+        let mut tlm = config.build_model(ModelKind::TransactionLevel);
+        let mut lt = config.build_model(ModelKind::LooselyTimed);
+        let streamed = compare_streams(
+            &spec.name,
+            ModelKind::TransactionLevel,
+            ModelKind::LooselyTimed,
+            stride,
+            &probe_stream(tlm.as_mut(), stride),
+            &probe_stream(lt.as_mut(), stride),
+        );
+        assert_eq!(lockstepped, streamed);
+    }
+
+    #[test]
+    fn capped_record_covers_every_scenario_and_pair() {
+        // A heavily capped run keeps this a unit test; the full-length
+        // record is produced by the benchmark binary.
+        let record = measure_accuracy_record(Some(15));
+        let scenarios = scenario_catalogue().len();
+        assert_eq!(record.comparisons.len(), scenarios * 3);
+        assert!(
+            record.all_results_match(),
+            "every backend must complete identical work:\n{}",
+            record
+                .comparisons
+                .iter()
+                .filter(|c| !c.results_match)
+                .map(ModelComparison::format_table)
+                .collect::<String>()
+        );
+        let summaries = record.summaries();
+        assert_eq!(summaries.len(), 3);
+        for summary in &summaries {
+            assert_eq!(summary.scenarios, scenarios);
+            assert!(summary.results_match_all);
+        }
+    }
+}

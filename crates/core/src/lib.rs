@@ -1,28 +1,59 @@
 //! `ahbplus` — the public façade of the AHB+ bus-architecture models.
 //!
 //! The façade is organized around one idea: **every backend is a
-//! [`BusModel`]**. The pin-accurate reference ([`ahb_rtl::RtlSystem`]) and
-//! the transaction-level model ([`ahb_tlm::TlmSystem`]) implement the same
-//! trait — bounded stepping, a completion predicate, [`Probe`] snapshots
-//! and [`SimReport`]s — so everything above them works for both (and for
-//! any future backend) without special cases:
+//! [`BusModel`]**. Three abstraction levels implement the same trait —
+//! bounded stepping, a completion predicate, [`Probe`] snapshots and
+//! [`SimReport`]s — forming the paper's speed/accuracy spectrum as
+//! runnable code:
+//!
+//! | model | crate | timing | typical speed |
+//! |---|---|---|---|
+//! | `rtl` | [`ahb_rtl`] | pin-accurate, cycle-level | 1× |
+//! | `tlm` | [`ahb_tlm`] | cycle-counting, per-transaction | ~15× RTL |
+//! | `lt`  | [`ahb_lt`]  | estimated per burst, exact results | ~2-4× TLM |
+//!
+//! Everything above the trait works for all of them (and for any future
+//! backend) without special cases:
 //!
 //! * [`platform`] — a single [`PlatformConfig`] describing bus parameters,
-//!   DDR device, traffic pattern and workload size, from which **both**
-//!   abstraction levels (or a boxed [`BusModel`] of either) are built.
+//!   DDR device, traffic pattern and workload size, from which **every**
+//!   abstraction level (or a boxed [`BusModel`] of any) is built.
 //! * [`mod@scenario`] — declarative [`ScenarioSpec`]s plus the
 //!   named-scenario catalogue: experiments as data, resolved to platforms
 //!   on demand.
 //! * [`simulation`] — run control: the [`Simulation`] stepping driver
-//!   with mid-run snapshots, and [`run_lockstep`] co-simulation that runs
-//!   two models on identical stimulus and reports the first cycle at
-//!   which their observable state diverges — the paper's "simulation
-//!   results were identical" claim as an executable check.
-//! * [`validation`] — the Table-1 experiment: run both models on identical
-//!   stimulus and compare their cycle-count metrics
+//!   with mid-run snapshots (accumulated, or streamed through a
+//!   [`SnapshotSink`] for long sweeps), and [`run_lockstep`]
+//!   co-simulation that runs two models on identical stimulus and reports
+//!   the first cycle at which their observable state diverges — the
+//!   paper's "simulation results were identical" claim as an executable
+//!   check.
+//! * [`validation`] — the Table-1 experiment: run both cycle-counting
+//!   models on identical stimulus and compare their cycle-count metrics
 //!   ([`analysis::AccuracyReport`]).
+//! * [`mod@accuracy`] — the generalized experiment: every registered
+//!   backend pair lockstepped over the scenario catalogue, per-counter
+//!   error percentages, `BENCH_accuracy.json`.
 //! * [`speed`] — the §4 speed experiment over the registered model set
 //!   ([`analysis::SpeedReport`], `BENCH_speed.json`).
+//!
+//! # Adding a fourth backend
+//!
+//! A new abstraction level (a sharded TLM, a statistical model, ...) only
+//! has to:
+//!
+//! 1. implement [`analysis::BusModel`] — `run_until`/`step` with the
+//!    progress guarantee, `finished`, `probe`, idempotent `report` (see
+//!    the trait docs for the contract; `ahb-lt` is the smallest worked
+//!    example);
+//! 2. add a [`ModelKind`] variant with a unique `id()` and a
+//!    [`PlatformConfig::build_model`] arm so scenarios resolve to it;
+//! 3. register a builder in [`speed::standard_models`].
+//!
+//! That registration is the whole integration: the backend then appears
+//! in `table2_speed`, `BENCH_speed.json`, `BENCH_accuracy.json` (with
+//! its lockstep results-match gate enforced by CI), the examples and the
+//! scenario-driven tests, with zero harness edits.
 //!
 //! # Quick start
 //!
@@ -58,23 +89,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod platform;
 pub mod scenario;
 pub mod simulation;
 pub mod speed;
 pub mod validation;
 
+pub use accuracy::{compare_pair_on, measure_accuracy_record, model_pairs};
 pub use platform::PlatformConfig;
 pub use scenario::{scenario, scenario_catalogue, ScenarioError, ScenarioSpec};
-pub use simulation::{run_lockstep, Divergence, LockstepReport, Simulation};
+pub use simulation::{
+    run_lockstep, CsvSnapshotSink, Divergence, JsonLinesSnapshotSink, LockstepReport, Simulation,
+    SnapshotSink,
+};
 pub use speed::{measure_models, measure_speed, measure_speed_record, standard_models, ModelSpec};
 pub use validation::{validate_pattern, validate_table1, Table1};
 
 // Re-export the building blocks so downstream users need only one
 // dependency.
+pub use ahb_lt::{LtConfig, LtSystem, LT_TIMING_ERROR_BOUND_PCT};
 pub use ahb_rtl::{RtlConfig, RtlSystem};
 pub use ahb_tlm::{TlmConfig, TlmSystem};
 pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};
-pub use analysis::{AccuracyReport, BusModel, ModelKind, Probe, SimReport, SpeedReport};
+pub use analysis::{
+    AccuracyBenchRecord, AccuracyReport, BusModel, ModelComparison, ModelKind, Probe, SimReport,
+    SpeedReport,
+};
 pub use ddrc::{DdrConfig, DdrController, DdrGeometry, DdrTiming};
 pub use traffic::{pattern_a, pattern_b, pattern_c, MasterProfile, TrafficPattern, Workload};

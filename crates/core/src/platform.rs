@@ -1,5 +1,6 @@
-//! Platform configuration and construction of both abstraction levels.
+//! Platform configuration and construction of every abstraction level.
 
+use ahb_lt::{LtConfig, LtSystem};
 use ahb_rtl::{RtlConfig, RtlSystem};
 use ahb_tlm::{TlmConfig, TlmSystem};
 use amba::params::AhbPlusParams;
@@ -93,6 +94,16 @@ impl PlatformConfig {
         }
     }
 
+    /// The loosely-timed configuration derived from this platform.
+    #[must_use]
+    pub fn lt_config(&self) -> LtConfig {
+        LtConfig {
+            params: self.params.clone(),
+            ddr: self.ddr,
+            max_cycles: self.max_cycles,
+        }
+    }
+
     /// The pin-accurate configuration derived from this platform.
     #[must_use]
     pub fn rtl_config(&self) -> RtlConfig {
@@ -110,6 +121,17 @@ impl PlatformConfig {
     pub fn build_tlm(&self) -> TlmSystem {
         TlmSystem::from_pattern(
             self.tlm_config(),
+            &self.pattern,
+            self.transactions_per_master,
+            self.seed,
+        )
+    }
+
+    /// Builds the loosely-timed system.
+    #[must_use]
+    pub fn build_lt(&self) -> LtSystem {
+        LtSystem::from_pattern(
+            self.lt_config(),
             &self.pattern,
             self.transactions_per_master,
             self.seed,
@@ -140,6 +162,7 @@ impl PlatformConfig {
         match kind {
             ModelKind::PinAccurateRtl => Box::new(self.build_rtl()),
             ModelKind::TransactionLevel => Box::new(self.build_tlm()),
+            ModelKind::LooselyTimed => Box::new(self.build_lt()),
         }
     }
 
@@ -199,9 +222,9 @@ mod tests {
     }
 
     #[test]
-    fn build_model_yields_both_backends_behind_the_trait() {
+    fn build_model_yields_every_backend_behind_the_trait() {
         let config = PlatformConfig::new(pattern_a(), 10, 5);
-        for kind in [ModelKind::PinAccurateRtl, ModelKind::TransactionLevel] {
+        for kind in ModelKind::ALL {
             let mut model = config.build_model(kind);
             assert_eq!(model.kind(), kind);
             assert_eq!(model.model_name(), kind.id());

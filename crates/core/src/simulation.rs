@@ -3,7 +3,11 @@
 //!
 //! [`Simulation`] wraps any [`BusModel`] and drives it in bounded slices,
 //! collecting a [`Probe`] after each one — the "attach a logic analyzer to
-//! the run" workflow that the one-shot `run()` cannot give.
+//! the run" workflow that the one-shot `run()` cannot give. For long
+//! sweeps the snapshots can be *streamed* instead of accumulated:
+//! [`Simulation::run_streaming`] hands each probe to a [`SnapshotSink`]
+//! (CSV or JSON-lines writers are provided) so a million-snapshot run
+//! holds one probe in memory, not all of them.
 //!
 //! [`run_lockstep`] operationalizes the paper's validation methodology:
 //! the §4 experiment runs the pin-accurate and the transaction-level
@@ -21,9 +25,133 @@
 //! per-transaction hot loops stay monomorphized; nothing here dispatches
 //! dynamically inside a run.
 
-use analysis::model::{BusModel, Probe};
+use std::io::{self, Write};
+
+use analysis::model::{BusModel, Probe, PROBE_FIELDS};
 use analysis::report::SimReport;
 use simkern::time::{Cycle, CycleDelta};
+
+/// Receives probes one at a time as a stepped run progresses, so drivers
+/// can stream observability data to disk instead of holding every
+/// snapshot in memory.
+pub trait SnapshotSink {
+    /// Consumes one snapshot. Implementations report I/O failures so the
+    /// driver can abort the run instead of silently dropping data.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error of the underlying writer.
+    fn record(&mut self, probe: &Probe) -> io::Result<()>;
+}
+
+/// Accumulating sink for tests and small runs: every probe is pushed.
+impl SnapshotSink for Vec<Probe> {
+    fn record(&mut self, probe: &Probe) -> io::Result<()> {
+        self.push(*probe);
+        Ok(())
+    }
+}
+
+/// Streams snapshots as CSV rows (header on first record). The optional
+/// label column lets several runs share one file — set a new label per
+/// sweep point.
+#[derive(Debug)]
+pub struct CsvSnapshotSink<W: Write> {
+    writer: W,
+    label: String,
+    header_written: bool,
+}
+
+impl<W: Write> CsvSnapshotSink<W> {
+    /// Wraps a writer; rows carry an empty label until one is set.
+    pub fn new(writer: W) -> Self {
+        CsvSnapshotSink {
+            writer,
+            label: String::new(),
+            header_written: false,
+        }
+    }
+
+    /// Sets the label subsequent rows are tagged with.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_owned();
+    }
+
+    /// Unwraps the underlying writer (flushing is the caller's concern,
+    /// as with `BufWriter`).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline
+/// (RFC 4180 style: wrap in quotes, double inner quotes).
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+impl<W: Write> SnapshotSink for CsvSnapshotSink<W> {
+    fn record(&mut self, probe: &Probe) -> io::Result<()> {
+        if !self.header_written {
+            write!(self.writer, "label")?;
+            for (name, _) in PROBE_FIELDS {
+                write!(self.writer, ",{name}")?;
+            }
+            writeln!(self.writer)?;
+            self.header_written = true;
+        }
+        write!(self.writer, "{}", csv_field(&self.label))?;
+        for (_, get) in PROBE_FIELDS {
+            write!(self.writer, ",{}", get(probe))?;
+        }
+        writeln!(self.writer)
+    }
+}
+
+/// Streams snapshots as JSON-lines: one self-contained object per probe.
+#[derive(Debug)]
+pub struct JsonLinesSnapshotSink<W: Write> {
+    writer: W,
+    label: String,
+}
+
+impl<W: Write> JsonLinesSnapshotSink<W> {
+    /// Wraps a writer; objects carry no label until one is set.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSnapshotSink {
+            writer,
+            label: String::new(),
+        }
+    }
+
+    /// Sets the label subsequent objects are tagged with.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_owned();
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> SnapshotSink for JsonLinesSnapshotSink<W> {
+    fn record(&mut self, probe: &Probe) -> io::Result<()> {
+        write!(
+            self.writer,
+            "{{\"label\": \"{}\"",
+            analysis::jsonfmt::escape_json(&self.label)
+        )?;
+        for (name, get) in PROBE_FIELDS {
+            write!(self.writer, ", \"{name}\": {}", get(probe))?;
+        }
+        writeln!(self.writer, "}}")
+    }
+}
 
 /// A stepping driver around one [`BusModel`], accumulating mid-run
 /// snapshots.
@@ -75,6 +203,26 @@ impl<M: BusModel> Simulation<M> {
             self.step(stride);
         }
         self.model.report()
+    }
+
+    /// Runs to completion in `stride`-sized slices, streaming each
+    /// snapshot into `sink` instead of accumulating it — constant memory
+    /// however long the run ([`Simulation::snapshots`] stays empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of the sink; the model keeps the progress
+    /// it made, so a caller may switch sinks and resume.
+    pub fn run_streaming<S: SnapshotSink>(
+        &mut self,
+        stride: CycleDelta,
+        sink: &mut S,
+    ) -> io::Result<SimReport> {
+        while !self.model.finished() {
+            self.model.step(stride);
+            sink.record(&self.model.probe())?;
+        }
+        Ok(self.model.report())
     }
 
     /// The snapshots collected so far, in step order.
@@ -156,7 +304,7 @@ impl LockstepReport {
 /// comparison to be meaningful. The drive loop continues past the first
 /// divergence so the final reports (and the end-of-run results check)
 /// always cover complete runs.
-pub fn run_lockstep<A: BusModel, B: BusModel>(
+pub fn run_lockstep<A: BusModel + ?Sized, B: BusModel + ?Sized>(
     a: &mut A,
     b: &mut B,
     stride: CycleDelta,
@@ -244,6 +392,98 @@ mod tests {
         assert!(outcome.results_match, "{}", outcome.summary());
         assert_eq!(outcome.a.total_transactions(), outcome.b.total_transactions());
         assert_eq!(outcome.a.total_bytes(), outcome.b.total_bytes());
+    }
+
+    #[test]
+    fn streaming_run_matches_accumulating_run_without_storing_probes() {
+        let mut accumulated = Simulation::new(config().build_tlm());
+        let report_a = accumulated.run_with_snapshots(CycleDelta::new(500));
+
+        let mut streamed = Simulation::new(config().build_tlm());
+        let mut sink: Vec<Probe> = Vec::new();
+        let report_b = streamed
+            .run_streaming(CycleDelta::new(500), &mut sink)
+            .expect("Vec sink cannot fail");
+        assert!(report_a.metrics_eq(&report_b));
+        assert_eq!(accumulated.snapshots(), sink.as_slice());
+        assert!(streamed.snapshots().is_empty(), "streaming stores nothing");
+    }
+
+    #[test]
+    fn csv_sink_writes_header_label_and_every_probe_field() {
+        let mut sink = CsvSnapshotSink::new(Vec::new());
+        sink.set_label("point-1");
+        let mut sim = Simulation::new(config().build_lt());
+        sim.run_streaming(CycleDelta::new(1_000), &mut sink)
+            .expect("in-memory writer cannot fail");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header row");
+        assert!(header.starts_with("label,cycle,transactions,"));
+        assert_eq!(
+            header.split(',').count(),
+            1 + analysis::PROBE_FIELDS.len(),
+            "label column plus one column per probe field"
+        );
+        let first = lines.next().expect("at least one snapshot row");
+        assert!(first.starts_with("point-1,"));
+        assert_eq!(first.split(',').count(), header.split(',').count());
+    }
+
+    #[test]
+    fn csv_sink_quotes_labels_containing_delimiters() {
+        let mut sink = CsvSnapshotSink::new(Vec::new());
+        sink.set_label("depth=4, \"qos\" on");
+        sink.record(&Probe::default()).expect("in-memory write");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let row = text.lines().nth(1).expect("data row");
+        assert!(row.starts_with("\"depth=4, \"\"qos\"\" on\","));
+        // The quoted label must not change the column count.
+        let header_cols = text.lines().next().unwrap().split(',').count();
+        assert_eq!(
+            row.split("\",").nth(1).unwrap().split(',').count() + 1,
+            header_cols
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_snapshot() {
+        let mut sink = JsonLinesSnapshotSink::new(Vec::new());
+        sink.set_label("sweep \"x\"");
+        let mut sim = Simulation::new(config().build_lt());
+        sim.run_streaming(CycleDelta::new(1_000), &mut sink)
+            .expect("in-memory writer cannot fail");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"label\": \"sweep \\\"x\\\"\""));
+            assert!(line.ends_with('}'));
+            assert!(line.contains("\"transactions\": "));
+            assert!(line.contains("\"cycle\": "));
+        }
+    }
+
+    #[test]
+    fn failing_sink_aborts_the_streaming_run_with_the_error() {
+        struct FailingSink;
+        impl SnapshotSink for FailingSink {
+            fn record(&mut self, _probe: &Probe) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let mut sim = Simulation::new(config().build_lt());
+        let error = sim
+            .run_streaming(CycleDelta::new(500), &mut FailingSink)
+            .expect_err("sink failure must surface");
+        assert_eq!(error.to_string(), "disk full");
+    }
+
+    #[test]
+    fn lockstep_accepts_trait_objects() {
+        let mut a = config().build_model(analysis::ModelKind::TransactionLevel);
+        let mut b = config().build_model(analysis::ModelKind::LooselyTimed);
+        let outcome = run_lockstep(a.as_mut(), b.as_mut(), CycleDelta::new(256));
+        assert!(outcome.results_match, "{}", outcome.summary());
     }
 
     #[test]

@@ -81,13 +81,27 @@ impl ModelSpec {
 }
 
 /// The standard measurement set: the pin-accurate reference, the
-/// transaction-level model, the paper's single-master TLM configuration,
-/// and the TLM with the §3.6 profiling features detached.
+/// transaction-level model, the loosely-timed model, the paper's
+/// single-master TLM configuration, the TLM with the §3.6 profiling
+/// features detached, and the 32-/64-master TLM scaling configurations
+/// (same per-master workload over `traffic::pattern_many`, so the
+/// ready-set scaling shows up in `BENCH_speed.json`).
 #[must_use]
 pub fn standard_models() -> Vec<ModelSpec> {
+    let scaled = |masters: usize| {
+        move |config: &PlatformConfig| -> Box<dyn BusModel> {
+            Box::new(ahb_tlm::TlmSystem::from_pattern(
+                config.tlm_config(),
+                &traffic::pattern_many(masters),
+                config.transactions_per_master,
+                config.seed,
+            ))
+        }
+    };
     vec![
         ModelSpec::new(|config| Box::new(config.build_rtl())),
         ModelSpec::new(|config| Box::new(config.build_tlm())),
+        ModelSpec::new(|config| Box::new(config.build_lt())),
         ModelSpec::variant("single-master", |config| {
             Box::new(config.clone().with_master_subset(1).build_tlm())
         }),
@@ -99,6 +113,8 @@ pub fn standard_models() -> Vec<ModelSpec> {
                 config.seed,
             ))
         }),
+        ModelSpec::variant("32-master", scaled(32)),
+        ModelSpec::variant("64-master", scaled(64)),
     ]
 }
 
@@ -230,8 +246,11 @@ mod tests {
             vec![
                 model_names::RTL,
                 model_names::TLM,
+                model_names::LT,
                 model_names::TLM_SINGLE_MASTER,
                 model_names::TLM_DETACHED,
+                model_names::TLM_32_MASTER,
+                model_names::TLM_64_MASTER,
             ]
         );
     }

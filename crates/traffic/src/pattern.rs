@@ -72,6 +72,8 @@ pub fn pattern_registry() -> Vec<(&'static str, PatternConstructor)> {
         ("c", pattern_c),
         ("qos-stress", pattern_qos_stress),
         ("dual-stream", pattern_dual_stream),
+        ("many-32", pattern_many_32),
+        ("many-64", pattern_many_64),
     ]
 }
 
@@ -188,6 +190,57 @@ pub fn pattern_dual_stream() -> TrafficPattern {
     }
 }
 
+/// A scaled many-master pattern: `count` masters cycling through the four
+/// base profiles (CPU, real-time video, streaming DMA, block writer), each
+/// targeting its own address region so the workload spreads over the DRAM
+/// banks.
+///
+/// Master identifier 15 is skipped — it is reserved for the AHB+ write
+/// buffer, which competes for the bus as a master of its own — so the
+/// identifier space stays collision-free at any scale.
+///
+/// # Panics
+///
+/// Panics when `count` is zero or would exhaust the 8-bit master
+/// identifier space (more than 254 masters).
+#[must_use]
+pub fn pattern_many(count: usize) -> TrafficPattern {
+    assert!(count >= 1, "a pattern needs at least one master");
+    assert!(count <= 254, "master identifier space is 8-bit");
+    let base_profiles = [
+        MasterProfile::cpu(),
+        MasterProfile::video_realtime(),
+        MasterProfile::dma_stream(),
+        MasterProfile::block_writer(),
+    ];
+    let masters = (0..count)
+        .map(|index| {
+            // Reserve id 15 for the write buffer.
+            let id = if index < 15 { index } else { index + 1 };
+            let profile = base_profiles[index % base_profiles.len()]
+                .clone()
+                .with_region(Addr::new(0x2000_0000 + (index as u32) * 0x0008_0000), 0x0008_0000);
+            (MasterId::new(id as u8), profile)
+        })
+        .collect();
+    TrafficPattern {
+        name: "many-master scaling",
+        masters,
+    }
+}
+
+/// [`pattern_many`] at 32 masters (registry key `many-32`).
+#[must_use]
+pub fn pattern_many_32() -> TrafficPattern {
+    pattern_many(32)
+}
+
+/// [`pattern_many`] at 64 masters (registry key `many-64`).
+#[must_use]
+pub fn pattern_many_64() -> TrafficPattern {
+    pattern_many(64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,9 +304,38 @@ mod tests {
     }
 
     #[test]
+    fn many_master_patterns_scale_and_reserve_the_write_buffer_id() {
+        for count in [1usize, 16, 32, 64] {
+            let pattern = pattern_many(count);
+            assert_eq!(pattern.master_count(), count);
+            let mut ids: Vec<usize> = pattern.masters.iter().map(|(m, _)| m.index()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), count, "ids must be unique at {count} masters");
+            assert!(!ids.contains(&15), "id 15 is reserved for the write buffer");
+        }
+        // Regions are distinct, so the load spreads across banks.
+        let pattern = pattern_many(8);
+        let mut regions: Vec<u32> = pattern
+            .masters
+            .iter()
+            .map(|(_, p)| p.region_base.value())
+            .collect();
+        regions.sort_unstable();
+        regions.dedup();
+        assert_eq!(regions.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn empty_many_master_pattern_panics() {
+        let _ = pattern_many(0);
+    }
+
+    #[test]
     fn registry_resolves_every_named_pattern() {
         let registry = pattern_registry();
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 7);
         for (key, build) in &registry {
             let from_key = pattern_by_name(key).unwrap_or_else(|| panic!("missing {key}"));
             assert_eq!(from_key, build(), "{key} must resolve to its constructor");

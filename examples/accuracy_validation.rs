@@ -59,6 +59,23 @@ fn main() {
             outcome.results_match,
             "{name}: both models must complete the same work"
         );
+
+        // The loosely-timed backend rides the same check: identical
+        // functional results, with its (larger, documented) timing error
+        // quantified by `model_accuracy` / BENCH_accuracy.json.
+        let mut tlm = config.build_tlm();
+        let mut lt = config.build_lt();
+        let lt_outcome = run_lockstep(&mut tlm, &mut lt, CycleDelta::new(512));
+        println!(
+            "lt vs tlm: results identical: {}, busy-cycle delta {} -> {}\n",
+            if lt_outcome.results_match { "yes" } else { "NO" },
+            lt_outcome.a.bus.busy_cycles,
+            lt_outcome.b.bus.busy_cycles
+        );
+        assert!(
+            lt_outcome.results_match,
+            "{name}: the loosely-timed model must complete the same work"
+        );
     }
     let average = errors.iter().sum::<f64>() / errors.len() as f64;
     println!(

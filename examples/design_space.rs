@@ -10,7 +10,9 @@
 //!
 //! This is the use case transaction-level modeling exists for: each
 //! configuration point takes milliseconds instead of the minutes a
-//! pin-accurate run would need.
+//! pin-accurate run would need. Every point's mid-run timeline is
+//! *streamed* to a CSV file through a `SnapshotSink` — a long sweep
+//! holds one probe in memory, not a snapshot vector per point.
 //!
 //! Run with:
 //!
@@ -18,7 +20,13 @@
 //! cargo run --release -p ahbplus-repro --example design_space
 //! ```
 
-use ahbplus::{scenario, AhbPlusParams, ArbiterConfig, ArbitrationFilter, ScenarioSpec};
+use std::io::BufWriter;
+
+use ahbplus::{
+    scenario, AhbPlusParams, ArbiterConfig, ArbitrationFilter, CsvSnapshotSink, ScenarioSpec,
+    Simulation,
+};
+use simkern::time::CycleDelta;
 
 /// The sweep, one section per dimension explored.
 fn sweep() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
@@ -63,14 +71,22 @@ fn main() {
         base.resolve().expect("baseline resolves").pattern.name,
         base.transactions_per_master
     );
+    // One shared timeline file for the whole sweep; rows are tagged with
+    // the sweep-point label so plots can facet by configuration.
+    let timeline_path = std::env::temp_dir().join("design_space_timeline.csv");
+    let timeline = std::fs::File::create(&timeline_path).expect("timeline file creates");
+    let mut sink = CsvSnapshotSink::new(BufWriter::new(timeline));
     for (section, points) in sweep() {
         println!("\n{section}");
         for spec in points {
             let config = spec.resolve().expect("sweep point resolves");
             // The sweep holds each point as `dyn BusModel` — the trait is
             // the whole interface a configuration point needs.
-            let mut model = config.build_model(ahbplus::ModelKind::TransactionLevel);
-            let report = model.run();
+            let mut sim = Simulation::new(config.build_model(ahbplus::ModelKind::TransactionLevel));
+            sink.set_label(&spec.name);
+            let report = sim
+                .run_streaming(CycleDelta::new(2_000), &mut sink)
+                .expect("timeline sink writes");
             let video = report
                 .masters
                 .values()
@@ -95,4 +111,14 @@ fn main() {
             );
         }
     }
+    // Flush explicitly so a write failure surfaces instead of being
+    // swallowed by BufWriter::drop after the success message.
+    use std::io::Write as _;
+    sink.into_inner()
+        .flush()
+        .expect("timeline file flushes completely");
+    println!(
+        "\nper-point timelines streamed to {} (label column = sweep point)",
+        timeline_path.display()
+    );
 }

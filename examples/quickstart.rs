@@ -1,6 +1,7 @@
 //! Quickstart: resolve a named scenario, drive the transaction-level
-//! model through the unified `BusModel` facade, and read the results from
-//! a probe and the final report.
+//! model through the unified `BusModel` facade, read the results from a
+//! probe and the final report — then run the *same* scenario on all
+//! three abstraction levels to see the speed/accuracy spectrum.
 //!
 //! Run with:
 //!
@@ -8,7 +9,7 @@
 //! cargo run --release -p ahbplus-repro --example quickstart
 //! ```
 
-use ahbplus::{scenario, Simulation};
+use ahbplus::{scenario, ModelKind, Simulation};
 use simkern::time::CycleDelta;
 
 fn main() {
@@ -52,4 +53,29 @@ fn main() {
         "assertions: {} errors, {} warnings",
         end.assertion_errors, end.assertion_warnings
     );
+
+    // The three-model spectrum: the same scenario, every abstraction
+    // level, one loop — `ModelKind::ALL` orders them from most
+    // timing-accurate (`rtl`) to fastest (`lt`). The completed work is
+    // identical on all three; wall-clock time and timing-derived
+    // counters are where they differ. A fourth backend would appear here
+    // (and in every benchmark artifact) by implementing `BusModel` and
+    // registering in `ahbplus::speed::standard_models`.
+    println!("\n== the same scenario across the model spectrum ==");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>14}",
+        "model", "txns", "cycles", "busy", "Kcycles/s"
+    );
+    for kind in ModelKind::ALL {
+        let mut model = config.build_model(kind);
+        let report = model.run();
+        println!(
+            "{:<6} {:>10} {:>12} {:>12} {:>14.0}",
+            model.model_name(),
+            report.total_transactions(),
+            report.total_cycles,
+            report.bus.busy_cycles,
+            report.kcycles_per_second()
+        );
+    }
 }
