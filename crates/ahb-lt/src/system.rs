@@ -22,14 +22,16 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use amba::bridge::{BridgeCrossing, BridgePort, ReplayStats};
 use amba::check::validate_transaction;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
+use amba::txn::Transaction;
 use analysis::model::{BusModel, Probe};
 use analysis::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 use ddrc::DdrGeometry;
 use simkern::time::Cycle;
-use traffic::{Release, TrafficPattern, TrafficTrace, Workload};
+use traffic::{Release, TrafficPattern, TrafficTrace};
 
 use crate::config::LtConfig;
 
@@ -96,6 +98,21 @@ struct LtMaster {
 }
 
 impl LtMaster {
+    /// Appends a transaction released at the absolute cycle `release_at`
+    /// (the bridge replay port receiving a crossing). When the trace was
+    /// exhausted the master becomes pending again with the new item as its
+    /// head; the caller fixes the platform's completion bookkeeping.
+    fn append(&mut self, txn: Transaction, release_at: u64) {
+        let was_done = self.is_done();
+        self.items.push(traffic::TraceItem {
+            release: Release::At(simkern::time::Cycle::new(release_at)),
+            txn,
+        });
+        if was_done {
+            self.ready_at = release_at;
+        }
+    }
+
     fn new(trace: TrafficTrace, label: &str, qos: QosConfig, posted: bool) -> Self {
         let ready_at = match trace.items().first().map(|i| i.release) {
             Some(Release::AfterPrevious(gap)) => gap.value(),
@@ -169,14 +186,28 @@ impl LtMaster {
     }
 }
 
-/// One write absorbed by the batch write buffer, waiting to drain.
+/// One write absorbed by the batch write buffer, waiting to drain. The
+/// full transaction is kept so a drain targeting a remote shard window
+/// can be forwarded across the bridge intact.
 #[derive(Debug, Clone, Copy)]
 struct BacklogEntry {
     master_index: usize,
     absorbed_at: u64,
-    addr: amba::ids::Addr,
-    beats: u32,
-    bytes: u32,
+    txn: Transaction,
+}
+
+/// Bridge-port state of a loosely-timed shard inside a multi-bus
+/// platform (mirrors the transaction-level shard's port).
+struct LtBridge {
+    port: BridgePort,
+    /// Index of the bridge replay master in `masters`.
+    ingress_index: usize,
+    /// Crossings issued since the last [`LtSystem::drain_egress`].
+    egress: Vec<BridgeCrossing>,
+    /// Work replayed on behalf of remote shards so far.
+    replayed: ReplayStats,
+    /// Sequence counter namespacing replayed transaction ids.
+    ingress_seq: u64,
 }
 
 /// The loosely-timed AHB+ platform.
@@ -217,6 +248,9 @@ pub struct LtSystem {
     dram_conflicts: u64,
     assertion_errors: u64,
     wall_seconds: f64,
+    /// Bridge-port state when this system is one shard of a multi-bus
+    /// platform; `None` on a standalone platform.
+    bridge: Option<LtBridge>,
 }
 
 impl std::fmt::Debug for LtSystem {
@@ -233,6 +267,46 @@ impl LtSystem {
     /// shape as `ahb_tlm::TlmSystem::new`).
     #[must_use]
     pub fn new(config: LtConfig, masters: Vec<(TrafficTrace, String, QosConfig, bool)>) -> Self {
+        LtSystem::assemble(config, masters, None)
+    }
+
+    /// Builds a platform that is one *shard* of a multi-bus system, with
+    /// the AHB-to-AHB bridge port attached: remote-window transactions
+    /// complete against the bridge slave (no local DRAM access) and are
+    /// logged as [`BridgeCrossing`]s; an extra bridge master replays the
+    /// crossings delivered by [`LtSystem::inject_crossing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bridge master id collides with a trace master.
+    #[must_use]
+    pub fn with_bridge(
+        config: LtConfig,
+        masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
+        port: BridgePort,
+    ) -> Self {
+        assert!(
+            masters.iter().all(|(t, ..)| t.master() != port.master),
+            "bridge master id {} collides with another master",
+            port.master
+        );
+        LtSystem::assemble(config, masters, Some(port))
+    }
+
+    fn assemble(
+        config: LtConfig,
+        mut masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
+        port: Option<BridgePort>,
+    ) -> Self {
+        let ingress_index = port.map(|p| {
+            masters.push((
+                TrafficTrace::empty(p.master),
+                "bridge".to_owned(),
+                QosConfig::non_real_time(u8::MAX - 1),
+                false,
+            ));
+            masters.len() - 1
+        });
         let lt_masters: Vec<LtMaster> = masters
             .into_iter()
             .map(|(trace, label, qos, posted)| LtMaster::new(trace, &label, qos, posted))
@@ -275,6 +349,15 @@ impl LtSystem {
             dram_conflicts: 0,
             assertion_errors: 0,
             wall_seconds: 0.0,
+            bridge: port
+                .zip(ingress_index)
+                .map(|(port, ingress_index)| LtBridge {
+                    port,
+                    ingress_index,
+                    egress: Vec::new(),
+                    replayed: ReplayStats::default(),
+                    ingress_seq: 0,
+                }),
         }
     }
 
@@ -288,21 +371,7 @@ impl LtSystem {
         transactions_per_master: usize,
         seed: u64,
     ) -> Self {
-        let masters = pattern
-            .masters
-            .iter()
-            .map(|(id, profile)| {
-                let trace =
-                    Workload::new(*id, profile.clone(), seed).generate(transactions_per_master);
-                (
-                    trace,
-                    profile.kind.label().to_owned(),
-                    profile.qos_config(),
-                    profile.posted_writes,
-                )
-            })
-            .collect();
-        LtSystem::new(config, masters)
+        LtSystem::new(config, pattern.expand(transactions_per_master, seed))
     }
 
     /// Current simulation time.
@@ -316,6 +385,62 @@ impl LtSystem {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.masters_done == self.masters.len() && self.backlog.is_empty()
+    }
+
+    /// Takes the crossings issued through the bridge slave since the last
+    /// drain (in local completion order).
+    pub fn drain_egress(&mut self) -> Vec<BridgeCrossing> {
+        self.bridge
+            .as_mut()
+            .map_or_else(Vec::new, |b| std::mem::take(&mut b.egress))
+    }
+
+    /// Work the bridge master replayed on behalf of remote shards so far.
+    #[must_use]
+    pub fn replayed(&self) -> ReplayStats {
+        self.bridge
+            .as_ref()
+            .map_or_else(ReplayStats::default, |b| b.replayed)
+    }
+
+    /// Delivers one bridge crossing: the transaction is queued on the
+    /// bridge replay master with an absolute release at `release_at` (its
+    /// arrival out of the bridge FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system was built without a bridge port.
+    pub fn inject_crossing(&mut self, source: Transaction, release_at: u64) {
+        let bridge = self
+            .bridge
+            .as_mut()
+            .expect("inject_crossing without a bridge port");
+        let index = bridge.ingress_index;
+        let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
+        bridge.ingress_seq += 1;
+        let master = &mut self.masters[index];
+        let was_done = master.is_done();
+        master.append(txn, release_at);
+        if was_done {
+            self.masters_done -= 1;
+        }
+    }
+
+    /// Estimated bus occupancy of one burst, routed by address: a remote
+    /// shard window costs the bridge slave's wait states plus the beats
+    /// (the FIFO buffers the burst; no local DRAM access), everything else
+    /// goes through the DRAM row sketch. Returns the cost and whether the
+    /// burst left through the bridge.
+    fn transfer_cost(&mut self, txn: &Transaction) -> (u64, bool) {
+        if let Some(bridge) = self.bridge.as_ref() {
+            if bridge.port.map.is_remote(txn.addr, bridge.port.own) {
+                return (bridge.port.slave_cycles + u64::from(txn.beats()), true);
+            }
+        }
+        (
+            self.burst_cost(txn.addr, txn.is_write(), txn.beats()),
+            false,
+        )
     }
 
     /// Estimated bus occupancy of one burst: address handoff, first-data
@@ -405,17 +530,33 @@ impl LtSystem {
     /// than `bus_free_at` and the entry's absorption time. Returns the
     /// drain completion cycle.
     fn drain_one(&mut self) -> u64 {
-        let entry = self.backlog.pop_front().expect("drain_one on empty backlog");
+        let entry = self
+            .backlog
+            .pop_front()
+            .expect("drain_one on empty backlog");
         let start = self.bus_free_at.max(entry.absorbed_at);
-        let cost = self.burst_cost(entry.addr, true, entry.beats);
+        let (cost, remote) = self.transfer_cost(&entry.txn);
         let completed = start + cost;
         self.bus_free_at = completed;
         self.wb_drained += 1;
-        self.record_bus(entry.bytes, entry.beats, cost, false, completed);
+        let (bytes, beats) = (entry.txn.bytes(), entry.txn.beats());
+        self.record_bus(bytes, beats, cost, false, completed);
+        if remote {
+            self.push_egress(completed, entry.txn);
+        }
         let latency = completed - entry.absorbed_at;
         let grant_latency = start - entry.absorbed_at;
-        self.masters[entry.master_index].record(entry.bytes, latency, grant_latency, completed);
+        self.masters[entry.master_index].record(bytes, latency, grant_latency, completed);
         completed
+    }
+
+    /// Logs one crossing leaving through the bridge slave at `completed`.
+    fn push_egress(&mut self, completed: u64, txn: Transaction) {
+        let bridge = self.bridge.as_mut().expect("egress implies a bridge");
+        bridge.egress.push(BridgeCrossing {
+            issued_at: simkern::time::Cycle::new(completed),
+            txn,
+        });
     }
 
     /// Drains backlog entries whose bus slot *starts* by `horizon`
@@ -494,9 +635,7 @@ impl LtSystem {
             self.backlog.push_back(BacklogEntry {
                 master_index: index,
                 absorbed_at: ready,
-                addr: txn.addr,
-                beats,
-                bytes,
+                txn,
             });
             self.wb_absorbed += 1;
             self.wb_peak = self.wb_peak.max(self.backlog.len());
@@ -520,10 +659,17 @@ impl LtSystem {
         } else {
             (ready + GRANT_TO_ADDRESS_CYCLES).max(self.bus_free_at + NON_PIPELINED_TURNAROUND)
         };
-        let cost = self.burst_cost(txn.addr, txn.is_write(), beats);
+        let (cost, remote) = self.transfer_cost(&txn);
         let completed = grant + cost;
         self.bus_free_at = completed;
         self.record_bus(bytes, beats, cost, contended, completed);
+        if remote {
+            self.push_egress(completed, txn);
+        } else if let Some(bridge) = self.bridge.as_mut() {
+            if bridge.ingress_index == index {
+                bridge.replayed.record(&txn);
+            }
+        }
         let latency = completed - ready;
         let grant_latency = grant - ready;
         self.masters[index].record(bytes, latency, grant_latency, completed);
@@ -574,6 +720,8 @@ impl LtSystem {
                 + self.dram_conflicts,
             assertion_errors: self.assertion_errors,
             assertion_warnings: 0,
+            bridge_crossings: 0,
+            bridge_fifo_peak: 0,
         }
     }
 
@@ -581,11 +729,7 @@ impl LtSystem {
     /// counter is an accumulator published into a fresh report.
     #[must_use]
     pub fn report(&mut self) -> SimReport {
-        let masters = self
-            .masters
-            .iter()
-            .map(|m| (m.id, m.metrics()))
-            .collect();
+        let masters = self.masters.iter().map(|m| (m.id, m.metrics())).collect();
         let probe = self.probe();
         SimReport {
             model: ModelKind::LooselyTimed,
@@ -645,7 +789,7 @@ mod tests {
     use super::*;
     use amba::params::AhbPlusParams;
     use simkern::time::CycleDelta;
-    use traffic::{pattern_a, pattern_c};
+    use traffic::{pattern_a, pattern_c, Workload};
 
     fn small_system(transactions: usize) -> LtSystem {
         LtSystem::from_pattern(LtConfig::default(), &pattern_a(), transactions, 7)
@@ -702,8 +846,8 @@ mod tests {
 
     #[test]
     fn disabling_the_write_buffer_removes_buffer_hits() {
-        let config = LtConfig::default()
-            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
+        let config =
+            LtConfig::default().with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
         let mut system = LtSystem::from_pattern(config, &pattern_c(), 40, 3);
         let report = system.run();
         assert_eq!(report.bus.write_buffer_hits, 0);
@@ -716,7 +860,10 @@ mod tests {
         let mut system = LtSystem::from_pattern(config, &pattern_a(), 500, 1);
         let report = system.run();
         assert!(!system.is_finished());
-        assert!(BusModel::finished(&system), "limit reached counts as finished");
+        assert!(
+            BusModel::finished(&system),
+            "limit reached counts as finished"
+        );
         assert!(report.total_cycles <= 1_000, "run must stop near the limit");
     }
 

@@ -1,0 +1,190 @@
+//! Multi-bus platform configuration.
+
+use amba::params::AhbPlusParams;
+use ddrc::DdrConfig;
+
+/// Which single-bus backend each shard instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackendKind {
+    /// Cycle-counting transaction-level shards (`ahb-tlm`).
+    Tlm,
+    /// Loosely-timed shards (`ahb-lt`).
+    Lt,
+}
+
+/// Timing and capacity of one AHB-to-AHB bridge link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeConfig {
+    /// Minimum cycles between a crossing entering the request FIFO and
+    /// its replay being released on the remote shard (clock-domain
+    /// crossing plus fabric traversal). This is also the platform's
+    /// conservative synchronization quantum: a shard can never observe an
+    /// effect from another shard sooner than this, so running each shard
+    /// freely for one quantum is always causally safe.
+    pub crossing_latency: u64,
+    /// Request FIFO depth per directed link. A full FIFO back-pressures:
+    /// the next crossing is admitted only when the oldest in-flight
+    /// request has been forwarded.
+    pub fifo_depth: usize,
+    /// Minimum cycles between two consecutive forwards on one link (the
+    /// remote bridge master serializes its replays).
+    pub forward_interval: u64,
+    /// Wait states of the local bridge slave window (cycles from address
+    /// phase to first data beat of the posting transfer).
+    pub slave_cycles: u64,
+}
+
+impl BridgeConfig {
+    /// A bridge with a generous crossing latency (which doubles as the
+    /// synchronization quantum, so larger is cheaper to simulate) and a
+    /// moderate FIFO.
+    #[must_use]
+    pub fn ahb_plus() -> Self {
+        BridgeConfig {
+            crossing_latency: 96,
+            fifo_depth: 8,
+            forward_interval: 4,
+            slave_cycles: 2,
+        }
+    }
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig::ahb_plus()
+    }
+}
+
+/// Configuration of a multi-bus AHB+ platform. The shard count is implied
+/// by the per-shard traffic patterns handed to
+/// [`crate::MultiSystem::from_shard_patterns`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiConfig {
+    /// The backend every shard instantiates.
+    pub backend: ShardBackendKind,
+    /// Bus parameters applied to every shard.
+    pub params: AhbPlusParams,
+    /// DDR configuration of every shard's private memory controller.
+    pub ddr: DdrConfig,
+    /// Hard simulation length limit in bus cycles (shared by the shards
+    /// and the platform's barrier clock).
+    pub max_cycles: u64,
+    /// Bridge timing and capacity (uniform over all links).
+    pub bridge: BridgeConfig,
+    /// Synchronization quantum override. `None` uses the bridge crossing
+    /// latency (the largest causally safe value); an explicit quantum is
+    /// clamped into `[1, crossing_latency]`.
+    pub quantum: Option<u64>,
+    /// Execute shards on worker threads (`true`) or in-line on the
+    /// calling thread (`false`). Both modes run the identical barrier and
+    /// exchange schedule and produce probe-identical results; threading
+    /// only changes wall-clock time.
+    pub threaded: bool,
+    /// Log2 of the shard-window size of the platform address map.
+    pub window_shift: u32,
+}
+
+impl MultiConfig {
+    /// The default evaluation platform for the given shard backend.
+    #[must_use]
+    pub fn new(backend: ShardBackendKind) -> Self {
+        MultiConfig {
+            backend,
+            params: AhbPlusParams::ahb_plus(),
+            ddr: DdrConfig::ahb_plus(),
+            max_cycles: 5_000_000,
+            bridge: BridgeConfig::default(),
+            quantum: None,
+            threaded: false,
+            window_shift: traffic::SHARD_WINDOW_SHIFT,
+        }
+    }
+
+    /// Returns a copy with different bus parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: AhbPlusParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a different DDR configuration.
+    #[must_use]
+    pub fn with_ddr(mut self, ddr: DdrConfig) -> Self {
+        self.ddr = ddr;
+        self
+    }
+
+    /// Returns a copy with a different cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Returns a copy with a different bridge configuration.
+    #[must_use]
+    pub fn with_bridge(mut self, bridge: BridgeConfig) -> Self {
+        self.bridge = bridge;
+        self
+    }
+
+    /// Returns a copy with an explicit synchronization quantum.
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        self.quantum = Some(quantum);
+        self
+    }
+
+    /// Returns a copy running shards on worker threads (or not).
+    #[must_use]
+    pub fn with_threaded(mut self, threaded: bool) -> Self {
+        self.threaded = threaded;
+        self
+    }
+
+    /// The effective synchronization quantum: the explicit override
+    /// clamped into `[1, crossing_latency]`, or the crossing latency
+    /// itself. Quanta above the crossing latency would let a shard
+    /// simulate past the earliest possible arrival of a remote effect —
+    /// the conservative guarantee this platform is built on.
+    #[must_use]
+    pub fn effective_quantum(&self) -> u64 {
+        self.quantum
+            .unwrap_or(self.bridge.crossing_latency)
+            .clamp(1, self.bridge.crossing_latency.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_defaults_to_the_crossing_latency_and_is_clamped() {
+        let config = MultiConfig::new(ShardBackendKind::Tlm);
+        assert_eq!(config.effective_quantum(), config.bridge.crossing_latency);
+        assert_eq!(config.clone().with_quantum(0).effective_quantum(), 1);
+        assert_eq!(config.clone().with_quantum(7).effective_quantum(), 7);
+        assert_eq!(
+            config.clone().with_quantum(u64::MAX).effective_quantum(),
+            config.bridge.crossing_latency
+        );
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let config = MultiConfig::new(ShardBackendKind::Lt)
+            .with_max_cycles(77)
+            .with_threaded(true)
+            .with_bridge(BridgeConfig {
+                crossing_latency: 32,
+                fifo_depth: 4,
+                forward_interval: 1,
+                slave_cycles: 1,
+            });
+        assert_eq!(config.backend, ShardBackendKind::Lt);
+        assert_eq!(config.max_cycles, 77);
+        assert!(config.threaded);
+        assert_eq!(config.effective_quantum(), 32);
+    }
+}

@@ -1,0 +1,663 @@
+//! The multi-bus platform engine: N bus shards under conservative
+//! quantum synchronization.
+//!
+//! [`MultiSystem`] instantiates one complete single-bus backend per shard
+//! (its own masters, arbiter, write buffer and DDR controller — an
+//! `ahb-tlm` or `ahb-lt` instance with the bridge port attached) and runs
+//! them under a barrier discipline:
+//!
+//! 1. every shard simulates freely up to the next quantum barrier;
+//! 2. at the barrier, the crossings each shard issued are routed through
+//!    the per-link bridge FIFOs ([`BridgeLink`]) and delivered to their
+//!    destination shards as absolute-release work for the bridge replay
+//!    masters;
+//! 3. repeat until every shard drains and no crossing is in flight.
+//!
+//! The quantum equals the bridge's minimum crossing latency, so a
+//! crossing issued inside quantum `k` can never be released before the
+//! barrier ending quantum `k` — no shard can observe a remote effect it
+//! should not yet see, regardless of execution order. That makes the
+//! schedule *conservative* in the parallel-discrete-event sense, and it is
+//! why the two execution modes — in-line on the calling thread, or one
+//! worker thread per shard under `std::thread::scope` — run the identical
+//! barrier/exchange schedule and produce probe-identical results. The
+//! single-threaded mode is the reference implementation; the threaded
+//! mode only changes wall-clock time.
+//!
+//! The platform itself implements [`BusModel`]: its probe aggregates the
+//! shard probes (counting every workload transaction exactly once — the
+//! remote replay of a crossing is bus occupancy, not new work) and its
+//! report merges the per-master rows of all shards. `total_cycles` is the
+//! **aggregate** number of bus cycles simulated across all shards (N
+//! buses × the synchronized span), which is what makes Kcycles/s numbers
+//! comparable across shard counts: the platform simulates N buses of
+//! hardware per elapsed barrier cycle.
+
+use std::collections::BTreeMap;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use ahb_lt::{LtConfig, LtSystem};
+use ahb_tlm::{TlmConfig, TlmSystem};
+use amba::bridge::{BridgePort, ReplayStats, ShardMap};
+use amba::ids::MasterId;
+use amba::txn::Transaction;
+use analysis::model::{BusModel, Probe};
+use analysis::report::{BusMetrics, ModelKind, SimReport};
+use simkern::time::Cycle;
+use traffic::TrafficPattern;
+
+use crate::config::{MultiConfig, ShardBackendKind};
+use crate::link::BridgeLink;
+
+/// Highest master identifier usable by shard traffic; identifiers above
+/// it are reserved for the per-shard bridge replay masters
+/// ([`bridge_master`]).
+pub const MAX_TRAFFIC_MASTER_ID: u8 = 239;
+
+/// The bridge replay master identifier of shard `shard`.
+///
+/// # Panics
+///
+/// Panics when the shard index leaves the reserved range.
+#[must_use]
+pub fn bridge_master(shard: usize) -> MasterId {
+    assert!(shard < usize::from(u8::MAX - MAX_TRAFFIC_MASTER_ID));
+    MasterId::new(u8::MAX - shard as u8)
+}
+
+/// One shard: a complete single-bus backend with its bridge port.
+// The variant size difference (a TLM shard is a few KB of arbiter and
+// recorder state, an LT shard a few hundred bytes) is irrelevant at one
+// value per shard.
+#[allow(clippy::large_enum_variant)]
+enum ShardEngine {
+    /// A transaction-level shard.
+    Tlm(TlmSystem),
+    /// A loosely-timed shard.
+    Lt(LtSystem),
+}
+
+impl ShardEngine {
+    fn run_until(&mut self, target: u64) {
+        match self {
+            ShardEngine::Tlm(s) => {
+                s.run_until(Cycle::new(target));
+            }
+            ShardEngine::Lt(s) => {
+                s.run_until(Cycle::new(target));
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        match self {
+            ShardEngine::Tlm(s) => BusModel::finished(s),
+            ShardEngine::Lt(s) => BusModel::finished(s),
+        }
+    }
+
+    fn drain_egress(&mut self) -> Vec<amba::bridge::BridgeCrossing> {
+        match self {
+            ShardEngine::Tlm(s) => s.drain_egress(),
+            ShardEngine::Lt(s) => s.drain_egress(),
+        }
+    }
+
+    fn inject_crossing(&mut self, txn: Transaction, release_at: u64) {
+        match self {
+            ShardEngine::Tlm(s) => s.inject_crossing(txn, Cycle::new(release_at)),
+            ShardEngine::Lt(s) => s.inject_crossing(txn, release_at),
+        }
+    }
+
+    fn replayed(&self) -> ReplayStats {
+        match self {
+            ShardEngine::Tlm(s) => s.replayed(),
+            ShardEngine::Lt(s) => s.replayed(),
+        }
+    }
+
+    fn probe(&self) -> Probe {
+        match self {
+            ShardEngine::Tlm(s) => s.probe(),
+            ShardEngine::Lt(s) => s.probe(),
+        }
+    }
+
+    fn report(&mut self) -> SimReport {
+        match self {
+            ShardEngine::Tlm(s) => s.report(),
+            ShardEngine::Lt(s) => s.report(),
+        }
+    }
+}
+
+/// Per-quantum exchange buffers, reused across barriers.
+struct QuantumBuffers {
+    /// Crossings drained from each shard this quantum.
+    outbox: Vec<Vec<amba::bridge::BridgeCrossing>>,
+    /// Routed deliveries per destination shard: `(release cycle, txn)`.
+    inbox: Vec<Vec<(u64, Transaction)>>,
+    /// Each shard's completion flag, sampled after its quantum and before
+    /// any injection.
+    finished: Vec<bool>,
+}
+
+impl QuantumBuffers {
+    fn new(shards: usize) -> Self {
+        QuantumBuffers {
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            inbox: (0..shards).map(|_| Vec::new()).collect(),
+            finished: vec![false; shards],
+        }
+    }
+}
+
+/// Routes every drained crossing through its bridge link and into the
+/// destination inbox. Deterministic: sources are visited in shard order,
+/// crossings in local completion order, and each inbox is stably sorted
+/// by release time. Shared verbatim by the single-threaded reference and
+/// the threaded leader, which is what makes the two modes
+/// probe-identical.
+fn route_quantum(
+    map: ShardMap,
+    links: &mut [BridgeLink],
+    buffers: &mut QuantumBuffers,
+    crossings: &mut u64,
+    fifo_peak: &mut u64,
+) {
+    let shards = buffers.outbox.len();
+    for src in 0..shards {
+        let outgoing = std::mem::take(&mut buffers.outbox[src]);
+        for crossing in outgoing {
+            let dst = usize::from(map.owner(crossing.txn.addr));
+            debug_assert_ne!(dst, src, "local transaction routed across the bridge");
+            let link = &mut links[src * shards + dst];
+            let (arrival, occupancy) = link.forward(crossing.issued_at.value());
+            *crossings += 1;
+            *fifo_peak = (*fifo_peak).max(occupancy as u64);
+            buffers.inbox[dst].push((arrival, crossing.txn));
+        }
+    }
+    for inbox in &mut buffers.inbox {
+        inbox.sort_by_key(|(at, txn)| (*at, txn.master.index(), txn.id.value()));
+    }
+}
+
+/// Shared state of one threaded advance: the exchange buffers plus the
+/// routing state the leader thread updates between the two barrier waits
+/// of each quantum.
+struct Exchange {
+    buffers: QuantumBuffers,
+    links: Vec<BridgeLink>,
+    crossings: u64,
+    fifo_peak: u64,
+    barrier: u64,
+    stop: bool,
+}
+
+/// The multi-bus AHB+ platform.
+pub struct MultiSystem {
+    kind: ModelKind,
+    map: ShardMap,
+    quantum: u64,
+    max_cycles: u64,
+    threaded: bool,
+    shards: Vec<ShardEngine>,
+    bridge_ids: Vec<MasterId>,
+    /// Directed links, indexed `source * shards + destination`.
+    links: Vec<BridgeLink>,
+    buffers: QuantumBuffers,
+    /// The synchronized barrier clock (the platform's `now`).
+    barrier: u64,
+    crossings: u64,
+    fifo_peak: u64,
+    wall_seconds: f64,
+}
+
+impl std::fmt::Debug for MultiSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSystem")
+            .field("kind", &self.kind)
+            .field("shards", &self.shards.len())
+            .field("quantum", &self.quantum)
+            .field("barrier", &self.barrier)
+            .finish()
+    }
+}
+
+impl MultiSystem {
+    /// Builds a platform with one shard per traffic pattern: every master
+    /// of pattern `s` lives on shard `s`, and every shard runs the same
+    /// deterministic workload expansion as the single-bus backends (same
+    /// `(id, profile, seed)` → same trace), so a sharded platform
+    /// completes exactly the work a single-bus platform would on the union
+    /// of the patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no patterns are given, when more than 16 shards are
+    /// requested, or when a master identifier collides with the reserved
+    /// bridge/write-buffer range.
+    #[must_use]
+    pub fn from_shard_patterns(
+        config: &MultiConfig,
+        patterns: &[TrafficPattern],
+        transactions_per_master: usize,
+        seed: u64,
+    ) -> Self {
+        let shards = patterns.len();
+        assert!(shards >= 1, "a platform needs at least one shard");
+        assert!(shards <= 16, "bridge master ids support at most 16 shards");
+        let map = ShardMap::new(config.window_shift, shards as u8);
+        let quantum = config.effective_quantum();
+        let bridge_ids: Vec<MasterId> = (0..shards).map(bridge_master).collect();
+        let engines = patterns
+            .iter()
+            .enumerate()
+            .map(|(shard, pattern)| {
+                for (id, _) in &pattern.masters {
+                    assert!(
+                        id.index() <= usize::from(MAX_TRAFFIC_MASTER_ID),
+                        "master {id} collides with the reserved bridge range"
+                    );
+                }
+                let port = BridgePort {
+                    map,
+                    own: shard as u8,
+                    slave_cycles: config.bridge.slave_cycles,
+                    master: bridge_ids[shard],
+                };
+                let masters = pattern.expand(transactions_per_master, seed);
+                match config.backend {
+                    ShardBackendKind::Tlm => {
+                        let tlm = TlmConfig {
+                            params: config.params.clone(),
+                            ddr: config.ddr,
+                            max_cycles: config.max_cycles,
+                            profiling: true,
+                        };
+                        ShardEngine::Tlm(TlmSystem::with_bridge(tlm, masters, port))
+                    }
+                    ShardBackendKind::Lt => {
+                        let lt = LtConfig {
+                            params: config.params.clone(),
+                            ddr: config.ddr,
+                            max_cycles: config.max_cycles,
+                        };
+                        ShardEngine::Lt(LtSystem::with_bridge(lt, masters, port))
+                    }
+                }
+            })
+            .collect();
+        let links = (0..shards * shards)
+            .map(|_| {
+                BridgeLink::new(
+                    config.bridge.crossing_latency,
+                    config.bridge.forward_interval,
+                    config.bridge.fifo_depth,
+                )
+            })
+            .collect();
+        MultiSystem {
+            kind: match config.backend {
+                ShardBackendKind::Tlm => ModelKind::ShardedTlm,
+                ShardBackendKind::Lt => ModelKind::ShardedLt,
+            },
+            map,
+            quantum,
+            max_cycles: config.max_cycles,
+            threaded: config.threaded,
+            shards: engines,
+            bridge_ids,
+            links,
+            buffers: QuantumBuffers::new(shards),
+            barrier: 0,
+            crossings: 0,
+            fifo_peak: 0,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Number of bus shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The effective synchronization quantum in cycles.
+    #[must_use]
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Total crossings forwarded over all bridge links so far.
+    #[must_use]
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// Per-shard observability: one [`Probe`] per shard, in shard order —
+    /// the breakdown behind the aggregated [`MultiSystem::probe`].
+    #[must_use]
+    pub fn shard_probes(&self) -> Vec<Probe> {
+        self.shards.iter().map(ShardEngine::probe).collect()
+    }
+
+    /// Current synchronized time (the barrier clock).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        Cycle::new(self.barrier)
+    }
+
+    /// `true` once every shard has drained (including all delivered
+    /// bridge replays) or the cycle limit is reached.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.barrier >= self.max_cycles || self.shards.iter().all(ShardEngine::finished)
+    }
+
+    /// Advances the platform in whole quanta until the barrier clock
+    /// reaches `target`, the workload drains everywhere, or the cycle
+    /// limit is hit. May overshoot `target` by at most one quantum (the
+    /// barrier discipline never stops inside a quantum).
+    pub fn run_until(&mut self, target: Cycle) -> Cycle {
+        let wall = Instant::now();
+        let end = target.value().min(self.max_cycles);
+        if self.threaded {
+            self.advance_threaded(end);
+        } else {
+            self.advance_single(end);
+        }
+        self.wall_seconds += wall.elapsed().as_secs_f64();
+        Cycle::new(self.barrier)
+    }
+
+    /// The single-threaded reference schedule: per quantum, run every
+    /// shard in order, route, inject, repeat.
+    fn advance_single(&mut self, end: u64) {
+        if self.barrier >= end || self.is_finished() {
+            return;
+        }
+        loop {
+            let next = (self.barrier + self.quantum).min(self.max_cycles);
+            for (index, shard) in self.shards.iter_mut().enumerate() {
+                shard.run_until(next);
+                self.buffers.outbox[index] = shard.drain_egress();
+                self.buffers.finished[index] = shard.finished();
+            }
+            route_quantum(
+                self.map,
+                &mut self.links,
+                &mut self.buffers,
+                &mut self.crossings,
+                &mut self.fifo_peak,
+            );
+            self.barrier = next;
+            let drained = self.buffers.finished.iter().all(|&f| f)
+                && self.buffers.inbox.iter().all(Vec::is_empty);
+            let stop = drained || next >= end;
+            for (index, shard) in self.shards.iter_mut().enumerate() {
+                for (at, txn) in std::mem::take(&mut self.buffers.inbox[index]) {
+                    shard.inject_crossing(txn, at);
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// The threaded schedule: one worker per shard, two barrier waits per
+    /// quantum (deposit egress → leader routes → inject), executing the
+    /// *same* exchange code as [`MultiSystem::advance_single`] on the
+    /// same barrier clock — probe-identical by construction.
+    fn advance_threaded(&mut self, end: u64) {
+        if self.barrier >= end || self.is_finished() {
+            return;
+        }
+        let shards = self.shards.len();
+        let quantum = self.quantum;
+        let max = self.max_cycles;
+        let map = self.map;
+        let start = self.barrier;
+        let sync = Barrier::new(shards);
+        let exchange = Mutex::new(Exchange {
+            buffers: std::mem::replace(&mut self.buffers, QuantumBuffers::new(0)),
+            links: std::mem::take(&mut self.links),
+            crossings: self.crossings,
+            fifo_peak: self.fifo_peak,
+            barrier: start,
+            stop: false,
+        });
+        std::thread::scope(|scope| {
+            for (index, shard) in self.shards.iter_mut().enumerate() {
+                let sync = &sync;
+                let exchange = &exchange;
+                scope.spawn(move || {
+                    let mut next = start;
+                    loop {
+                        next = (next + quantum).min(max);
+                        shard.run_until(next);
+                        let egress = shard.drain_egress();
+                        let finished = shard.finished();
+                        {
+                            let mut guard = exchange.lock().expect("no panics hold the lock");
+                            guard.buffers.outbox[index] = egress;
+                            guard.buffers.finished[index] = finished;
+                        }
+                        if sync.wait().is_leader() {
+                            let mut guard = exchange.lock().expect("no panics hold the lock");
+                            let guard = &mut *guard;
+                            route_quantum(
+                                map,
+                                &mut guard.links,
+                                &mut guard.buffers,
+                                &mut guard.crossings,
+                                &mut guard.fifo_peak,
+                            );
+                            guard.barrier = next;
+                            let drained = guard.buffers.finished.iter().all(|&f| f)
+                                && guard.buffers.inbox.iter().all(Vec::is_empty);
+                            guard.stop = drained || next >= end;
+                        }
+                        sync.wait();
+                        let (batch, stop) = {
+                            let mut guard = exchange.lock().expect("no panics hold the lock");
+                            (std::mem::take(&mut guard.buffers.inbox[index]), guard.stop)
+                        };
+                        for (at, txn) in batch {
+                            shard.inject_crossing(txn, at);
+                        }
+                        if stop {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let exchange = exchange.into_inner().expect("workers have exited");
+        self.buffers = exchange.buffers;
+        self.links = exchange.links;
+        self.crossings = exchange.crossings;
+        self.fifo_peak = exchange.fifo_peak;
+        self.barrier = exchange.barrier;
+    }
+
+    /// Aggregated snapshot: the sum of the shard probes with every
+    /// workload transaction counted exactly once (bridge replays are
+    /// subtracted — they are remote bus occupancy for work already
+    /// counted at its source), plus the platform-level bridge statistics.
+    #[must_use]
+    pub fn probe(&self) -> Probe {
+        let mut aggregate = Probe::default();
+        let mut replays = ReplayStats::default();
+        for shard in &self.shards {
+            let probe = shard.probe();
+            aggregate.cycle = aggregate.cycle.max(probe.cycle);
+            aggregate.transactions += probe.transactions;
+            aggregate.bytes += probe.bytes;
+            aggregate.data_beats += probe.data_beats;
+            aggregate.busy_cycles += probe.busy_cycles;
+            aggregate.write_buffer_fill += probe.write_buffer_fill;
+            aggregate.write_buffer_absorbed += probe.write_buffer_absorbed;
+            aggregate.write_buffer_drained += probe.write_buffer_drained;
+            aggregate.write_buffer_peak += probe.write_buffer_peak;
+            aggregate.dram_row_hits += probe.dram_row_hits;
+            aggregate.dram_prepared_hits += probe.dram_prepared_hits;
+            aggregate.dram_accesses += probe.dram_accesses;
+            aggregate.assertion_errors += probe.assertion_errors;
+            aggregate.assertion_warnings += probe.assertion_warnings;
+            let replayed = shard.replayed();
+            replays.transactions += replayed.transactions;
+            replays.bytes += replayed.bytes;
+            replays.data_beats += replayed.data_beats;
+        }
+        aggregate.transactions -= replays.transactions;
+        aggregate.bytes -= replays.bytes;
+        aggregate.data_beats -= replays.data_beats;
+        aggregate.bridge_crossings = self.crossings;
+        aggregate.bridge_fifo_peak = self.fifo_peak;
+        aggregate
+    }
+
+    /// The aggregated metric report: per-master rows merged over all
+    /// shards (the bridge replay ports are internal plumbing and are
+    /// omitted), bus metrics summed with replays subtracted from the
+    /// completed-work counters, and `total_cycles` the aggregate bus
+    /// cycles simulated across the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two shards share a master identifier (the sharded
+    /// pattern constructors guarantee uniqueness).
+    #[must_use]
+    pub fn report(&mut self) -> SimReport {
+        let mut masters = BTreeMap::new();
+        let mut bus = BusMetrics::default();
+        let mut total_cycles = 0u64;
+        let mut replays = ReplayStats::default();
+        for index in 0..self.shards.len() {
+            let replayed = self.shards[index].replayed();
+            replays.transactions += replayed.transactions;
+            replays.data_beats += replayed.data_beats;
+            let report = self.shards[index].report();
+            total_cycles += report.total_cycles;
+            for (id, metrics) in report.masters {
+                if id == self.bridge_ids[index] {
+                    continue;
+                }
+                assert!(
+                    masters.insert(id, metrics).is_none(),
+                    "master {id} appears on more than one shard"
+                );
+            }
+            bus.busy_cycles += report.bus.busy_cycles;
+            bus.contention_cycles += report.bus.contention_cycles;
+            bus.transactions += report.bus.transactions;
+            bus.data_beats += report.bus.data_beats;
+            bus.write_buffer_hits += report.bus.write_buffer_hits;
+            bus.write_buffer_peak += report.bus.write_buffer_peak;
+            bus.dram_row_hits += report.bus.dram_row_hits;
+            bus.dram_accesses += report.bus.dram_accesses;
+            bus.assertion_errors += report.bus.assertion_errors;
+        }
+        bus.transactions = bus.transactions.saturating_sub(replays.transactions);
+        bus.data_beats = bus.data_beats.saturating_sub(replays.data_beats);
+        SimReport {
+            model: self.kind,
+            total_cycles,
+            wall_seconds: self.wall_seconds,
+            masters,
+            bus,
+        }
+    }
+
+    /// Runs the platform to completion (or the cycle limit) and reports.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(Cycle::MAX);
+        self.report()
+    }
+}
+
+impl BusModel for MultiSystem {
+    fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    fn now(&self) -> Cycle {
+        MultiSystem::now(self)
+    }
+
+    fn finished(&self) -> bool {
+        self.is_finished()
+    }
+
+    fn run_until(&mut self, target: Cycle) -> Cycle {
+        MultiSystem::run_until(self, target)
+    }
+
+    fn probe(&self) -> Probe {
+        MultiSystem::probe(self)
+    }
+
+    fn report(&mut self) -> SimReport {
+        MultiSystem::report(self)
+    }
+}
+
+/// Splits a single-bus traffic pattern into `shards` per-shard patterns,
+/// assigning master `i` to shard `i % shards` (a pattern with fewer
+/// masters than shards leaves the tail shards with only their bridge
+/// port). Master ids and profiles are untouched, so the union of the
+/// sharded workload equals the single-bus workload exactly.
+///
+/// # Panics
+///
+/// Panics when `shards` is zero.
+#[must_use]
+pub fn partition_round_robin(pattern: &TrafficPattern, shards: usize) -> Vec<TrafficPattern> {
+    assert!(shards >= 1, "a platform needs at least one shard");
+    let mut parts: Vec<TrafficPattern> = (0..shards)
+        .map(|_| TrafficPattern {
+            name: pattern.name,
+            masters: Vec::new(),
+        })
+        .collect();
+    for (index, entry) in pattern.masters.iter().enumerate() {
+        parts[index % shards].masters.push(entry.clone());
+    }
+    parts
+}
+
+/// Splits a single-bus traffic pattern into `shards` per-shard patterns,
+/// assigning every master to the shard that *owns its region* under the
+/// interleaved window map — the zero-crossing partition: each master's
+/// traffic stays on its own shard, so the sharded platform is pure
+/// scaling (same work, no bridge traffic).
+///
+/// # Panics
+///
+/// Panics when `shards` is zero.
+#[must_use]
+pub fn partition_by_window(
+    pattern: &TrafficPattern,
+    shards: usize,
+    window_shift: u32,
+) -> Vec<TrafficPattern> {
+    assert!(shards >= 1, "a platform needs at least one shard");
+    let map = ShardMap::new(window_shift, shards as u8);
+    let mut parts: Vec<TrafficPattern> = (0..shards)
+        .map(|_| TrafficPattern {
+            name: pattern.name,
+            masters: Vec::new(),
+        })
+        .collect();
+    for entry in &pattern.masters {
+        parts[usize::from(map.owner(entry.1.region_base))]
+            .masters
+            .push(entry.clone());
+    }
+    parts
+}

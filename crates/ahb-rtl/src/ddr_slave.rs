@@ -116,7 +116,8 @@ mod tests {
     #[test]
     fn first_burst_pays_activation_wait_states() {
         let mut slave = DdrSlave::new(config());
-        let (waits, timing) = slave.burst_start(Cycle::new(10), &read(0x2000_0000, BurstKind::Incr8));
+        let (waits, timing) =
+            slave.burst_start(Cycle::new(10), &read(0x2000_0000, BurstKind::Incr8));
         assert_eq!(waits, 5, "tRCD + CL on a cold bank");
         assert_eq!(timing.data_cycles.value(), 8);
         assert_eq!(slave.bursts_served(), 1);
@@ -125,11 +126,13 @@ mod tests {
     #[test]
     fn prepared_bank_reduces_wait_states() {
         let mut cold = DdrSlave::new(config());
-        let (cold_waits, _) = cold.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
+        let (cold_waits, _) =
+            cold.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
 
         let mut warm = DdrSlave::new(config());
         warm.prepare(Cycle::new(10), amba::ids::Addr::new(0x2000_0800));
-        let (warm_waits, _) = warm.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
+        let (warm_waits, _) =
+            warm.burst_start(Cycle::new(20), &read(0x2000_0800, BurstKind::Incr8));
         assert!(warm_waits < cold_waits);
     }
 
@@ -147,7 +150,10 @@ mod tests {
             slave.controller().stats().refreshes.value() > 1,
             "refresh schedule must catch up across a time jump"
         );
-        assert!(slave.is_quiescent(), "quiescent again right after the burst");
+        assert!(
+            slave.is_quiescent(),
+            "quiescent again right after the burst"
+        );
         assert_eq!(Clocked::name(&slave), "ahb-plus-ddr-slave");
     }
 

@@ -128,7 +128,9 @@ impl RtlMaster {
     pub fn update_request(&mut self, now: Cycle) -> bool {
         if let MasterState::Waiting = self.state {
             if !self.is_done() && self.ready_at <= now {
-                self.state = MasterState::Requesting { since: self.ready_at };
+                self.state = MasterState::Requesting {
+                    since: self.ready_at,
+                };
             }
         }
         matches!(self.state, MasterState::Requesting { .. })

@@ -25,7 +25,7 @@ use analysis::report::{ModelKind, SimReport};
 use simkern::assertion::AssertionSink;
 use simkern::component::Clocked;
 use simkern::time::{Cycle, CycleDelta};
-use traffic::{TrafficPattern, TrafficTrace, Workload};
+use traffic::{TrafficPattern, TrafficTrace};
 
 use crate::arbiter::{RtlArbiter, SampledRequest};
 use crate::config::RtlConfig;
@@ -86,10 +86,7 @@ impl RtlSystem {
     /// Builds a platform from explicit per-master traces (same signature as
     /// the transaction-level system so harnesses can drive both).
     #[must_use]
-    pub fn new(
-        config: RtlConfig,
-        masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
-    ) -> Self {
+    pub fn new(config: RtlConfig, masters: Vec<(TrafficTrace, String, QosConfig, bool)>) -> Self {
         let mut recorder = Recorder::new(ModelKind::PinAccurateRtl);
         let mut arbiter = RtlArbiter::new(
             config.params.arbiter.clone(),
@@ -136,21 +133,7 @@ impl RtlSystem {
         transactions_per_master: usize,
         seed: u64,
     ) -> Self {
-        let masters = pattern
-            .masters
-            .iter()
-            .map(|(id, profile)| {
-                let trace = Workload::new(*id, profile.clone(), seed)
-                    .generate(transactions_per_master);
-                (
-                    trace,
-                    profile.kind.label().to_owned(),
-                    profile.qos_config(),
-                    profile.posted_writes,
-                )
-            })
-            .collect();
-        RtlSystem::new(config, masters)
+        RtlSystem::new(config, pattern.expand(transactions_per_master, seed))
     }
 
     /// Current simulation time.
@@ -311,6 +294,8 @@ impl RtlSystem {
             dram_accesses: dram.accesses(),
             assertion_errors: self.assertions.error_count() as u64,
             assertion_warnings: self.assertions.warning_count() as u64,
+            bridge_crossings: 0,
+            bridge_fifo_peak: 0,
         }
     }
 
@@ -327,9 +312,11 @@ impl RtlSystem {
         for (index, master) in self.masters.iter_mut().enumerate() {
             let requesting = master.update_request(now);
             self.pins[index].hbusreq.load(requesting);
-            self.pins[index]
-                .pending_addr
-                .load(if requesting { master.current().map(|t| t.addr) } else { None });
+            self.pins[index].pending_addr.load(if requesting {
+                master.current().map(|t| t.addr)
+            } else {
+                None
+            });
             if !requesting {
                 self.pins[index].drive_idle();
             }
@@ -392,10 +379,7 @@ impl RtlSystem {
         }
         // The buffer requests the bus unless its head is the burst already
         // in flight.
-        let buffer_busy = self
-            .burst
-            .as_ref()
-            .is_some_and(|b| b.via_write_buffer);
+        let buffer_busy = self.burst.as_ref().is_some_and(|b| b.via_write_buffer);
         if !buffer_busy {
             if let Some(head) = self.write_buffer.head() {
                 sampled.push(SampledRequest {
@@ -519,7 +503,11 @@ impl RtlSystem {
                 .unwrap_or(self.masters.len())
         };
         let addr = burst.txn.beat_addresses().beat_addr(beat);
-        let trans = if beat == 0 { HTrans::NonSeq } else { HTrans::Seq };
+        let trans = if beat == 0 {
+            HTrans::NonSeq
+        } else {
+            HTrans::Seq
+        };
         let pins = &mut self.pins[pins_index];
         pins.htrans.load(trans);
         pins.haddr.load(addr);
@@ -622,7 +610,7 @@ impl BusModel for RtlSystem {
 mod tests {
     use super::*;
     use amba::params::AhbPlusParams;
-    use traffic::{pattern_a, pattern_c, MasterProfile};
+    use traffic::{pattern_a, pattern_c, MasterProfile, Workload};
 
     fn small_system(transactions: usize) -> RtlSystem {
         RtlSystem::from_pattern(RtlConfig::default(), &pattern_a(), transactions, 7)
@@ -668,8 +656,8 @@ mod tests {
 
     #[test]
     fn disabling_the_write_buffer_removes_buffer_traffic() {
-        let config = RtlConfig::default()
-            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
+        let config =
+            RtlConfig::default().with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
         let mut system = RtlSystem::from_pattern(config, &pattern_c(), 30, 3);
         let report = system.run();
         assert_eq!(report.bus.write_buffer_hits, 0);
@@ -708,11 +696,16 @@ mod tests {
         with_hints.run();
         let hinted = with_hints.ddr().controller().stats().prepared_hits.value();
 
-        let config = RtlConfig::default()
-            .with_params(AhbPlusParams::ahb_plus().with_bi_hints(false));
+        let config =
+            RtlConfig::default().with_params(AhbPlusParams::ahb_plus().with_bi_hints(false));
         let mut without_hints = RtlSystem::from_pattern(config, &pattern_a(), 60, 9);
         without_hints.run();
-        let unhinted = without_hints.ddr().controller().stats().prepared_hits.value();
+        let unhinted = without_hints
+            .ddr()
+            .controller()
+            .stats()
+            .prepared_hits
+            .value();
 
         assert!(hinted > 0);
         assert_eq!(unhinted, 0);
@@ -728,8 +721,12 @@ mod tests {
             let name = pattern.name;
             let mut skipping =
                 RtlSystem::from_pattern(RtlConfig::default().with_idle_skip(true), &pattern, 30, 7);
-            let mut stepping =
-                RtlSystem::from_pattern(RtlConfig::default().with_idle_skip(false), &pattern, 30, 7);
+            let mut stepping = RtlSystem::from_pattern(
+                RtlConfig::default().with_idle_skip(false),
+                &pattern,
+                30,
+                7,
+            );
             let fast = skipping.run();
             let slow = stepping.run();
             assert!(

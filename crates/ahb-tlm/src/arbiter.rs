@@ -103,8 +103,7 @@ impl TlmArbiter {
             );
             view.is_write_buffer = request.is_write_buffer;
             view.write_buffer_fill = request.write_buffer_fill;
-            view.bank_ready =
-                self.bank_affinity_from_bi && ddr.is_addr_ready(now, request.addr);
+            view.bank_ready = self.bank_affinity_from_bi && ddr.is_addr_ready(now, request.addr);
             self.views.push(view);
         }
         self.policy.decide(&self.views)

@@ -21,18 +21,19 @@
 
 use std::time::Instant;
 
+use amba::bridge::{BridgeCrossing, BridgePort, ReplayStats};
 use amba::check::validate_transaction;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::signal::HResp;
-use amba::txn::{Completion, TxnArena};
+use amba::txn::{Completion, Transaction, TxnArena};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
 use ddrc::DdrController;
 use simkern::assertion::{AssertionKind, AssertionSink, Severity};
 use simkern::time::{Cycle, CycleDelta};
-use traffic::{TrafficPattern, TrafficTrace, Workload};
+use traffic::{TrafficPattern, TrafficTrace};
 
 use crate::arbiter::{PendingRequest, TlmArbiter};
 use crate::config::TlmConfig;
@@ -49,6 +50,22 @@ const GRANT_TO_ADDRESS_CYCLES: u64 = 1;
 /// pipelining is disabled: the bus returns to idle for one cycle before the
 /// arbiter re-evaluates and the new owner drives its address.
 const NON_PIPELINED_TURNAROUND: u64 = 1;
+
+/// Bridge-port state of a shard inside a multi-bus platform: the window
+/// decode and slave timing ([`BridgePort`]), the outgoing-crossing log the
+/// platform drains every quantum, and the replay bookkeeping of the
+/// ingress (bridge master) port.
+struct TlmBridge {
+    port: BridgePort,
+    /// Position of the bridge replay master in `masters`.
+    ingress_position: usize,
+    /// Crossings issued since the last [`TlmSystem::drain_egress`].
+    egress: Vec<BridgeCrossing>,
+    /// Work replayed on behalf of remote shards so far.
+    replayed: ReplayStats,
+    /// Sequence counter namespacing replayed transaction ids.
+    ingress_seq: u64,
+}
 
 /// The transaction-level AHB+ platform.
 pub struct TlmSystem {
@@ -109,6 +126,10 @@ pub struct TlmSystem {
     /// across bounded steps so a step-driven run reports the same speed
     /// accounting as a one-shot run).
     wall_seconds: f64,
+    /// Bridge-port state when this system is one shard of a multi-bus
+    /// platform; `None` on a standalone single-bus platform (no behaviour
+    /// change whatsoever).
+    bridge: Option<TlmBridge>,
 }
 
 impl std::fmt::Debug for TlmSystem {
@@ -126,10 +147,54 @@ impl TlmSystem {
     /// Each element pairs a trace with the master's label, QoS programming
     /// and whether its writes may be posted.
     #[must_use]
-    pub fn new(
+    pub fn new(config: TlmConfig, masters: Vec<(TrafficTrace, String, QosConfig, bool)>) -> Self {
+        TlmSystem::assemble(config, masters, None)
+    }
+
+    /// Builds a platform that is one *shard* of a multi-bus system: on top
+    /// of the trace masters it carries the AHB-to-AHB bridge port —
+    /// transactions to remote shard windows complete against the bridge
+    /// slave (posted into the request FIFO, no local DRAM access) and are
+    /// logged as [`BridgeCrossing`]s, and an extra bridge *master* replays
+    /// the crossings delivered by [`TlmSystem::inject_crossing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bridge master id collides with a trace master or
+    /// the write buffer.
+    #[must_use]
+    pub fn with_bridge(
         config: TlmConfig,
         masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
+        port: BridgePort,
     ) -> Self {
+        assert!(
+            port.master != WRITE_BUFFER_MASTER
+                && masters.iter().all(|(t, ..)| t.master() != port.master),
+            "bridge master id {} collides with another master",
+            port.master
+        );
+        TlmSystem::assemble(config, masters, Some(port))
+    }
+
+    fn assemble(
+        config: TlmConfig,
+        mut masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
+        port: Option<BridgePort>,
+    ) -> Self {
+        // The bridge replay master is the last port: an empty trace that
+        // `inject_crossing` extends at runtime. Replays are never posted
+        // (the write buffer belongs to the shard's own masters) and
+        // arbitrate as a plain non-real-time requester.
+        let ingress_position = port.map(|p| {
+            masters.push((
+                TrafficTrace::empty(p.master),
+                "bridge".to_owned(),
+                QosConfig::non_real_time(u8::MAX - 1),
+                false,
+            ));
+            masters.len() - 1
+        });
         let mut recorder = Recorder::new(ModelKind::TransactionLevel);
         let mut arbiter = TlmArbiter::new(
             config.params.arbiter.clone(),
@@ -195,6 +260,15 @@ impl TlmSystem {
             posted_mask,
             index_by_id,
             wall_seconds: 0.0,
+            bridge: port
+                .zip(ingress_position)
+                .map(|(port, ingress_position)| TlmBridge {
+                    port,
+                    ingress_position,
+                    egress: Vec::new(),
+                    replayed: ReplayStats::default(),
+                    ingress_seq: 0,
+                }),
         }
     }
 
@@ -208,21 +282,7 @@ impl TlmSystem {
         transactions_per_master: usize,
         seed: u64,
     ) -> Self {
-        let masters = pattern
-            .masters
-            .iter()
-            .map(|(id, profile)| {
-                let trace = Workload::new(*id, profile.clone(), seed)
-                    .generate(transactions_per_master);
-                (
-                    trace,
-                    profile.kind.label().to_owned(),
-                    profile.qos_config(),
-                    profile.posted_writes,
-                )
-            })
-            .collect();
-        TlmSystem::new(config, masters)
+        TlmSystem::new(config, pattern.expand(transactions_per_master, seed))
     }
 
     /// Current simulation time.
@@ -254,6 +314,56 @@ impl TlmSystem {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.masters_done == self.masters.len() && !self.write_buffer.is_occupied()
+    }
+
+    /// Takes the crossings issued through the bridge slave since the last
+    /// drain (in local completion order). Empty — and allocation-free — on
+    /// a standalone platform or a quantum without remote traffic.
+    pub fn drain_egress(&mut self) -> Vec<BridgeCrossing> {
+        self.bridge
+            .as_mut()
+            .map_or_else(Vec::new, |b| std::mem::take(&mut b.egress))
+    }
+
+    /// Work the bridge master replayed on behalf of remote shards so far.
+    #[must_use]
+    pub fn replayed(&self) -> ReplayStats {
+        self.bridge
+            .as_ref()
+            .map_or_else(ReplayStats::default, |b| b.replayed)
+    }
+
+    /// Delivers one bridge crossing: the transaction is queued on the
+    /// bridge replay master with an absolute release at `release_at` (its
+    /// arrival out of the bridge FIFO). Conservative quantum
+    /// synchronization guarantees `release_at` is never earlier than any
+    /// cycle this shard has committed a grant decision at, so delivery
+    /// order cannot leak backwards in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system was built without a bridge port.
+    pub fn inject_crossing(&mut self, source: Transaction, release_at: Cycle) {
+        let bridge = self
+            .bridge
+            .as_mut()
+            .expect("inject_crossing without a bridge port");
+        let position = bridge.ingress_position;
+        let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
+        bridge.ingress_seq += 1;
+        let master = &mut self.masters[position];
+        let was_done = master.is_done();
+        master.append(txn, release_at);
+        if was_done {
+            self.masters_done -= 1;
+            self.ready.schedule(position, release_at);
+        }
+        // The speculative pipelining caches were computed without this
+        // request; drop them so the next round re-arbitrates. Both the
+        // threaded and the single-threaded platform driver inject at the
+        // same barriers, so the invalidation is deterministic too.
+        self.pending_fresh_at = None;
+        self.speculative_winner = None;
     }
 
     /// Advances the platform transaction by transaction until `now()`
@@ -317,6 +427,8 @@ impl TlmSystem {
             dram_accesses: dram.accesses(),
             assertion_errors: self.assertions.error_count() as u64,
             assertion_warnings: self.assertions.warning_count() as u64,
+            bridge_crossings: 0,
+            bridge_fifo_peak: 0,
         }
     }
 
@@ -393,8 +505,7 @@ impl TlmSystem {
                 let winner = if self.pending.len() == 1 {
                     self.pending[0].master
                 } else {
-                    let Some(decision) =
-                        self.arbiter.decide(self.now, &self.pending, &self.ddr)
+                    let Some(decision) = self.arbiter.decide(self.now, &self.pending, &self.ddr)
                     else {
                         return false;
                     };
@@ -405,7 +516,12 @@ impl TlmSystem {
                     .iter()
                     .find(|p| p.master == winner)
                     .expect("granted master has no pending request");
-                (winner, request.handle, request.requested_at, request.is_write_buffer)
+                (
+                    winner,
+                    request.handle,
+                    request.requested_at,
+                    request.is_write_buffer,
+                )
             };
         self.arbiter.record_grant(winner);
         let txn = *self.arena.get(handle);
@@ -425,22 +541,38 @@ impl TlmSystem {
         // Address phase: one cycle after the grant, except when this very
         // master was pre-arbitrated during the previous data phase (request
         // pipelining), in which case its address phase overlapped.
-        let pipelined = self.config.params.request_pipelining
-            && self.prepared_next.take() == Some(winner);
+        let pipelined =
+            self.config.params.request_pipelining && self.prepared_next.take() == Some(winner);
         let addr_phase = if pipelined {
             self.now
         } else {
             self.now + CycleDelta::new(GRANT_TO_ADDRESS_CYCLES)
         };
 
-        // Data phase timing comes from the DDR controller. The data phase of
-        // beat 0 starts one cycle after the address phase and the last beat
-        // completes `total()` cycles after the address phase (wait states
-        // plus one cycle per beat), matching the pin-accurate sequencer.
-        let timing = self
-            .ddr
-            .access(addr_phase + CycleDelta::ONE, txn.addr, txn.is_write(), txn.beats());
-        let completed_at = addr_phase + timing.total();
+        // Data phase timing. A transaction to a remote shard window
+        // completes against the bridge slave: its FIFO buffers the burst,
+        // so the local cost is the slave's wait states plus one cycle per
+        // beat and the local DRAM is never touched. Everything else goes
+        // to the DDR controller: the data phase of beat 0 starts one cycle
+        // after the address phase and the last beat completes `total()`
+        // cycles after the address phase (wait states plus one cycle per
+        // beat), matching the pin-accurate sequencer.
+        let remote = self
+            .bridge
+            .as_ref()
+            .is_some_and(|b| b.port.map.is_remote(txn.addr, b.port.own));
+        let completed_at = if remote {
+            let bridge = self.bridge.as_ref().expect("remote implies a bridge");
+            addr_phase + CycleDelta::new(bridge.port.slave_cycles + u64::from(txn.beats()))
+        } else {
+            let timing = self.ddr.access(
+                addr_phase + CycleDelta::ONE,
+                txn.addr,
+                txn.is_write(),
+                txn.beats(),
+            );
+            addr_phase + timing.total()
+        };
 
         // Protocol assertion (paper §3.5, second kind): data phases must not
         // run backwards.
@@ -477,6 +609,20 @@ impl TlmSystem {
             self.recorder.record_completion(&completion, txn.beats());
         }
         self.last_completion = self.last_completion.max(completed_at);
+
+        // Bridge bookkeeping: a remote transaction enters the bridge FIFO
+        // the cycle its local transfer completes; a replay completing on
+        // the bridge master is work done on behalf of a remote shard.
+        if let Some(bridge) = self.bridge.as_mut() {
+            if remote {
+                bridge.egress.push(BridgeCrossing {
+                    issued_at: completed_at,
+                    txn,
+                });
+            } else if winner == bridge.port.master {
+                bridge.replayed.record(&txn);
+            }
+        }
 
         // Retire the transaction from its source and return its pool slot.
         if via_write_buffer {
@@ -523,19 +669,27 @@ impl TlmSystem {
                     .map(|next| next.master)
             };
             self.speculative_winner = next_master.and_then(|master| {
-                self.pending.iter().find(|p| p.master == master).map(|p| {
-                    (master, p.handle, p.requested_at, p.is_write_buffer)
-                })
+                self.pending
+                    .iter()
+                    .find(|p| p.master == master)
+                    .map(|p| (master, p.handle, p.requested_at, p.is_write_buffer))
             });
             if let Some(next_master) = next_master {
                 self.prepared_next = Some(next_master);
                 if self.config.params.bi_next_transaction_hints {
-                    if let Some(next_req) =
-                        self.pending.iter().find(|p| p.master == next_master)
-                    {
+                    if let Some(next_req) = self.pending.iter().find(|p| p.master == next_master) {
                         let info =
                             TlmArbiter::next_transaction_info(self.arena.get(next_req.handle));
-                        self.ddr.prepare(addr_phase + CycleDelta::ONE, info.addr);
+                        // A remote-window transaction never reaches the
+                        // local DRAM, so hinting its address would open a
+                        // bank for nobody.
+                        let hint_remote = self
+                            .bridge
+                            .as_ref()
+                            .is_some_and(|b| b.port.map.is_remote(info.addr, b.port.own));
+                        if !hint_remote {
+                            self.ddr.prepare(addr_phase + CycleDelta::ONE, info.addr);
+                        }
                     }
                 }
             }
@@ -682,7 +836,7 @@ mod tests {
     use super::*;
     use amba::arbitration::ArbiterConfig;
     use amba::params::AhbPlusParams;
-    use traffic::{pattern_a, pattern_c, MasterProfile};
+    use traffic::{pattern_a, pattern_c, MasterProfile, Workload};
 
     fn small_system(transactions: usize) -> TlmSystem {
         TlmSystem::from_pattern(TlmConfig::default(), &pattern_a(), transactions, 7)
@@ -735,8 +889,8 @@ mod tests {
 
     #[test]
     fn disabling_the_write_buffer_removes_buffer_hits() {
-        let config = TlmConfig::default()
-            .with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
+        let config =
+            TlmConfig::default().with_params(AhbPlusParams::ahb_plus().with_write_buffer_depth(0));
         let mut system = TlmSystem::from_pattern(config, &pattern_c(), 40, 3);
         let report = system.run();
         assert_eq!(report.bus.write_buffer_hits, 0);
@@ -862,8 +1016,8 @@ mod tests {
         with_hints.run();
         let hinted = with_hints.ddr().stats().prepared_hits.value();
 
-        let config = TlmConfig::default()
-            .with_params(AhbPlusParams::ahb_plus().with_bi_hints(false));
+        let config =
+            TlmConfig::default().with_params(AhbPlusParams::ahb_plus().with_bi_hints(false));
         let mut without_hints = TlmSystem::from_pattern(config, &pattern_a(), 80, 9);
         without_hints.run();
         let unhinted = without_hints.ddr().stats().prepared_hits.value();

@@ -14,7 +14,7 @@ use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::txn::{Transaction, TxnArena, TxnHandle};
 use simkern::time::Cycle;
-use traffic::{Release, TrafficTrace};
+use traffic::{Release, TraceItem, TrafficTrace};
 
 /// One trace-driven master port.
 #[derive(Debug, Clone)]
@@ -153,6 +153,29 @@ impl TraceMaster {
         self.handle
     }
 
+    /// Appends a transaction released at the absolute cycle `release_at` to
+    /// the end of the trace. This is how a *dynamic* port (the AHB-to-AHB
+    /// bridge master of a multi-bus platform) receives its work at runtime;
+    /// trace-driven masters never grow after construction.
+    ///
+    /// When the trace was exhausted the master becomes pending again with
+    /// the appended item as its head (the caller re-registers it with the
+    /// platform's ready set and completion bookkeeping).
+    pub fn append(&mut self, txn: Transaction, release_at: Cycle) {
+        debug_assert_eq!(
+            txn.master, self.id,
+            "appended item must belong to this port"
+        );
+        let was_done = self.is_done();
+        self.items.push(TraceItem {
+            release: Release::At(release_at),
+            txn,
+        });
+        if was_done {
+            self.ready_at = release_at;
+        }
+    }
+
     /// Marks the head transaction as issued to the bus (or absorbed by the
     /// write buffer) and completed at `done`, then computes the release time
     /// of the next trace item.
@@ -195,7 +218,12 @@ mod tests {
 
     fn master(profile: MasterProfile, count: usize) -> TraceMaster {
         let trace = Workload::new(MasterId::new(1), profile.clone(), 42).generate(count);
-        TraceMaster::new(trace, profile.kind.label(), profile.qos_config(), profile.posted_writes)
+        TraceMaster::new(
+            trace,
+            profile.kind.label(),
+            profile.qos_config(),
+            profile.posted_writes,
+        )
     }
 
     #[test]

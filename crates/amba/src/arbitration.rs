@@ -285,7 +285,10 @@ impl ArbitrationPolicy {
             {
                 wb_urgent |= bit;
             }
-            if request.qos.is_urgent(request.waited, self.config.urgency_margin) {
+            if request
+                .qos
+                .is_urgent(request.waited, self.config.urgency_margin)
+            {
                 urgent |= bit;
             }
             if request.qos.class.is_real_time() {
@@ -702,10 +705,7 @@ mod tests {
         );
         let cpu = nrt(0, 0, 0);
         let video = rt(1, 100_000, 9, 0);
-        assert_eq!(
-            full.decide(&[cpu, video]).unwrap().master,
-            MasterId::new(1)
-        );
+        assert_eq!(full.decide(&[cpu, video]).unwrap().master, MasterId::new(1));
         assert_eq!(
             no_class.decide(&[cpu, video]).unwrap().master,
             MasterId::new(0),

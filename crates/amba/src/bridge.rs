@@ -1,0 +1,229 @@
+//! The AHB-to-AHB bridge vocabulary shared by multi-bus platforms.
+//!
+//! A multi-bus platform splits the address space into interleaved windows,
+//! each owned by one bus *shard*. A transaction whose address falls into a
+//! remote shard's window completes locally against the bridge's slave port
+//! (posted into the bridge request FIFO) and is later replayed on the
+//! owning shard by the bridge's master port. [`ShardMap`] is the window
+//! decode both sides agree on; [`BridgeCrossing`] is the record a shard's
+//! bridge slave emits when a transaction leaves the shard; [`ReplayStats`]
+//! counts the work a shard's bridge master replayed on behalf of remote
+//! shards, so platform-level aggregation can count every transaction
+//! exactly once.
+//!
+//! The types live here (not in the multi-bus crate) because both bus
+//! backends produce and consume them at their ports, exactly like the rest
+//! of the transaction vocabulary.
+
+use crate::ids::Addr;
+use crate::txn::Transaction;
+use simkern::time::Cycle;
+
+/// The interleaved shard-window decode of a multi-bus platform.
+///
+/// The address space is divided into `1 << window_shift`-byte windows and
+/// window `w` is owned by shard `w % shards`. Both the local bridge slave
+/// (deciding which transactions leave the shard) and the platform router
+/// (deciding which shard a crossing lands on) evaluate the same map, so a
+/// crossing can never be mis-routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Log2 of the window size in bytes.
+    pub window_shift: u32,
+    /// Number of bus shards the windows are interleaved over.
+    pub shards: u8,
+}
+
+impl ShardMap {
+    /// Creates a map over `shards` shards with `1 << window_shift`-byte
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or the shift leaves no windows.
+    #[must_use]
+    pub fn new(window_shift: u32, shards: u8) -> Self {
+        assert!(shards >= 1, "a platform needs at least one shard");
+        assert!(window_shift < 32, "window shift must leave windows");
+        ShardMap {
+            window_shift,
+            shards,
+        }
+    }
+
+    /// The shard owning `addr`.
+    #[must_use]
+    pub fn owner(&self, addr: Addr) -> u8 {
+        ((addr.value() >> self.window_shift) % u32::from(self.shards)) as u8
+    }
+
+    /// Whether `addr` lies outside the window set of shard `own` (and a
+    /// transaction to it must cross the bridge).
+    #[must_use]
+    pub fn is_remote(&self, addr: Addr, own: u8) -> bool {
+        self.owner(addr) != own
+    }
+}
+
+/// The bridge attachment of one bus shard: how the shard recognizes
+/// remote addresses (slave side) and which master identifier its bridge
+/// replay port uses (master side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgePort {
+    /// The platform-wide shard-window decode.
+    pub map: ShardMap,
+    /// This shard's index in the map.
+    pub own: u8,
+    /// Wait states of the bridge slave window: cycles between a local
+    /// transaction's address phase and its first data beat when it posts
+    /// into the bridge FIFO (the bridge buffers, so no DRAM latency is
+    /// paid locally).
+    pub slave_cycles: u64,
+    /// Master identifier of the shard's bridge replay port. Must not
+    /// collide with the shard's trace masters or the write-buffer id.
+    pub master: crate::ids::MasterId,
+}
+
+impl BridgePort {
+    /// Turns a crossing's source transaction into the replay the bridge
+    /// master issues on this shard: same address, direction, burst shape
+    /// and size; the master id rewritten to the bridge port; posting
+    /// disabled (the crossing was already posted on its source shard —
+    /// posting the replay would count the write buffer twice); and a
+    /// fresh identifier from the reserved replay namespace.
+    ///
+    /// Replay ids set bit 63 (no workload generator does — trace ids are
+    /// namespaced `master << 32`, below 2^40), carry the shard index in
+    /// bits 48..56 and the per-shard sequence number below, so they stay
+    /// unique for 2^48 replays per shard. Both shard backends mint
+    /// through this one method, which is what keeps a `sharded-tlm` and
+    /// a `sharded-lt` run of the same platform id-for-id comparable.
+    #[must_use]
+    pub fn replay_txn(&self, source: Transaction, seq: u64) -> Transaction {
+        debug_assert!(seq < 1 << 48, "replay sequence exhausted the id namespace");
+        let mut txn = source;
+        txn.master = self.master;
+        txn.posted_ok = false;
+        txn.id = crate::txn::TransactionId::new(
+            (1 << 63) | (u64::from(self.own) << 48) | (seq & ((1 << 48) - 1)),
+        );
+        txn
+    }
+}
+
+/// One transaction handed from a shard's bridge slave to the bridge
+/// fabric: the original transaction plus the cycle its local (posting)
+/// transfer completed — the instant it entered the bridge request FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeCrossing {
+    /// Cycle the transaction finished its local transfer into the FIFO.
+    pub issued_at: Cycle,
+    /// The crossing transaction (still carrying its original master id;
+    /// the remote replay rewrites it to the bridge master's id).
+    pub txn: Transaction,
+}
+
+/// Work a shard's bridge master replayed on behalf of remote shards.
+///
+/// Every crossing is counted once at its *source* (the local posting
+/// transfer); the remote replay is additional bus occupancy, not
+/// additional completed work, so platform aggregation subtracts these
+/// totals from the summed per-shard counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Replayed transactions.
+    pub transactions: u64,
+    /// Bytes the replays moved.
+    pub bytes: u64,
+    /// Data beats the replays transferred.
+    pub data_beats: u64,
+}
+
+impl ReplayStats {
+    /// Records one replayed transaction.
+    pub fn record(&mut self, txn: &Transaction) {
+        self.transactions += 1;
+        self.bytes += u64::from(txn.bytes());
+        self.data_beats += u64::from(txn.beats());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BurstKind;
+    use crate::ids::MasterId;
+    use crate::signal::HSize;
+    use crate::txn::TransferDirection;
+
+    #[test]
+    fn windows_interleave_over_the_shards() {
+        let map = ShardMap::new(24, 4);
+        assert_eq!(map.owner(Addr::new(0x0000_0000)), 0);
+        assert_eq!(map.owner(Addr::new(0x0100_0000)), 1);
+        assert_eq!(map.owner(Addr::new(0x0200_0000)), 2);
+        assert_eq!(map.owner(Addr::new(0x0300_0000)), 3);
+        assert_eq!(map.owner(Addr::new(0x0400_0000)), 0);
+        assert!(map.is_remote(Addr::new(0x0100_0000), 0));
+        assert!(!map.is_remote(Addr::new(0x0400_0000), 0));
+    }
+
+    #[test]
+    fn single_shard_map_owns_everything() {
+        let map = ShardMap::new(24, 1);
+        for addr in [0u32, 0x2000_0000, 0xFFFF_FFFF] {
+            assert_eq!(map.owner(Addr::new(addr)), 0);
+            assert!(!map.is_remote(Addr::new(addr), 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panic() {
+        let _ = ShardMap::new(24, 0);
+    }
+
+    #[test]
+    fn replay_transactions_are_rewritten_and_uniquely_namespaced() {
+        let port = BridgePort {
+            map: ShardMap::new(24, 4),
+            own: 3,
+            slave_cycles: 2,
+            master: MasterId::new(252),
+        };
+        let source = Transaction::new(
+            MasterId::new(7),
+            Addr::new(0x0100_0000),
+            TransferDirection::Write,
+            BurstKind::Incr8,
+            HSize::Word,
+        )
+        .with_posted(true);
+        let replay = port.replay_txn(source, 41);
+        assert_eq!(replay.master, MasterId::new(252));
+        assert!(!replay.posted_ok, "replays are demand transfers");
+        assert_eq!(replay.addr, source.addr);
+        assert_eq!(replay.beats(), source.beats());
+        // Bit 63 marks the replay namespace; shard and sequence follow.
+        assert_eq!(replay.id.value(), (1 << 63) | (3 << 48) | 41);
+        let other_shard = BridgePort { own: 2, ..port };
+        assert_ne!(other_shard.replay_txn(source, 41).id, replay.id);
+    }
+
+    #[test]
+    fn replay_stats_accumulate_transaction_totals() {
+        let txn = Transaction::new(
+            MasterId::new(3),
+            Addr::new(0x2000_0000),
+            TransferDirection::Write,
+            BurstKind::Incr8,
+            HSize::Word,
+        );
+        let mut stats = ReplayStats::default();
+        stats.record(&txn);
+        stats.record(&txn);
+        assert_eq!(stats.transactions, 2);
+        assert_eq!(stats.data_beats, 16);
+        assert_eq!(stats.bytes, u64::from(txn.bytes()) * 2);
+    }
+}

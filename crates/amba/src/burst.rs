@@ -60,7 +60,10 @@ impl BurstKind {
     /// Returns `true` for the wrapping variants.
     #[must_use]
     pub const fn is_wrapping(self) -> bool {
-        matches!(self, BurstKind::Wrap4 | BurstKind::Wrap8 | BurstKind::Wrap16)
+        matches!(
+            self,
+            BurstKind::Wrap4 | BurstKind::Wrap8 | BurstKind::Wrap16
+        )
     }
 
     /// The `HBURST` encoding driven on the wires for this burst.
@@ -213,10 +216,7 @@ mod tests {
         ] {
             assert_eq!(BurstKind::from_hburst(kind.hburst(), 0), kind);
         }
-        assert_eq!(
-            BurstKind::from_hburst(HBurst::Incr, 6),
-            BurstKind::Incr(6)
-        );
+        assert_eq!(BurstKind::from_hburst(HBurst::Incr, 6), BurstKind::Incr(6));
     }
 
     #[test]
@@ -245,10 +245,7 @@ mod tests {
         // 8-beat wrapping burst of doublewords wraps at a 64-byte boundary.
         let seq = BurstSequence::new(Addr::new(0x34), BurstKind::Wrap8, HSize::Word);
         let addrs: Vec<u32> = seq.map(|a| a.value()).collect();
-        assert_eq!(
-            addrs,
-            vec![0x34, 0x38, 0x3C, 0x20, 0x24, 0x28, 0x2C, 0x30]
-        );
+        assert_eq!(addrs, vec![0x34, 0x38, 0x3C, 0x20, 0x24, 0x28, 0x2C, 0x30]);
     }
 
     #[test]
@@ -261,12 +258,10 @@ mod tests {
     #[test]
     fn boundary_rule_detection() {
         // An INCR16 of words starting 8 bytes below a 1KB boundary crosses it.
-        let crossing =
-            BurstSequence::new(Addr::new(0x0000_03F8), BurstKind::Incr16, HSize::Word);
+        let crossing = BurstSequence::new(Addr::new(0x0000_03F8), BurstKind::Incr16, HSize::Word);
         assert!(crossing.crosses_1kb_boundary());
         // Wrapping bursts never cross because they stay in an aligned block.
-        let wrapping =
-            BurstSequence::new(Addr::new(0x0000_03F8), BurstKind::Wrap16, HSize::Word);
+        let wrapping = BurstSequence::new(Addr::new(0x0000_03F8), BurstKind::Wrap16, HSize::Word);
         assert!(!wrapping.crosses_1kb_boundary());
         let safe = BurstSequence::new(Addr::new(0x0000_0000), BurstKind::Incr16, HSize::Word);
         assert!(!safe.crosses_1kb_boundary());

@@ -142,11 +142,7 @@ impl ProtocolChecker {
                     .as_ref()
                     .is_some_and(|p| p.master == master && p.beats_done > 0);
                 if !in_burst {
-                    self.record(
-                        sink,
-                        now,
-                        "BUSY driven outside of an active burst",
-                    );
+                    self.record(sink, now, "BUSY driven outside of an active burst");
                 }
             }
             HTrans::NonSeq => {
@@ -178,11 +174,7 @@ impl ProtocolChecker {
                 }
                 if let Some(expected_total) = progress.burst.fixed_beats() {
                     if progress.beats_done >= expected_total {
-                        self.record(
-                            sink,
-                            now,
-                            "fixed-length burst over-run (extra SEQ beat)",
-                        );
+                        self.record(sink, now, "fixed-length burst over-run (extra SEQ beat)");
                         return;
                     }
                 }
@@ -230,7 +222,9 @@ mod tests {
     #[test]
     fn aligned_non_crossing_transactions_are_legal() {
         assert!(validate_transaction(&txn(0x2000_0000, BurstKind::Incr8, HSize::Word)).is_ok());
-        assert!(validate_transaction(&txn(0x2000_0002, BurstKind::Single, HSize::Halfword)).is_ok());
+        assert!(
+            validate_transaction(&txn(0x2000_0002, BurstKind::Single, HSize::Halfword)).is_ok()
+        );
     }
 
     #[test]

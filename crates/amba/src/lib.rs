@@ -24,6 +24,9 @@
 //!   information, idle-bank status and access permission between arbiter
 //!   and DDR controller (paper §2, §3.4).
 //! * [`memmap`] — the address decoder / memory map.
+//! * [`bridge`] — the AHB-to-AHB bridge vocabulary of multi-bus platforms:
+//!   the interleaved shard-window decode and the crossing records a bridge
+//!   slave emits and a bridge master replays.
 //! * [`check`] — protocol rule checks shared by both models (paper §3.5).
 //!
 //! # Transaction pool ownership rules
@@ -64,6 +67,7 @@
 
 pub mod arbitration;
 pub mod bi;
+pub mod bridge;
 pub mod burst;
 pub mod check;
 pub mod ids;
@@ -74,12 +78,13 @@ pub mod signal;
 pub mod txn;
 
 pub use arbitration::{ArbiterConfig, ArbitrationFilter, ArbitrationPolicy, RequestView};
-pub use params::AhbPlusParams;
 pub use bi::{AccessPermission, BankHint, BiMessage, NextTransactionInfo};
+pub use bridge::{BridgeCrossing, BridgePort, ReplayStats, ShardMap};
 pub use burst::{BurstKind, BurstSequence};
 pub use check::ProtocolChecker;
 pub use ids::{Addr, MasterId, SlaveId};
 pub use memmap::{MemoryMap, Region};
+pub use params::AhbPlusParams;
 pub use qos::{MasterClass, QosConfig, QosRegisterFile};
 pub use signal::{HBurst, HResp, HSize, HTrans};
 pub use txn::{Transaction, TransactionId, TransferDirection, TxnArena, TxnHandle};

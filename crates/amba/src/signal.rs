@@ -283,7 +283,11 @@ mod tests {
             assert_eq!(HTrans::from_bits(trans.bits()), trans);
         }
         assert_eq!(HTrans::from_bits(0b10), HTrans::NonSeq);
-        assert_eq!(HTrans::from_bits(0b1110), HTrans::NonSeq, "upper bits ignored");
+        assert_eq!(
+            HTrans::from_bits(0b1110),
+            HTrans::NonSeq,
+            "upper bits ignored"
+        );
     }
 
     #[test]

@@ -260,7 +260,8 @@ impl ModelComparison {
     /// error of a faster backend.
     #[must_use]
     pub fn cycle_error_pct(&self) -> f64 {
-        self.counter("cycle").map_or(0.0, CounterComparison::error_pct)
+        self.counter("cycle")
+            .map_or(0.0, CounterComparison::error_pct)
     }
 
     /// Relative error of the bus-busy-cycle count. On workloads whose
@@ -453,11 +454,27 @@ impl AccuracyBenchRecord {
         let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"comparisons\": [");
         for (index, cmp) in self.comparisons.iter().enumerate() {
-            let comma = if index + 1 < self.comparisons.len() { "," } else { "" };
+            let comma = if index + 1 < self.comparisons.len() {
+                ","
+            } else {
+                ""
+            };
             let _ = writeln!(out, "    {{");
-            let _ = writeln!(out, "      \"scenario\": \"{}\",", escape_json(&cmp.scenario));
-            let _ = writeln!(out, "      \"reference\": \"{}\",", escape_json(&cmp.reference));
-            let _ = writeln!(out, "      \"candidate\": \"{}\",", escape_json(&cmp.candidate));
+            let _ = writeln!(
+                out,
+                "      \"scenario\": \"{}\",",
+                escape_json(&cmp.scenario)
+            );
+            let _ = writeln!(
+                out,
+                "      \"reference\": \"{}\",",
+                escape_json(&cmp.reference)
+            );
+            let _ = writeln!(
+                out,
+                "      \"candidate\": \"{}\",",
+                escape_json(&cmp.candidate)
+            );
             let _ = writeln!(out, "      \"results_match\": {},", cmp.results_match);
             let _ = writeln!(
                 out,
@@ -621,11 +638,23 @@ mod tests {
 
     #[test]
     fn counter_comparison_error_handles_zero_reference() {
-        let both_zero = CounterComparison { counter: "x", reference: 0, candidate: 0 };
+        let both_zero = CounterComparison {
+            counter: "x",
+            reference: 0,
+            candidate: 0,
+        };
         assert_eq!(both_zero.error_pct(), 0.0);
-        let zero_ref = CounterComparison { counter: "x", reference: 0, candidate: 3 };
+        let zero_ref = CounterComparison {
+            counter: "x",
+            reference: 0,
+            candidate: 3,
+        };
         assert_eq!(zero_ref.error_pct(), 100.0);
-        let off = CounterComparison { counter: "x", reference: 200, candidate: 190 };
+        let off = CounterComparison {
+            counter: "x",
+            reference: 200,
+            candidate: 190,
+        };
         assert!((off.error_pct() - 5.0).abs() < 1e-9);
     }
 

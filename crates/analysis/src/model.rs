@@ -62,6 +62,13 @@ pub struct Probe {
     pub assertion_errors: u64,
     /// Assertion warnings recorded so far.
     pub assertion_warnings: u64,
+    /// Transactions forwarded across an AHB-to-AHB bridge so far (zero on
+    /// single-bus models; on a multi-bus platform this is the aggregate
+    /// over every bridge link).
+    pub bridge_crossings: u64,
+    /// Peak occupancy observed in any bridge request FIFO (zero on
+    /// single-bus models).
+    pub bridge_fifo_peak: u64,
 }
 
 /// Reads one counter out of a probe (field-comparison table entry).
@@ -72,7 +79,7 @@ pub type FieldAccessor = fn(&Probe) -> u64;
 /// iterates it to compute per-counter errors, and the snapshot sinks use
 /// it as the CSV/JSON column set, so a field added to [`Probe`] shows up
 /// in every artifact by adding one row here.
-pub const PROBE_FIELDS: [(&str, FieldAccessor); 14] = [
+pub const PROBE_FIELDS: [(&str, FieldAccessor); 16] = [
     ("cycle", |p| p.cycle),
     ("transactions", |p| p.transactions),
     ("bytes", |p| p.bytes),
@@ -87,13 +94,15 @@ pub const PROBE_FIELDS: [(&str, FieldAccessor); 14] = [
     ("dram_accesses", |p| p.dram_accesses),
     ("assertion_errors", |p| p.assertion_errors),
     ("assertion_warnings", |p| p.assertion_warnings),
+    ("bridge_crossings", |p| p.bridge_crossings),
+    ("bridge_fifo_peak", |p| p.bridge_fifo_peak),
 ];
 
 /// The probe fields compared by [`Probe::divergence`], paired with
 /// accessors. `cycle` is deliberately excluded: models at different
 /// abstraction levels advance time with different granularity, so elapsed
 /// time is reported alongside a divergence, not treated as one.
-const COMPARED_FIELDS: [(&str, FieldAccessor); 13] = [
+const COMPARED_FIELDS: [(&str, FieldAccessor); 15] = [
     ("transactions", |p| p.transactions),
     ("bytes", |p| p.bytes),
     ("data_beats", |p| p.data_beats),
@@ -107,6 +116,8 @@ const COMPARED_FIELDS: [(&str, FieldAccessor); 13] = [
     ("dram_accesses", |p| p.dram_accesses),
     ("assertion_errors", |p| p.assertion_errors),
     ("assertion_warnings", |p| p.assertion_warnings),
+    ("bridge_crossings", |p| p.bridge_crossings),
+    ("bridge_fifo_peak", |p| p.bridge_fifo_peak),
 ];
 
 impl Probe {
@@ -264,9 +275,18 @@ mod tests {
 
     #[test]
     fn elapsed_time_is_not_a_divergence() {
-        let a = Probe { cycle: 100, ..Probe::default() };
-        let b = Probe { cycle: 107, ..Probe::default() };
-        assert!(a.divergence(&b).is_empty(), "cycle alignment differs across levels");
+        let a = Probe {
+            cycle: 100,
+            ..Probe::default()
+        };
+        let b = Probe {
+            cycle: 107,
+            ..Probe::default()
+        };
+        assert!(
+            a.divergence(&b).is_empty(),
+            "cycle alignment differs across levels"
+        );
         assert!(a.results_match(&b));
     }
 
@@ -301,9 +321,9 @@ mod tests {
 
     #[test]
     fn compared_fields_cover_every_counter_except_cycle() {
-        // 14 fields in the struct, one (cycle) excluded by design.
-        assert_eq!(COMPARED_FIELDS.len(), 13);
-        assert_eq!(PROBE_FIELDS.len(), 14);
+        // 16 fields in the struct, one (cycle) excluded by design.
+        assert_eq!(COMPARED_FIELDS.len(), 15);
+        assert_eq!(PROBE_FIELDS.len(), 16);
         assert_eq!(PROBE_FIELDS[0].0, "cycle");
         for (name, get) in COMPARED_FIELDS {
             let (probe_name, probe_get) = PROBE_FIELDS
@@ -325,6 +345,8 @@ mod tests {
                 dram_accesses: 12,
                 assertion_errors: 13,
                 assertion_warnings: 14,
+                bridge_crossings: 15,
+                bridge_fifo_peak: 16,
             };
             assert_eq!(get(&sample), probe_get(&sample), "{probe_name}");
         }

@@ -89,7 +89,8 @@ impl Recorder {
         }
         let position = self.accumulators.len();
         assert!(position < usize::from(u8::MAX), "too many masters");
-        self.accumulators.push((master, MasterAccumulator::default()));
+        self.accumulators
+            .push((master, MasterAccumulator::default()));
         self.slots[master.index()] = position as u8;
         position
     }
@@ -270,7 +271,10 @@ mod tests {
         assert!((cpu.avg_latency - 25.0).abs() < 1e-9);
         assert!((cpu.avg_grant_latency - 3.5).abs() < 1e-9);
         let other = &report.masters[&MasterId::new(1)];
-        assert_eq!(other.label, "m1", "unregistered master gets a fallback label");
+        assert_eq!(
+            other.label, "m1",
+            "unregistered master gets a fallback label"
+        );
     }
 
     #[test]

@@ -22,26 +22,39 @@ pub enum ModelKind {
     /// The loosely-timed model (`ahb-lt`): exact functional results,
     /// per-burst latency estimates instead of a bank state machine.
     LooselyTimed,
+    /// The multi-bus platform (`ahb-multi`) with transaction-level shards:
+    /// N independent AHB+ buses connected by AHB-to-AHB bridges, each
+    /// shard an `ahb-tlm` instance.
+    ShardedTlm,
+    /// The multi-bus platform with loosely-timed shards.
+    ShardedLt,
 }
 
 impl ModelKind {
     /// Every abstraction level of the spectrum, from most to least
-    /// timing-accurate. The accuracy harness compares each pair in this
-    /// order (earlier kind = reference).
-    pub const ALL: [ModelKind; 3] = [
+    /// timing-accurate (the sharded platforms come after the single-bus
+    /// models: they share the shard backend's timing fidelity but add the
+    /// bridge/quantum approximations). The accuracy harness compares each
+    /// pair in this order (earlier kind = reference).
+    pub const ALL: [ModelKind; 5] = [
         ModelKind::PinAccurateRtl,
         ModelKind::TransactionLevel,
         ModelKind::LooselyTimed,
+        ModelKind::ShardedTlm,
+        ModelKind::ShardedLt,
     ];
 
-    /// Short machine-readable identifier (`"rtl"` / `"tlm"` / `"lt"`),
-    /// used for benchmark-artifact keys and CLI model filters.
+    /// Short machine-readable identifier (`"rtl"` / `"tlm"` / `"lt"` /
+    /// `"sharded-tlm"` / `"sharded-lt"`), used for benchmark-artifact keys
+    /// and CLI model filters.
     #[must_use]
     pub const fn id(self) -> &'static str {
         match self {
             ModelKind::PinAccurateRtl => "rtl",
             ModelKind::TransactionLevel => "tlm",
             ModelKind::LooselyTimed => "lt",
+            ModelKind::ShardedTlm => "sharded-tlm",
+            ModelKind::ShardedLt => "sharded-lt",
         }
     }
 }
@@ -52,6 +65,8 @@ impl fmt::Display for ModelKind {
             ModelKind::PinAccurateRtl => write!(f, "RTL"),
             ModelKind::TransactionLevel => write!(f, "TL"),
             ModelKind::LooselyTimed => write!(f, "LT"),
+            ModelKind::ShardedTlm => write!(f, "S-TL"),
+            ModelKind::ShardedLt => write!(f, "S-LT"),
         }
     }
 }
@@ -374,15 +389,18 @@ mod tests {
         assert_eq!(ModelKind::PinAccurateRtl.to_string(), "RTL");
         assert_eq!(ModelKind::TransactionLevel.to_string(), "TL");
         assert_eq!(ModelKind::LooselyTimed.to_string(), "LT");
+        assert_eq!(ModelKind::ShardedTlm.to_string(), "S-TL");
         assert_eq!(ModelKind::PinAccurateRtl.id(), "rtl");
         assert_eq!(ModelKind::TransactionLevel.id(), "tlm");
         assert_eq!(ModelKind::LooselyTimed.id(), "lt");
+        assert_eq!(ModelKind::ShardedTlm.id(), "sharded-tlm");
+        assert_eq!(ModelKind::ShardedLt.id(), "sharded-lt");
     }
 
     #[test]
     fn model_kind_ids_are_unique_and_ordered_by_accuracy() {
         let ids: Vec<&str> = ModelKind::ALL.iter().map(|k| k.id()).collect();
-        assert_eq!(ids, vec!["rtl", "tlm", "lt"]);
+        assert_eq!(ids, vec!["rtl", "tlm", "lt", "sharded-tlm", "sharded-lt"]);
     }
 
     #[test]
@@ -390,7 +408,10 @@ mod tests {
         let a = sample_report();
         let mut b = a.clone();
         b.wall_seconds = a.wall_seconds * 3.0;
-        assert!(a.metrics_eq(&b), "wall clock must not affect metric equality");
+        assert!(
+            a.metrics_eq(&b),
+            "wall clock must not affect metric equality"
+        );
         b.total_cycles += 1;
         assert!(!a.metrics_eq(&b));
     }

@@ -35,8 +35,7 @@ impl SpeedReport {
         SpeedReport {
             rtl_kcycles_per_sec: rtl.kcycles_per_second(),
             tlm_kcycles_per_sec: tlm.kcycles_per_second(),
-            tlm_single_master_kcycles_per_sec: tlm_single_master
-                .map(SimReport::kcycles_per_second),
+            tlm_single_master_kcycles_per_sec: tlm_single_master.map(SimReport::kcycles_per_second),
         }
     }
 
@@ -71,7 +70,11 @@ impl SpeedReport {
             );
         }
         if let Some(single) = self.tlm_single_master_kcycles_per_sec {
-            let _ = writeln!(out, "{:<28} {:>16.2}", "transaction-level (1 master)", single);
+            let _ = writeln!(
+                out,
+                "{:<28} {:>16.2}",
+                "transaction-level (1 master)", single
+            );
         }
         if self.rtl_kcycles_per_sec.is_finite() && self.tlm_kcycles_per_sec.is_finite() {
             let _ = writeln!(out, "{:<28} {:>15.1}x", "TL / RTL speed-up", self.speedup());
@@ -112,6 +115,17 @@ pub mod model_names {
     pub const TLM_32_MASTER: &str = "tlm-32-master";
     /// The transaction-level model scaled to 64 masters.
     pub const TLM_64_MASTER: &str = "tlm-64-master";
+    /// The multi-bus platform with transaction-level shards (default
+    /// 2-shard partition of the speed workload).
+    pub const SHARDED_TLM: &str = "sharded-tlm";
+    /// The multi-bus platform with loosely-timed shards.
+    pub const SHARDED_LT: &str = "sharded-lt";
+    /// Four transaction-level shards of four masters each, bridge-light.
+    pub const SHARDED_TLM_4X4: &str = "sharded-tlm-4x4";
+    /// Four transaction-level shards of four masters each, bridge-heavy.
+    pub const SHARDED_TLM_4X4_BRIDGE: &str = "sharded-tlm-4x4-bridge";
+    /// Four loosely-timed shards of sixteen masters each, bridge-light.
+    pub const SHARDED_LT_4X16: &str = "sharded-lt-4x16";
 }
 
 /// One measured model configuration inside a [`SpeedBenchRecord`].
@@ -174,9 +188,8 @@ impl SpeedBenchRecord {
     pub fn to_json(&self) -> String {
         let speed = self.speed_report();
         let cycles_of = |name: &str| self.model(name).map(|m| m.cycles);
-        let json_u64 = |value: Option<u64>| {
-            value.map_or_else(|| "null".to_owned(), |v| v.to_string())
-        };
+        let json_u64 =
+            |value: Option<u64>| value.map_or_else(|| "null".to_owned(), |v| v.to_string());
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-speed/v2\",");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
@@ -228,7 +241,11 @@ impl SpeedBenchRecord {
         let _ = writeln!(out, "  \"speedup\": {},", json_f64(speed.speedup()));
         let _ = writeln!(out, "  \"models\": [");
         for (index, model) in self.models.iter().enumerate() {
-            let comma = if index + 1 < self.models.len() { "," } else { "" };
+            let comma = if index + 1 < self.models.len() {
+                ","
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}}}{comma}",
@@ -254,7 +271,11 @@ impl SpeedBenchRecord {
             "    \"tlm_single_master_kcycles_per_sec\": {},",
             json_f64(paper_reference::TLM_SINGLE_MASTER_KCYCLES_PER_SEC)
         );
-        let _ = writeln!(out, "    \"speedup\": {}", json_f64(paper_reference::SPEEDUP));
+        let _ = writeln!(
+            out,
+            "    \"speedup\": {}",
+            json_f64(paper_reference::SPEEDUP)
+        );
         let _ = writeln!(out, "  }}");
         out.push('}');
         out.push('\n');

@@ -16,7 +16,10 @@ fn bench_qos_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, arbiter) in [
         ("ahb_plus_filters", ArbiterConfig::ahb_plus()),
-        ("plain_fixed_priority", ArbiterConfig::plain_ahb_fixed_priority()),
+        (
+            "plain_fixed_priority",
+            ArbiterConfig::plain_ahb_fixed_priority(),
+        ),
         (
             "no_bank_affinity",
             ArbiterConfig::ahb_plus().without(ArbitrationFilter::BankAffinity),

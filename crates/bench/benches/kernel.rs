@@ -159,7 +159,10 @@ mod seed_heap {
     }
     impl<E> Ord for Entry<E> {
         fn cmp(&self, other: &Self) -> Ordering {
-            other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
         }
     }
 

@@ -50,7 +50,12 @@ fn main() {
     }
     println!(
         "{:<10} {:<10} {:>9} {:>13} {:>15} {:>14} {:>14}",
-        "reference", "candidate", "scenarios", "results match", "mean cycle err", "mean busy err",
+        "reference",
+        "candidate",
+        "scenarios",
+        "results match",
+        "mean cycle err",
+        "mean busy err",
         "max busy err"
     );
     for summary in record.summaries() {

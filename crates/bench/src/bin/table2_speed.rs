@@ -10,18 +10,22 @@
 //!
 //! ```text
 //! cargo run --release -p ahbplus-bench --bin table2_speed \
-//!     [OUTPUT.json] [--models rtl,tlm,tlm-single-master,tlm-detached]
+//!     [OUTPUT.json] [--models rtl,tlm,sharded-tlm-4x4] [--list-models]
 //! ```
 //!
 //! `--models` restricts the measurement to a comma-separated subset;
-//! unmeasured models appear as `null` in the JSON artifact.
+//! unmeasured models appear as `null` in the JSON artifact. An unknown
+//! name fails fast (exit 2) with the list of registered names — it never
+//! silently measures nothing. `--list-models` prints the registered names
+//! and exits.
 
-use ahbplus::speed::{measure_models, standard_models};
 use ahbplus::scenario;
+use ahbplus::speed::{measure_models, standard_models};
 
 fn main() {
     let mut output_path = "BENCH_speed.json".to_owned();
     let mut filter: Option<Vec<String>> = None;
+    let mut list_models = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(list) = arg.strip_prefix("--models=") {
@@ -32,10 +36,15 @@ fn main() {
                 std::process::exit(2);
             };
             filter = Some(list.split(',').map(str::to_owned).collect());
+        } else if arg == "--list-models" {
+            list_models = true;
         } else if arg.starts_with("--") {
             // A typo'd flag must not be mistaken for the output path and
             // silently trigger a full multi-minute measurement.
-            eprintln!("unknown option '{arg}' (usage: table2_speed [OUTPUT.json] [--models a,b,...])");
+            eprintln!(
+                "unknown option '{arg}' \
+                 (usage: table2_speed [OUTPUT.json] [--models a,b,...] [--list-models])"
+            );
             std::process::exit(2);
         } else {
             output_path = arg;
@@ -44,16 +53,17 @@ fn main() {
 
     let spec = scenario("table2-speed").expect("catalogued speed scenario");
     let config = spec.resolve().expect("speed scenario resolves");
+    if list_models {
+        for spec in standard_models() {
+            println!("{}", spec.name(&config));
+        }
+        return;
+    }
     println!(
         "Simulation speed — {}, {} transactions per master\n",
         config.pattern.name, config.transactions_per_master
     );
-    let record = match measure_models(
-        &config,
-        "pattern_a",
-        &standard_models(),
-        filter.as_deref(),
-    ) {
+    let record = match measure_models(&config, "pattern_a", &standard_models(), filter.as_deref()) {
         Ok(record) => record,
         Err(error) => {
             eprintln!("{error}");

@@ -57,7 +57,10 @@ mod tests {
             .expect("resolvable");
         let legacy = harness_platform(pattern_a(), FULL_RUN_TRANSACTIONS);
         assert_eq!(config.seed, legacy.seed);
-        assert_eq!(config.transactions_per_master, legacy.transactions_per_master);
+        assert_eq!(
+            config.transactions_per_master,
+            legacy.transactions_per_master
+        );
         assert_eq!(config.pattern, legacy.pattern);
         assert_eq!(config.max_cycles, legacy.max_cycles);
     }

@@ -117,26 +117,51 @@ fn compare_streams(
 /// `max_transactions` (used by tests and smoke runs; `None` runs the
 /// catalogue lengths). Each backend is simulated **once** per scenario
 /// and the pairs are compared on the recorded probe streams, so the slow
-/// reference does not pay one run per pair.
+/// reference does not pay one run per pair; the scenarios themselves run
+/// on one worker thread each (`std::thread::scope`), which bounds the
+/// harness wall-clock by the slowest scenario instead of the catalogue
+/// sum. Output order — and content, each scenario being a deterministic
+/// closed computation — is identical to the sequential run.
+///
+/// # Panics
+///
+/// Panics when a catalogue scenario fails to resolve or a worker thread
+/// panics (both are harness bugs, not measurement outcomes).
 #[must_use]
 pub fn measure_accuracy_record(max_transactions: Option<usize>) -> AccuracyBenchRecord {
     let stride = CycleDelta::new(ACCURACY_LOCKSTEP_STRIDE);
-    let mut comparisons = Vec::new();
-    for spec in scenario_catalogue() {
-        let spec = match max_transactions {
+    let specs: Vec<ScenarioSpec> = scenario_catalogue()
+        .into_iter()
+        .map(|spec| match max_transactions {
             Some(cap) if spec.transactions_per_master > cap => spec.with_transactions(cap),
             _ => spec,
-        };
-        let config = spec
-            .resolve()
-            .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
-        let streams: Vec<(ModelKind, Vec<Probe>)> = ModelKind::ALL
+        })
+        .collect();
+    let streams_per_scenario: Vec<Vec<(ModelKind, Vec<Probe>)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = specs
             .iter()
-            .map(|&kind| {
-                let mut model = config.build_model(kind);
-                (kind, probe_stream(model.as_mut(), stride))
+            .map(|spec| {
+                scope.spawn(move || {
+                    let config = spec
+                        .resolve()
+                        .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
+                    ModelKind::ALL
+                        .iter()
+                        .map(|&kind| {
+                            let mut model = config.build_model(kind);
+                            (kind, probe_stream(model.as_mut(), stride))
+                        })
+                        .collect()
+                })
             })
             .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("scenario worker must not panic"))
+            .collect()
+    });
+    let mut comparisons = Vec::new();
+    for (spec, streams) in specs.iter().zip(streams_per_scenario) {
         for (i, (reference, ref_stream)) in streams.iter().enumerate() {
             for (candidate, cand_stream) in &streams[i + 1..] {
                 comparisons.push(compare_streams(
@@ -161,20 +186,27 @@ mod tests {
     #[test]
     fn model_pairs_cover_the_spectrum_in_accuracy_order() {
         let pairs = model_pairs();
-        assert_eq!(pairs.len(), 3);
+        // Five spectrum points → C(5, 2) ordered pairs, more-accurate
+        // model first.
+        assert_eq!(pairs.len(), 10);
         assert_eq!(
-            pairs,
-            vec![
-                (ModelKind::PinAccurateRtl, ModelKind::TransactionLevel),
-                (ModelKind::PinAccurateRtl, ModelKind::LooselyTimed),
-                (ModelKind::TransactionLevel, ModelKind::LooselyTimed),
-            ]
+            pairs[0],
+            (ModelKind::PinAccurateRtl, ModelKind::TransactionLevel)
         );
+        assert!(pairs.contains(&(ModelKind::PinAccurateRtl, ModelKind::ShardedTlm)));
+        assert!(pairs.contains(&(ModelKind::TransactionLevel, ModelKind::ShardedTlm)));
+        assert!(pairs.contains(&(ModelKind::ShardedTlm, ModelKind::ShardedLt)));
+        for (reference, candidate) in pairs {
+            let position = |kind| ModelKind::ALL.iter().position(|&k| k == kind).unwrap();
+            assert!(position(reference) < position(candidate));
+        }
     }
 
     #[test]
     fn one_scenario_pair_compares_and_matches_results() {
-        let spec = scenario("table1-a").expect("catalogued").with_transactions(25);
+        let spec = scenario("table1-a")
+            .expect("catalogued")
+            .with_transactions(25);
         let cmp = compare_pair_on(&spec, ModelKind::TransactionLevel, ModelKind::LooselyTimed);
         assert_eq!(cmp.reference, "tlm");
         assert_eq!(cmp.candidate, "lt");
@@ -185,7 +217,9 @@ mod tests {
     fn stream_comparison_agrees_with_true_lockstep() {
         // The record is built from one probe stream per backend; that
         // reconstruction must agree with genuinely lockstepped models.
-        let spec = scenario("table1-c").expect("catalogued").with_transactions(30);
+        let spec = scenario("table1-c")
+            .expect("catalogued")
+            .with_transactions(30);
         let lockstepped =
             compare_pair_on(&spec, ModelKind::TransactionLevel, ModelKind::LooselyTimed);
         let config = spec.resolve().expect("resolves");
@@ -209,7 +243,7 @@ mod tests {
         // record is produced by the benchmark binary.
         let record = measure_accuracy_record(Some(15));
         let scenarios = scenario_catalogue().len();
-        assert_eq!(record.comparisons.len(), scenarios * 3);
+        assert_eq!(record.comparisons.len(), scenarios * 10);
         assert!(
             record.all_results_match(),
             "every backend must complete identical work:\n{}",
@@ -221,7 +255,7 @@ mod tests {
                 .collect::<String>()
         );
         let summaries = record.summaries();
-        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries.len(), 10);
         for summary in &summaries {
             assert_eq!(summary.scenarios, scenarios);
             assert!(summary.results_match_all);

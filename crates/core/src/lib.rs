@@ -11,6 +11,18 @@
 //! | `rtl` | [`ahb_rtl`] | pin-accurate, cycle-level | 1× |
 //! | `tlm` | [`ahb_tlm`] | cycle-counting, per-transaction | ~15× RTL |
 //! | `lt`  | [`ahb_lt`]  | estimated per burst, exact results | ~2-4× TLM |
+//! | `sharded-tlm` | [`ahb_multi`] | N bridged TLM shards, conservative quanta | scales with shards |
+//! | `sharded-lt`  | [`ahb_multi`] | N bridged LT shards | scales with shards |
+//!
+//! The sharded platforms are the *sideways* scaling axis: the same
+//! workload split over N independent buses (each its own arbiter, write
+//! buffer and DDR) connected by AHB-to-AHB bridges, executed under
+//! conservative quantum synchronization — single-threaded reference mode
+//! or one worker thread per shard, verified probe-identical. Their
+//! aggregate throughput (bus-cycles simulated per second, summed over
+//! shards) beats the equivalent single-bus model as soon as the bus is
+//! the bottleneck: a 16-master bridge-light workload runs ~2.4× faster
+//! as `sharded-tlm` 4×4 than on one flat bus, even before threading.
 //!
 //! Everything above the trait works for all of them (and for any future
 //! backend) without special cases:
@@ -37,15 +49,16 @@
 //! * [`speed`] — the §4 speed experiment over the registered model set
 //!   ([`analysis::SpeedReport`], `BENCH_speed.json`).
 //!
-//! # Adding a fourth backend
+//! # Adding another backend
 //!
-//! A new abstraction level (a sharded TLM, a statistical model, ...) only
-//! has to:
+//! A new abstraction level (a statistical model, a different fabric, ...)
+//! only has to:
 //!
 //! 1. implement [`analysis::BusModel`] — `run_until`/`step` with the
 //!    progress guarantee, `finished`, `probe`, idempotent `report` (see
 //!    the trait docs for the contract; `ahb-lt` is the smallest worked
-//!    example);
+//!    example, `ahb-multi` the worked example of a *composite* backend
+//!    that aggregates other backends' probes);
 //! 2. add a [`ModelKind`] variant with a unique `id()` and a
 //!    [`PlatformConfig::build_model`] arm so scenarios resolve to it;
 //! 3. register a builder in [`speed::standard_models`].
@@ -53,7 +66,13 @@
 //! That registration is the whole integration: the backend then appears
 //! in `table2_speed`, `BENCH_speed.json`, `BENCH_accuracy.json` (with
 //! its lockstep results-match gate enforced by CI), the examples and the
-//! scenario-driven tests, with zero harness edits.
+//! scenario-driven tests, with zero harness edits. The sharded platforms
+//! (`ModelKind::ShardedTlm` / `ModelKind::ShardedLt`) went in exactly
+//! this way: `PlatformConfig::build_sharded` partitions the pattern's
+//! masters round-robin over two bridged shards, and the dedicated
+//! multi-bus scaling configurations (`sharded-tlm-4x4`,
+//! `sharded-lt-4x16`, over `traffic::pattern_shards`) are speed-harness
+//! variants.
 //!
 //! # Quick start
 //!
@@ -109,6 +128,7 @@ pub use validation::{validate_pattern, validate_table1, Table1};
 // Re-export the building blocks so downstream users need only one
 // dependency.
 pub use ahb_lt::{LtConfig, LtSystem, LT_TIMING_ERROR_BOUND_PCT};
+pub use ahb_multi::{BridgeConfig, MultiConfig, MultiSystem, ShardBackendKind};
 pub use ahb_rtl::{RtlConfig, RtlSystem};
 pub use ahb_tlm::{TlmConfig, TlmSystem};
 pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};

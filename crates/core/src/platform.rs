@@ -1,6 +1,7 @@
 //! Platform configuration and construction of every abstraction level.
 
 use ahb_lt::{LtConfig, LtSystem};
+use ahb_multi::{partition_round_robin, MultiConfig, MultiSystem, ShardBackendKind};
 use ahb_rtl::{RtlConfig, RtlSystem};
 use ahb_tlm::{TlmConfig, TlmSystem};
 use amba::params::AhbPlusParams;
@@ -149,6 +150,28 @@ impl PlatformConfig {
         )
     }
 
+    /// Number of bus shards [`PlatformConfig::build_sharded`] splits a
+    /// single-bus platform into.
+    pub const DEFAULT_SHARDS: usize = 2;
+
+    /// Builds the multi-bus system: the pattern's masters are partitioned
+    /// round-robin over [`PlatformConfig::DEFAULT_SHARDS`] shards of the
+    /// given backend, connected by AHB-to-AHB bridges (single-threaded
+    /// deterministic mode — the reference the threaded mode is verified
+    /// against). The same workload expansion runs on the same master ids,
+    /// so the sharded platform completes exactly the work of the
+    /// single-bus platform; masters whose regions decode to the other
+    /// shard's windows generate genuine bridge traffic.
+    #[must_use]
+    pub fn build_sharded(&self, backend: ShardBackendKind) -> MultiSystem {
+        let config = MultiConfig::new(backend)
+            .with_params(self.params.clone())
+            .with_ddr(self.ddr)
+            .with_max_cycles(self.max_cycles);
+        let parts = partition_round_robin(&self.pattern, Self::DEFAULT_SHARDS);
+        MultiSystem::from_shard_patterns(&config, &parts, self.transactions_per_master, self.seed)
+    }
+
     /// Builds the system of the given abstraction level behind the
     /// unified [`BusModel`] interface.
     ///
@@ -163,6 +186,8 @@ impl PlatformConfig {
             ModelKind::PinAccurateRtl => Box::new(self.build_rtl()),
             ModelKind::TransactionLevel => Box::new(self.build_tlm()),
             ModelKind::LooselyTimed => Box::new(self.build_lt()),
+            ModelKind::ShardedTlm => Box::new(self.build_sharded(ShardBackendKind::Tlm)),
+            ModelKind::ShardedLt => Box::new(self.build_sharded(ShardBackendKind::Lt)),
         }
     }
 
@@ -204,7 +229,10 @@ mod tests {
         assert!(!config.rtl_config().ddr.honour_prepare_hints);
         assert_eq!(config.tlm_config().max_cycles, 1_234);
         let arbiter_filters = config.params.arbiter.enabled.len();
-        assert_eq!(arbiter_filters, ArbiterConfig::plain_ahb_fixed_priority().enabled.len());
+        assert_eq!(
+            arbiter_filters,
+            ArbiterConfig::plain_ahb_fixed_priority().enabled.len()
+        );
     }
 
     #[test]

@@ -44,12 +44,18 @@ pub enum ScenarioError {
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScenarioError::UnknownPattern { requested, available } => write!(
+            ScenarioError::UnknownPattern {
+                requested,
+                available,
+            } => write!(
                 f,
                 "unknown traffic pattern '{requested}' (available: {})",
                 available.join(", ")
             ),
-            ScenarioError::InvalidMasterSubset { requested, available } => write!(
+            ScenarioError::InvalidMasterSubset {
+                requested,
+                available,
+            } => write!(
                 f,
                 "invalid master subset {requested} (pattern has {available} masters; \
                  at least 1 required)"
@@ -154,12 +160,11 @@ impl ScenarioSpec {
     /// registered; [`ScenarioError::InvalidMasterSubset`] when the subset
     /// is zero or exceeds the pattern's master count.
     pub fn resolve(&self) -> Result<PlatformConfig, ScenarioError> {
-        let pattern = pattern_by_name(&self.pattern).ok_or_else(|| {
-            ScenarioError::UnknownPattern {
+        let pattern =
+            pattern_by_name(&self.pattern).ok_or_else(|| ScenarioError::UnknownPattern {
                 requested: self.pattern.clone(),
                 available: pattern_registry().into_iter().map(|(key, _)| key).collect(),
-            }
-        })?;
+            })?;
         let available = pattern.master_count();
         let config = PlatformConfig::new(pattern, self.transactions_per_master, self.seed)
             .with_params(self.params.clone())
@@ -167,9 +172,7 @@ impl ScenarioSpec {
             .with_max_cycles(self.max_cycles);
         match self.masters {
             None => Ok(config),
-            Some(count) if count >= 1 && count <= available => {
-                Ok(config.with_master_subset(count))
-            }
+            Some(count) if count >= 1 && count <= available => Ok(config.with_master_subset(count)),
             Some(count) => Err(ScenarioError::InvalidMasterSubset {
                 requested: count,
                 available,
@@ -210,7 +213,9 @@ mod tests {
         let catalogue = scenario_catalogue();
         assert!(catalogue.len() >= 6);
         for spec in &catalogue {
-            let config = spec.resolve().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let config = spec
+                .resolve()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert!(config.pattern.master_count() >= 1, "{}", spec.name);
             assert_eq!(config.seed, spec.seed);
             assert_eq!(config.transactions_per_master, spec.transactions_per_master);
@@ -231,7 +236,10 @@ mod tests {
         let zero = ScenarioSpec::new("s", "a", 10, 1).with_masters(0);
         assert_eq!(
             zero.resolve().unwrap_err(),
-            ScenarioError::InvalidMasterSubset { requested: 0, available: 4 }
+            ScenarioError::InvalidMasterSubset {
+                requested: 0,
+                available: 4
+            }
         );
         let too_many = ScenarioSpec::new("s", "a", 10, 1).with_masters(9);
         assert!(too_many.resolve().is_err());

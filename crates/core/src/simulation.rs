@@ -309,7 +309,10 @@ pub fn run_lockstep<A: BusModel + ?Sized, B: BusModel + ?Sized>(
     b: &mut B,
     stride: CycleDelta,
 ) -> LockstepReport {
-    assert!(stride > CycleDelta::ZERO, "lockstep stride must be positive");
+    assert!(
+        stride > CycleDelta::ZERO,
+        "lockstep stride must be positive"
+    );
     let mut first_divergence = None;
     let mut horizons = 0u64;
     let mut horizon = Cycle::ZERO;
@@ -390,7 +393,10 @@ mod tests {
         let mut tlm = config().build_tlm();
         let outcome = run_lockstep(&mut rtl, &mut tlm, CycleDelta::new(256));
         assert!(outcome.results_match, "{}", outcome.summary());
-        assert_eq!(outcome.a.total_transactions(), outcome.b.total_transactions());
+        assert_eq!(
+            outcome.a.total_transactions(),
+            outcome.b.total_transactions()
+        );
         assert_eq!(outcome.a.total_bytes(), outcome.b.total_bytes());
     }
 

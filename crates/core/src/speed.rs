@@ -83,16 +83,66 @@ impl ModelSpec {
 /// The standard measurement set: the pin-accurate reference, the
 /// transaction-level model, the loosely-timed model, the paper's
 /// single-master TLM configuration, the TLM with the §3.6 profiling
-/// features detached, and the 32-/64-master TLM scaling configurations
+/// features detached, the 32-/64-master TLM scaling configurations
 /// (same per-master workload over `traffic::pattern_many`, so the
-/// ready-set scaling shows up in `BENCH_speed.json`).
+/// ready-set scaling shows up in `BENCH_speed.json`), and the multi-bus
+/// platforms: the default 2-shard partitions of the speed workload plus
+/// the dedicated sharded scaling configurations over
+/// `traffic::pattern_shards` (`sharded-tlm-4x4` bridge-light and
+/// bridge-heavy, `sharded-lt-4x16`).
 #[must_use]
 pub fn standard_models() -> Vec<ModelSpec> {
+    use ahb_multi::{MultiConfig, MultiSystem, ShardBackendKind};
+    use traffic::{pattern_shards, ShardMix};
+
     let scaled = |masters: usize| {
         move |config: &PlatformConfig| -> Box<dyn BusModel> {
             Box::new(ahb_tlm::TlmSystem::from_pattern(
                 config.tlm_config(),
                 &traffic::pattern_many(masters),
+                config.transactions_per_master,
+                config.seed,
+            ))
+        }
+    };
+    // Threading only changes wall-clock time (results are verified
+    // probe-identical), so every measured sharded configuration uses
+    // worker threads exactly when the host has cores for them.
+    let threaded = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+    // The default 2-shard partition of the speed workload — what
+    // `PlatformConfig::build_sharded` builds, but with the measurement
+    // threading policy applied.
+    let partitioned = |backend: ShardBackendKind, threaded: bool| {
+        move |config: &PlatformConfig| -> Box<dyn BusModel> {
+            let multi = MultiConfig::new(backend)
+                .with_params(config.params.clone())
+                .with_ddr(config.ddr)
+                .with_max_cycles(config.max_cycles)
+                .with_threaded(threaded);
+            let parts =
+                ahb_multi::partition_round_robin(&config.pattern, PlatformConfig::DEFAULT_SHARDS);
+            Box::new(MultiSystem::from_shard_patterns(
+                &multi,
+                &parts,
+                config.transactions_per_master,
+                config.seed,
+            ))
+        }
+    };
+    let sharded = move |backend: ShardBackendKind, shards: usize, masters: usize, mix: ShardMix| {
+        move |config: &PlatformConfig| -> Box<dyn BusModel> {
+            // Inherit the speed scenario's bus and DRAM parameters like
+            // every other spec, so the sharded rows stay comparable to
+            // the flat-bus rows if the scenario ever departs from the
+            // defaults.
+            let multi = MultiConfig::new(backend)
+                .with_params(config.params.clone())
+                .with_ddr(config.ddr)
+                .with_max_cycles(config.max_cycles)
+                .with_threaded(threaded);
+            Box::new(MultiSystem::from_shard_patterns(
+                &multi,
+                &pattern_shards(shards, masters, mix),
                 config.transactions_per_master,
                 config.seed,
             ))
@@ -115,6 +165,20 @@ pub fn standard_models() -> Vec<ModelSpec> {
         }),
         ModelSpec::variant("32-master", scaled(32)),
         ModelSpec::variant("64-master", scaled(64)),
+        ModelSpec::new(partitioned(ShardBackendKind::Tlm, threaded)),
+        ModelSpec::new(partitioned(ShardBackendKind::Lt, threaded)),
+        ModelSpec::variant(
+            "4x4",
+            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::LocalHeavy),
+        ),
+        ModelSpec::variant(
+            "4x4-bridge",
+            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::BridgeHeavy),
+        ),
+        ModelSpec::variant(
+            "4x16",
+            sharded(ShardBackendKind::Lt, 4, 16, ShardMix::LocalHeavy),
+        ),
     ]
 }
 
@@ -251,6 +315,11 @@ mod tests {
                 model_names::TLM_DETACHED,
                 model_names::TLM_32_MASTER,
                 model_names::TLM_64_MASTER,
+                model_names::SHARDED_TLM,
+                model_names::SHARDED_LT,
+                model_names::SHARDED_TLM_4X4,
+                model_names::SHARDED_TLM_4X4_BRIDGE,
+                model_names::SHARDED_LT_4X16,
             ]
         );
     }

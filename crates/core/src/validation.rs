@@ -124,7 +124,11 @@ mod tests {
             .iter()
             .find(|r| r.metric == "bus busy cycles")
             .expect("busy row");
-        assert!(busy.error_pct() < 8.0, "busy cycle error {:.2}%", busy.error_pct());
+        assert!(
+            busy.error_pct() < 8.0,
+            "busy cycle error {:.2}%",
+            busy.error_pct()
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(&name.into(), self.sample_size, self.measurement_time, &mut f);
+        run_bench(
+            &name.into(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
         self
     }
 

@@ -94,9 +94,7 @@ impl Bank {
     #[must_use]
     pub fn state_at(&self, now: Cycle) -> BankState {
         match self.state {
-            BankState::Activating { row, ready_at } if now >= ready_at => {
-                BankState::Active { row }
-            }
+            BankState::Activating { row, ready_at } if now >= ready_at => BankState::Active { row },
             BankState::Precharging { ready_at } if now >= ready_at => BankState::Idle,
             other => other,
         }
@@ -118,9 +116,10 @@ impl Bank {
         match self.state_at(now) {
             BankState::Idle => true,
             BankState::Active { row: open } => open == row,
-            BankState::Activating { row: opening, ready_at } => {
-                opening == row && ready_at.saturating_since(now).value() <= 1
-            }
+            BankState::Activating {
+                row: opening,
+                ready_at,
+            } => opening == row && ready_at.saturating_since(now).value() <= 1,
             BankState::Precharging { .. } => false,
         }
     }
@@ -182,9 +181,10 @@ impl Bank {
         let cas = CycleDelta::new(u64::from(if is_write { timing.cwl } else { timing.cl }));
         let (first_data_at, class) = match self.state {
             BankState::Active { row: open } if open == row => (now + cas, AccessClass::RowHit),
-            BankState::Activating { row: opening, ready_at } if opening == row => {
-                (ready_at.max(now) + cas, AccessClass::PreparedHit)
-            }
+            BankState::Activating {
+                row: opening,
+                ready_at,
+            } if opening == row => (ready_at.max(now) + cas, AccessClass::PreparedHit),
             BankState::Idle => {
                 let activate_at = self.earliest_activate(now, timing);
                 self.last_activate = Some(activate_at);
@@ -231,18 +231,18 @@ impl Bank {
     /// Earliest cycle an ACTIVATE may be issued, honouring tRC and any data
     /// still draining out of the bank.
     fn earliest_activate(&self, not_before: Cycle, timing: &DdrTiming) -> Cycle {
-        let trc_ok = self
-            .last_activate
-            .map_or(Cycle::ZERO, |la| la + CycleDelta::new(u64::from(timing.t_rc)));
+        let trc_ok = self.last_activate.map_or(Cycle::ZERO, |la| {
+            la + CycleDelta::new(u64::from(timing.t_rc))
+        });
         not_before.max(trc_ok).max(self.busy_until)
     }
 
     /// Earliest cycle a PRECHARGE may be issued, honouring tRAS and write
     /// recovery.
     fn earliest_precharge(&self, not_before: Cycle, timing: &DdrTiming) -> Cycle {
-        let tras_ok = self
-            .last_activate
-            .map_or(Cycle::ZERO, |la| la + CycleDelta::new(u64::from(timing.t_ras)));
+        let tras_ok = self.last_activate.map_or(Cycle::ZERO, |la| {
+            la + CycleDelta::new(u64::from(timing.t_ras))
+        });
         not_before.max(tras_ok).max(self.busy_until)
     }
 }

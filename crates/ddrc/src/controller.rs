@@ -220,8 +220,13 @@ impl DdrController {
         let effective_now = self.apply_refresh(now);
         let decoded = self.decode(addr);
         let timing = self.config.timing;
-        let bank_access =
-            self.banks[decoded.bank as usize].access(effective_now, decoded.row, is_write, beats, &timing);
+        let bank_access = self.banks[decoded.bank as usize].access(
+            effective_now,
+            decoded.row,
+            is_write,
+            beats,
+            &timing,
+        );
 
         // First data beat cannot happen before the shared data bus is free.
         let refresh_wait = effective_now.saturating_since(now);

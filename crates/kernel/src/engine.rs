@@ -405,7 +405,9 @@ mod tests {
                 None
             } else {
                 // Next multiple of `period` at or after the current cycle.
-                Some(Cycle::new(self.now.div_ceil(self.period).max(1) * self.period))
+                Some(Cycle::new(
+                    self.now.div_ceil(self.period).max(1) * self.period,
+                ))
             }
         }
     }

@@ -648,7 +648,10 @@ mod tests {
         let id = queue.schedule(Cycle::new(5), 1u8);
         queue.clear();
         let _newer = queue.schedule(Cycle::new(7), 2u8);
-        assert!(!queue.cancel(id), "pre-clear id must not cancel a new event");
+        assert!(
+            !queue.cancel(id),
+            "pre-clear id must not cancel a new event"
+        );
         assert_eq!(queue.len(), 1);
     }
 }

@@ -45,7 +45,10 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap: invert so the earliest (time, seq) pops first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -232,7 +235,10 @@ fn wheel_matches_heap_under_heavy_cancellation() {
     let mut ids = Vec::new();
     for payload in 0..512u64 {
         let at = rng.range_u64(0, 1_024);
-        ids.push((wheel.schedule(Cycle::new(at), payload), heap.schedule(at, payload)));
+        ids.push((
+            wheel.schedule(Cycle::new(at), payload),
+            heap.schedule(at, payload),
+        ));
     }
     // Cancel every other event, in a scrambled order.
     for step in 0..ids.len() {

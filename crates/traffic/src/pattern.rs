@@ -49,6 +49,39 @@ impl TrafficPattern {
         self.masters.iter().map(|(_, p)| p.clone()).collect()
     }
 
+    /// Expands the pattern into the per-master build tuples every backend
+    /// consumes: the deterministic trace (`(id, profile, seed)` fully
+    /// determines it), the report label, the QoS register programming and
+    /// the write-posting capability. This is the *single* expansion used
+    /// by all backends' `from_pattern` constructors, which is what makes
+    /// "same pattern, same seed → same stimulus on every abstraction
+    /// level" true by construction.
+    #[must_use]
+    pub fn expand(
+        &self,
+        transactions_per_master: usize,
+        seed: u64,
+    ) -> Vec<(
+        crate::trace::TrafficTrace,
+        String,
+        amba::qos::QosConfig,
+        bool,
+    )> {
+        self.masters
+            .iter()
+            .map(|(id, profile)| {
+                let trace = crate::trace::Workload::new(*id, profile.clone(), seed)
+                    .generate(transactions_per_master);
+                (
+                    trace,
+                    profile.kind.label().to_owned(),
+                    profile.qos_config(),
+                    profile.posted_writes,
+                )
+            })
+            .collect()
+    }
+
     /// All three Table-1 patterns.
     #[must_use]
     pub fn table1_catalogue() -> Vec<TrafficPattern> {
@@ -109,12 +142,13 @@ pub fn pattern_b() -> TrafficPattern {
     TrafficPattern {
         name: "pattern B (streaming heavy)",
         masters: vec![
-            (MasterId::new(0), MasterProfile::cpu().with_release(
-                ReleasePolicy::ClosedLoop {
+            (
+                MasterId::new(0),
+                MasterProfile::cpu().with_release(ReleasePolicy::ClosedLoop {
                     min_gap: 20,
                     max_gap: 120,
-                },
-            )),
+                }),
+            ),
             (MasterId::new(1), MasterProfile::video_realtime()),
             (MasterId::new(2), MasterProfile::dma_stream()),
             (MasterId::new(3), second_stream),
@@ -135,7 +169,10 @@ pub fn pattern_c() -> TrafficPattern {
         masters: vec![
             (MasterId::new(0), write_mostly_cpu),
             (MasterId::new(1), MasterProfile::video_realtime()),
-            (MasterId::new(2), MasterProfile::dma_stream().with_read_permille(200)),
+            (
+                MasterId::new(2),
+                MasterProfile::dma_stream().with_read_permille(200),
+            ),
             (MasterId::new(3), busy_writer),
         ],
     }
@@ -219,13 +256,126 @@ pub fn pattern_many(count: usize) -> TrafficPattern {
             let id = if index < 15 { index } else { index + 1 };
             let profile = base_profiles[index % base_profiles.len()]
                 .clone()
-                .with_region(Addr::new(0x2000_0000 + (index as u32) * 0x0008_0000), 0x0008_0000);
+                .with_region(
+                    Addr::new(0x2000_0000 + (index as u32) * 0x0008_0000),
+                    0x0008_0000,
+                );
             (MasterId::new(id as u8), profile)
         })
         .collect();
     TrafficPattern {
         name: "many-master scaling",
         masters,
+    }
+}
+
+/// Log2 of the shard-window size multi-bus patterns are laid out for.
+///
+/// [`pattern_shards`] places every master region inside a
+/// `1 << SHARD_WINDOW_SHIFT`-byte window whose interleaved owner (window
+/// index modulo shard count — `amba::bridge::ShardMap` with this shift)
+/// is the shard the master's traffic targets, so the local/remote mix of
+/// a sharded pattern is decided here and decoded identically by the
+/// platform.
+pub const SHARD_WINDOW_SHIFT: u32 = 24;
+
+/// The cross-bus traffic mixes of the multi-bus patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMix {
+    /// Almost all traffic stays on the local shard: only each shard's
+    /// block writer posts into the next shard's window (the bridge-light
+    /// scaling workload).
+    LocalHeavy,
+    /// Most traffic crosses the bridge: everything but the real-time
+    /// video master targets the next shard's window.
+    BridgeHeavy,
+    /// Non-real-time masters spread their remote traffic over *all* other
+    /// shards instead of just the neighbour.
+    AllToAll,
+}
+
+/// Builds one traffic pattern per shard of a multi-bus platform: each
+/// shard gets `masters_per_shard` masters cycling through the four base
+/// profiles, with globally unique master identifiers and each region
+/// placed in a shard window chosen by `mix` (local window, next shard's
+/// window, or spread over all remote shards).
+///
+/// Master identifier 15 is skipped (reserved for the AHB+ write buffer)
+/// and identifiers from 240 up are left free for the per-shard bridge
+/// masters.
+///
+/// # Panics
+///
+/// Panics when `shards` or `masters_per_shard` is zero, when the master
+/// identifiers would collide with the reserved ranges, or when the window
+/// layout would overflow the 32-bit address space
+/// (`shards * masters_per_shard * shards` must stay within 256 windows).
+#[must_use]
+pub fn pattern_shards(
+    shards: usize,
+    masters_per_shard: usize,
+    mix: ShardMix,
+) -> Vec<TrafficPattern> {
+    assert!(shards >= 1, "a platform needs at least one shard");
+    assert!(masters_per_shard >= 1, "a shard needs at least one master");
+    let total = shards * masters_per_shard;
+    assert!(total <= 200, "master identifier space exhausted");
+    assert!(
+        total * shards <= 256,
+        "window layout exceeds the 32-bit address space"
+    );
+    let base_profiles = [
+        MasterProfile::cpu(),
+        MasterProfile::video_realtime(),
+        MasterProfile::dma_stream(),
+        MasterProfile::block_writer(),
+    ];
+    let name = match mix {
+        ShardMix::LocalHeavy => "sharded local-heavy",
+        ShardMix::BridgeHeavy => "sharded bridge-heavy",
+        ShardMix::AllToAll => "sharded all-to-all",
+    };
+    (0..shards)
+        .map(|shard| {
+            let masters = (0..masters_per_shard)
+                .map(|local| {
+                    let global = shard * masters_per_shard + local;
+                    // Reserve id 15 for the write buffer.
+                    let id = if global < 15 { global } else { global + 1 };
+                    let role = local % base_profiles.len();
+                    let target = shard_target(mix, shards, shard, role, global);
+                    // Window index `global * shards + target` is unique per
+                    // master and owned by `target` under the interleaved
+                    // shard map (index % shards == target).
+                    let window = (global * shards + target) as u32;
+                    let base = Addr::new(window << SHARD_WINDOW_SHIFT);
+                    let profile = base_profiles[role].clone().with_region(base, 0x0010_0000);
+                    (MasterId::new(id as u8), profile)
+                })
+                .collect();
+            TrafficPattern { name, masters }
+        })
+        .collect()
+}
+
+/// The shard a master's traffic targets under the given mix.
+fn shard_target(mix: ShardMix, shards: usize, shard: usize, role: usize, global: usize) -> usize {
+    if shards == 1 {
+        return 0;
+    }
+    // Role 1 is the real-time video master: it always stays local (its
+    // QoS objective is meaningless across a posted bridge), as does
+    // everything else the mix keeps at home.
+    let remote = match mix {
+        ShardMix::LocalHeavy => role == 3,
+        ShardMix::BridgeHeavy | ShardMix::AllToAll => role != 1,
+    };
+    if !remote {
+        return shard;
+    }
+    match mix {
+        ShardMix::AllToAll => (shard + 1 + global % (shards - 1)) % shards,
+        _ => (shard + 1) % shards,
     }
 }
 
@@ -358,6 +508,75 @@ mod tests {
         // The stress pattern's whole point: worst fixed priority on video.
         let video = pattern_qos_stress().masters[1].1.clone();
         assert_eq!(video.fixed_priority, 7);
+    }
+
+    #[test]
+    fn sharded_patterns_have_unique_ids_and_window_aligned_regions() {
+        for mix in [
+            ShardMix::LocalHeavy,
+            ShardMix::BridgeHeavy,
+            ShardMix::AllToAll,
+        ] {
+            let shards = pattern_shards(4, 4, mix);
+            assert_eq!(shards.len(), 4);
+            let mut ids = Vec::new();
+            for pattern in &shards {
+                assert_eq!(pattern.master_count(), 4);
+                for (id, profile) in &pattern.masters {
+                    ids.push(id.index());
+                    assert!(
+                        profile.region_base.value() % (1 << SHARD_WINDOW_SHIFT) == 0,
+                        "regions sit at window bases"
+                    );
+                    assert!(u64::from(profile.region_bytes) <= 1 << SHARD_WINDOW_SHIFT);
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 16, "ids must be globally unique");
+            assert!(!ids.contains(&15), "id 15 is reserved for the write buffer");
+            assert!(ids.iter().all(|&id| id < 240), "ids 240+ belong to bridges");
+        }
+    }
+
+    #[test]
+    fn shard_mixes_differ_in_remote_share() {
+        let owner = |base: u32, shards: u32| (base >> SHARD_WINDOW_SHIFT) % shards;
+        let remote_count = |mix| {
+            pattern_shards(4, 8, mix)
+                .iter()
+                .enumerate()
+                .flat_map(|(shard, pattern)| {
+                    pattern
+                        .masters
+                        .iter()
+                        .filter(move |(_, p)| owner(p.region_base.value(), 4) != shard as u32)
+                })
+                .count()
+        };
+        let local = remote_count(ShardMix::LocalHeavy);
+        let bridge = remote_count(ShardMix::BridgeHeavy);
+        assert!(local > 0, "local-heavy still exercises the bridge");
+        assert!(local < bridge, "bridge-heavy crosses more than local-heavy");
+        // The all-to-all mix spreads remote traffic over several shards.
+        let targets: std::collections::BTreeSet<u32> = pattern_shards(4, 8, ShardMix::AllToAll)[0]
+            .masters
+            .iter()
+            .map(|(_, p)| owner(p.region_base.value(), 4))
+            .collect();
+        assert!(
+            targets.len() >= 3,
+            "shard 0 reaches several targets: {targets:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_patterns_are_fully_local() {
+        // With one shard every window belongs to shard 0, so even the
+        // bridge-heavy mix degenerates to a fully local pattern.
+        let shards = pattern_shards(1, 4, ShardMix::BridgeHeavy);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].master_count(), 4);
     }
 
     #[test]

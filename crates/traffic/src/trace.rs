@@ -43,6 +43,33 @@ pub struct TrafficTrace {
 }
 
 impl TrafficTrace {
+    /// An empty trace owned by `master`. Dynamic ports (the AHB-to-AHB
+    /// bridge master of a multi-bus platform) start from this and receive
+    /// their items at runtime via [`TrafficTrace::push`].
+    #[must_use]
+    pub fn empty(master: MasterId) -> Self {
+        TrafficTrace {
+            master,
+            items: Vec::new(),
+        }
+    }
+
+    /// Appends one item to the trace. Used by dynamic ports whose work
+    /// arrives during simulation (bridge replays); generated workloads are
+    /// immutable after expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the item's transaction does not belong to this trace's
+    /// master.
+    pub fn push(&mut self, item: TraceItem) {
+        assert_eq!(
+            item.txn.master, self.master,
+            "trace item pushed onto the wrong master's trace"
+        );
+        self.items.push(item);
+    }
+
     /// The master this trace belongs to.
     #[must_use]
     pub fn master(&self) -> MasterId {

@@ -68,7 +68,11 @@ fn main() {
         let lt_outcome = run_lockstep(&mut tlm, &mut lt, CycleDelta::new(512));
         println!(
             "lt vs tlm: results identical: {}, busy-cycle delta {} -> {}\n",
-            if lt_outcome.results_match { "yes" } else { "NO" },
+            if lt_outcome.results_match {
+                "yes"
+            } else {
+                "NO"
+            },
             lt_outcome.a.bus.busy_cycles,
             lt_outcome.b.bus.busy_cycles
         );

@@ -33,7 +33,10 @@ fn run(label: &str, arbiter: ArbiterConfig) {
 
 fn main() {
     println!("video master demoted to the worst fixed priority, QoS objective = 200 cycles\n");
-    run("plain AHB (fixed priority)", ArbiterConfig::plain_ahb_fixed_priority());
+    run(
+        "plain AHB (fixed priority)",
+        ArbiterConfig::plain_ahb_fixed_priority(),
+    );
     run("AHB+ (QoS filter chain)", ArbiterConfig::ahb_plus());
     println!("\nAHB+ keeps the real-time master inside its objective even when its");
     println!("fixed priority would otherwise starve it — the guarantee plain AMBA 2.0");

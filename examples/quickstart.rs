@@ -1,7 +1,8 @@
 //! Quickstart: resolve a named scenario, drive the transaction-level
 //! model through the unified `BusModel` facade, read the results from a
-//! probe and the final report — then run the *same* scenario on all
-//! three abstraction levels to see the speed/accuracy spectrum.
+//! probe and the final report — then run the *same* scenario on every
+//! spectrum point (pin-accurate, transaction-level, loosely-timed, and
+//! the sharded multi-bus platforms) to see the speed/accuracy trade-off.
 //!
 //! Run with:
 //!
@@ -54,23 +55,25 @@ fn main() {
         end.assertion_errors, end.assertion_warnings
     );
 
-    // The three-model spectrum: the same scenario, every abstraction
-    // level, one loop — `ModelKind::ALL` orders them from most
-    // timing-accurate (`rtl`) to fastest (`lt`). The completed work is
-    // identical on all three; wall-clock time and timing-derived
-    // counters are where they differ. A fourth backend would appear here
-    // (and in every benchmark artifact) by implementing `BusModel` and
-    // registering in `ahbplus::speed::standard_models`.
+    // The model spectrum: the same scenario, every abstraction level,
+    // one loop — `ModelKind::ALL` orders them from most timing-accurate
+    // (`rtl`) to the multi-bus platforms (`sharded-tlm`/`sharded-lt`,
+    // which split the same masters over two bridged buses). The
+    // completed work is identical on every point; wall-clock time and
+    // timing-derived counters are where they differ. A further backend
+    // would appear here (and in every benchmark artifact) by
+    // implementing `BusModel` and registering in
+    // `ahbplus::speed::standard_models`.
     println!("\n== the same scenario across the model spectrum ==");
     println!(
-        "{:<6} {:>10} {:>12} {:>12} {:>14}",
+        "{:<12} {:>10} {:>12} {:>12} {:>14}",
         "model", "txns", "cycles", "busy", "Kcycles/s"
     );
     for kind in ModelKind::ALL {
         let mut model = config.build_model(kind);
         let report = model.run();
         println!(
-            "{:<6} {:>10} {:>12} {:>12} {:>14.0}",
+            "{:<12} {:>10} {:>12} {:>12} {:>14.0}",
             model.model_name(),
             report.total_transactions(),
             report.total_cycles,

@@ -76,7 +76,10 @@ fn idle_skip_lockstep_never_diverges() {
         outcome.summary()
     );
     assert!(outcome.results_match);
-    assert!(outcome.a.metrics_eq(&outcome.b), "reports must be bit-identical");
+    assert!(
+        outcome.a.metrics_eq(&outcome.b),
+        "reports must be bit-identical"
+    );
 }
 
 /// Lockstep across abstraction levels: the paper's "results identical"

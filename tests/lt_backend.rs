@@ -32,7 +32,11 @@ fn lt_and_tlm_produce_identical_results_on_every_registered_pattern() {
             outcome.b.total_transactions(),
             "pattern '{key}'"
         );
-        assert_eq!(outcome.a.total_bytes(), outcome.b.total_bytes(), "pattern '{key}'");
+        assert_eq!(
+            outcome.a.total_bytes(),
+            outcome.b.total_bytes(),
+            "pattern '{key}'"
+        );
         if let Some(divergence) = &outcome.first_divergence {
             assert!(
                 divergence.cycle > 0,

@@ -1,12 +1,12 @@
 //! Property-based tests over the protocol vocabulary, the burst arithmetic,
 //! the DRAM bank FSM invariants and the workload generator.
 
+use amba::arbitration::{ArbiterConfig, ArbitrationPolicy, RequestView};
 use amba::burst::{BurstKind, BurstSequence};
 use amba::check::validate_transaction;
 use amba::ids::{Addr, MasterId};
 use amba::qos::QosConfig;
 use amba::signal::{HBurst, HResp, HSize, HTrans};
-use amba::arbitration::{ArbiterConfig, ArbitrationPolicy, RequestView};
 use ddrc::{Bank, DdrTiming};
 use proptest::prelude::*;
 use simkern::rng::SimRng;

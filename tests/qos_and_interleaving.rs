@@ -53,7 +53,6 @@ fn qos_protection_holds_on_the_pin_accurate_model_too() {
     );
 }
 
-
 fn streaming_completion(bi_hints: bool) -> (u64, f64) {
     let params = AhbPlusParams::ahb_plus().with_bi_hints(bi_hints);
     let ddr = if bi_hints {

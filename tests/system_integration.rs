@@ -21,7 +21,10 @@ fn table1_specs(transactions: usize, seed: u64) -> Vec<ScenarioSpec> {
 fn configs(transactions: usize, seed: u64) -> Vec<PlatformConfig> {
     table1_specs(transactions, seed)
         .iter()
-        .map(|spec| spec.resolve().unwrap_or_else(|e| panic!("{}: {e}", spec.name)))
+        .map(|spec| {
+            spec.resolve()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+        })
         .collect()
 }
 
@@ -67,8 +70,7 @@ fn different_seeds_produce_different_schedules() {
 
 #[test]
 fn plain_ahb_configuration_runs_on_both_models() {
-    let config =
-        PlatformConfig::new(pattern_a(), 40, 5).with_params(AhbPlusParams::plain_ahb());
+    let config = PlatformConfig::new(pattern_a(), 40, 5).with_params(AhbPlusParams::plain_ahb());
     let rtl = config.run_rtl();
     let tlm = config.run_tlm();
     assert_eq!(rtl.total_transactions(), tlm.total_transactions());
