@@ -22,11 +22,11 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use amba::bridge::{BridgeCrossing, BridgePort, ReplayStats};
+use amba::bridge::{BridgeCrossing, BridgePort, CrossingLeg, ReplayStats};
 use amba::check::validate_transaction;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
-use amba::txn::Transaction;
+use amba::txn::{Transaction, TransactionId};
 use analysis::model::{BusModel, Probe};
 use analysis::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 use ddrc::DdrGeometry;
@@ -196,6 +196,20 @@ struct BacklogEntry {
     txn: Transaction,
 }
 
+/// One read transfer stalled on its bridge response (the loosely-timed
+/// mirror of the transaction-level stall table).
+#[derive(Debug, Clone, Copy)]
+struct LtParked {
+    /// Index of the stalled master in `masters`.
+    index: usize,
+    /// The stalled transaction (retirement needs bytes/beats).
+    txn: Transaction,
+    /// Cycle the request was raised (latency accounting).
+    requested_at: u64,
+    /// Cycle the request leg was granted the bus.
+    granted_at: u64,
+}
+
 /// Bridge-port state of a loosely-timed shard inside a multi-bus
 /// platform (mirrors the transaction-level shard's port).
 struct LtBridge {
@@ -208,6 +222,12 @@ struct LtBridge {
     replayed: ReplayStats,
     /// Sequence counter namespacing replayed transaction ids.
     ingress_seq: u64,
+    /// Local masters stalled on a non-posted read crossing, keyed by the
+    /// original transaction id the response leg carries back.
+    parked: Vec<(TransactionId, LtParked)>,
+    /// Replays that owe a response: replay id → (origin shard, original
+    /// transaction).
+    owed_responses: Vec<(TransactionId, u8, Transaction)>,
 }
 
 /// The loosely-timed AHB+ platform.
@@ -298,7 +318,7 @@ impl LtSystem {
         mut masters: Vec<(TrafficTrace, String, QosConfig, bool)>,
         port: Option<BridgePort>,
     ) -> Self {
-        let ingress_index = port.map(|p| {
+        let ingress_index = port.as_ref().map(|p| {
             masters.push((
                 TrafficTrace::empty(p.master),
                 "bridge".to_owned(),
@@ -357,6 +377,8 @@ impl LtSystem {
                     egress: Vec::new(),
                     replayed: ReplayStats::default(),
                     ingress_seq: 0,
+                    parked: Vec::new(),
+                    owed_responses: Vec::new(),
                 }),
         }
     }
@@ -405,12 +427,19 @@ impl LtSystem {
 
     /// Delivers one bridge crossing: the transaction is queued on the
     /// bridge replay master with an absolute release at `release_at` (its
-    /// arrival out of the bridge FIFO).
+    /// arrival out of the bridge FIFO). When `respond_to` names an origin
+    /// shard, a [`CrossingLeg::ReadResponse`] carrying the original
+    /// transaction is emitted once the replay completes.
     ///
     /// # Panics
     ///
     /// Panics when the system was built without a bridge port.
-    pub fn inject_crossing(&mut self, source: Transaction, release_at: u64) {
+    pub fn inject_crossing(
+        &mut self,
+        source: Transaction,
+        release_at: u64,
+        respond_to: Option<u8>,
+    ) {
         let bridge = self
             .bridge
             .as_mut()
@@ -418,11 +447,51 @@ impl LtSystem {
         let index = bridge.ingress_index;
         let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
         bridge.ingress_seq += 1;
+        if let Some(origin) = respond_to {
+            bridge.owed_responses.push((txn.id, origin, source));
+        }
         let master = &mut self.masters[index];
         let was_done = master.is_done();
         master.append(txn, release_at);
         if was_done {
             self.masters_done -= 1;
+        }
+    }
+
+    /// Delivers the response leg of a non-posted read: the master stalled
+    /// on transaction `id` is retired at `arrival` with the full
+    /// round-trip latency, and its trace resumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system was built without a bridge port or no
+    /// master is stalled on `id` (a platform routing bug).
+    pub fn inject_response(&mut self, id: TransactionId, arrival: u64) {
+        let bridge = self
+            .bridge
+            .as_mut()
+            .expect("inject_response without a bridge port");
+        let position = bridge
+            .parked
+            .iter()
+            .position(|(parked_id, _)| *parked_id == id)
+            .expect("response for a transaction nobody is stalled on");
+        let (_, parked) = bridge.parked.swap_remove(position);
+        let (bytes, beats) = (parked.txn.bytes(), parked.txn.beats());
+        // The transfer completes now: count the work (the request leg only
+        // contributed bus occupancy; the data return travels inside the
+        // crossing cost, not over the local bus).
+        self.transactions += 1;
+        self.total_bytes += u64::from(bytes);
+        self.data_beats += u64::from(beats);
+        self.last_completion = self.last_completion.max(arrival);
+        let latency = arrival - parked.requested_at;
+        let grant_latency = parked.granted_at - parked.requested_at;
+        let master = &mut self.masters[parked.index];
+        master.record(bytes, latency, grant_latency, arrival);
+        master.advance(arrival);
+        if master.is_done() {
+            self.masters_done += 1;
         }
     }
 
@@ -542,7 +611,7 @@ impl LtSystem {
         let (bytes, beats) = (entry.txn.bytes(), entry.txn.beats());
         self.record_bus(bytes, beats, cost, false, completed);
         if remote {
-            self.push_egress(completed, entry.txn);
+            self.push_egress(completed, entry.txn, CrossingLeg::Posted);
         }
         let latency = completed - entry.absorbed_at;
         let grant_latency = start - entry.absorbed_at;
@@ -550,12 +619,13 @@ impl LtSystem {
         completed
     }
 
-    /// Logs one crossing leaving through the bridge slave at `completed`.
-    fn push_egress(&mut self, completed: u64, txn: Transaction) {
+    /// Logs one crossing leaving through the bridge at `completed`.
+    fn push_egress(&mut self, completed: u64, txn: Transaction, leg: CrossingLeg) {
         let bridge = self.bridge.as_mut().expect("egress implies a bridge");
         bridge.egress.push(BridgeCrossing {
             issued_at: simkern::time::Cycle::new(completed),
             txn,
+            leg,
         });
     }
 
@@ -659,15 +729,66 @@ impl LtSystem {
         } else {
             (ready + GRANT_TO_ADDRESS_CYCLES).max(self.bus_free_at + NON_PIPELINED_TURNAROUND)
         };
+
+        // A non-posted read crossing stalls: only the request handshake
+        // occupies the local bus; the transfer is counted when
+        // `inject_response` retires it.
+        let stalling_read = self.bridge.as_ref().is_some_and(|b| {
+            !b.port.posted_reads && !txn.is_write() && b.port.map.is_remote(txn.addr, b.port.own)
+        });
+        if stalling_read {
+            let (cost, own) = {
+                let bridge = self.bridge.as_ref().expect("stall implies a bridge");
+                (bridge.port.slave_cycles + 1, bridge.port.own)
+            };
+            let completed_req = grant + cost;
+            self.bus_free_at = completed_req;
+            self.busy_cycles += cost;
+            if contended {
+                self.contention_cycles += cost;
+            }
+            self.push_egress(
+                completed_req,
+                txn,
+                CrossingLeg::NonPostedRead { origin: own },
+            );
+            let bridge = self.bridge.as_mut().expect("stall implies a bridge");
+            bridge.parked.push((
+                txn.id,
+                LtParked {
+                    index,
+                    txn,
+                    requested_at: ready,
+                    granted_at: grant,
+                },
+            ));
+            // Parked: invisible to the release scan until the response.
+            self.masters[index].ready_at = u64::MAX;
+            self.now = self.now.max(completed_req);
+            return true;
+        }
+
         let (cost, remote) = self.transfer_cost(&txn);
         let completed = grant + cost;
         self.bus_free_at = completed;
         self.record_bus(bytes, beats, cost, contended, completed);
         if remote {
-            self.push_egress(completed, txn);
+            self.push_egress(completed, txn, CrossingLeg::Posted);
         } else if let Some(bridge) = self.bridge.as_mut() {
             if bridge.ingress_index == index {
                 bridge.replayed.record(&txn);
+                if let Some(owed) = bridge
+                    .owed_responses
+                    .iter()
+                    .position(|(id, ..)| *id == txn.id)
+                {
+                    let (_, origin, original) = bridge.owed_responses.swap_remove(owed);
+                    bridge.egress.push(BridgeCrossing {
+                        issued_at: simkern::time::Cycle::new(completed),
+                        txn: original,
+                        leg: CrossingLeg::ReadResponse { origin },
+                    });
+                }
             }
         }
         let latency = completed - ready;

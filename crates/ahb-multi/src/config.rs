@@ -3,7 +3,9 @@
 use amba::params::AhbPlusParams;
 use ddrc::DdrConfig;
 
-/// Which single-bus backend each shard instantiates.
+use crate::topology::Topology;
+
+/// Which single-bus backend a shard instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardBackendKind {
     /// Cycle-counting transaction-level shards (`ahb-tlm`).
@@ -12,15 +14,16 @@ pub enum ShardBackendKind {
     Lt,
 }
 
-/// Timing and capacity of one AHB-to-AHB bridge link.
+/// Timing and capacity of one directed AHB-to-AHB bridge link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BridgeConfig {
     /// Minimum cycles between a crossing entering the request FIFO and
-    /// its replay being released on the remote shard (clock-domain
-    /// crossing plus fabric traversal). This is also the platform's
-    /// conservative synchronization quantum: a shard can never observe an
-    /// effect from another shard sooner than this, so running each shard
-    /// freely for one quantum is always causally safe.
+    /// its replay (or response) being released on the remote shard
+    /// (clock-domain crossing plus fabric traversal). The *minimum over
+    /// all links* is the platform's conservative synchronization quantum:
+    /// a shard can never observe an effect from another shard sooner than
+    /// this, so running each shard freely for one quantum is always
+    /// causally safe.
     pub crossing_latency: u64,
     /// Request FIFO depth per directed link. A full FIFO back-pressures:
     /// the next crossing is admitted only when the oldest in-flight
@@ -30,7 +33,10 @@ pub struct BridgeConfig {
     /// remote bridge master serializes its replays).
     pub forward_interval: u64,
     /// Wait states of the local bridge slave window (cycles from address
-    /// phase to first data beat of the posting transfer).
+    /// phase to first data beat of the posting transfer). This is a
+    /// property of each shard's slave port — paid before the destination
+    /// shard is decoded — so the platform always takes it from the
+    /// topology's *default* link; per-link overrides do not apply to it.
     pub slave_cycles: u64,
 }
 
@@ -55,13 +61,16 @@ impl Default for BridgeConfig {
     }
 }
 
-/// Configuration of a multi-bus AHB+ platform. The shard count is implied
-/// by the per-shard traffic patterns handed to
-/// [`crate::MultiSystem::from_shard_patterns`].
+/// Configuration of a multi-bus AHB+ platform: the declarative
+/// [`Topology`] (shard backends, window map, links, read-crossing mode)
+/// plus the per-shard bus/DDR parameters and the execution policy. For a
+/// uniform topology the shard count is implied by the per-shard traffic
+/// patterns handed to [`crate::MultiSystem::from_shard_patterns`]; a
+/// heterogeneous topology fixes it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiConfig {
-    /// The backend every shard instantiates.
-    pub backend: ShardBackendKind,
+    /// The platform shape.
+    pub topology: Topology,
     /// Bus parameters applied to every shard.
     pub params: AhbPlusParams,
     /// DDR configuration of every shard's private memory controller.
@@ -69,34 +78,43 @@ pub struct MultiConfig {
     /// Hard simulation length limit in bus cycles (shared by the shards
     /// and the platform's barrier clock).
     pub max_cycles: u64,
-    /// Bridge timing and capacity (uniform over all links).
-    pub bridge: BridgeConfig,
-    /// Synchronization quantum override. `None` uses the bridge crossing
-    /// latency (the largest causally safe value); an explicit quantum is
-    /// clamped into `[1, crossing_latency]`.
+    /// Synchronization quantum override. `None` uses the minimum bridge
+    /// crossing latency (the largest causally safe value); an explicit
+    /// quantum is clamped into `[1, min_crossing_latency]`.
     pub quantum: Option<u64>,
     /// Execute shards on worker threads (`true`) or in-line on the
     /// calling thread (`false`). Both modes run the identical barrier and
     /// exchange schedule and produce probe-identical results; threading
     /// only changes wall-clock time.
     pub threaded: bool,
-    /// Log2 of the shard-window size of the platform address map.
-    pub window_shift: u32,
+    /// Threaded-mode barrier choice: `Some(true)` forces the spin
+    /// barrier, `Some(false)` the blocking `std::sync::Barrier`, `None`
+    /// picks by host core count (spin on > 2 cores — see
+    /// [`crate::sync::default_spin_sync`]). Purely a wall-clock knob:
+    /// both barriers run the identical exchange schedule.
+    pub spin_sync: Option<bool>,
 }
 
 impl MultiConfig {
-    /// The default evaluation platform for the given shard backend.
+    /// The default evaluation platform: a uniform topology of the given
+    /// shard backend (exactly the PR-4 platform shape).
     #[must_use]
     pub fn new(backend: ShardBackendKind) -> Self {
+        MultiConfig::from_topology(Topology::uniform(backend))
+    }
+
+    /// A platform of the given declarative shape with the default bus and
+    /// DDR parameters.
+    #[must_use]
+    pub fn from_topology(topology: Topology) -> Self {
         MultiConfig {
-            backend,
+            topology,
             params: AhbPlusParams::ahb_plus(),
             ddr: DdrConfig::ahb_plus(),
             max_cycles: 5_000_000,
-            bridge: BridgeConfig::default(),
             quantum: None,
             threaded: false,
-            window_shift: traffic::SHARD_WINDOW_SHIFT,
+            spin_sync: None,
         }
     }
 
@@ -121,10 +139,11 @@ impl MultiConfig {
         self
     }
 
-    /// Returns a copy with a different bridge configuration.
+    /// Returns a copy with a different *default* link configuration
+    /// (per-link overrides live on the topology).
     #[must_use]
     pub fn with_bridge(mut self, bridge: BridgeConfig) -> Self {
-        self.bridge = bridge;
+        self.topology.default_link = bridge;
         self
     }
 
@@ -142,16 +161,36 @@ impl MultiConfig {
         self
     }
 
-    /// The effective synchronization quantum: the explicit override
-    /// clamped into `[1, crossing_latency]`, or the crossing latency
-    /// itself. Quanta above the crossing latency would let a shard
-    /// simulate past the earliest possible arrival of a remote effect —
-    /// the conservative guarantee this platform is built on.
+    /// Returns a copy forcing the threaded scheduler's barrier choice:
+    /// `true` spins at the quantum barrier (fastest on dedicated cores),
+    /// `false` parks in the kernel. Without this call the platform picks
+    /// by host core count.
     #[must_use]
-    pub fn effective_quantum(&self) -> u64 {
+    pub fn with_spin_sync(mut self, spin_sync: bool) -> Self {
+        self.spin_sync = Some(spin_sync);
+        self
+    }
+
+    /// The effective synchronization quantum of a `shards`-shard
+    /// platform: the explicit override clamped into
+    /// `[1, min_crossing_latency]`, or the minimum crossing latency
+    /// itself. Quanta above it would let a shard simulate past the
+    /// earliest possible arrival of a remote effect — the conservative
+    /// guarantee this platform is built on.
+    #[must_use]
+    pub fn effective_quantum(&self, shards: usize) -> u64 {
+        let min_latency = self.topology.min_crossing_latency(shards);
         self.quantum
-            .unwrap_or(self.bridge.crossing_latency)
-            .clamp(1, self.bridge.crossing_latency.max(1))
+            .unwrap_or(min_latency)
+            .clamp(1, min_latency.max(1))
+    }
+
+    /// Whether a threaded advance spins at the barrier: the explicit
+    /// choice, or the host-core-count default.
+    #[must_use]
+    pub fn effective_spin_sync(&self) -> bool {
+        self.spin_sync
+            .unwrap_or_else(crate::sync::default_spin_sync)
     }
 }
 
@@ -162,13 +201,30 @@ mod tests {
     #[test]
     fn quantum_defaults_to_the_crossing_latency_and_is_clamped() {
         let config = MultiConfig::new(ShardBackendKind::Tlm);
-        assert_eq!(config.effective_quantum(), config.bridge.crossing_latency);
-        assert_eq!(config.clone().with_quantum(0).effective_quantum(), 1);
-        assert_eq!(config.clone().with_quantum(7).effective_quantum(), 7);
+        let latency = config.topology.default_link.crossing_latency;
+        assert_eq!(config.effective_quantum(2), latency);
+        assert_eq!(config.clone().with_quantum(0).effective_quantum(2), 1);
+        assert_eq!(config.clone().with_quantum(7).effective_quantum(2), 7);
         assert_eq!(
-            config.clone().with_quantum(u64::MAX).effective_quantum(),
-            config.bridge.crossing_latency
+            config.clone().with_quantum(u64::MAX).effective_quantum(2),
+            latency
         );
+    }
+
+    #[test]
+    fn quantum_follows_the_fastest_link_of_the_topology() {
+        let fast = BridgeConfig {
+            crossing_latency: 24,
+            ..BridgeConfig::ahb_plus()
+        };
+        let config = MultiConfig::from_topology(
+            Topology::uniform(ShardBackendKind::Tlm).with_link(1, 0, fast),
+        );
+        assert_eq!(config.effective_quantum(2), 24);
+        // A one-shard platform has no links; the default stands in.
+        assert_eq!(config.effective_quantum(1), 96);
+        // An explicit quantum may not exceed the fastest link.
+        assert_eq!(config.with_quantum(80).effective_quantum(2), 24);
     }
 
     #[test]
@@ -176,15 +232,20 @@ mod tests {
         let config = MultiConfig::new(ShardBackendKind::Lt)
             .with_max_cycles(77)
             .with_threaded(true)
+            .with_spin_sync(false)
             .with_bridge(BridgeConfig {
                 crossing_latency: 32,
                 fifo_depth: 4,
                 forward_interval: 1,
                 slave_cycles: 1,
             });
-        assert_eq!(config.backend, ShardBackendKind::Lt);
+        assert_eq!(
+            config.topology.backends(2),
+            vec![ShardBackendKind::Lt, ShardBackendKind::Lt]
+        );
         assert_eq!(config.max_cycles, 77);
         assert!(config.threaded);
-        assert_eq!(config.effective_quantum(), 32);
+        assert!(!config.effective_spin_sync());
+        assert_eq!(config.effective_quantum(2), 32);
     }
 }

@@ -1,5 +1,5 @@
-//! `ahb-multi` — the multi-bus AHB+ platform: sharded TLM/LT backends
-//! behind AHB-to-AHB bridges.
+//! `ahb-multi` — the multi-bus AHB+ platform: bridged bus shards built
+//! from a declarative [`Topology`].
 //!
 //! Real SoCs are multi-bus fabrics. This crate scales the paper's
 //! single-bus models sideways: a [`MultiSystem`] instantiates N
@@ -12,36 +12,53 @@
 //! crossing latency later and compete for that bus like any other
 //! master).
 //!
+//! The platform's *shape* is a [`Topology`] value: backend per shard
+//! (mix cycle-accurate `tlm` shards with loosely-timed `lt` shards in
+//! one fabric), window ownership (round-robin interleave or an explicit
+//! non-uniform owner table), per-directed-link timing/capacity overrides
+//! (asymmetric fabrics), and the read-crossing mode. Everything below —
+//! bridge ports, router, quantum — consumes the same topology, so a
+//! platform cannot be built inconsistently.
+//!
 //! Execution uses **conservative quantum synchronization**: the
-//! synchronization quantum equals the bridge's minimum crossing latency,
-//! so a shard simulating one quantum ahead can never miss a remote effect
-//! — crossings issued during a quantum are exchanged at the barrier and
-//! always released at or after it. Shards therefore run *freely* inside a
-//! quantum, either in-line (the single-threaded reference mode) or on one
-//! worker thread each (`std::thread::scope`); both modes execute the
-//! identical barrier/exchange schedule and are probe-identical, which the
-//! test suite verifies by lockstep co-simulation.
+//! synchronization quantum equals the *minimum* crossing latency over
+//! all bridge links, so a shard simulating one quantum ahead can never
+//! miss a remote effect — crossings issued during a quantum are
+//! exchanged at the barrier and always released at or after it. Shards
+//! therefore run *freely* inside a quantum, either in-line (the
+//! single-threaded reference mode) or on one worker thread each
+//! (`std::thread::scope`, parking at a blocking barrier or busy-waiting
+//! at a [`SpinBarrier`] — see [`MultiConfig::with_spin_sync`]); all
+//! modes execute the identical barrier/exchange schedule and are
+//! probe-identical, which the test suite verifies by lockstep
+//! co-simulation.
 //!
 //! [`MultiSystem`] implements `analysis::BusModel`, so it plugs into
 //! every harness — `table2_speed`, `model_accuracy`, `Simulation`
 //! snapshots, lockstep — without harness edits, as
-//! `ModelKind::ShardedTlm` / `ModelKind::ShardedLt`.
+//! `ModelKind::ShardedTlm` / `ShardedLt` / `ShardedHet` /
+//! `ShardedTlmReads` / `ShardedSkew`.
 //!
-//! # What crosses the bridge (and what does not)
+//! # What crosses the bridge (and how)
 //!
-//! Crossings are **posted**: the local transfer completes into the bridge
-//! FIFO (paying the slave's wait states, not DRAM latency) and the replay
-//! runs asynchronously on the owning shard. Reads are modeled the same
-//! way (split-transaction prefetch semantics); there is no response
-//! traffic. Consequently a crossing is counted once as completed work (at
-//! its source) while its replay contributes bus occupancy and DRAM
-//! traffic on the remote shard — the platform probe aggregates
+//! Writes always cross **posted**: the local transfer completes into the
+//! bridge FIFO (paying the slave's wait states, not DRAM latency) and
+//! the replay runs asynchronously on the owning shard. Reads cross
+//! posted by default (split-transaction prefetch semantics, no response
+//! traffic); with [`Topology::with_posted_reads`]`(false)` they become
+//! **non-posted**: the request leg crosses, the issuing master *stalls*,
+//! the owning shard replays the read against its DRAM, and the response
+//! leg crosses back over the reverse link to retire the stalled transfer
+//! — bridges carry traffic in both directions and a remote read pays the
+//! full round trip. Either way a crossing is counted once as completed
+//! work (at its source) while its replay contributes bus occupancy and
+//! DRAM traffic on the remote shard — the platform probe aggregates
 //! accordingly.
 //!
 //! # Example
 //!
 //! ```
-//! use ahb_multi::{MultiConfig, MultiSystem, ShardBackendKind};
+//! use ahb_multi::{MultiConfig, MultiSystem, ShardBackendKind, Topology};
 //! use traffic::{pattern_shards, ShardMix};
 //!
 //! let config = MultiConfig::new(ShardBackendKind::Lt);
@@ -50,6 +67,14 @@
 //! let report = platform.run();
 //! assert_eq!(report.total_transactions(), 2 * 4 * 30);
 //! assert!(platform.crossings() > 0, "the block writers cross the bridge");
+//!
+//! // A heterogeneous, non-posted-read platform is one topology value.
+//! let topology = Topology::het_2x2().with_posted_reads(false);
+//! let config = MultiConfig::from_topology(topology);
+//! let patterns = pattern_shards(4, 2, ShardMix::ReadHeavy);
+//! let mut platform = MultiSystem::from_shard_patterns(&config, &patterns, 10, 7);
+//! let report = platform.run();
+//! assert_eq!(report.total_transactions(), 4 * 2 * 10);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,13 +82,17 @@
 
 pub mod config;
 pub mod link;
+pub mod sync;
 pub mod system;
+pub mod topology;
 
 pub use config::{BridgeConfig, MultiConfig, ShardBackendKind};
 pub use link::BridgeLink;
+pub use sync::{SpinBarrier, SyncBarrier};
 pub use system::{
     bridge_master, partition_by_window, partition_round_robin, MultiSystem, MAX_TRAFFIC_MASTER_ID,
 };
+pub use topology::{ShardSet, Topology, WindowSpec};
 
 #[cfg(test)]
 mod tests {

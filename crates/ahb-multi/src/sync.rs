@@ -1,0 +1,187 @@
+//! Quantum-barrier synchronization primitives for the threaded scheduler.
+//!
+//! The conservative quantum schedule needs one barrier rendezvous per
+//! exchange; `std::sync::Barrier` parks threads in the kernel, which
+//! costs a few microseconds per wait — noticeable when quanta are short
+//! and shards drain fast. [`SpinBarrier`] trades CPU for latency: threads
+//! busy-wait on a generation counter, cutting the per-quantum sync cost
+//! roughly an order of magnitude on dedicated cores. It is only worth it
+//! when every shard has a core to itself, which is why the platform
+//! defaults it off on hosts with ≤ 2 cores ([`default_spin_sync`]).
+//!
+//! Both barriers provide the same contract — every participant blocks
+//! until all have arrived, exactly one is told it is the leader — so the
+//! exchange schedule (and therefore the simulation result) is identical
+//! whichever is used; only wall-clock time changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// A busy-waiting barrier: `wait` spins until all `count` participants
+/// arrive. The last arriver is the leader of the round.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    count: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `count` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    #[must_use]
+    pub fn new(count: usize) -> Self {
+        assert!(count >= 1, "a barrier needs at least one participant");
+        SpinBarrier {
+            count,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks (spinning) until every participant has called `wait` for
+    /// this round. Returns `true` on exactly one participant — the round
+    /// leader (the last arriver).
+    ///
+    /// The wait is a bounded spin burst followed by `yield_now`: on
+    /// dedicated cores the burst is all that ever runs (the fast path the
+    /// barrier exists for), while on an oversubscribed host the yield
+    /// hands the core to the very shard worker being waited on instead of
+    /// burning the timeslice.
+    pub fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.count {
+            // Leader: reset the arrival count for the next round before
+            // releasing the waiters of this one.
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            while self.generation.load(Ordering::Acquire) == generation {
+                for _ in 0..64 {
+                    std::hint::spin_loop();
+                }
+                if self.generation.load(Ordering::Acquire) != generation {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+/// The barrier a threaded advance synchronizes on: blocking
+/// (`std::sync::Barrier`) or spinning ([`SpinBarrier`]). Both run the
+/// identical rendezvous schedule with one leader per round.
+#[derive(Debug)]
+pub enum SyncBarrier {
+    /// Kernel-parking barrier (safe default on shared or small hosts).
+    Blocking(Barrier),
+    /// Busy-waiting barrier (fastest on dedicated cores).
+    Spin(SpinBarrier),
+}
+
+impl SyncBarrier {
+    /// A barrier for `count` participants, spinning when `spin` is set.
+    #[must_use]
+    pub fn new(count: usize, spin: bool) -> Self {
+        if spin {
+            SyncBarrier::Spin(SpinBarrier::new(count))
+        } else {
+            SyncBarrier::Blocking(Barrier::new(count))
+        }
+    }
+
+    /// Waits for the round; `true` on the round's single leader.
+    pub fn wait(&self) -> bool {
+        match self {
+            SyncBarrier::Blocking(barrier) => barrier.wait().is_leader(),
+            SyncBarrier::Spin(barrier) => barrier.wait(),
+        }
+    }
+}
+
+/// The default spin-sync policy: spin only when the host has more than
+/// two cores (on ≤ 2 cores the spinners would steal cycles from the very
+/// shard workers they are waiting on).
+#[must_use]
+pub fn default_spin_sync() -> bool {
+    std::thread::available_parallelism().is_ok_and(|p| p.get() > 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spin_barrier_elects_one_leader_per_round() {
+        let threads = 4;
+        let rounds = 50;
+        let barrier = SpinBarrier::new(threads);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), rounds);
+    }
+
+    #[test]
+    fn spin_barrier_orders_rounds() {
+        // Each round's increments must all land before the next round
+        // starts; with the barrier between increments the counter can
+        // never be observed mid-round after a wait returns.
+        let threads = 3;
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for round in 1..=20u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        assert_eq!(counter.load(Ordering::Relaxed), round * threads as u64);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sync_barrier_wraps_both_flavours() {
+        for spin in [false, true] {
+            let barrier = SyncBarrier::new(2, spin);
+            let leaders = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(leaders.load(Ordering::Relaxed), 1, "spin={spin}");
+        }
+    }
+
+    #[test]
+    fn single_participant_barrier_is_always_leader() {
+        let barrier = SpinBarrier::new(1);
+        assert!(barrier.wait());
+        assert!(barrier.wait());
+    }
+}

@@ -34,14 +34,14 @@
 //! hardware per elapsed barrier cycle.
 
 use std::collections::BTreeMap;
-use std::sync::{Barrier, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use ahb_lt::{LtConfig, LtSystem};
 use ahb_tlm::{TlmConfig, TlmSystem};
-use amba::bridge::{BridgePort, ReplayStats, ShardMap};
+use amba::bridge::{BridgePort, CrossingLeg, ReplayStats, ShardMap, WindowMap};
 use amba::ids::MasterId;
-use amba::txn::Transaction;
+use amba::txn::{Transaction, TransactionId};
 use analysis::model::{BusModel, Probe};
 use analysis::report::{BusMetrics, ModelKind, SimReport};
 use simkern::time::Cycle;
@@ -49,6 +49,7 @@ use traffic::TrafficPattern;
 
 use crate::config::{MultiConfig, ShardBackendKind};
 use crate::link::BridgeLink;
+use crate::sync::SyncBarrier;
 
 /// Highest master identifier usable by shard traffic; identifiers above
 /// it are reserved for the per-shard bridge replay masters
@@ -104,10 +105,17 @@ impl ShardEngine {
         }
     }
 
-    fn inject_crossing(&mut self, txn: Transaction, release_at: u64) {
+    fn inject_crossing(&mut self, txn: Transaction, release_at: u64, respond_to: Option<u8>) {
         match self {
-            ShardEngine::Tlm(s) => s.inject_crossing(txn, Cycle::new(release_at)),
-            ShardEngine::Lt(s) => s.inject_crossing(txn, release_at),
+            ShardEngine::Tlm(s) => s.inject_crossing(txn, Cycle::new(release_at), respond_to),
+            ShardEngine::Lt(s) => s.inject_crossing(txn, release_at, respond_to),
+        }
+    }
+
+    fn inject_response(&mut self, id: TransactionId, arrival: u64) {
+        match self {
+            ShardEngine::Tlm(s) => s.inject_response(id, Cycle::new(arrival)),
+            ShardEngine::Lt(s) => s.inject_response(id, arrival),
         }
     }
 
@@ -133,12 +141,44 @@ impl ShardEngine {
     }
 }
 
+/// One routed crossing waiting to be injected into its destination shard.
+#[derive(Debug, Clone, Copy)]
+enum Delivery {
+    /// A request leg: replay `txn` on the destination's bridge master;
+    /// when `respond_to` names an origin, return a response leg there
+    /// once the replay completes (non-posted read).
+    Replay {
+        /// The crossing transaction (original master id).
+        txn: Transaction,
+        /// Origin shard owed a response, if any.
+        respond_to: Option<u8>,
+    },
+    /// A response leg: retire the master stalled on `txn.id`.
+    Response {
+        /// The original stalled transaction.
+        txn: Transaction,
+    },
+}
+
+impl Delivery {
+    /// Deterministic tie-break rank within one release cycle: requests
+    /// before responses, then master, then transaction id. For a
+    /// posted-only platform every delivery is a replay, so the order is
+    /// exactly the PR-4 `(cycle, master, id)` order.
+    fn sort_key(&self) -> (u8, usize, u64) {
+        match self {
+            Delivery::Replay { txn, .. } => (0, txn.master.index(), txn.id.value()),
+            Delivery::Response { txn } => (1, txn.master.index(), txn.id.value()),
+        }
+    }
+}
+
 /// Per-quantum exchange buffers, reused across barriers.
 struct QuantumBuffers {
     /// Crossings drained from each shard this quantum.
     outbox: Vec<Vec<amba::bridge::BridgeCrossing>>,
-    /// Routed deliveries per destination shard: `(release cycle, txn)`.
-    inbox: Vec<Vec<(u64, Transaction)>>,
+    /// Routed deliveries per destination shard: `(release cycle, what)`.
+    inbox: Vec<Vec<(u64, Delivery)>>,
     /// Each shard's completion flag, sampled after its quantum and before
     /// any injection.
     finished: Vec<bool>,
@@ -157,11 +197,13 @@ impl QuantumBuffers {
 /// Routes every drained crossing through its bridge link and into the
 /// destination inbox. Deterministic: sources are visited in shard order,
 /// crossings in local completion order, and each inbox is stably sorted
-/// by release time. Shared verbatim by the single-threaded reference and
-/// the threaded leader, which is what makes the two modes
-/// probe-identical.
+/// by release time. Request legs route to the shard owning the address;
+/// response legs route back to the origin shard over the reverse-direction
+/// link (sharing its FIFO with requests travelling that way). Shared
+/// verbatim by the single-threaded reference and the threaded leader,
+/// which is what makes the two modes probe-identical.
 fn route_quantum(
-    map: ShardMap,
+    map: &WindowMap,
     links: &mut [BridgeLink],
     buffers: &mut QuantumBuffers,
     crossings: &mut u64,
@@ -171,17 +213,39 @@ fn route_quantum(
     for src in 0..shards {
         let outgoing = std::mem::take(&mut buffers.outbox[src]);
         for crossing in outgoing {
-            let dst = usize::from(map.owner(crossing.txn.addr));
+            let (dst, delivery) = match crossing.leg {
+                CrossingLeg::Posted => (
+                    usize::from(map.owner(crossing.txn.addr)),
+                    Delivery::Replay {
+                        txn: crossing.txn,
+                        respond_to: None,
+                    },
+                ),
+                CrossingLeg::NonPostedRead { origin } => (
+                    usize::from(map.owner(crossing.txn.addr)),
+                    Delivery::Replay {
+                        txn: crossing.txn,
+                        respond_to: Some(origin),
+                    },
+                ),
+                CrossingLeg::ReadResponse { origin } => (
+                    usize::from(origin),
+                    Delivery::Response { txn: crossing.txn },
+                ),
+            };
             debug_assert_ne!(dst, src, "local transaction routed across the bridge");
             let link = &mut links[src * shards + dst];
             let (arrival, occupancy) = link.forward(crossing.issued_at.value());
             *crossings += 1;
             *fifo_peak = (*fifo_peak).max(occupancy as u64);
-            buffers.inbox[dst].push((arrival, crossing.txn));
+            buffers.inbox[dst].push((arrival, delivery));
         }
     }
     for inbox in &mut buffers.inbox {
-        inbox.sort_by_key(|(at, txn)| (*at, txn.master.index(), txn.id.value()));
+        inbox.sort_by_key(|(at, delivery)| {
+            let (rank, master, id) = delivery.sort_key();
+            (*at, rank, master, id)
+        });
     }
 }
 
@@ -200,10 +264,11 @@ struct Exchange {
 /// The multi-bus AHB+ platform.
 pub struct MultiSystem {
     kind: ModelKind,
-    map: ShardMap,
+    map: WindowMap,
     quantum: u64,
     max_cycles: u64,
     threaded: bool,
+    spin_sync: bool,
     shards: Vec<ShardEngine>,
     bridge_ids: Vec<MasterId>,
     /// Directed links, indexed `source * shards + destination`.
@@ -233,12 +298,15 @@ impl MultiSystem {
     /// deterministic workload expansion as the single-bus backends (same
     /// `(id, profile, seed)` → same trace), so a sharded platform
     /// completes exactly the work a single-bus platform would on the union
-    /// of the patterns.
+    /// of the patterns. The platform's *shape* — backend per shard, window
+    /// ownership, per-link timing, read-crossing mode — comes from the
+    /// configuration's [`crate::Topology`].
     ///
     /// # Panics
     ///
     /// Panics when no patterns are given, when more than 16 shards are
-    /// requested, or when a master identifier collides with the reserved
+    /// requested, when the topology fixes a different shard count, or
+    /// when a master identifier collides with the reserved
     /// bridge/write-buffer range.
     #[must_use]
     pub fn from_shard_patterns(
@@ -250,8 +318,10 @@ impl MultiSystem {
         let shards = patterns.len();
         assert!(shards >= 1, "a platform needs at least one shard");
         assert!(shards <= 16, "bridge master ids support at most 16 shards");
-        let map = ShardMap::new(config.window_shift, shards as u8);
-        let quantum = config.effective_quantum();
+        config.topology.validate_links(shards);
+        let backends = config.topology.backends(shards);
+        let map = config.topology.window_map(shards);
+        let quantum = config.effective_quantum(shards);
         let bridge_ids: Vec<MasterId> = (0..shards).map(bridge_master).collect();
         let engines = patterns
             .iter()
@@ -264,13 +334,14 @@ impl MultiSystem {
                     );
                 }
                 let port = BridgePort {
-                    map,
+                    map: map.clone(),
                     own: shard as u8,
-                    slave_cycles: config.bridge.slave_cycles,
+                    slave_cycles: config.topology.default_link.slave_cycles,
                     master: bridge_ids[shard],
+                    posted_reads: config.topology.posted_reads,
                 };
                 let masters = pattern.expand(transactions_per_master, seed);
-                match config.backend {
+                match backends[shard] {
                     ShardBackendKind::Tlm => {
                         let tlm = TlmConfig {
                             params: config.params.clone(),
@@ -292,23 +363,22 @@ impl MultiSystem {
             })
             .collect();
         let links = (0..shards * shards)
-            .map(|_| {
+            .map(|index| {
+                let link = config.topology.link(index / shards, index % shards);
                 BridgeLink::new(
-                    config.bridge.crossing_latency,
-                    config.bridge.forward_interval,
-                    config.bridge.fifo_depth,
+                    link.crossing_latency,
+                    link.forward_interval,
+                    link.fifo_depth,
                 )
             })
             .collect();
         MultiSystem {
-            kind: match config.backend {
-                ShardBackendKind::Tlm => ModelKind::ShardedTlm,
-                ShardBackendKind::Lt => ModelKind::ShardedLt,
-            },
+            kind: config.topology.model_kind(&backends),
             map,
             quantum,
             max_cycles: config.max_cycles,
             threaded: config.threaded,
+            spin_sync: config.effective_spin_sync(),
             shards: engines,
             bridge_ids,
             links,
@@ -388,7 +458,7 @@ impl MultiSystem {
                 self.buffers.finished[index] = shard.finished();
             }
             route_quantum(
-                self.map,
+                &self.map,
                 &mut self.links,
                 &mut self.buffers,
                 &mut self.crossings,
@@ -399,8 +469,13 @@ impl MultiSystem {
                 && self.buffers.inbox.iter().all(Vec::is_empty);
             let stop = drained || next >= end;
             for (index, shard) in self.shards.iter_mut().enumerate() {
-                for (at, txn) in std::mem::take(&mut self.buffers.inbox[index]) {
-                    shard.inject_crossing(txn, at);
+                for (at, delivery) in std::mem::take(&mut self.buffers.inbox[index]) {
+                    match delivery {
+                        Delivery::Replay { txn, respond_to } => {
+                            shard.inject_crossing(txn, at, respond_to);
+                        }
+                        Delivery::Response { txn } => shard.inject_response(txn.id, at),
+                    }
                 }
             }
             if stop {
@@ -420,9 +495,10 @@ impl MultiSystem {
         let shards = self.shards.len();
         let quantum = self.quantum;
         let max = self.max_cycles;
-        let map = self.map;
+        let map = self.map.clone();
+        let map = &map;
         let start = self.barrier;
-        let sync = Barrier::new(shards);
+        let sync = SyncBarrier::new(shards, self.spin_sync);
         let exchange = Mutex::new(Exchange {
             buffers: std::mem::replace(&mut self.buffers, QuantumBuffers::new(0)),
             links: std::mem::take(&mut self.links),
@@ -447,7 +523,7 @@ impl MultiSystem {
                             guard.buffers.outbox[index] = egress;
                             guard.buffers.finished[index] = finished;
                         }
-                        if sync.wait().is_leader() {
+                        if sync.wait() {
                             let mut guard = exchange.lock().expect("no panics hold the lock");
                             let guard = &mut *guard;
                             route_quantum(
@@ -467,8 +543,13 @@ impl MultiSystem {
                             let mut guard = exchange.lock().expect("no panics hold the lock");
                             (std::mem::take(&mut guard.buffers.inbox[index]), guard.stop)
                         };
-                        for (at, txn) in batch {
-                            shard.inject_crossing(txn, at);
+                        for (at, delivery) in batch {
+                            match delivery {
+                                Delivery::Replay { txn, respond_to } => {
+                                    shard.inject_crossing(txn, at, respond_to);
+                                }
+                                Delivery::Response { txn } => shard.inject_response(txn.id, at),
+                            }
                         }
                         if stop {
                             break;

@@ -21,12 +21,12 @@
 
 use std::time::Instant;
 
-use amba::bridge::{BridgeCrossing, BridgePort, ReplayStats};
+use amba::bridge::{BridgeCrossing, BridgePort, CrossingLeg, ReplayStats};
 use amba::check::validate_transaction;
 use amba::ids::MasterId;
 use amba::qos::QosConfig;
 use amba::signal::HResp;
-use amba::txn::{Completion, Transaction, TxnArena};
+use amba::txn::{Completion, Transaction, TransactionId, TxnArena};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
@@ -51,6 +51,21 @@ const GRANT_TO_ADDRESS_CYCLES: u64 = 1;
 /// arbiter re-evaluates and the new owner drives its address.
 const NON_PIPELINED_TURNAROUND: u64 = 1;
 
+/// One read transfer stalled on its bridge response: the issuing master
+/// is parked (out of the ready set, trace not advanced) until the
+/// [`CrossingLeg::ReadResponse`] carrying the same transaction id arrives
+/// and retires it.
+struct ParkedRead {
+    /// Position of the stalled master in `masters`.
+    position: usize,
+    /// The stalled transaction (completion metrics need bytes/beats).
+    txn: Transaction,
+    /// Cycle the request was raised (latency accounting).
+    requested_at: Cycle,
+    /// Cycle the request leg's address phase ran (grant accounting).
+    granted_at: Cycle,
+}
+
 /// Bridge-port state of a shard inside a multi-bus platform: the window
 /// decode and slave timing ([`BridgePort`]), the outgoing-crossing log the
 /// platform drains every quantum, and the replay bookkeeping of the
@@ -65,6 +80,13 @@ struct TlmBridge {
     replayed: ReplayStats,
     /// Sequence counter namespacing replayed transaction ids.
     ingress_seq: u64,
+    /// Local masters stalled on a non-posted read crossing, keyed by the
+    /// original transaction id the response leg carries back.
+    parked: Vec<(TransactionId, ParkedRead)>,
+    /// Replays that owe a response: replay id → (origin shard, original
+    /// transaction). Filled at injection, resolved when the replay
+    /// completes on this shard's bus.
+    owed_responses: Vec<(TransactionId, u8, Transaction)>,
 }
 
 /// The transaction-level AHB+ platform.
@@ -186,7 +208,7 @@ impl TlmSystem {
         // `inject_crossing` extends at runtime. Replays are never posted
         // (the write buffer belongs to the shard's own masters) and
         // arbitrate as a plain non-real-time requester.
-        let ingress_position = port.map(|p| {
+        let ingress_position = port.as_ref().map(|p| {
             masters.push((
                 TrafficTrace::empty(p.master),
                 "bridge".to_owned(),
@@ -268,6 +290,8 @@ impl TlmSystem {
                     egress: Vec::new(),
                     replayed: ReplayStats::default(),
                     ingress_seq: 0,
+                    parked: Vec::new(),
+                    owed_responses: Vec::new(),
                 }),
         }
     }
@@ -335,15 +359,24 @@ impl TlmSystem {
 
     /// Delivers one bridge crossing: the transaction is queued on the
     /// bridge replay master with an absolute release at `release_at` (its
-    /// arrival out of the bridge FIFO). Conservative quantum
-    /// synchronization guarantees `release_at` is never earlier than any
-    /// cycle this shard has committed a grant decision at, so delivery
-    /// order cannot leak backwards in time.
+    /// arrival out of the bridge FIFO). When `respond_to` names an origin
+    /// shard the crossing is a non-posted read: once the replay completes
+    /// on this shard's bus, a [`CrossingLeg::ReadResponse`] carrying the
+    /// original transaction is emitted through the egress log, addressed
+    /// back to that origin. Conservative quantum synchronization
+    /// guarantees `release_at` is never earlier than any cycle this shard
+    /// has committed a grant decision at, so delivery order cannot leak
+    /// backwards in time.
     ///
     /// # Panics
     ///
     /// Panics when the system was built without a bridge port.
-    pub fn inject_crossing(&mut self, source: Transaction, release_at: Cycle) {
+    pub fn inject_crossing(
+        &mut self,
+        source: Transaction,
+        release_at: Cycle,
+        respond_to: Option<u8>,
+    ) {
         let bridge = self
             .bridge
             .as_mut()
@@ -351,6 +384,9 @@ impl TlmSystem {
         let position = bridge.ingress_position;
         let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
         bridge.ingress_seq += 1;
+        if let Some(origin) = respond_to {
+            bridge.owed_responses.push((txn.id, origin, source));
+        }
         let master = &mut self.masters[position];
         let was_done = master.is_done();
         master.append(txn, release_at);
@@ -362,6 +398,53 @@ impl TlmSystem {
         // request; drop them so the next round re-arbitrates. Both the
         // threaded and the single-threaded platform driver inject at the
         // same barriers, so the invalidation is deterministic too.
+        self.pending_fresh_at = None;
+        self.speculative_winner = None;
+    }
+
+    /// Delivers the response leg of a non-posted read: the master stalled
+    /// on transaction `id` is retired at `arrival` (the response's exit
+    /// from the return FIFO) — its completion is recorded with the full
+    /// round-trip latency and its trace resumes from the next item.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system was built without a bridge port or no
+    /// master is stalled on `id` (a platform routing bug).
+    pub fn inject_response(&mut self, id: TransactionId, arrival: Cycle) {
+        let bridge = self
+            .bridge
+            .as_mut()
+            .expect("inject_response without a bridge port");
+        let index = bridge
+            .parked
+            .iter()
+            .position(|(parked_id, _)| *parked_id == id)
+            .expect("response for a transaction nobody is stalled on");
+        let (_, parked) = bridge.parked.swap_remove(index);
+        if self.config.profiling {
+            let completion = Completion {
+                id,
+                master: parked.txn.master,
+                response: HResp::Okay,
+                granted_at: parked.granted_at,
+                completed_at: arrival,
+                issued_at: parked.requested_at,
+                bytes: parked.txn.bytes(),
+                via_write_buffer: false,
+            };
+            self.recorder
+                .record_completion(&completion, parked.txn.beats());
+        }
+        self.last_completion = self.last_completion.max(arrival);
+        let master = &mut self.masters[parked.position];
+        master.complete_current(arrival);
+        match master.ready_at() {
+            Some(next) => self.ready.schedule(parked.position, next),
+            None => self.masters_done += 1,
+        }
+        // Same cache invalidation as a crossing injection: the resumed
+        // master was not part of the speculative collection.
         self.pending_fresh_at = None;
         self.speculative_winner = None;
     }
@@ -552,16 +635,28 @@ impl TlmSystem {
         // Data phase timing. A transaction to a remote shard window
         // completes against the bridge slave: its FIFO buffers the burst,
         // so the local cost is the slave's wait states plus one cycle per
-        // beat and the local DRAM is never touched. Everything else goes
+        // beat and the local DRAM is never touched. A *non-posted* read
+        // crossing only pays the request handshake locally (wait states
+        // plus the address beat) — its data returns with the response leg
+        // and the issuing master stalls until then. Everything else goes
         // to the DDR controller: the data phase of beat 0 starts one cycle
         // after the address phase and the last beat completes `total()`
         // cycles after the address phase (wait states plus one cycle per
         // beat), matching the pin-accurate sequencer.
-        let remote = self
-            .bridge
-            .as_ref()
-            .is_some_and(|b| b.port.map.is_remote(txn.addr, b.port.own));
-        let completed_at = if remote {
+        let (remote, stalling_read) = match self.bridge.as_ref() {
+            Some(b) if b.port.map.is_remote(txn.addr, b.port.own) => {
+                (true, !b.port.posted_reads && !txn.is_write())
+            }
+            _ => (false, false),
+        };
+        debug_assert!(
+            !(stalling_read && via_write_buffer),
+            "reads never drain from the write buffer"
+        );
+        let completed_at = if stalling_read {
+            let bridge = self.bridge.as_ref().expect("remote implies a bridge");
+            addr_phase + CycleDelta::new(bridge.port.slave_cycles + 1)
+        } else if remote {
             let bridge = self.bridge.as_ref().expect("remote implies a bridge");
             addr_phase + CycleDelta::new(bridge.port.slave_cycles + u64::from(txn.beats()))
         } else {
@@ -596,31 +691,58 @@ impl TlmSystem {
             }
             self.recorder
                 .observe_write_buffer_fill(self.write_buffer.fill());
-            let completion = Completion {
-                id: txn.id,
-                master: txn.master,
-                response: HResp::Okay,
-                granted_at: addr_phase,
-                completed_at,
-                issued_at: requested_at,
-                bytes: txn.bytes(),
-                via_write_buffer,
-            };
-            self.recorder.record_completion(&completion, txn.beats());
+            // A stalled read is not complete yet: its metrics are recorded
+            // by `inject_response` with the full round-trip latency.
+            if !stalling_read {
+                let completion = Completion {
+                    id: txn.id,
+                    master: txn.master,
+                    response: HResp::Okay,
+                    granted_at: addr_phase,
+                    completed_at,
+                    issued_at: requested_at,
+                    bytes: txn.bytes(),
+                    via_write_buffer,
+                };
+                self.recorder.record_completion(&completion, txn.beats());
+            }
         }
-        self.last_completion = self.last_completion.max(completed_at);
+        if !stalling_read {
+            self.last_completion = self.last_completion.max(completed_at);
+        }
 
         // Bridge bookkeeping: a remote transaction enters the bridge FIFO
         // the cycle its local transfer completes; a replay completing on
-        // the bridge master is work done on behalf of a remote shard.
+        // the bridge master is work done on behalf of a remote shard — and
+        // if that replay owed a response, the response leg leaves here.
         if let Some(bridge) = self.bridge.as_mut() {
             if remote {
+                let leg = if stalling_read {
+                    CrossingLeg::NonPostedRead {
+                        origin: bridge.port.own,
+                    }
+                } else {
+                    CrossingLeg::Posted
+                };
                 bridge.egress.push(BridgeCrossing {
                     issued_at: completed_at,
                     txn,
+                    leg,
                 });
             } else if winner == bridge.port.master {
                 bridge.replayed.record(&txn);
+                if let Some(index) = bridge
+                    .owed_responses
+                    .iter()
+                    .position(|(id, ..)| *id == txn.id)
+                {
+                    let (_, origin, original) = bridge.owed_responses.swap_remove(index);
+                    bridge.egress.push(BridgeCrossing {
+                        issued_at: completed_at,
+                        txn: original,
+                        leg: CrossingLeg::ReadResponse { origin },
+                    });
+                }
             }
         }
 
@@ -637,6 +759,23 @@ impl TlmSystem {
                 // writes waiting for space are absorbed no earlier.
                 self.slot_freed_at = completed_at;
             }
+        } else if stalling_read {
+            // Park the master: out of the ready set, trace not advanced.
+            // `inject_response` resumes it when the response leg returns.
+            self.arena.release(handle);
+            let position = self.index_by_id[winner.index()];
+            self.masters[position].park_current();
+            self.ready.clear(position);
+            let bridge = self.bridge.as_mut().expect("stall implies a bridge");
+            bridge.parked.push((
+                txn.id,
+                ParkedRead {
+                    position,
+                    txn,
+                    requested_at,
+                    granted_at: addr_phase,
+                },
+            ));
         } else {
             self.arena.release(handle);
             let position = self.index_by_id[winner.index()];

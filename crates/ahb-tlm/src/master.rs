@@ -176,6 +176,22 @@ impl TraceMaster {
         }
     }
 
+    /// Parks the head transaction: the request was issued (a non-posted
+    /// bridge crossing left the shard) but the transfer is not complete —
+    /// the trace does not advance and the cached arena handle is
+    /// forgotten (the bus released it; the parked copy lives in the
+    /// bridge's stall table). The caller removes this master from the
+    /// ready set; [`TraceMaster::complete_current`] resumes it when the
+    /// response retires the transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is already exhausted.
+    pub fn park_current(&mut self) {
+        assert!(!self.is_done(), "park_current on an exhausted trace");
+        self.handle = None;
+    }
+
     /// Marks the head transaction as issued to the bus (or absorbed by the
     /// write buffer) and completed at `done`, then computes the release time
     /// of the next trace item.

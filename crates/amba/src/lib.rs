@@ -79,7 +79,7 @@ pub mod txn;
 
 pub use arbitration::{ArbiterConfig, ArbitrationFilter, ArbitrationPolicy, RequestView};
 pub use bi::{AccessPermission, BankHint, BiMessage, NextTransactionInfo};
-pub use bridge::{BridgeCrossing, BridgePort, ReplayStats, ShardMap};
+pub use bridge::{BridgeCrossing, BridgePort, CrossingLeg, ReplayStats, ShardMap, WindowMap};
 pub use burst::{BurstKind, BurstSequence};
 pub use check::ProtocolChecker;
 pub use ids::{Addr, MasterId, SlaveId};

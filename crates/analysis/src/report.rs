@@ -26,8 +26,21 @@ pub enum ModelKind {
     /// N independent AHB+ buses connected by AHB-to-AHB bridges, each
     /// shard an `ahb-tlm` instance.
     ShardedTlm,
+    /// The multi-bus platform with transaction-level shards and a
+    /// *non-uniform* window map: an explicit per-window owner table
+    /// (skewed ownership) instead of the round-robin interleave.
+    ShardedSkew,
+    /// The multi-bus platform with transaction-level shards and
+    /// **non-posted read crossings**: a remote read stalls its master
+    /// until the response leg crosses back, so bridges carry traffic in
+    /// both directions.
+    ShardedTlmReads,
     /// The multi-bus platform with loosely-timed shards.
     ShardedLt,
+    /// The heterogeneous multi-bus platform: shards mix backends
+    /// (cycle-accurate `tlm` where fidelity matters, loosely-timed `lt`
+    /// where speed does) behind the same bridge fabric.
+    ShardedHet,
 }
 
 impl ModelKind {
@@ -36,17 +49,20 @@ impl ModelKind {
     /// models: they share the shard backend's timing fidelity but add the
     /// bridge/quantum approximations). The accuracy harness compares each
     /// pair in this order (earlier kind = reference).
-    pub const ALL: [ModelKind; 5] = [
+    pub const ALL: [ModelKind; 8] = [
         ModelKind::PinAccurateRtl,
         ModelKind::TransactionLevel,
         ModelKind::LooselyTimed,
         ModelKind::ShardedTlm,
+        ModelKind::ShardedSkew,
+        ModelKind::ShardedTlmReads,
         ModelKind::ShardedLt,
+        ModelKind::ShardedHet,
     ];
 
     /// Short machine-readable identifier (`"rtl"` / `"tlm"` / `"lt"` /
-    /// `"sharded-tlm"` / `"sharded-lt"`), used for benchmark-artifact keys
-    /// and CLI model filters.
+    /// `"sharded-tlm"` / ...), used for benchmark-artifact keys and CLI
+    /// model filters.
     #[must_use]
     pub const fn id(self) -> &'static str {
         match self {
@@ -54,7 +70,10 @@ impl ModelKind {
             ModelKind::TransactionLevel => "tlm",
             ModelKind::LooselyTimed => "lt",
             ModelKind::ShardedTlm => "sharded-tlm",
+            ModelKind::ShardedSkew => "sharded-skew",
+            ModelKind::ShardedTlmReads => "sharded-tlm-reads",
             ModelKind::ShardedLt => "sharded-lt",
+            ModelKind::ShardedHet => "sharded-het",
         }
     }
 }
@@ -66,7 +85,10 @@ impl fmt::Display for ModelKind {
             ModelKind::TransactionLevel => write!(f, "TL"),
             ModelKind::LooselyTimed => write!(f, "LT"),
             ModelKind::ShardedTlm => write!(f, "S-TL"),
+            ModelKind::ShardedSkew => write!(f, "S-SK"),
+            ModelKind::ShardedTlmReads => write!(f, "S-TL-R"),
             ModelKind::ShardedLt => write!(f, "S-LT"),
+            ModelKind::ShardedHet => write!(f, "S-HET"),
         }
     }
 }
@@ -395,12 +417,31 @@ mod tests {
         assert_eq!(ModelKind::LooselyTimed.id(), "lt");
         assert_eq!(ModelKind::ShardedTlm.id(), "sharded-tlm");
         assert_eq!(ModelKind::ShardedLt.id(), "sharded-lt");
+        assert_eq!(ModelKind::ShardedHet.id(), "sharded-het");
+        assert_eq!(ModelKind::ShardedTlmReads.id(), "sharded-tlm-reads");
+        assert_eq!(ModelKind::ShardedSkew.id(), "sharded-skew");
     }
 
     #[test]
     fn model_kind_ids_are_unique_and_ordered_by_accuracy() {
         let ids: Vec<&str> = ModelKind::ALL.iter().map(|k| k.id()).collect();
-        assert_eq!(ids, vec!["rtl", "tlm", "lt", "sharded-tlm", "sharded-lt"]);
+        assert_eq!(
+            ids,
+            vec![
+                "rtl",
+                "tlm",
+                "lt",
+                "sharded-tlm",
+                "sharded-skew",
+                "sharded-tlm-reads",
+                "sharded-lt",
+                "sharded-het",
+            ]
+        );
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "ids must be unique");
     }
 
     #[test]

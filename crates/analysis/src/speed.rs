@@ -126,6 +126,16 @@ pub mod model_names {
     pub const SHARDED_TLM_4X4_BRIDGE: &str = "sharded-tlm-4x4-bridge";
     /// Four loosely-timed shards of sixteen masters each, bridge-light.
     pub const SHARDED_LT_4X16: &str = "sharded-lt-4x16";
+    /// The heterogeneous multi-bus platform (2 `tlm` + 2 `lt` shards).
+    pub const SHARDED_HET: &str = "sharded-het";
+    /// Two transaction-level shards with non-posted read crossings.
+    pub const SHARDED_TLM_READS: &str = "sharded-tlm-reads";
+    /// Two transaction-level shards with a skewed (non-uniform) window
+    /// map: shard 0 owns three windows out of four.
+    pub const SHARDED_SKEW: &str = "sharded-skew";
+    /// Four non-posted-read transaction-level shards of four masters
+    /// each over the read-heavy cross-shard mix.
+    pub const SHARDED_TLM_READS_4X4: &str = "sharded-tlm-reads-4x4";
 }
 
 /// One measured model configuration inside a [`SpeedBenchRecord`].

@@ -117,11 +117,13 @@ fn compare_streams(
 /// `max_transactions` (used by tests and smoke runs; `None` runs the
 /// catalogue lengths). Each backend is simulated **once** per scenario
 /// and the pairs are compared on the recorded probe streams, so the slow
-/// reference does not pay one run per pair; the scenarios themselves run
-/// on one worker thread each (`std::thread::scope`), which bounds the
-/// harness wall-clock by the slowest scenario instead of the catalogue
-/// sum. Output order — and content, each scenario being a deterministic
-/// closed computation — is identical to the sequential run.
+/// reference does not pay one run per pair; the scenarios are *chunked*
+/// over at most `available_parallelism` worker threads
+/// (`std::thread::scope`), so the harness stays bounded by the host core
+/// count however large the catalogue grows, instead of spawning one
+/// thread per scenario. Output order — and content, each scenario being
+/// a deterministic closed computation — is identical to the sequential
+/// run.
 ///
 /// # Panics
 ///
@@ -137,27 +139,31 @@ pub fn measure_accuracy_record(max_transactions: Option<usize>) -> AccuracyBench
             _ => spec,
         })
         .collect();
-    let streams_per_scenario: Vec<Vec<(ModelKind, Vec<Probe>)>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = specs
+    let run_scenario = |spec: &ScenarioSpec| -> Vec<(ModelKind, Vec<Probe>)> {
+        let config = spec
+            .resolve()
+            .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
+        ModelKind::ALL
             .iter()
-            .map(|spec| {
-                scope.spawn(move || {
-                    let config = spec
-                        .resolve()
-                        .unwrap_or_else(|e| panic!("scenario '{}' must resolve: {e}", spec.name));
-                    ModelKind::ALL
-                        .iter()
-                        .map(|&kind| {
-                            let mut model = config.build_model(kind);
-                            (kind, probe_stream(model.as_mut(), stride))
-                        })
-                        .collect()
-                })
+            .map(|&kind| {
+                let mut model = config.build_model(kind);
+                (kind, probe_stream(model.as_mut(), stride))
             })
+            .collect()
+    };
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(specs.len())
+        .max(1);
+    let chunk_size = specs.len().div_ceil(workers);
+    let streams_per_scenario: Vec<Vec<(ModelKind, Vec<Probe>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(run_scenario).collect::<Vec<_>>()))
             .collect();
-        workers
+        handles
             .into_iter()
-            .map(|worker| worker.join().expect("scenario worker must not panic"))
+            .flat_map(|worker| worker.join().expect("scenario worker must not panic"))
             .collect()
     });
     let mut comparisons = Vec::new();
@@ -186,9 +192,9 @@ mod tests {
     #[test]
     fn model_pairs_cover_the_spectrum_in_accuracy_order() {
         let pairs = model_pairs();
-        // Five spectrum points → C(5, 2) ordered pairs, more-accurate
+        // Eight spectrum points → C(8, 2) ordered pairs, more-accurate
         // model first.
-        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs.len(), 28);
         assert_eq!(
             pairs[0],
             (ModelKind::PinAccurateRtl, ModelKind::TransactionLevel)
@@ -196,6 +202,8 @@ mod tests {
         assert!(pairs.contains(&(ModelKind::PinAccurateRtl, ModelKind::ShardedTlm)));
         assert!(pairs.contains(&(ModelKind::TransactionLevel, ModelKind::ShardedTlm)));
         assert!(pairs.contains(&(ModelKind::ShardedTlm, ModelKind::ShardedLt)));
+        assert!(pairs.contains(&(ModelKind::ShardedTlm, ModelKind::ShardedTlmReads)));
+        assert!(pairs.contains(&(ModelKind::ShardedSkew, ModelKind::ShardedHet)));
         for (reference, candidate) in pairs {
             let position = |kind| ModelKind::ALL.iter().position(|&k| k == kind).unwrap();
             assert!(position(reference) < position(candidate));
@@ -243,7 +251,8 @@ mod tests {
         // record is produced by the benchmark binary.
         let record = measure_accuracy_record(Some(15));
         let scenarios = scenario_catalogue().len();
-        assert_eq!(record.comparisons.len(), scenarios * 10);
+        let pairs = model_pairs().len();
+        assert_eq!(record.comparisons.len(), scenarios * pairs);
         assert!(
             record.all_results_match(),
             "every backend must complete identical work:\n{}",
@@ -255,7 +264,7 @@ mod tests {
                 .collect::<String>()
         );
         let summaries = record.summaries();
-        assert_eq!(summaries.len(), 10);
+        assert_eq!(summaries.len(), pairs);
         for summary in &summaries {
             assert_eq!(summary.scenarios, scenarios);
             assert!(summary.results_match_all);

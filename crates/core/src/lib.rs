@@ -13,6 +13,9 @@
 //! | `lt`  | [`ahb_lt`]  | estimated per burst, exact results | ~2-4× TLM |
 //! | `sharded-tlm` | [`ahb_multi`] | N bridged TLM shards, conservative quanta | scales with shards |
 //! | `sharded-lt`  | [`ahb_multi`] | N bridged LT shards | scales with shards |
+//! | `sharded-het` | [`ahb_multi`] | heterogeneous 2×TLM + 2×LT shards | between the two |
+//! | `sharded-tlm-reads` | [`ahb_multi`] | TLM shards, non-posted read crossings | high aggregate rate over a much longer stalled span |
+//! | `sharded-skew` | [`ahb_multi`] | TLM shards, non-uniform window ownership | ≈ sharded-tlm |
 //!
 //! The sharded platforms are the *sideways* scaling axis: the same
 //! workload split over N independent buses (each its own arbiter, write
@@ -23,6 +26,38 @@
 //! shards) beats the equivalent single-bus model as soon as the bus is
 //! the bottleneck: a 16-master bridge-light workload runs ~2.4× faster
 //! as `sharded-tlm` 4×4 than on one flat bus, even before threading.
+//!
+//! # Describing a topology
+//!
+//! Every sharded platform is built from a declarative
+//! [`ahb_multi::Topology`]: backend per shard, window ownership, per-link
+//! timing and the read-crossing mode are data, not code. The named
+//! configurations above are just canonical topology values
+//! ([`ahb_multi::Topology::het_2x2`],
+//! [`ahb_multi::Topology::tlm_non_posted_reads`],
+//! [`ahb_multi::Topology::tlm_skewed_windows`]); a bespoke platform is a
+//! few builder calls away and plugs into the same harnesses through
+//! [`PlatformConfig::build_topology`]:
+//!
+//! ```
+//! use ahbplus::{PlatformConfig, ShardBackendKind};
+//! use ahb_multi::{BridgeConfig, Topology};
+//! use traffic::pattern_a;
+//!
+//! // A hot cycle-accurate shard and a cold loosely-timed shard with an
+//! // asymmetric return link and non-posted (stalling) remote reads.
+//! let topology = Topology::heterogeneous(vec![
+//!     ShardBackendKind::Tlm,
+//!     ShardBackendKind::Lt,
+//! ])
+//! .with_link(1, 0, BridgeConfig { crossing_latency: 48, ..BridgeConfig::ahb_plus() })
+//! .with_posted_reads(false);
+//!
+//! let config = PlatformConfig::new(pattern_a(), 20, 7);
+//! let mut platform = config.build_topology(topology);
+//! let report = platform.run();
+//! assert_eq!(report.total_transactions(), 4 * 20);
+//! ```
 //!
 //! Everything above the trait works for all of them (and for any future
 //! backend) without special cases:
@@ -68,11 +103,14 @@
 //! its lockstep results-match gate enforced by CI), the examples and the
 //! scenario-driven tests, with zero harness edits. The sharded platforms
 //! (`ModelKind::ShardedTlm` / `ModelKind::ShardedLt`) went in exactly
-//! this way: `PlatformConfig::build_sharded` partitions the pattern's
-//! masters round-robin over two bridged shards, and the dedicated
-//! multi-bus scaling configurations (`sharded-tlm-4x4`,
-//! `sharded-lt-4x16`, over `traffic::pattern_shards`) are speed-harness
-//! variants.
+//! this way — `PlatformConfig::build_sharded` partitions the pattern's
+//! masters round-robin over two bridged shards — and so did the topology
+//! configurations (`ModelKind::ShardedHet` / `ShardedTlmReads` /
+//! `ShardedSkew`, one canonical `Topology` value each behind
+//! `PlatformConfig::build_topology`). The dedicated multi-bus scaling
+//! configurations (`sharded-tlm-4x4`, `sharded-lt-4x16`,
+//! `sharded-tlm-reads-4x4`, over `traffic::pattern_shards`) are
+//! speed-harness variants.
 //!
 //! # Quick start
 //!
@@ -128,7 +166,7 @@ pub use validation::{validate_pattern, validate_table1, Table1};
 // Re-export the building blocks so downstream users need only one
 // dependency.
 pub use ahb_lt::{LtConfig, LtSystem, LT_TIMING_ERROR_BOUND_PCT};
-pub use ahb_multi::{BridgeConfig, MultiConfig, MultiSystem, ShardBackendKind};
+pub use ahb_multi::{BridgeConfig, MultiConfig, MultiSystem, ShardBackendKind, Topology};
 pub use ahb_rtl::{RtlConfig, RtlSystem};
 pub use ahb_tlm::{TlmConfig, TlmSystem};
 pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};

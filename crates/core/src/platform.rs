@@ -1,7 +1,7 @@
 //! Platform configuration and construction of every abstraction level.
 
 use ahb_lt::{LtConfig, LtSystem};
-use ahb_multi::{partition_round_robin, MultiConfig, MultiSystem, ShardBackendKind};
+use ahb_multi::{partition_round_robin, MultiConfig, MultiSystem, ShardBackendKind, Topology};
 use ahb_rtl::{RtlConfig, RtlSystem};
 use ahb_tlm::{TlmConfig, TlmSystem};
 use amba::params::AhbPlusParams;
@@ -164,11 +164,25 @@ impl PlatformConfig {
     /// shard's windows generate genuine bridge traffic.
     #[must_use]
     pub fn build_sharded(&self, backend: ShardBackendKind) -> MultiSystem {
-        let config = MultiConfig::new(backend)
+        self.build_topology(Topology::uniform(backend))
+    }
+
+    /// Builds the multi-bus system of an arbitrary declarative
+    /// [`Topology`]: the pattern's masters are partitioned round-robin
+    /// over the topology's shard count (or
+    /// [`PlatformConfig::DEFAULT_SHARDS`] when the topology is uniform),
+    /// and the platform inherits this configuration's bus parameters, DDR
+    /// device and cycle limit. This is the one constructor behind every
+    /// sharded [`ModelKind`] — heterogeneous, non-posted-read and
+    /// skewed-window platforms are just different topology values.
+    #[must_use]
+    pub fn build_topology(&self, topology: Topology) -> MultiSystem {
+        let shards = topology.shard_count().unwrap_or(Self::DEFAULT_SHARDS);
+        let config = MultiConfig::from_topology(topology)
             .with_params(self.params.clone())
             .with_ddr(self.ddr)
             .with_max_cycles(self.max_cycles);
-        let parts = partition_round_robin(&self.pattern, Self::DEFAULT_SHARDS);
+        let parts = partition_round_robin(&self.pattern, shards);
         MultiSystem::from_shard_patterns(&config, &parts, self.transactions_per_master, self.seed)
     }
 
@@ -188,6 +202,11 @@ impl PlatformConfig {
             ModelKind::LooselyTimed => Box::new(self.build_lt()),
             ModelKind::ShardedTlm => Box::new(self.build_sharded(ShardBackendKind::Tlm)),
             ModelKind::ShardedLt => Box::new(self.build_sharded(ShardBackendKind::Lt)),
+            ModelKind::ShardedHet => Box::new(self.build_topology(Topology::het_2x2())),
+            ModelKind::ShardedTlmReads => {
+                Box::new(self.build_topology(Topology::tlm_non_posted_reads()))
+            }
+            ModelKind::ShardedSkew => Box::new(self.build_topology(Topology::tlm_skewed_windows())),
         }
     }
 

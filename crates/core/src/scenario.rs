@@ -195,6 +195,13 @@ pub fn scenario_catalogue() -> Vec<ScenarioSpec> {
         // The §3.7 design-space baseline the depth/arbitration sweeps
         // derive their variants from.
         ScenarioSpec::new("design-space", "c", 400, 21),
+        // The cross-shard read-heavy workload: eight masters whose
+        // window-aligned traffic is read-dominated. On the flat backends
+        // it is an ordinary pattern; on the sharded backends it
+        // exercises the bridges — and under `sharded-tlm-reads` the
+        // non-posted response leg — while every backend must still
+        // complete identical work (the accuracy gate covers it).
+        ScenarioSpec::new("sharded-reads", "shards-read", 300, 13),
     ]
 }
 

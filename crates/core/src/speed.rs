@@ -86,13 +86,16 @@ impl ModelSpec {
 /// features detached, the 32-/64-master TLM scaling configurations
 /// (same per-master workload over `traffic::pattern_many`, so the
 /// ready-set scaling shows up in `BENCH_speed.json`), and the multi-bus
-/// platforms: the default 2-shard partitions of the speed workload plus
-/// the dedicated sharded scaling configurations over
+/// platforms: the default 2-shard partitions of the speed workload, the
+/// dedicated sharded scaling configurations over
 /// `traffic::pattern_shards` (`sharded-tlm-4x4` bridge-light and
-/// bridge-heavy, `sharded-lt-4x16`).
+/// bridge-heavy, `sharded-lt-4x16`), and the topology configurations —
+/// heterogeneous shards (`sharded-het`), non-posted read crossings
+/// (`sharded-tlm-reads`, plus its 4×4 read-heavy scaling variant) and
+/// the skewed window map (`sharded-skew`).
 #[must_use]
 pub fn standard_models() -> Vec<ModelSpec> {
-    use ahb_multi::{MultiConfig, MultiSystem, ShardBackendKind};
+    use ahb_multi::{MultiConfig, MultiSystem, ShardBackendKind, Topology};
     use traffic::{pattern_shards, ShardMix};
 
     let scaled = |masters: usize| {
@@ -129,6 +132,32 @@ pub fn standard_models() -> Vec<ModelSpec> {
             ))
         }
     };
+    // A topology configuration (what `PlatformConfig::build_topology`
+    // builds), with the measurement threading policy applied. `patterns`
+    // overrides the per-shard workloads; `None` partitions the speed
+    // workload round-robin over the topology's shard count.
+    let topology_spec =
+        move |topology: Topology, patterns: Option<Vec<traffic::TrafficPattern>>| {
+            move |config: &PlatformConfig| -> Box<dyn BusModel> {
+                let shards = topology
+                    .shard_count()
+                    .unwrap_or(PlatformConfig::DEFAULT_SHARDS);
+                let parts = patterns
+                    .clone()
+                    .unwrap_or_else(|| ahb_multi::partition_round_robin(&config.pattern, shards));
+                let multi = MultiConfig::from_topology(topology.clone())
+                    .with_params(config.params.clone())
+                    .with_ddr(config.ddr)
+                    .with_max_cycles(config.max_cycles)
+                    .with_threaded(threaded);
+                Box::new(MultiSystem::from_shard_patterns(
+                    &multi,
+                    &parts,
+                    config.transactions_per_master,
+                    config.seed,
+                ))
+            }
+        };
     let sharded = move |backend: ShardBackendKind, shards: usize, masters: usize, mix: ShardMix| {
         move |config: &PlatformConfig| -> Box<dyn BusModel> {
             // Inherit the speed scenario's bus and DRAM parameters like
@@ -178,6 +207,18 @@ pub fn standard_models() -> Vec<ModelSpec> {
         ModelSpec::variant(
             "4x16",
             sharded(ShardBackendKind::Lt, 4, 16, ShardMix::LocalHeavy),
+        ),
+        ModelSpec::new(topology_spec(Topology::het_2x2(), None)),
+        ModelSpec::new(topology_spec(Topology::tlm_non_posted_reads(), None)),
+        ModelSpec::new(topology_spec(Topology::tlm_skewed_windows(), None)),
+        // Four non-posted-read TLM shards over the read-heavy cross-shard
+        // mix: the response-leg scaling configuration.
+        ModelSpec::variant(
+            "4x4",
+            topology_spec(
+                Topology::heterogeneous(vec![ShardBackendKind::Tlm; 4]).with_posted_reads(false),
+                Some(pattern_shards(4, 4, ShardMix::ReadHeavy)),
+            ),
         ),
     ]
 }
@@ -320,6 +361,10 @@ mod tests {
                 model_names::SHARDED_TLM_4X4,
                 model_names::SHARDED_TLM_4X4_BRIDGE,
                 model_names::SHARDED_LT_4X16,
+                model_names::SHARDED_HET,
+                model_names::SHARDED_TLM_READS,
+                model_names::SHARDED_SKEW,
+                model_names::SHARDED_TLM_READS_4X4,
             ]
         );
     }

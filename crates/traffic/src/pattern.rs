@@ -107,6 +107,7 @@ pub fn pattern_registry() -> Vec<(&'static str, PatternConstructor)> {
         ("dual-stream", pattern_dual_stream),
         ("many-32", pattern_many_32),
         ("many-64", pattern_many_64),
+        ("shards-read", pattern_shards_read_union),
     ]
 }
 
@@ -292,6 +293,11 @@ pub enum ShardMix {
     /// Non-real-time masters spread their remote traffic over *all* other
     /// shards instead of just the neighbour.
     AllToAll,
+    /// Like [`ShardMix::BridgeHeavy`], but the crossing masters are
+    /// read-mostly: most cross-shard traffic is reads, which exercises
+    /// the response leg of non-posted read bridges (every crossing read
+    /// stalls its master until the reply returns).
+    ReadHeavy,
 }
 
 /// Builds one traffic pattern per shard of a multi-bus platform: each
@@ -334,6 +340,7 @@ pub fn pattern_shards(
         ShardMix::LocalHeavy => "sharded local-heavy",
         ShardMix::BridgeHeavy => "sharded bridge-heavy",
         ShardMix::AllToAll => "sharded all-to-all",
+        ShardMix::ReadHeavy => "sharded read-heavy",
     };
     (0..shards)
         .map(|shard| {
@@ -349,13 +356,45 @@ pub fn pattern_shards(
                     // shard map (index % shards == target).
                     let window = (global * shards + target) as u32;
                     let base = Addr::new(window << SHARD_WINDOW_SHIFT);
-                    let profile = base_profiles[role].clone().with_region(base, 0x0010_0000);
+                    let mut profile = base_profiles[role].clone().with_region(base, 0x0010_0000);
+                    // The read-heavy mix turns every crossing master
+                    // read-mostly, so cross-shard traffic is dominated by
+                    // reads (the stalling kind under non-posted bridges).
+                    if mix == ShardMix::ReadHeavy && target != shard {
+                        profile = profile.with_read_permille(900);
+                    }
                     (MasterId::new(id as u8), profile)
                 })
                 .collect();
             TrafficPattern { name, masters }
         })
         .collect()
+}
+
+/// The union of [`pattern_shards`] as one flat pattern: the same masters,
+/// ids and window-aligned regions, usable on a single-bus platform (or
+/// re-partitioned by the sharded builders). This is how the sharded
+/// workloads enter the scenario catalogue, where every backend — flat and
+/// sharded alike — must complete identical work on them.
+#[must_use]
+pub fn pattern_shards_union(
+    shards: usize,
+    masters_per_shard: usize,
+    mix: ShardMix,
+) -> TrafficPattern {
+    let parts = pattern_shards(shards, masters_per_shard, mix);
+    TrafficPattern {
+        name: parts[0].name,
+        masters: parts.into_iter().flat_map(|p| p.masters).collect(),
+    }
+}
+
+/// [`pattern_shards_union`] of the 2×4 read-heavy mix (registry key
+/// `shards-read`): eight masters whose cross-window traffic is
+/// read-dominated — the catalogue workload for non-posted read bridges.
+#[must_use]
+pub fn pattern_shards_read_union() -> TrafficPattern {
+    pattern_shards_union(2, 4, ShardMix::ReadHeavy)
 }
 
 /// The shard a master's traffic targets under the given mix.
@@ -368,7 +407,7 @@ fn shard_target(mix: ShardMix, shards: usize, shard: usize, role: usize, global:
     // everything else the mix keeps at home.
     let remote = match mix {
         ShardMix::LocalHeavy => role == 3,
-        ShardMix::BridgeHeavy | ShardMix::AllToAll => role != 1,
+        ShardMix::BridgeHeavy | ShardMix::AllToAll | ShardMix::ReadHeavy => role != 1,
     };
     if !remote {
         return shard;
@@ -485,7 +524,7 @@ mod tests {
     #[test]
     fn registry_resolves_every_named_pattern() {
         let registry = pattern_registry();
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 8);
         for (key, build) in &registry {
             let from_key = pattern_by_name(key).unwrap_or_else(|| panic!("missing {key}"));
             assert_eq!(from_key, build(), "{key} must resolve to its constructor");

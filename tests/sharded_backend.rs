@@ -4,7 +4,7 @@
 //! and the bridge's functional-identity guarantee against the single-bus
 //! backends.
 
-use ahb_multi::{BridgeConfig, MultiConfig, MultiSystem, ShardBackendKind};
+use ahb_multi::{BridgeConfig, MultiConfig, MultiSystem, ShardBackendKind, Topology};
 use ahbplus::{run_lockstep, PlatformConfig, Simulation};
 use analysis::model::BusModel;
 use analysis::report::ModelKind;
@@ -24,6 +24,24 @@ fn build(
     let config = MultiConfig::new(backend)
         .with_quantum(quantum)
         .with_threaded(threaded);
+    let patterns = pattern_shards(shards, masters, mix);
+    MultiSystem::from_shard_patterns(&config, &patterns, 30, seed)
+}
+
+/// `mode` = (threaded, spin barrier).
+fn build_topology(
+    topology: Topology,
+    shards: usize,
+    masters: usize,
+    mix: ShardMix,
+    quantum: u64,
+    seed: u64,
+    mode: (bool, bool),
+) -> MultiSystem {
+    let config = MultiConfig::from_topology(topology)
+        .with_quantum(quantum)
+        .with_threaded(mode.0)
+        .with_spin_sync(mode.1);
     let patterns = pattern_shards(shards, masters, mix);
     MultiSystem::from_shard_patterns(&config, &patterns, 30, seed)
 }
@@ -82,6 +100,9 @@ fn sharded_models_report_their_kind_and_names() {
     for (kind, name) in [
         (ModelKind::ShardedTlm, "sharded-tlm"),
         (ModelKind::ShardedLt, "sharded-lt"),
+        (ModelKind::ShardedHet, "sharded-het"),
+        (ModelKind::ShardedTlmReads, "sharded-tlm-reads"),
+        (ModelKind::ShardedSkew, "sharded-skew"),
     ] {
         let mut model = config.build_model(kind);
         assert_eq!(model.kind(), kind);
@@ -90,6 +111,113 @@ fn sharded_models_report_their_kind_and_names() {
         assert_eq!(report.model, kind);
         assert_eq!(report.total_transactions(), 4 * 10);
     }
+}
+
+#[test]
+fn heterogeneous_platform_completes_identical_work_to_the_flat_bus() {
+    // The topology claim in miniature: 2×tlm + 2×lt shards behind the
+    // same bridges complete exactly the work the flat cycle-counting bus
+    // completes on the same pattern and seed.
+    let config = PlatformConfig::new(traffic::pattern_a(), 40, 13);
+    let mut tlm = config.build_model(ModelKind::TransactionLevel);
+    let mut het = config.build_model(ModelKind::ShardedHet);
+    let outcome = run_lockstep(tlm.as_mut(), het.as_mut(), CycleDelta::new(256));
+    assert!(outcome.results_match, "{}", outcome.summary());
+    assert_eq!(
+        outcome.a.total_transactions(),
+        outcome.b.total_transactions()
+    );
+    assert_eq!(outcome.a.total_bytes(), outcome.b.total_bytes());
+}
+
+#[test]
+fn non_posted_reads_retire_every_stalled_master() {
+    // Same patterns, posted vs non-posted reads: identical functional
+    // results, but the non-posted platform carries response traffic —
+    // strictly more link crossings (each remote read crosses twice).
+    let patterns = pattern_shards(2, 4, ShardMix::ReadHeavy);
+    let posted_config = MultiConfig::new(ShardBackendKind::Tlm);
+    let reads_config = MultiConfig::from_topology(
+        Topology::heterogeneous(vec![ShardBackendKind::Tlm; 2]).with_posted_reads(false),
+    );
+    let mut posted = MultiSystem::from_shard_patterns(&posted_config, &patterns, 40, 9);
+    let mut reads = MultiSystem::from_shard_patterns(&reads_config, &patterns, 40, 9);
+    let posted_report = posted.run();
+    let reads_report = reads.run();
+    assert!(BusModel::finished(&reads), "every stalled master resumes");
+    assert_eq!(
+        posted_report.total_transactions(),
+        reads_report.total_transactions()
+    );
+    assert_eq!(posted_report.total_bytes(), reads_report.total_bytes());
+    assert_eq!(posted.probe().data_beats, reads.probe().data_beats);
+    assert!(
+        reads.crossings() > posted.crossings(),
+        "response legs must add crossings: {} vs {}",
+        reads.crossings(),
+        posted.crossings()
+    );
+    // A stalled read pays the round trip: the read-heavy masters' latency
+    // must reflect at least one crossing latency each way.
+    assert!(
+        reads.probe().cycle > posted.probe().cycle,
+        "stalling reads lengthen the synchronized span"
+    );
+}
+
+#[test]
+fn skewed_window_map_reroutes_ownership() {
+    // Under the skewed map shard 1 owns only every fourth window, so the
+    // same round-robin master partition produces a different crossing mix
+    // than the interleave — while completing identical work.
+    let config = PlatformConfig::new(traffic::pattern_a(), 40, 13);
+    let mut flat = config.build_model(ModelKind::TransactionLevel);
+    let mut skew = config.build_model(ModelKind::ShardedSkew);
+    let outcome = run_lockstep(flat.as_mut(), skew.as_mut(), CycleDelta::new(256));
+    assert!(outcome.results_match, "{}", outcome.summary());
+    let mut interleaved = config.build_model(ModelKind::ShardedTlm);
+    interleaved.run();
+    assert_ne!(
+        skew.probe().bridge_crossings,
+        interleaved.probe().bridge_crossings,
+        "a skewed owner table must change the crossing pattern"
+    );
+}
+
+#[test]
+fn uniform_topology_matches_the_legacy_shorthand() {
+    // `MultiConfig::new(backend)` is sugar for the uniform topology; the
+    // two construction paths must be probe-identical.
+    for backend in [ShardBackendKind::Tlm, ShardBackendKind::Lt] {
+        let patterns = pattern_shards(2, 4, ShardMix::BridgeHeavy);
+        let legacy = MultiConfig::new(backend);
+        let topo = MultiConfig::from_topology(Topology::uniform(backend));
+        let mut a = MultiSystem::from_shard_patterns(&legacy, &patterns, 40, 9);
+        let mut b = MultiSystem::from_shard_patterns(&topo, &patterns, 40, 9);
+        a.run();
+        b.run();
+        assert_eq!(a.probe(), b.probe(), "{backend:?}");
+        assert_eq!(a.shard_probes(), b.shard_probes());
+    }
+}
+
+#[test]
+fn asymmetric_links_bound_the_quantum_by_the_fastest_link() {
+    let fast = BridgeConfig {
+        crossing_latency: 24,
+        ..BridgeConfig::ahb_plus()
+    };
+    let topology = Topology::uniform(ShardBackendKind::Tlm).with_link(1, 0, fast);
+    let config = MultiConfig::from_topology(topology);
+    let patterns = pattern_shards(2, 4, ShardMix::BridgeHeavy);
+    let mut single = MultiSystem::from_shard_patterns(&config, &patterns, 30, 7);
+    let mut threaded =
+        MultiSystem::from_shard_patterns(&config.clone().with_threaded(true), &patterns, 30, 7);
+    assert_eq!(single.quantum(), 24, "quantum follows the fastest link");
+    let a = single.run();
+    let b = threaded.run();
+    assert!(a.metrics_eq(&b), "asymmetric links stay deterministic");
+    assert_eq!(single.probe(), threaded.probe());
 }
 
 #[test]
@@ -206,6 +334,46 @@ proptest! {
         let single_report = single.run();
         prop_assert!(threaded_report.metrics_eq(&single_report),
             "threaded run diverged (shards {}, quantum {}, seed {})", shards, quantum, seed);
+        prop_assert_eq!(threaded.probe(), single.probe());
+        prop_assert_eq!(threaded.shard_probes(), single.shard_probes());
+    }
+
+    /// The same guarantee over the *topology* axes: heterogeneous shard
+    /// mixes, non-uniform window maps, non-posted read crossings and the
+    /// spin barrier all run the identical exchange schedule — the
+    /// threaded platform (spinning or blocking) stays byte-identical to
+    /// the single-threaded reference.
+    #[test]
+    fn threaded_topologies_are_deterministic(
+        shards in 2usize..5,
+        quantum in prop_oneof![Just(1u64), Just(17u64), Just(96u64)],
+        seed in 0u64..1_000,
+        spin in any::<bool>(),
+        posted_reads in any::<bool>(),
+        het in any::<bool>(),
+        mix_selector in 0usize..4,
+    ) {
+        let mix = [
+            ShardMix::LocalHeavy,
+            ShardMix::BridgeHeavy,
+            ShardMix::AllToAll,
+            ShardMix::ReadHeavy,
+        ][mix_selector];
+        let backends: Vec<ShardBackendKind> = (0..shards)
+            .map(|shard| {
+                if het && shard % 2 == 1 { ShardBackendKind::Lt } else { ShardBackendKind::Tlm }
+            })
+            .collect();
+        let topology = Topology::heterogeneous(backends).with_posted_reads(posted_reads);
+        let mut threaded =
+            build_topology(topology.clone(), shards, 3, mix, quantum, seed, (true, spin));
+        let mut single =
+            build_topology(topology, shards, 3, mix, quantum, seed, (false, spin));
+        let threaded_report = threaded.run();
+        let single_report = single.run();
+        prop_assert!(threaded_report.metrics_eq(&single_report),
+            "topology run diverged (shards {}, quantum {}, seed {}, spin {}, posted_reads {})",
+            shards, quantum, seed, spin, posted_reads);
         prop_assert_eq!(threaded.probe(), single.probe());
         prop_assert_eq!(threaded.shard_probes(), single.shard_probes());
     }
