@@ -98,17 +98,35 @@ struct LtMaster {
 }
 
 impl LtMaster {
-    /// Appends a transaction released at the absolute cycle `release_at`
-    /// (the bridge replay port receiving a crossing). When the trace was
-    /// exhausted the master becomes pending again with the new item as its
-    /// head; the caller fixes the platform's completion bookkeeping.
-    fn append(&mut self, txn: Transaction, release_at: u64) {
-        let was_done = self.is_done();
-        self.items.push(traffic::TraceItem {
-            release: Release::At(simkern::time::Cycle::new(release_at)),
-            txn,
+    /// Inserts a transaction released at the absolute cycle `release_at`
+    /// (the bridge replay port receiving a crossing) into the pending
+    /// tail of the trace, keeping the not-yet-issued items sorted by
+    /// `(release, id)` — the same batching-invariant order the TLM
+    /// backend's `TraceMaster::insert_pending` maintains, so a fixed and
+    /// an adaptive-lookahead run replay crossings identically however
+    /// the delivery batches were shaped. A started or parked head always
+    /// carries a release no later than the current cycle while a
+    /// crossing arrives strictly after the barrier, so the insertion
+    /// never lands in front of committed work. When the new item becomes
+    /// the trace head its release also becomes `ready_at` (a parked head
+    /// keeps its `u64::MAX` sentinel: it sorts first, so nothing can be
+    /// inserted ahead of it); the caller fixes the platform's completion
+    /// bookkeeping.
+    fn insert_pending(&mut self, txn: Transaction, release_at: u64) {
+        let key = (release_at, txn.id.value());
+        let offset = self.items.items()[self.next..].partition_point(|item| match item.release {
+            Release::At(at) => (at.value(), item.txn.id.value()) < key,
+            Release::AfterPrevious(_) => true,
         });
-        if was_done {
+        let position = self.next + offset;
+        self.items.insert(
+            position,
+            traffic::TraceItem {
+                release: Release::At(simkern::time::Cycle::new(release_at)),
+                txn,
+            },
+        );
+        if position == self.next {
             self.ready_at = release_at;
         }
     }
@@ -220,14 +238,43 @@ struct LtBridge {
     egress: Vec<BridgeCrossing>,
     /// Work replayed on behalf of remote shards so far.
     replayed: ReplayStats,
-    /// Sequence counter namespacing replayed transaction ids.
-    ingress_seq: u64,
     /// Local masters stalled on a non-posted read crossing, keyed by the
     /// original transaction id the response leg carries back.
     parked: Vec<(TransactionId, LtParked)>,
     /// Replays that owe a response: replay id → (origin shard, original
     /// transaction).
     owed_responses: Vec<(TransactionId, u8, Transaction)>,
+    /// Per-master release transforms for the lookahead scan (mirrors the
+    /// transaction-level shard): indexed by master index, then trace
+    /// position; `Some((a, b))` means the earliest crossing from that
+    /// point on, given the head releases no earlier than `t`, is
+    /// `max(t + a, b)`; `None` means no remote item remains. The ingress
+    /// master gets an empty table (dynamic trace, covered by the
+    /// egress/owed-response checks).
+    remote_ahead: Vec<Vec<Option<(u64, u64)>>>,
+}
+
+/// Backward min-plus transform table over one static trace — identical
+/// recurrence to the transaction-level shard's: a release rule is the
+/// affine-max function `f(t) = max(t + a, b)` and the table composes the
+/// rules from each position up to the next remote-addressed item.
+fn crossing_transforms(items: &[traffic::TraceItem], port: &BridgePort) -> Vec<Option<(u64, u64)>> {
+    let step = |release: Release| match release {
+        Release::AfterPrevious(gap) => (gap.value(), 0),
+        Release::At(at) => (0, at.value()),
+    };
+    let mut ahead: Vec<Option<(u64, u64)>> = vec![None; items.len() + 1];
+    for p in (0..items.len()).rev() {
+        ahead[p] = if port.map.is_remote(items[p].txn.addr, port.own) {
+            Some((0, 0))
+        } else {
+            ahead[p + 1].map(|(a2, b2)| {
+                let (a1, b1) = step(items[p + 1].release);
+                (a1.saturating_add(a2), b1.saturating_add(a2).max(b2))
+            })
+        };
+    }
+    ahead
 }
 
 /// The loosely-timed AHB+ platform.
@@ -331,6 +378,19 @@ impl LtSystem {
             .into_iter()
             .map(|(trace, label, qos, posted)| LtMaster::new(trace, &label, qos, posted))
             .collect();
+        let remote_ahead = port.as_ref().map_or_else(Vec::new, |p| {
+            lt_masters
+                .iter()
+                .enumerate()
+                .map(|(index, m)| {
+                    if Some(index) == ingress_index {
+                        Vec::new()
+                    } else {
+                        crossing_transforms(m.items.items(), p)
+                    }
+                })
+                .collect()
+        });
         let traces_valid = lt_masters.iter().all(|m| {
             m.items
                 .items()
@@ -376,9 +436,9 @@ impl LtSystem {
                     ingress_index,
                     egress: Vec::new(),
                     replayed: ReplayStats::default(),
-                    ingress_seq: 0,
                     parked: Vec::new(),
                     owed_responses: Vec::new(),
+                    remote_ahead,
                 }),
         }
     }
@@ -417,12 +477,58 @@ impl LtSystem {
             .map_or_else(Vec::new, |b| std::mem::take(&mut b.egress))
     }
 
+    /// [`LtSystem::drain_egress`] without the allocation churn: clears
+    /// `out` and swaps it with the egress log, so a scheduler draining
+    /// every quantum recycles the same two buffers instead of allocating
+    /// per crossing batch.
+    pub fn drain_egress_into(&mut self, out: &mut Vec<BridgeCrossing>) {
+        out.clear();
+        if let Some(bridge) = self.bridge.as_mut() {
+            std::mem::swap(&mut bridge.egress, out);
+        }
+    }
+
     /// Work the bridge master replayed on behalf of remote shards so far.
     #[must_use]
     pub fn replayed(&self) -> ReplayStats {
         self.bridge
             .as_ref()
             .map_or_else(ReplayStats::default, |b| b.replayed)
+    }
+
+    /// Conservative lower bound on the earliest cycle this shard could
+    /// issue another bridge crossing, or `None` when no future crossing
+    /// is possible from the current state (mirrors
+    /// `ahb_tlm::TlmSystem::next_possible_crossing`). A bound at or
+    /// before `now()` means traffic is imminent: undrained egress,
+    /// replays owing a response leg, or a remote-addressed posted write
+    /// waiting in the batch backlog.
+    #[must_use]
+    pub fn next_possible_crossing(&self) -> Option<Cycle> {
+        let bridge = self.bridge.as_ref()?;
+        if !bridge.egress.is_empty() || !bridge.owed_responses.is_empty() {
+            return Some(Cycle::new(self.now));
+        }
+        if self
+            .backlog
+            .iter()
+            .any(|entry| bridge.port.map.is_remote(entry.txn.addr, bridge.port.own))
+        {
+            return Some(Cycle::new(self.now));
+        }
+        let mut bound = u64::MAX;
+        for (index, master) in self.masters.iter().enumerate() {
+            if index == bridge.ingress_index || master.is_done() {
+                continue;
+            }
+            if let Some((a, b)) = bridge.remote_ahead[index][master.next] {
+                // A parked master carries `ready_at == u64::MAX`; the
+                // saturating add keeps it out of the minimum (its in-flight
+                // response leg vetoes through the shards that carry it).
+                bound = bound.min(master.ready_at.saturating_add(a).max(b));
+            }
+        }
+        (bound != u64::MAX).then(|| Cycle::new(bound))
     }
 
     /// Delivers one bridge crossing: the transaction is queued on the
@@ -445,14 +551,13 @@ impl LtSystem {
             .as_mut()
             .expect("inject_crossing without a bridge port");
         let index = bridge.ingress_index;
-        let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
-        bridge.ingress_seq += 1;
+        let txn = bridge.port.replay_txn(source);
         if let Some(origin) = respond_to {
             bridge.owed_responses.push((txn.id, origin, source));
         }
         let master = &mut self.masters[index];
         let was_done = master.is_done();
-        master.append(txn, release_at);
+        master.insert_pending(txn, release_at);
         if was_done {
             self.masters_done -= 1;
         }
@@ -696,6 +801,14 @@ impl LtSystem {
 
         let depth = self.config.params.write_buffer_depth;
         if depth > 0 && self.masters[index].posted && txn.posted_ok && txn.is_write() {
+            // Materialize the drains whose bus slot starts before this
+            // absorption first, so the occupancy (and its recorded peak)
+            // reflects simulated time rather than how many events a
+            // bounded-run horizon happened to batch together. Every event
+            // with an earlier release has already been served, so nothing
+            // can outrank these slots; the drain times are unchanged —
+            // only their call order moves.
+            self.drain_started_by(ready.saturating_sub(1));
             if self.backlog.len() >= depth {
                 // Overflow protection: the buffer wins the bus and drains
                 // its head before the new write is absorbed — the batch

@@ -93,6 +93,19 @@ pub struct MultiConfig {
     /// [`crate::sync::default_spin_sync`]). Purely a wall-clock knob:
     /// both barriers run the identical exchange schedule.
     pub spin_sync: Option<bool>,
+    /// Adaptive lookahead: when `true` the scheduler stretches the
+    /// quantum past the fixed value whenever every shard proves (via its
+    /// `next_possible_crossing` bound) that no crossing can be issued
+    /// before the stretched barrier. `false` (the default) runs the fixed
+    /// schedule of the earlier platforms byte for byte. Both modes are
+    /// results-identical; lookahead only removes barriers that could not
+    /// have exchanged anything.
+    pub lookahead: bool,
+    /// Upper bound on how far one lookahead stretch may move a barrier
+    /// past its fixed position, in cycles. `None` uses
+    /// `64 × effective_quantum`. Bounding the stretch keeps bounded
+    /// stepping (`run_until`) responsive on idle platforms.
+    pub max_stretch: Option<u64>,
 }
 
 impl MultiConfig {
@@ -115,6 +128,8 @@ impl MultiConfig {
             quantum: None,
             threaded: false,
             spin_sync: None,
+            lookahead: false,
+            max_stretch: None,
         }
     }
 
@@ -171,6 +186,20 @@ impl MultiConfig {
         self
     }
 
+    /// Returns a copy with adaptive lookahead enabled (or disabled).
+    #[must_use]
+    pub fn with_lookahead(mut self, lookahead: bool) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Returns a copy with an explicit per-barrier stretch bound.
+    #[must_use]
+    pub fn with_max_stretch(mut self, max_stretch: u64) -> Self {
+        self.max_stretch = Some(max_stretch);
+        self
+    }
+
     /// The effective synchronization quantum of a `shards`-shard
     /// platform: the explicit override clamped into
     /// `[1, min_crossing_latency]`, or the minimum crossing latency
@@ -191,6 +220,15 @@ impl MultiConfig {
     pub fn effective_spin_sync(&self) -> bool {
         self.spin_sync
             .unwrap_or_else(crate::sync::default_spin_sync)
+    }
+
+    /// The effective per-barrier stretch bound: the explicit override, or
+    /// 64 quanta.
+    #[must_use]
+    pub fn effective_max_stretch(&self, quantum: u64) -> u64 {
+        self.max_stretch
+            .unwrap_or_else(|| quantum.saturating_mul(64))
+            .max(1)
     }
 }
 
@@ -247,5 +285,23 @@ mod tests {
         assert!(config.threaded);
         assert!(!config.effective_spin_sync());
         assert_eq!(config.effective_quantum(2), 32);
+    }
+
+    #[test]
+    fn lookahead_defaults_off_with_a_64_quantum_stretch_bound() {
+        let config = MultiConfig::new(ShardBackendKind::Tlm);
+        assert!(!config.lookahead);
+        assert_eq!(config.effective_max_stretch(96), 96 * 64);
+        let tuned = config.with_lookahead(true).with_max_stretch(500);
+        assert!(tuned.lookahead);
+        assert_eq!(tuned.effective_max_stretch(96), 500);
+        // The bound never collapses to zero (a zero stretch would stall
+        // the barrier clock).
+        assert_eq!(
+            MultiConfig::new(ShardBackendKind::Lt)
+                .with_max_stretch(0)
+                .effective_max_stretch(96),
+            1
+        );
     }
 }

@@ -33,6 +33,23 @@
 //! probe-identical, which the test suite verifies by lockstep
 //! co-simulation.
 //!
+//! On top of the fixed quantum sits an optional **adaptive lookahead**
+//! scheduler ([`MultiConfig::with_lookahead`]): at a barrier where no
+//! delivery is pending, every shard reports the earliest cycle it could
+//! possibly emit a crossing (its `next_possible_crossing` bound — a
+//! min-plus scan over its release tables, restricted to remote-window
+//! items, plus vetoes for queued egress, owed responses and buffered
+//! remote writes), and the scheduler stretches the next quantum up to
+//! that bound plus one crossing latency (clamped by
+//! [`MultiConfig::with_max_stretch`]). Because nothing can
+//! cross before the bound, the stretched schedule performs the *same
+//! simulation* through fewer barriers: a lookahead run stays
+//! probe-identical to its fixed-quantum twin, which the proptest suite
+//! verifies across topology axes. [`MultiSystem::barriers_taken`],
+//! [`MultiSystem::barriers_stretched`] and
+//! [`MultiSystem::lookahead_cycles_gained`] report what the stretching
+//! achieved.
+//!
 //! [`MultiSystem`] implements `analysis::BusModel`, so it plugs into
 //! every harness — `table2_speed`, `model_accuracy`, `Simulation`
 //! snapshots, lockstep — without harness edits, as
@@ -214,6 +231,46 @@ mod tests {
         }
         let report = stepped.report();
         assert!(one_shot.metrics_eq(&report));
+    }
+
+    #[test]
+    fn lookahead_bounded_stepping_is_a_pure_acceleration_of_fixed() {
+        // The stretch schedule lives in persistent platform state
+        // (`next_target`), so a bounded-stepping driver re-enters the
+        // exact barrier sequence a one-shot run takes — and that
+        // sequence performs the same simulation as the fixed-quantum
+        // schedule, just through fewer barriers.
+        let patterns = pattern_shards(2, 4, ShardMix::AllToAll);
+        let fixed_config = MultiConfig::new(ShardBackendKind::Tlm);
+        let mut fixed = MultiSystem::from_shard_patterns(&fixed_config, &patterns, 40, 9);
+        let fixed_report = fixed.run();
+        let la_config = MultiConfig::new(ShardBackendKind::Tlm).with_lookahead(true);
+        let one_shot = MultiSystem::from_shard_patterns(&la_config, &patterns, 40, 9).run();
+        let mut stepped = MultiSystem::from_shard_patterns(&la_config, &patterns, 40, 9);
+        let mut guard = 0u64;
+        while !BusModel::finished(&stepped) {
+            stepped.step(CycleDelta::new(64));
+            guard += 1;
+            assert!(guard < 1_000_000, "stepping must terminate");
+        }
+        let stepped_report = stepped.report();
+        assert!(one_shot.metrics_eq(&stepped_report));
+        // Against the fixed run only the model label differs (the
+        // uniform-TLM lookahead platform is its own spectrum point).
+        assert_eq!(stepped_report.model, ModelKind::ShardedTlmLa);
+        assert_eq!(fixed_report.total_cycles, stepped_report.total_cycles);
+        assert_eq!(fixed_report.masters, stepped_report.masters);
+        assert_eq!(fixed_report.bus, stepped_report.bus);
+        assert_eq!(fixed.probe(), stepped.probe());
+        assert!(
+            stepped.barriers_stretched() > 0,
+            "quiet barriers must stretch"
+        );
+        assert!(stepped.barriers_taken() < fixed.barriers_taken());
+        let stats = BusModel::sync_stats(&stepped).expect("sharded platforms expose sync stats");
+        assert_eq!(stats.barriers, stepped.barriers_taken());
+        assert_eq!(stats.stretched, stepped.barriers_stretched());
+        assert!(stats.mean_quantum > fixed.quantum() as f64);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use ahb_tlm::{TlmConfig, TlmSystem};
 use amba::bridge::{BridgePort, CrossingLeg, ReplayStats, ShardMap, WindowMap};
 use amba::ids::MasterId;
 use amba::txn::{Transaction, TransactionId};
-use analysis::model::{BusModel, Probe};
+use analysis::model::{BusModel, Probe, SyncStats};
 use analysis::report::{BusMetrics, ModelKind, SimReport};
 use simkern::time::Cycle;
 use traffic::TrafficPattern;
@@ -98,10 +98,12 @@ impl ShardEngine {
         }
     }
 
-    fn drain_egress(&mut self) -> Vec<amba::bridge::BridgeCrossing> {
+    /// Drains the egress log into `out` (cleared first), recycling the
+    /// buffer's capacity across quanta instead of allocating per batch.
+    fn drain_egress_into(&mut self, out: &mut Vec<amba::bridge::BridgeCrossing>) {
         match self {
-            ShardEngine::Tlm(s) => s.drain_egress(),
-            ShardEngine::Lt(s) => s.drain_egress(),
+            ShardEngine::Tlm(s) => s.drain_egress_into(out),
+            ShardEngine::Lt(s) => s.drain_egress_into(out),
         }
     }
 
@@ -123,6 +125,16 @@ impl ShardEngine {
         match self {
             ShardEngine::Tlm(s) => s.replayed(),
             ShardEngine::Lt(s) => s.replayed(),
+        }
+    }
+
+    /// The shard's lookahead bound as a plain cycle number: the earliest
+    /// cycle it could issue another crossing, `u64::MAX` when it never
+    /// can from its current state.
+    fn next_possible_crossing(&self) -> u64 {
+        match self {
+            ShardEngine::Tlm(s) => s.next_possible_crossing().map_or(u64::MAX, |c| c.value()),
+            ShardEngine::Lt(s) => s.next_possible_crossing().map_or(u64::MAX, |c| c.value()),
         }
     }
 
@@ -210,9 +222,11 @@ fn route_quantum(
     fifo_peak: &mut u64,
 ) {
     let shards = buffers.outbox.len();
+    let QuantumBuffers { outbox, inbox, .. } = buffers;
     for src in 0..shards {
-        let outgoing = std::mem::take(&mut buffers.outbox[src]);
-        for crossing in outgoing {
+        // Drain in place: the outbox keeps its capacity for the next
+        // quantum instead of bouncing an allocation per crossing batch.
+        for crossing in outbox[src].drain(..) {
             let (dst, delivery) = match crossing.leg {
                 CrossingLeg::Posted => (
                     usize::from(map.owner(crossing.txn.addr)),
@@ -238,10 +252,10 @@ fn route_quantum(
             let (arrival, occupancy) = link.forward(crossing.issued_at.value());
             *crossings += 1;
             *fifo_peak = (*fifo_peak).max(occupancy as u64);
-            buffers.inbox[dst].push((arrival, delivery));
+            inbox[dst].push((arrival, delivery));
         }
     }
-    for inbox in &mut buffers.inbox {
+    for inbox in inbox.iter_mut() {
         inbox.sort_by_key(|(at, delivery)| {
             let (rank, master, id) = delivery.sort_key();
             (*at, rank, master, id)
@@ -259,6 +273,15 @@ struct Exchange {
     fifo_peak: u64,
     barrier: u64,
     stop: bool,
+    /// Per-shard lookahead bounds deposited alongside the egress (only
+    /// meaningful when lookahead is enabled).
+    bounds: Vec<u64>,
+    /// The barrier every worker runs to next, published by the leader
+    /// between the two waits of a quantum.
+    next_target: u64,
+    barriers: u64,
+    stretched: u64,
+    cycles_gained: u64,
 }
 
 /// The multi-bus AHB+ platform.
@@ -269,6 +292,12 @@ pub struct MultiSystem {
     max_cycles: u64,
     threaded: bool,
     spin_sync: bool,
+    /// Adaptive lookahead: stretch the quantum past the fixed value when
+    /// every shard proves no crossing can be issued before the stretched
+    /// barrier. Off → the fixed schedule, byte for byte.
+    lookahead: bool,
+    /// Upper bound on one stretch past the fixed barrier position.
+    max_stretch: u64,
     shards: Vec<ShardEngine>,
     bridge_ids: Vec<MasterId>,
     /// Directed links, indexed `source * shards + destination`.
@@ -276,8 +305,19 @@ pub struct MultiSystem {
     buffers: QuantumBuffers,
     /// The synchronized barrier clock (the platform's `now`).
     barrier: u64,
+    /// The committed end of the quantum in flight: both execution modes
+    /// run every shard to exactly this barrier next, so bounded stepping
+    /// re-enters the identical schedule a one-shot run would take.
+    next_target: u64,
     crossings: u64,
     fifo_peak: u64,
+    /// Barriers taken / barriers stretched past the fixed quantum /
+    /// simulated cycles gained by those stretches (sync observability —
+    /// kept out of [`Probe`] so probe-equality stays a statement about
+    /// simulated work, not scheduler policy).
+    barriers: u64,
+    stretched: u64,
+    cycles_gained: u64,
     wall_seconds: f64,
 }
 
@@ -341,11 +381,13 @@ impl MultiSystem {
                     posted_reads: config.topology.posted_reads,
                 };
                 let masters = pattern.expand(transactions_per_master, seed);
+                let params = config.topology.params_for(shard, &config.params);
+                let ddr = config.topology.ddr_for(shard, config.ddr);
                 match backends[shard] {
                     ShardBackendKind::Tlm => {
                         let tlm = TlmConfig {
-                            params: config.params.clone(),
-                            ddr: config.ddr,
+                            params,
+                            ddr,
                             max_cycles: config.max_cycles,
                             profiling: true,
                         };
@@ -353,8 +395,8 @@ impl MultiSystem {
                     }
                     ShardBackendKind::Lt => {
                         let lt = LtConfig {
-                            params: config.params.clone(),
-                            ddr: config.ddr,
+                            params,
+                            ddr,
                             max_cycles: config.max_cycles,
                         };
                         ShardEngine::Lt(LtSystem::with_bridge(lt, masters, port))
@@ -372,20 +414,34 @@ impl MultiSystem {
                 )
             })
             .collect();
+        // A lookahead-enabled uniform-TLM platform is its own spectrum
+        // point (`sharded-tlm-la`): identical results, different wall
+        // clock. Other shapes keep their kind — the lookahead flag rides
+        // along as a scheduling policy of the same artifact key.
+        let kind = match config.topology.model_kind(&backends) {
+            ModelKind::ShardedTlm if config.lookahead => ModelKind::ShardedTlmLa,
+            kind => kind,
+        };
         MultiSystem {
-            kind: config.topology.model_kind(&backends),
+            kind,
             map,
             quantum,
             max_cycles: config.max_cycles,
             threaded: config.threaded,
             spin_sync: config.effective_spin_sync(),
+            lookahead: config.lookahead,
+            max_stretch: config.effective_max_stretch(quantum),
             shards: engines,
             bridge_ids,
             links,
             buffers: QuantumBuffers::new(shards),
             barrier: 0,
+            next_target: quantum.min(config.max_cycles),
             crossings: 0,
             fifo_peak: 0,
+            barriers: 0,
+            stretched: 0,
+            cycles_gained: 0,
             wall_seconds: 0.0,
         }
     }
@@ -406,6 +462,26 @@ impl MultiSystem {
     #[must_use]
     pub fn crossings(&self) -> u64 {
         self.crossings
+    }
+
+    /// Barriers taken so far.
+    #[must_use]
+    pub fn barriers_taken(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Barriers whose quantum the lookahead stretched past the fixed
+    /// value. Always 0 with lookahead disabled.
+    #[must_use]
+    pub fn barriers_stretched(&self) -> u64 {
+        self.stretched
+    }
+
+    /// Simulated cycles gained by lookahead stretches: the sum over all
+    /// stretched barriers of (stretched − fixed) quantum span.
+    #[must_use]
+    pub fn lookahead_cycles_gained(&self) -> u64 {
+        self.cycles_gained
     }
 
     /// Per-shard observability: one [`Probe`] per shard, in shard order —
@@ -431,7 +507,8 @@ impl MultiSystem {
     /// Advances the platform in whole quanta until the barrier clock
     /// reaches `target`, the workload drains everywhere, or the cycle
     /// limit is hit. May overshoot `target` by at most one quantum (the
-    /// barrier discipline never stops inside a quantum).
+    /// barrier discipline never stops inside a quantum); with lookahead
+    /// enabled a quantum may span up to the configured stretch bound.
     pub fn run_until(&mut self, target: Cycle) -> Cycle {
         let wall = Instant::now();
         let end = target.value().min(self.max_cycles);
@@ -444,18 +521,57 @@ impl MultiSystem {
         Cycle::new(self.barrier)
     }
 
+    /// The barrier the platform commits to after finishing the quantum
+    /// ending at `next`: the fixed position, or — when lookahead is on
+    /// and `quiet` (nothing was routed this barrier, so no shard state
+    /// is about to change) — the stretched position justified by the
+    /// minimum shard bound. A crossing issued at cycle `t ≥ bound`
+    /// arrives no earlier than `t + quantum` (the quantum never exceeds
+    /// the minimum link latency), so advancing every shard to
+    /// `bound + quantum` without exchanging is causally safe.
+    ///
+    /// Returns `(target, gained)` where `gained` is how many cycles the
+    /// stretch added over the fixed schedule (zero when not stretched).
+    fn commit_next_target(
+        lookahead: bool,
+        quiet: bool,
+        bound: u64,
+        next: u64,
+        quantum: u64,
+        max_stretch: u64,
+        max_cycles: u64,
+    ) -> (u64, u64) {
+        let fixed = (next + quantum).min(max_cycles);
+        if !(lookahead && quiet) {
+            return (fixed, 0);
+        }
+        let target = bound
+            .saturating_add(quantum)
+            .min(next.saturating_add(max_stretch))
+            .min(max_cycles)
+            .max(fixed);
+        (target, target - fixed)
+    }
+
     /// The single-threaded reference schedule: per quantum, run every
-    /// shard in order, route, inject, repeat.
+    /// shard in order, route, inject, repeat. The barrier each iteration
+    /// runs to was committed at the previous barrier (`next_target`), so
+    /// the schedule is a pure function of the shard states — identical
+    /// in both execution modes and across bounded stepping.
     fn advance_single(&mut self, end: u64) {
         if self.barrier >= end || self.is_finished() {
             return;
         }
         loop {
-            let next = (self.barrier + self.quantum).min(self.max_cycles);
+            let next = self.next_target;
+            let mut bound = u64::MAX;
             for (index, shard) in self.shards.iter_mut().enumerate() {
                 shard.run_until(next);
-                self.buffers.outbox[index] = shard.drain_egress();
+                shard.drain_egress_into(&mut self.buffers.outbox[index]);
                 self.buffers.finished[index] = shard.finished();
+                if self.lookahead {
+                    bound = bound.min(shard.next_possible_crossing());
+                }
             }
             route_quantum(
                 &self.map,
@@ -465,11 +581,26 @@ impl MultiSystem {
                 &mut self.fifo_peak,
             );
             self.barrier = next;
-            let drained = self.buffers.finished.iter().all(|&f| f)
-                && self.buffers.inbox.iter().all(Vec::is_empty);
+            self.barriers += 1;
+            let quiet = self.buffers.inbox.iter().all(Vec::is_empty);
+            let (target, gained) = Self::commit_next_target(
+                self.lookahead,
+                quiet,
+                bound,
+                next,
+                self.quantum,
+                self.max_stretch,
+                self.max_cycles,
+            );
+            self.next_target = target;
+            if gained > 0 {
+                self.stretched += 1;
+                self.cycles_gained += gained;
+            }
+            let drained = self.buffers.finished.iter().all(|&f| f) && quiet;
             let stop = drained || next >= end;
             for (index, shard) in self.shards.iter_mut().enumerate() {
-                for (at, delivery) in std::mem::take(&mut self.buffers.inbox[index]) {
+                for (at, delivery) in self.buffers.inbox[index].drain(..) {
                     match delivery {
                         Delivery::Replay { txn, respond_to } => {
                             shard.inject_crossing(txn, at, respond_to);
@@ -495,33 +626,51 @@ impl MultiSystem {
         let shards = self.shards.len();
         let quantum = self.quantum;
         let max = self.max_cycles;
+        let lookahead = self.lookahead;
+        let max_stretch = self.max_stretch;
         let map = self.map.clone();
         let map = &map;
-        let start = self.barrier;
+        let first = self.next_target;
         let sync = SyncBarrier::new(shards, self.spin_sync);
         let exchange = Mutex::new(Exchange {
             buffers: std::mem::replace(&mut self.buffers, QuantumBuffers::new(0)),
             links: std::mem::take(&mut self.links),
             crossings: self.crossings,
             fifo_peak: self.fifo_peak,
-            barrier: start,
+            barrier: self.barrier,
             stop: false,
+            bounds: vec![u64::MAX; shards],
+            next_target: first,
+            barriers: self.barriers,
+            stretched: self.stretched,
+            cycles_gained: self.cycles_gained,
         });
         std::thread::scope(|scope| {
             for (index, shard) in self.shards.iter_mut().enumerate() {
                 let sync = &sync;
                 let exchange = &exchange;
                 scope.spawn(move || {
-                    let mut next = start;
+                    let mut next = first;
+                    // Worker-local scratch buffers, swapped with the shared
+                    // exchange slots under the lock: the egress and inbox
+                    // capacities ping-pong between worker and leader
+                    // instead of reallocating every quantum.
+                    let mut egress = Vec::new();
+                    let mut batch = Vec::new();
                     loop {
-                        next = (next + quantum).min(max);
                         shard.run_until(next);
-                        let egress = shard.drain_egress();
+                        shard.drain_egress_into(&mut egress);
                         let finished = shard.finished();
+                        let bound = if lookahead {
+                            shard.next_possible_crossing()
+                        } else {
+                            u64::MAX
+                        };
                         {
                             let mut guard = exchange.lock().expect("no panics hold the lock");
-                            guard.buffers.outbox[index] = egress;
+                            std::mem::swap(&mut guard.buffers.outbox[index], &mut egress);
                             guard.buffers.finished[index] = finished;
+                            guard.bounds[index] = bound;
                         }
                         if sync.wait() {
                             let mut guard = exchange.lock().expect("no panics hold the lock");
@@ -534,16 +683,33 @@ impl MultiSystem {
                                 &mut guard.fifo_peak,
                             );
                             guard.barrier = next;
-                            let drained = guard.buffers.finished.iter().all(|&f| f)
-                                && guard.buffers.inbox.iter().all(Vec::is_empty);
+                            guard.barriers += 1;
+                            let quiet = guard.buffers.inbox.iter().all(Vec::is_empty);
+                            let bound = guard.bounds.iter().copied().min().unwrap_or(u64::MAX);
+                            let (target, gained) = MultiSystem::commit_next_target(
+                                lookahead,
+                                quiet,
+                                bound,
+                                next,
+                                quantum,
+                                max_stretch,
+                                max,
+                            );
+                            guard.next_target = target;
+                            if gained > 0 {
+                                guard.stretched += 1;
+                                guard.cycles_gained += gained;
+                            }
+                            let drained = guard.buffers.finished.iter().all(|&f| f) && quiet;
                             guard.stop = drained || next >= end;
                         }
                         sync.wait();
-                        let (batch, stop) = {
+                        let (stop, following) = {
                             let mut guard = exchange.lock().expect("no panics hold the lock");
-                            (std::mem::take(&mut guard.buffers.inbox[index]), guard.stop)
+                            std::mem::swap(&mut guard.buffers.inbox[index], &mut batch);
+                            (guard.stop, guard.next_target)
                         };
-                        for (at, delivery) in batch {
+                        for (at, delivery) in batch.drain(..) {
                             match delivery {
                                 Delivery::Replay { txn, respond_to } => {
                                     shard.inject_crossing(txn, at, respond_to);
@@ -554,6 +720,7 @@ impl MultiSystem {
                         if stop {
                             break;
                         }
+                        next = following;
                     }
                 });
             }
@@ -564,6 +731,10 @@ impl MultiSystem {
         self.crossings = exchange.crossings;
         self.fifo_peak = exchange.fifo_peak;
         self.barrier = exchange.barrier;
+        self.next_target = exchange.next_target;
+        self.barriers = exchange.barriers;
+        self.stretched = exchange.stretched;
+        self.cycles_gained = exchange.cycles_gained;
     }
 
     /// Aggregated snapshot: the sum of the shard probes with every
@@ -685,6 +856,20 @@ impl BusModel for MultiSystem {
 
     fn report(&mut self) -> SimReport {
         MultiSystem::report(self)
+    }
+
+    fn sync_stats(&self) -> Option<SyncStats> {
+        let mean_quantum = if self.barriers == 0 {
+            0.0
+        } else {
+            self.barrier as f64 / self.barriers as f64
+        };
+        Some(SyncStats {
+            barriers: self.barriers,
+            stretched: self.stretched,
+            cycles_gained: self.cycles_gained,
+            mean_quantum,
+        })
     }
 }
 

@@ -31,7 +31,9 @@
 //! ```
 
 use amba::bridge::WindowMap;
+use amba::params::AhbPlusParams;
 use analysis::report::ModelKind;
+use ddrc::DdrConfig;
 
 use crate::config::{BridgeConfig, ShardBackendKind};
 
@@ -84,6 +86,14 @@ pub struct Topology {
     /// non-posted: the source master stalls until the response leg
     /// crosses back and retires the transfer.
     pub posted_reads: bool,
+    /// Per-shard bus-parameter overrides `(shard, params)` — shards
+    /// without an override inherit the platform-wide
+    /// `MultiConfig::params` (later overrides of the same shard win).
+    pub shard_params: Vec<(usize, AhbPlusParams)>,
+    /// Per-shard DDR overrides `(shard, config)` — a slower cold-shard
+    /// memory, a different geometry behind one bridge, etc. Shards
+    /// without an override inherit `MultiConfig::ddr`.
+    pub shard_ddr: Vec<(usize, DdrConfig)>,
 }
 
 impl Topology {
@@ -101,6 +111,8 @@ impl Topology {
             default_link: BridgeConfig::ahb_plus(),
             links: Vec::new(),
             posted_reads: true,
+            shard_params: Vec::new(),
+            shard_ddr: Vec::new(),
         }
     }
 
@@ -191,9 +203,10 @@ impl Topology {
         self
     }
 
-    /// Checks every link override against a `shards`-shard platform: a
-    /// mistyped index would otherwise be stored but never consulted,
-    /// silently measuring the uniform platform.
+    /// Checks every link, bus-parameter and DDR override against a
+    /// `shards`-shard platform: a mistyped index would otherwise be
+    /// stored but never consulted, silently measuring the uniform
+    /// platform.
     ///
     /// # Panics
     ///
@@ -209,6 +222,18 @@ impl Topology {
                 "link override {source}->{destination} is a self-link (never routed)"
             );
         }
+        for (shard, _) in &self.shard_params {
+            assert!(
+                *shard < shards,
+                "bus-parameter override names shard {shard} outside 0..{shards}"
+            );
+        }
+        for (shard, _) in &self.shard_ddr {
+            assert!(
+                *shard < shards,
+                "DDR override names shard {shard} outside 0..{shards}"
+            );
+        }
     }
 
     /// Returns a copy with the read-crossing mode set.
@@ -216,6 +241,45 @@ impl Topology {
     pub fn with_posted_reads(mut self, posted_reads: bool) -> Self {
         self.posted_reads = posted_reads;
         self
+    }
+
+    /// Returns a copy overriding shard `shard`'s bus parameters (later
+    /// overrides of the same shard win). Indices are validated against
+    /// the shard count when a platform is built.
+    #[must_use]
+    pub fn with_shard_params(mut self, shard: usize, params: AhbPlusParams) -> Self {
+        self.shard_params.push((shard, params));
+        self
+    }
+
+    /// Returns a copy overriding shard `shard`'s DDR configuration (later
+    /// overrides of the same shard win).
+    #[must_use]
+    pub fn with_shard_ddr(mut self, shard: usize, ddr: DdrConfig) -> Self {
+        self.shard_ddr.push((shard, ddr));
+        self
+    }
+
+    /// The bus parameters of shard `shard`: the last matching override,
+    /// or the platform-wide `default`.
+    #[must_use]
+    pub fn params_for(&self, shard: usize, default: &AhbPlusParams) -> AhbPlusParams {
+        self.shard_params
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == shard)
+            .map_or_else(|| default.clone(), |(_, params)| params.clone())
+    }
+
+    /// The DDR configuration of shard `shard`: the last matching
+    /// override, or the platform-wide `default`.
+    #[must_use]
+    pub fn ddr_for(&self, shard: usize, default: DdrConfig) -> DdrConfig {
+        self.shard_ddr
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == shard)
+            .map_or(default, |(_, ddr)| *ddr)
     }
 
     /// The shard count this topology fixes, or `None` when it is uniform
@@ -411,6 +475,28 @@ mod tests {
             both.model_kind(&both.backends(2)),
             ModelKind::ShardedTlmReads
         );
+    }
+
+    #[test]
+    fn shard_overrides_shadow_the_platform_defaults() {
+        let slow = DdrConfig::without_interleaving();
+        let plain = AhbPlusParams::plain_ahb();
+        let topology = Topology::het_2x2()
+            .with_shard_ddr(3, slow)
+            .with_shard_params(2, plain.clone());
+        let default_params = AhbPlusParams::ahb_plus();
+        let default_ddr = DdrConfig::ahb_plus();
+        assert_eq!(topology.params_for(0, &default_params), default_params);
+        assert_eq!(topology.params_for(2, &default_params), plain);
+        assert_eq!(topology.ddr_for(3, default_ddr), slow);
+        assert_eq!(topology.ddr_for(1, default_ddr), default_ddr);
+        // Later overrides of the same shard win.
+        let fast = DdrConfig::ahb_plus();
+        let re = topology.clone().with_shard_ddr(3, fast);
+        assert_eq!(re.ddr_for(3, slow), fast);
+        topology.validate_links(4);
+        let dangling = Topology::het_2x2().with_shard_ddr(4, slow);
+        assert!(std::panic::catch_unwind(|| dangling.validate_links(4)).is_err());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use analysis::report::{ModelKind, SimReport};
 use ddrc::DdrController;
 use simkern::assertion::{AssertionKind, AssertionSink, Severity};
 use simkern::time::{Cycle, CycleDelta};
-use traffic::{TrafficPattern, TrafficTrace};
+use traffic::{Release, TraceItem, TrafficPattern, TrafficTrace};
 
 use crate::arbiter::{PendingRequest, TlmArbiter};
 use crate::config::TlmConfig;
@@ -78,8 +78,6 @@ struct TlmBridge {
     egress: Vec<BridgeCrossing>,
     /// Work replayed on behalf of remote shards so far.
     replayed: ReplayStats,
-    /// Sequence counter namespacing replayed transaction ids.
-    ingress_seq: u64,
     /// Local masters stalled on a non-posted read crossing, keyed by the
     /// original transaction id the response leg carries back.
     parked: Vec<(TransactionId, ParkedRead)>,
@@ -87,6 +85,39 @@ struct TlmBridge {
     /// transaction). Filled at injection, resolved when the replay
     /// completes on this shard's bus.
     owed_responses: Vec<(TransactionId, u8, Transaction)>,
+    /// Per-master release transforms for the lookahead scan, indexed by
+    /// master position, then trace position: `Some((a, b))` means the
+    /// earliest cycle a crossing can issue from that point on — given the
+    /// head item releases no earlier than `t` — is `max(t + a, b)`;
+    /// `None` means no remote item remains on the trace. The ingress
+    /// (replay) master's trace is dynamic and gets an empty table; its
+    /// traffic is covered by the egress/owed-response checks instead.
+    remote_ahead: Vec<Vec<Option<(u64, u64)>>>,
+}
+
+/// Builds the backward min-plus transform table over one static trace: a
+/// release rule is the affine-max function `f(t) = max(t + a, b)`
+/// (`AfterPrevious(gap)` → `(gap, 0)`, `At(at)` → `(0, at)`), and
+/// composing the rules from a trace position up to its next
+/// remote-addressed item yields the per-position transform the runtime
+/// scan evaluates in O(1). Entry `len` is the past-the-end sentinel.
+fn crossing_transforms(items: &[TraceItem], port: &BridgePort) -> Vec<Option<(u64, u64)>> {
+    let step = |release: Release| match release {
+        Release::AfterPrevious(gap) => (gap.value(), 0),
+        Release::At(at) => (0, at.value()),
+    };
+    let mut ahead: Vec<Option<(u64, u64)>> = vec![None; items.len() + 1];
+    for p in (0..items.len()).rev() {
+        ahead[p] = if port.map.is_remote(items[p].txn.addr, port.own) {
+            Some((0, 0))
+        } else {
+            ahead[p + 1].map(|(a2, b2)| {
+                let (a1, b1) = step(items[p + 1].release);
+                (a1.saturating_add(a2), b1.saturating_add(a2).max(b2))
+            })
+        };
+    }
+    ahead
 }
 
 /// The transaction-level AHB+ platform.
@@ -223,7 +254,15 @@ impl TlmSystem {
             config.params.bi_next_transaction_hints,
         );
         let mut trace_masters = Vec::with_capacity(masters.len());
-        for (trace, label, qos, posted) in masters {
+        let mut remote_ahead = Vec::with_capacity(masters.len());
+        for (position, (trace, label, qos, posted)) in masters.into_iter().enumerate() {
+            if let Some(p) = port.as_ref() {
+                remote_ahead.push(if Some(position) == ingress_position {
+                    Vec::new()
+                } else {
+                    crossing_transforms(trace.items(), p)
+                });
+            }
             let master = TraceMaster::new(trace, &label, qos, posted);
             recorder.register_master(master.id(), &label);
             recorder.register_qos(master.id(), qos);
@@ -289,9 +328,9 @@ impl TlmSystem {
                     ingress_position,
                     egress: Vec::new(),
                     replayed: ReplayStats::default(),
-                    ingress_seq: 0,
                     parked: Vec::new(),
                     owed_responses: Vec::new(),
+                    remote_ahead,
                 }),
         }
     }
@@ -349,12 +388,59 @@ impl TlmSystem {
             .map_or_else(Vec::new, |b| std::mem::take(&mut b.egress))
     }
 
+    /// [`TlmSystem::drain_egress`] without the allocation churn: clears
+    /// `out` and swaps it with the egress log, so a scheduler draining
+    /// every quantum recycles the same two buffers instead of allocating
+    /// per crossing batch.
+    pub fn drain_egress_into(&mut self, out: &mut Vec<BridgeCrossing>) {
+        out.clear();
+        if let Some(bridge) = self.bridge.as_mut() {
+            std::mem::swap(&mut bridge.egress, out);
+        }
+    }
+
     /// Work the bridge master replayed on behalf of remote shards so far.
     #[must_use]
     pub fn replayed(&self) -> ReplayStats {
         self.bridge
             .as_ref()
             .map_or_else(ReplayStats::default, |b| b.replayed)
+    }
+
+    /// Conservative lower bound on the earliest cycle this shard could
+    /// issue another bridge crossing, or `None` when no future crossing is
+    /// possible from the current state. A bound at or before `now()` means
+    /// traffic is imminent: undrained egress, replays owing a response
+    /// leg, a remote-addressed posted write parked in the write buffer, or
+    /// a parked non-posted read (its stale release time self-vetoes). The
+    /// quantum scheduler may advance all shards to the minimum bound
+    /// without exchanging, because a crossing issued at cycle `t` is never
+    /// visible to another shard before `t` plus the link latency.
+    #[must_use]
+    pub fn next_possible_crossing(&self) -> Option<Cycle> {
+        let bridge = self.bridge.as_ref()?;
+        if !bridge.egress.is_empty() || !bridge.owed_responses.is_empty() {
+            return Some(self.now);
+        }
+        if self.write_buffer.iter().any(|entry| {
+            let addr = self.arena.get(entry.handle).addr;
+            bridge.port.map.is_remote(addr, bridge.port.own)
+        }) {
+            return Some(self.now);
+        }
+        let mut bound = u64::MAX;
+        for (position, master) in self.masters.iter().enumerate() {
+            if position == bridge.ingress_position {
+                continue;
+            }
+            let Some(ready) = master.ready_at() else {
+                continue;
+            };
+            if let Some((a, b)) = bridge.remote_ahead[position][master.trace_position()] {
+                bound = bound.min(ready.value().saturating_add(a).max(b));
+            }
+        }
+        (bound != u64::MAX).then(|| Cycle::new(bound))
     }
 
     /// Delivers one bridge crossing: the transaction is queued on the
@@ -382,24 +468,37 @@ impl TlmSystem {
             .as_mut()
             .expect("inject_crossing without a bridge port");
         let position = bridge.ingress_position;
-        let txn = bridge.port.replay_txn(source, bridge.ingress_seq);
-        bridge.ingress_seq += 1;
+        let txn = bridge.port.replay_txn(source);
         if let Some(origin) = respond_to {
             bridge.owed_responses.push((txn.id, origin, source));
         }
         let master = &mut self.masters[position];
         let was_done = master.is_done();
-        master.append(txn, release_at);
+        let new_head = master.insert_pending(txn, release_at);
         if was_done {
             self.masters_done -= 1;
+        }
+        if new_head {
             self.ready.schedule(position, release_at);
         }
         // The speculative pipelining caches were computed without this
-        // request; drop them so the next round re-arbitrates. Both the
-        // threaded and the single-threaded platform driver inject at the
-        // same barriers, so the invalidation is deterministic too.
-        self.pending_fresh_at = None;
-        self.speculative_winner = None;
+        // request, but they are only ever reused at exactly the cycle
+        // they were collected for (`pending_fresh_at`). A replay whose
+        // release lies strictly after that cycle cannot join that
+        // collection, so the cached arbitration outcome is identical to a
+        // recomputed one and may stand; dropping it only when the release
+        // lands at or before the cached cycle keeps every mode's
+        // arbitration bit-identical while sparing one full re-collection
+        // and arbiter round per crossing. Both the threaded and the
+        // single-threaded platform driver inject at the same barriers, so
+        // the (non-)invalidation is deterministic too.
+        if self
+            .pending_fresh_at
+            .is_some_and(|fresh| release_at <= fresh)
+        {
+            self.pending_fresh_at = None;
+            self.speculative_winner = None;
+        }
     }
 
     /// Delivers the response leg of a non-posted read: the master stalled
@@ -898,7 +997,10 @@ impl TlmSystem {
         }
         let mut buffer_filled = false;
         loop {
-            let mut absorbed_any = false;
+            // Only a master whose *new* head released inside the window can
+            // absorb again, so the fixed point is reached the moment a pass
+            // re-releases nobody — absorbing alone does not force a re-scan.
+            let mut rereleased = false;
             // The mask is moved out for the duration of the pass so the
             // ready set can hand itself to the visitor mutably.
             let mask = std::mem::take(&mut self.posted_mask);
@@ -924,16 +1026,18 @@ impl TlmSystem {
                     master.complete_current(absorbed_at);
                     ready.clear(position);
                     match master.ready_at() {
-                        Some(next) => ready.schedule(position, next),
+                        Some(next) => {
+                            ready.schedule(position, next);
+                            rereleased |= ready.contains(position);
+                        }
                         None => self.masters_done += 1,
                     }
                     self.pending_fresh_at = None;
-                    absorbed_any = true;
                 }
                 true
             });
             self.posted_mask = mask;
-            if buffer_filled || !absorbed_any {
+            if buffer_filled || !rereleased {
                 break;
             }
         }

@@ -126,6 +126,13 @@ impl TraceMaster {
         self.items.items().get(self.next).map(|i| &i.txn)
     }
 
+    /// Index of the head-of-trace item. The multi-bus lookahead scan uses
+    /// this to index its precomputed per-position release transforms.
+    #[must_use]
+    pub fn trace_position(&self) -> usize {
+        self.next
+    }
+
     /// Returns `true` when every transaction of this master's trace passes
     /// `amba::check::validate_transaction`. Computed once so the bus can
     /// skip the per-issue consistency re-check on pre-validated traces.
@@ -153,26 +160,51 @@ impl TraceMaster {
         self.handle
     }
 
-    /// Appends a transaction released at the absolute cycle `release_at` to
-    /// the end of the trace. This is how a *dynamic* port (the AHB-to-AHB
-    /// bridge master of a multi-bus platform) receives its work at runtime;
-    /// trace-driven masters never grow after construction.
+    /// Inserts a transaction released at the absolute cycle `release_at`
+    /// into the pending tail of the trace, keeping every item not yet
+    /// issued to the bus sorted by `(release, id)`. This is how a
+    /// *dynamic* port (the AHB-to-AHB bridge master of a multi-bus
+    /// platform) receives its work at runtime; trace-driven masters never
+    /// grow after construction.
     ///
-    /// When the trace was exhausted the master becomes pending again with
-    /// the appended item as its head (the caller re-registers it with the
-    /// platform's ready set and completion bookkeeping).
-    pub fn append(&mut self, txn: Transaction, release_at: Cycle) {
+    /// Sorted insertion makes the replay order a pure function of the
+    /// *set* of deliveries: whether the platform hands them over one
+    /// barrier at a time (fixed quantum) or several barriers merged into
+    /// one batch (adaptive lookahead), the trace ends up identical. The
+    /// insertion can never displace work the bus has already seen — an
+    /// item that was granted, parked or released for arbitration carries
+    /// a release time no later than the current cycle, while a crossing
+    /// always arrives strictly after the barrier it was routed at — so
+    /// committed history is untouched.
+    ///
+    /// Returns `true` when the new item became the head of the trace
+    /// (`ready_at` was refreshed; the caller re-registers the master with
+    /// the platform's ready set and, when the trace was exhausted, its
+    /// completion bookkeeping).
+    pub fn insert_pending(&mut self, txn: Transaction, release_at: Cycle) -> bool {
         debug_assert_eq!(
             txn.master, self.id,
-            "appended item must belong to this port"
+            "inserted item must belong to this port"
         );
-        let was_done = self.is_done();
-        self.items.push(TraceItem {
-            release: Release::At(release_at),
-            txn,
+        let key = (release_at, txn.id.value());
+        let offset = self.items.items()[self.next..].partition_point(|item| match item.release {
+            Release::At(at) => (at, item.txn.id.value()) < key,
+            // Dynamic ports only ever carry absolute releases.
+            Release::AfterPrevious(_) => true,
         });
-        if was_done {
+        let position = self.next + offset;
+        self.items.insert(
+            position,
+            TraceItem {
+                release: Release::At(release_at),
+                txn,
+            },
+        );
+        if position == self.next {
             self.ready_at = release_at;
+            true
+        } else {
+            false
         }
     }
 

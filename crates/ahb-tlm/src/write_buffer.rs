@@ -129,6 +129,13 @@ impl WriteBuffer {
         self.entries.front()
     }
 
+    /// All buffered writes in FIFO order. The multi-bus lookahead scan
+    /// uses this to spot remote-addressed posted writes still parked in
+    /// the buffer.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedWrite> {
+        self.entries.iter()
+    }
+
     /// Removes and returns the oldest buffered write after it was granted
     /// and transferred. Handle ownership passes to the caller, which must
     /// release it once the data phase completes.

@@ -234,13 +234,19 @@ impl BridgePort {
     ///
     /// Replay ids set bit 63 (no workload generator does — trace ids are
     /// namespaced `master << 32`, below 2^40), carry the shard index in
-    /// bits 48..56 and the per-shard sequence number below, so they stay
-    /// unique for 2^48 replays per shard. Both shard backends mint
+    /// bits 48..56 and the *source transaction's* id below. A source
+    /// transaction crosses into a given shard at most once (routing is a
+    /// pure function of its address), so the replay id is unique — and,
+    /// unlike a per-shard injection counter, independent of the order
+    /// deliveries reach this shard in. That order independence is what
+    /// lets the adaptive-lookahead scheduler merge delivery batches
+    /// without perturbing replay identity. Both shard backends mint
     /// through this one method, which is what keeps a `sharded-tlm` and
     /// a `sharded-lt` run of the same platform id-for-id comparable.
     #[must_use]
-    pub fn replay_txn(&self, source: Transaction, seq: u64) -> Transaction {
-        debug_assert!(seq < 1 << 48, "replay sequence exhausted the id namespace");
+    pub fn replay_txn(&self, source: Transaction) -> Transaction {
+        let seq = source.id.value();
+        debug_assert!(seq < 1 << 48, "source id outside the replay namespace");
         let mut txn = source;
         txn.master = self.master;
         txn.posted_ok = false;
@@ -431,19 +437,21 @@ mod tests {
             BurstKind::Incr8,
             HSize::Word,
         )
-        .with_posted(true);
-        let replay = port.replay_txn(source, 41);
+        .with_posted(true)
+        .with_id(crate::txn::TransactionId::new(41));
+        let replay = port.replay_txn(source);
         assert_eq!(replay.master, MasterId::new(252));
         assert!(!replay.posted_ok, "replays are demand transfers");
         assert_eq!(replay.addr, source.addr);
         assert_eq!(replay.beats(), source.beats());
-        // Bit 63 marks the replay namespace; shard and sequence follow.
+        // Bit 63 marks the replay namespace; shard index and the source
+        // transaction's id follow.
         assert_eq!(replay.id.value(), (1 << 63) | (3 << 48) | 41);
         let other_shard = BridgePort {
             own: 2,
             ..port.clone()
         };
-        assert_ne!(other_shard.replay_txn(source, 41).id, replay.id);
+        assert_ne!(other_shard.replay_txn(source).id, replay.id);
     }
 
     #[test]

@@ -160,6 +160,28 @@ impl Probe {
     }
 }
 
+/// Synchronization-scheduler statistics of a multi-shard model.
+///
+/// Deliberately *not* part of [`Probe`]: the probe is the
+/// results-identity surface (two models are compared field for field),
+/// while these counters describe how a particular scheduler earned those
+/// results — a fixed-quantum and a lookahead run of the same platform are
+/// probe-identical but take different barrier counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SyncStats {
+    /// Quantum barriers taken over the run.
+    pub barriers: u64,
+    /// Barriers whose quantum the adaptive lookahead stretched past the
+    /// fixed value. Zero on a fixed-quantum run.
+    pub stretched: u64,
+    /// Simulated cycles covered by stretches: the sum over all stretched
+    /// barriers of how far the barrier moved past its fixed position.
+    pub cycles_gained: u64,
+    /// Mean simulated cycles advanced per barrier (final barrier clock
+    /// over `barriers`); the fixed quantum when no stretch ever fired.
+    pub mean_quantum: f64,
+}
+
 /// A bus-architecture model that can be driven by the run-control facade.
 ///
 /// # Time-advancement contract
@@ -219,6 +241,13 @@ pub trait BusModel {
         self.run_until(Cycle::MAX);
         self.report()
     }
+
+    /// Synchronization-scheduler statistics, for models with a notion of
+    /// quantum barriers (the sharded platforms). `None` on single-bus
+    /// models.
+    fn sync_stats(&self) -> Option<SyncStats> {
+        None
+    }
 }
 
 /// Boxed models are models: run-control drivers that hold backends as
@@ -251,6 +280,10 @@ impl<M: BusModel + ?Sized> BusModel for Box<M> {
 
     fn report(&mut self) -> SimReport {
         (**self).report()
+    }
+
+    fn sync_stats(&self) -> Option<SyncStats> {
+        (**self).sync_stats()
     }
 }
 

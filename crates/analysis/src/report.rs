@@ -26,6 +26,13 @@ pub enum ModelKind {
     /// N independent AHB+ buses connected by AHB-to-AHB bridges, each
     /// shard an `ahb-tlm` instance.
     ShardedTlm,
+    /// The transaction-level multi-bus platform running under the
+    /// adaptive-lookahead scheduler: quantum barriers are stretched past
+    /// the fixed conservative value whenever every shard proves no
+    /// crossing can be issued before the stretched barrier. Results are
+    /// identical to [`ModelKind::ShardedTlm`]; only the wall-clock cost
+    /// of synchronization differs.
+    ShardedTlmLa,
     /// The multi-bus platform with transaction-level shards and a
     /// *non-uniform* window map: an explicit per-window owner table
     /// (skewed ownership) instead of the round-robin interleave.
@@ -49,11 +56,12 @@ impl ModelKind {
     /// models: they share the shard backend's timing fidelity but add the
     /// bridge/quantum approximations). The accuracy harness compares each
     /// pair in this order (earlier kind = reference).
-    pub const ALL: [ModelKind; 8] = [
+    pub const ALL: [ModelKind; 9] = [
         ModelKind::PinAccurateRtl,
         ModelKind::TransactionLevel,
         ModelKind::LooselyTimed,
         ModelKind::ShardedTlm,
+        ModelKind::ShardedTlmLa,
         ModelKind::ShardedSkew,
         ModelKind::ShardedTlmReads,
         ModelKind::ShardedLt,
@@ -70,6 +78,7 @@ impl ModelKind {
             ModelKind::TransactionLevel => "tlm",
             ModelKind::LooselyTimed => "lt",
             ModelKind::ShardedTlm => "sharded-tlm",
+            ModelKind::ShardedTlmLa => "sharded-tlm-la",
             ModelKind::ShardedSkew => "sharded-skew",
             ModelKind::ShardedTlmReads => "sharded-tlm-reads",
             ModelKind::ShardedLt => "sharded-lt",
@@ -85,6 +94,7 @@ impl fmt::Display for ModelKind {
             ModelKind::TransactionLevel => write!(f, "TL"),
             ModelKind::LooselyTimed => write!(f, "LT"),
             ModelKind::ShardedTlm => write!(f, "S-TL"),
+            ModelKind::ShardedTlmLa => write!(f, "S-TL-LA"),
             ModelKind::ShardedSkew => write!(f, "S-SK"),
             ModelKind::ShardedTlmReads => write!(f, "S-TL-R"),
             ModelKind::ShardedLt => write!(f, "S-LT"),
@@ -416,6 +426,8 @@ mod tests {
         assert_eq!(ModelKind::TransactionLevel.id(), "tlm");
         assert_eq!(ModelKind::LooselyTimed.id(), "lt");
         assert_eq!(ModelKind::ShardedTlm.id(), "sharded-tlm");
+        assert_eq!(ModelKind::ShardedTlmLa.id(), "sharded-tlm-la");
+        assert_eq!(ModelKind::ShardedTlmLa.to_string(), "S-TL-LA");
         assert_eq!(ModelKind::ShardedLt.id(), "sharded-lt");
         assert_eq!(ModelKind::ShardedHet.id(), "sharded-het");
         assert_eq!(ModelKind::ShardedTlmReads.id(), "sharded-tlm-reads");
@@ -432,6 +444,7 @@ mod tests {
                 "tlm",
                 "lt",
                 "sharded-tlm",
+                "sharded-tlm-la",
                 "sharded-skew",
                 "sharded-tlm-reads",
                 "sharded-lt",

@@ -10,6 +10,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use crate::jsonfmt::{escape_json, json_f64};
+use crate::model::SyncStats;
 use crate::report::SimReport;
 
 /// Simulation-speed summary for one platform configuration.
@@ -126,6 +127,14 @@ pub mod model_names {
     pub const SHARDED_TLM_4X4_BRIDGE: &str = "sharded-tlm-4x4-bridge";
     /// Four loosely-timed shards of sixteen masters each, bridge-light.
     pub const SHARDED_LT_4X16: &str = "sharded-lt-4x16";
+    /// The 4×4 bridge-light transaction-level platform under the
+    /// adaptive-lookahead scheduler (same workload as
+    /// [`SHARDED_TLM_4X4`], so the pair isolates the synchronization
+    /// cost).
+    pub const SHARDED_TLM_LA_4X4: &str = "sharded-tlm-la-4x4";
+    /// The 4×16 bridge-light loosely-timed platform under the
+    /// adaptive-lookahead scheduler.
+    pub const SHARDED_LT_4X16_LA: &str = "sharded-lt-4x16-la";
     /// The heterogeneous multi-bus platform (2 `tlm` + 2 `lt` shards).
     pub const SHARDED_HET: &str = "sharded-het";
     /// Two transaction-level shards with non-posted read crossings.
@@ -148,6 +157,9 @@ pub struct ModelMeasurement {
     pub cycles: u64,
     /// Measured throughput in kilo-cycles per second (best of N runs).
     pub kcycles_per_sec: f64,
+    /// Synchronization-scheduler statistics of the kept (fastest) run,
+    /// for models with quantum barriers. `None` on single-bus models.
+    pub sync: Option<SyncStats>,
 }
 
 /// A machine-readable record of one speed measurement, emitted by the
@@ -256,9 +268,18 @@ impl SpeedBenchRecord {
             } else {
                 ""
             };
+            let sync = model.sync.map_or_else(String::new, |s| {
+                format!(
+                    ", \"sync_barriers\": {}, \"sync_stretched\": {}, \"sync_cycles_gained\": {}, \"mean_quantum\": {}",
+                    s.barriers,
+                    s.stretched,
+                    s.cycles_gained,
+                    json_f64(s.mean_quantum)
+                )
+            });
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}}}{comma}",
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}{sync}}}{comma}",
                 escape_json(&model.name),
                 model.cycles,
                 json_f64(model.kcycles_per_sec)
@@ -357,7 +378,33 @@ mod tests {
             name: name.to_owned(),
             cycles,
             kcycles_per_sec,
+            sync: None,
         }
+    }
+
+    #[test]
+    fn sync_stats_extend_the_per_model_json_line() {
+        let mut sharded = measurement(model_names::SHARDED_TLM_LA_4X4, 40_000, 5_000.0);
+        sharded.sync = Some(SyncStats {
+            barriers: 100,
+            stretched: 25,
+            cycles_gained: 12_000,
+            mean_quantum: 400.0,
+        });
+        let record = SpeedBenchRecord {
+            workload: "pattern_shards".to_owned(),
+            transactions_per_master: 100,
+            seed: 1,
+            models: vec![measurement(model_names::TLM, 50_000, 1_000.0), sharded],
+        };
+        let json = record.to_json();
+        // Single-bus lines are unchanged; sharded lines append the
+        // scheduler counters after the throughput.
+        assert!(json.contains("{\"name\": \"tlm\", \"cycles\": 50000, \"kcycles_per_sec\": 1000}"));
+        assert!(json.contains(
+            "\"kcycles_per_sec\": 5000, \"sync_barriers\": 100, \"sync_stretched\": 25, \
+             \"sync_cycles_gained\": 12000, \"mean_quantum\": 400"
+        ));
     }
 
     #[test]

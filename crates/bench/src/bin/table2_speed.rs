@@ -73,8 +73,17 @@ fn main() {
     println!("{}", record.speed_report().format_table());
     println!("measured models:");
     for model in &record.models {
+        // Sharded platforms also surface their synchronization counters:
+        // how many barriers the run took, how many the lookahead
+        // scheduler stretched, and the resulting mean effective quantum.
+        let sync = model.sync.map_or_else(String::new, |s| {
+            format!(
+                "  [{} barriers, {} stretched, mean quantum {:.1}]",
+                s.barriers, s.stretched, s.mean_quantum
+            )
+        });
         println!(
-            "  {:<24} {:>12.2} Kcycles/s  ({} cycles)",
+            "  {:<24} {:>12.2} Kcycles/s  ({} cycles){sync}",
             model.name, model.kcycles_per_sec, model.cycles
         );
     }

@@ -192,9 +192,9 @@ mod tests {
     #[test]
     fn model_pairs_cover_the_spectrum_in_accuracy_order() {
         let pairs = model_pairs();
-        // Eight spectrum points → C(8, 2) ordered pairs, more-accurate
+        // Nine spectrum points → C(9, 2) ordered pairs, more-accurate
         // model first.
-        assert_eq!(pairs.len(), 28);
+        assert_eq!(pairs.len(), 36);
         assert_eq!(
             pairs[0],
             (ModelKind::PinAccurateRtl, ModelKind::TransactionLevel)

@@ -12,6 +12,7 @@
 //! | `tlm` | [`ahb_tlm`] | cycle-counting, per-transaction | ~15× RTL |
 //! | `lt`  | [`ahb_lt`]  | estimated per burst, exact results | ~2-4× TLM |
 //! | `sharded-tlm` | [`ahb_multi`] | N bridged TLM shards, conservative quanta | scales with shards |
+//! | `sharded-tlm-la` | [`ahb_multi`] | same shards, adaptive-lookahead quanta | ≥ sharded-tlm, identical results |
 //! | `sharded-lt`  | [`ahb_multi`] | N bridged LT shards | scales with shards |
 //! | `sharded-het` | [`ahb_multi`] | heterogeneous 2×TLM + 2×LT shards | between the two |
 //! | `sharded-tlm-reads` | [`ahb_multi`] | TLM shards, non-posted read crossings | high aggregate rate over a much longer stalled span |
@@ -26,6 +27,33 @@
 //! shards) beats the equivalent single-bus model as soon as the bus is
 //! the bottleneck: a 16-master bridge-light workload runs ~2.4× faster
 //! as `sharded-tlm` 4×4 than on one flat bus, even before threading.
+//!
+//! # How synchronization works
+//!
+//! The shards advance under **conservative quantum synchronization**:
+//! the platform commits a barrier schedule whose quantum never exceeds
+//! the minimum bridge crossing latency, so a shard simulating freely up
+//! to the next barrier can never miss a remote effect — every crossing
+//! issued inside a quantum is exchanged at the barrier and released at
+//! or after it. The schedule is identical in the single-threaded
+//! reference mode and the threaded mode (one worker per shard, blocking
+//! or spinning rendezvous), which is what makes them probe-identical.
+//!
+//! With [`MultiConfig::with_lookahead`] the quantum becomes *adaptive*:
+//! at a quiet barrier (nothing delivered), every shard computes a
+//! lookahead bound — the earliest cycle it could emit a crossing, from
+//! its release tables filtered to remote windows, its bridge egress and
+//! owed responses, and remote writes parked in its buffers — and the
+//! scheduler stretches the next quantum toward the minimum bound plus
+//! one crossing latency (clamped by
+//! [`MultiConfig::with_max_stretch`]). Nothing can cross before
+//! the bound, so the stretched run takes the *same* simulation through
+//! fewer barriers: results and probes stay identical to the fixed
+//! schedule (`sharded-tlm-la` is the registered spectrum point; the
+//! speed harness also measures a lookahead LT twin). The per-run
+//! counters — barriers taken, barriers stretched, cycles gained, mean
+//! effective quantum — surface through [`BusModel::sync_stats`] and the
+//! `BENCH_speed.json` artifact.
 //!
 //! # Describing a topology
 //!

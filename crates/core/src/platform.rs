@@ -177,13 +177,35 @@ impl PlatformConfig {
     /// skewed-window platforms are just different topology values.
     #[must_use]
     pub fn build_topology(&self, topology: Topology) -> MultiSystem {
-        let shards = topology.shard_count().unwrap_or(Self::DEFAULT_SHARDS);
-        let config = MultiConfig::from_topology(topology)
+        self.build_multi(&self.multi_config(topology))
+    }
+
+    /// The multi-bus configuration derived from this platform for the
+    /// given topology (this platform's bus parameters, DDR device and
+    /// cycle limit). Callers that need a non-default execution policy —
+    /// threading, an explicit quantum, adaptive lookahead — adjust the
+    /// returned value with the [`MultiConfig`] builders and hand it to
+    /// [`PlatformConfig::build_multi`].
+    #[must_use]
+    pub fn multi_config(&self, topology: Topology) -> MultiConfig {
+        MultiConfig::from_topology(topology)
             .with_params(self.params.clone())
             .with_ddr(self.ddr)
-            .with_max_cycles(self.max_cycles);
+            .with_max_cycles(self.max_cycles)
+    }
+
+    /// Builds the multi-bus system of a fully specified [`MultiConfig`]:
+    /// the pattern's masters are partitioned round-robin over the
+    /// topology's shard count (or [`PlatformConfig::DEFAULT_SHARDS`] when
+    /// the topology is uniform).
+    #[must_use]
+    pub fn build_multi(&self, config: &MultiConfig) -> MultiSystem {
+        let shards = config
+            .topology
+            .shard_count()
+            .unwrap_or(Self::DEFAULT_SHARDS);
         let parts = partition_round_robin(&self.pattern, shards);
-        MultiSystem::from_shard_patterns(&config, &parts, self.transactions_per_master, self.seed)
+        MultiSystem::from_shard_patterns(config, &parts, self.transactions_per_master, self.seed)
     }
 
     /// Builds the system of the given abstraction level behind the
@@ -201,6 +223,13 @@ impl PlatformConfig {
             ModelKind::TransactionLevel => Box::new(self.build_tlm()),
             ModelKind::LooselyTimed => Box::new(self.build_lt()),
             ModelKind::ShardedTlm => Box::new(self.build_sharded(ShardBackendKind::Tlm)),
+            ModelKind::ShardedTlmLa => Box::new(
+                self.build_multi(
+                    &self
+                        .multi_config(Topology::uniform(ShardBackendKind::Tlm))
+                        .with_lookahead(true),
+                ),
+            ),
             ModelKind::ShardedLt => Box::new(self.build_sharded(ShardBackendKind::Lt)),
             ModelKind::ShardedHet => Box::new(self.build_topology(Topology::het_2x2())),
             ModelKind::ShardedTlmReads => {

@@ -14,7 +14,7 @@
 //! the harness binaries never change. Dynamic dispatch happens once per
 //! run; the simulation loops inside `run_until` stay monomorphized.
 
-use analysis::model::BusModel;
+use analysis::model::{BusModel, SyncStats};
 use analysis::report::SimReport;
 use analysis::speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};
 
@@ -89,7 +89,9 @@ impl ModelSpec {
 /// platforms: the default 2-shard partitions of the speed workload, the
 /// dedicated sharded scaling configurations over
 /// `traffic::pattern_shards` (`sharded-tlm-4x4` bridge-light and
-/// bridge-heavy, `sharded-lt-4x16`), and the topology configurations —
+/// bridge-heavy, `sharded-lt-4x16`, plus the adaptive-lookahead twins
+/// `sharded-tlm-la-4x4` and `sharded-lt-4x16-la` over the identical
+/// workloads), and the topology configurations —
 /// heterogeneous shards (`sharded-het`), non-posted read crossings
 /// (`sharded-tlm-reads`, plus its 4×4 read-heavy scaling variant) and
 /// the skewed window map (`sharded-skew`).
@@ -158,7 +160,11 @@ pub fn standard_models() -> Vec<ModelSpec> {
                 ))
             }
         };
-    let sharded = move |backend: ShardBackendKind, shards: usize, masters: usize, mix: ShardMix| {
+    let sharded = move |backend: ShardBackendKind,
+                        shards: usize,
+                        masters: usize,
+                        mix: ShardMix,
+                        lookahead: bool| {
         move |config: &PlatformConfig| -> Box<dyn BusModel> {
             // Inherit the speed scenario's bus and DRAM parameters like
             // every other spec, so the sharded rows stay comparable to
@@ -168,7 +174,8 @@ pub fn standard_models() -> Vec<ModelSpec> {
                 .with_params(config.params.clone())
                 .with_ddr(config.ddr)
                 .with_max_cycles(config.max_cycles)
-                .with_threaded(threaded);
+                .with_threaded(threaded)
+                .with_lookahead(lookahead);
             Box::new(MultiSystem::from_shard_patterns(
                 &multi,
                 &pattern_shards(shards, masters, mix),
@@ -198,15 +205,29 @@ pub fn standard_models() -> Vec<ModelSpec> {
         ModelSpec::new(partitioned(ShardBackendKind::Lt, threaded)),
         ModelSpec::variant(
             "4x4",
-            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::LocalHeavy),
+            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::LocalHeavy, false),
+        ),
+        // The same 4×4 workload under the adaptive-lookahead scheduler
+        // (the platform reports itself as `sharded-tlm-la`, so the
+        // variant suffix stays `4x4`): the fixed/lookahead pair isolates
+        // the synchronization cost.
+        ModelSpec::variant(
+            "4x4",
+            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::LocalHeavy, true),
         ),
         ModelSpec::variant(
             "4x4-bridge",
-            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::BridgeHeavy),
+            sharded(ShardBackendKind::Tlm, 4, 4, ShardMix::BridgeHeavy, false),
         ),
         ModelSpec::variant(
             "4x16",
-            sharded(ShardBackendKind::Lt, 4, 16, ShardMix::LocalHeavy),
+            sharded(ShardBackendKind::Lt, 4, 16, ShardMix::LocalHeavy, false),
+        ),
+        // Loosely-timed shards keep their model kind under lookahead, so
+        // the variant suffix carries the `-la` marker instead.
+        ModelSpec::variant(
+            "4x16-la",
+            sharded(ShardBackendKind::Lt, 4, 16, ShardMix::LocalHeavy, true),
         ),
         ModelSpec::new(topology_spec(Topology::het_2x2(), None)),
         ModelSpec::new(topology_spec(Topology::tlm_non_posted_reads(), None)),
@@ -265,23 +286,50 @@ pub fn measure_models(
             }
         }
     }
-    let mut models = Vec::new();
-    for ((spec, name), prototype) in specs.iter().zip(available).zip(&mut prototypes) {
-        if let Some(wanted) = filter {
-            if !wanted.contains(&name) {
-                continue;
+    // The fastest repetition seen so far for one model, plus whatever it
+    // measured alongside (each run constructs a fresh system, so state
+    // never leaks between repetitions).
+    type BestRun = Option<(SimReport, Option<SyncStats>)>;
+    // The repetitions are interleaved across models (rep 0 of every
+    // model, then rep 1, ...) rather than measured as per-model blocks:
+    // host-level noise tends to arrive as sustained episodes, and a
+    // block layout lands a whole episode on one model, skewing every
+    // cross-model comparison. Round-robin spreads an episode over all
+    // models so best-of-N converges on comparable quiet samples.
+    let mut measured: Vec<(usize, String, BestRun)> = specs
+        .iter()
+        .zip(available)
+        .enumerate()
+        .filter(|(_, (_, name))| filter.is_none_or(|wanted| wanted.contains(name)))
+        .map(|(index, (_, name))| (index, name, None))
+        .collect();
+    for _ in 0..SPEED_MEASUREMENT_REPS {
+        for (index, _, best) in &mut measured {
+            let mut model = match prototypes[*index].take() {
+                Some(model) => model,
+                None => specs[*index].build(config),
+            };
+            let report = model.run();
+            let faster = best
+                .as_ref()
+                .is_none_or(|(b, _)| report.kcycles_per_second() > b.kcycles_per_second());
+            if faster {
+                *best = Some((report, model.sync_stats()));
             }
         }
-        let report = best_of(SPEED_MEASUREMENT_REPS, || match prototype.take() {
-            Some(mut model) => model.run(),
-            None => spec.build(config).run(),
-        });
-        models.push(ModelMeasurement {
-            name,
-            cycles: report.total_cycles,
-            kcycles_per_sec: report.kcycles_per_second(),
-        });
     }
+    let models = measured
+        .into_iter()
+        .map(|(_, name, best)| {
+            let (report, sync) = best.expect("every model measured at least once");
+            ModelMeasurement {
+                name,
+                cycles: report.total_cycles,
+                kcycles_per_sec: report.kcycles_per_second(),
+                sync,
+            }
+        })
+        .collect();
     Ok(SpeedBenchRecord {
         workload: workload.to_owned(),
         transactions_per_master: config.transactions_per_master,
@@ -303,20 +351,6 @@ pub fn measure_speed_record(config: &PlatformConfig, workload: &str) -> SpeedBen
 #[must_use]
 pub fn measure_speed(config: &PlatformConfig) -> SpeedReport {
     measure_speed_record(config, "ad-hoc").speed_report()
-}
-
-/// Runs `run` `reps` times and keeps the report with the highest
-/// throughput (each run constructs a fresh system, so state never leaks
-/// between repetitions).
-fn best_of(reps: usize, mut run: impl FnMut() -> SimReport) -> SimReport {
-    let mut best = run();
-    for _ in 1..reps.max(1) {
-        let candidate = run();
-        if candidate.kcycles_per_second() > best.kcycles_per_second() {
-            best = candidate;
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -359,8 +393,10 @@ mod tests {
                 model_names::SHARDED_TLM,
                 model_names::SHARDED_LT,
                 model_names::SHARDED_TLM_4X4,
+                model_names::SHARDED_TLM_LA_4X4,
                 model_names::SHARDED_TLM_4X4_BRIDGE,
                 model_names::SHARDED_LT_4X16,
+                model_names::SHARDED_LT_4X16_LA,
                 model_names::SHARDED_HET,
                 model_names::SHARDED_TLM_READS,
                 model_names::SHARDED_SKEW,

@@ -70,6 +70,24 @@ impl TrafficTrace {
         self.items.push(item);
     }
 
+    /// Inserts one item at `index`, shifting later entries back. Dynamic
+    /// bridge ports use this to keep their not-yet-issued tail sorted by
+    /// release time, so the shape of the delivery batches (one per
+    /// barrier under a fixed quantum, merged under adaptive lookahead)
+    /// cannot influence replay order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the item's transaction does not belong to this trace's
+    /// master or `index` is out of bounds.
+    pub fn insert(&mut self, index: usize, item: TraceItem) {
+        assert_eq!(
+            item.txn.master, self.master,
+            "trace item inserted into the wrong master's trace"
+        );
+        self.items.insert(index, item);
+    }
+
     /// The master this trace belongs to.
     #[must_use]
     pub fn master(&self) -> MasterId {

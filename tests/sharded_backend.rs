@@ -28,7 +28,7 @@ fn build(
     MultiSystem::from_shard_patterns(&config, &patterns, 30, seed)
 }
 
-/// `mode` = (threaded, spin barrier).
+/// `mode` = (threaded, spin barrier, adaptive lookahead).
 fn build_topology(
     topology: Topology,
     shards: usize,
@@ -36,12 +36,13 @@ fn build_topology(
     mix: ShardMix,
     quantum: u64,
     seed: u64,
-    mode: (bool, bool),
+    mode: (bool, bool, bool),
 ) -> MultiSystem {
     let config = MultiConfig::from_topology(topology)
         .with_quantum(quantum)
         .with_threaded(mode.0)
-        .with_spin_sync(mode.1);
+        .with_spin_sync(mode.1)
+        .with_lookahead(mode.2);
     let patterns = pattern_shards(shards, masters, mix);
     MultiSystem::from_shard_patterns(&config, &patterns, 30, seed)
 }
@@ -99,6 +100,7 @@ fn sharded_models_report_their_kind_and_names() {
     let config = PlatformConfig::new(traffic::pattern_a(), 10, 5);
     for (kind, name) in [
         (ModelKind::ShardedTlm, "sharded-tlm"),
+        (ModelKind::ShardedTlmLa, "sharded-tlm-la"),
         (ModelKind::ShardedLt, "sharded-lt"),
         (ModelKind::ShardedHet, "sharded-het"),
         (ModelKind::ShardedTlmReads, "sharded-tlm-reads"),
@@ -313,6 +315,97 @@ fn sharded_tlm_outruns_the_flat_single_bus_on_a_bridge_light_workload() {
     );
 }
 
+#[test]
+fn lookahead_stretches_quiet_barriers_without_changing_results() {
+    // The tentpole claim end to end: on a bridge-light workload the
+    // adaptive lookahead must take strictly fewer barriers than the
+    // fixed-quantum schedule (stretching through provably quiet spans)
+    // while staying probe-identical shard by shard.
+    let patterns = pattern_shards(4, 4, ShardMix::LocalHeavy);
+    let fixed_config = MultiConfig::new(ShardBackendKind::Tlm);
+    let la_config = MultiConfig::new(ShardBackendKind::Tlm).with_lookahead(true);
+    let mut fixed = MultiSystem::from_shard_patterns(&fixed_config, &patterns, 40, 17);
+    let mut la = MultiSystem::from_shard_patterns(&la_config, &patterns, 40, 17);
+    assert_eq!(fixed.model_name(), "sharded-tlm");
+    assert_eq!(la.model_name(), "sharded-tlm-la");
+    assert_eq!(BusModel::kind(&la), ModelKind::ShardedTlmLa);
+    fixed.run();
+    la.run();
+    assert_eq!(fixed.probe(), la.probe());
+    assert_eq!(fixed.shard_probes(), la.shard_probes());
+    let fixed_stats = BusModel::sync_stats(&fixed).expect("sharded platforms report sync stats");
+    let la_stats = BusModel::sync_stats(&la).expect("sharded platforms report sync stats");
+    assert_eq!(fixed_stats.stretched, 0, "fixed mode never stretches");
+    assert_eq!(fixed_stats.cycles_gained, 0);
+    assert!(
+        la_stats.stretched > 0,
+        "a bridge-light workload must offer stretchable barriers"
+    );
+    assert!(la_stats.cycles_gained > 0);
+    assert!(
+        la_stats.barriers < fixed_stats.barriers,
+        "lookahead must remove barriers: {} vs {}",
+        la_stats.barriers,
+        fixed_stats.barriers
+    );
+    assert!(la_stats.mean_quantum > fixed_stats.mean_quantum);
+    assert_eq!(la_stats.barriers, la.barriers_taken());
+    assert_eq!(la_stats.stretched, la.barriers_stretched());
+    assert_eq!(la_stats.cycles_gained, la.lookahead_cycles_gained());
+}
+
+#[test]
+fn per_shard_overrides_slow_the_cold_shard_without_changing_results() {
+    // Satellite check of the per-shard parameter overrides: a 2×tlm+2×lt
+    // platform whose "cold" transaction-level shard 1 runs a
+    // prepare-hint-less DDR (and plain-AHB bus parameters) completes
+    // identical work, threaded and single-threaded lockstep-identical —
+    // but the override must be visible in the shard's DRAM statistics.
+    let backends = vec![
+        ShardBackendKind::Tlm,
+        ShardBackendKind::Tlm,
+        ShardBackendKind::Lt,
+        ShardBackendKind::Lt,
+    ];
+    let topology = Topology::heterogeneous(backends)
+        .with_shard_ddr(1, ddrc::DdrConfig::without_interleaving())
+        .with_shard_params(1, amba::params::AhbPlusParams::plain_ahb());
+    let patterns = pattern_shards(4, 4, ShardMix::LocalHeavy);
+    let config = MultiConfig::from_topology(topology);
+    let mut uniform = MultiSystem::from_shard_patterns(
+        &MultiConfig::from_topology(Topology::heterogeneous(vec![
+            ShardBackendKind::Tlm,
+            ShardBackendKind::Tlm,
+            ShardBackendKind::Lt,
+            ShardBackendKind::Lt,
+        ])),
+        &patterns,
+        40,
+        17,
+    );
+    let mut single = MultiSystem::from_shard_patterns(&config, &patterns, 40, 17);
+    let mut threaded =
+        MultiSystem::from_shard_patterns(&config.clone().with_threaded(true), &patterns, 40, 17);
+    let outcome = run_lockstep(&mut threaded, &mut single, CycleDelta::new(512));
+    assert!(outcome.is_identical(), "{}", outcome.summary());
+    let uniform_report = uniform.run();
+    let single_report = single.report();
+    assert_eq!(
+        uniform_report.total_transactions(),
+        single_report.total_transactions(),
+        "overrides change timing, never results"
+    );
+    assert_eq!(uniform_report.total_bytes(), single_report.total_bytes());
+    // The cold shard's controller ignores prepare hints, so the platform
+    // loses the prepared-hit population the uniform platform enjoys.
+    assert!(
+        single.probe().dram_prepared_hits < uniform.probe().dram_prepared_hits,
+        "the DDR override must be live on shard 3: {} vs {}",
+        single.probe().dram_prepared_hits,
+        uniform.probe().dram_prepared_hits
+    );
+}
+
 proptest! {
     /// The determinism guarantee of the threaded scheduler: across shard
     /// counts, quanta, seeds, backends and traffic mixes, the threaded
@@ -339,10 +432,12 @@ proptest! {
     }
 
     /// The same guarantee over the *topology* axes: heterogeneous shard
-    /// mixes, non-uniform window maps, non-posted read crossings and the
-    /// spin barrier all run the identical exchange schedule — the
-    /// threaded platform (spinning or blocking) stays byte-identical to
-    /// the single-threaded reference.
+    /// mixes, non-uniform window maps, non-posted read crossings, the
+    /// spin barrier and the adaptive-lookahead scheduler all run the
+    /// identical exchange schedule — the threaded platform (spinning or
+    /// blocking) stays byte-identical to the single-threaded reference,
+    /// and a lookahead run stays probe-identical to the fixed-quantum
+    /// run it accelerates.
     #[test]
     fn threaded_topologies_are_deterministic(
         shards in 2usize..5,
@@ -351,6 +446,7 @@ proptest! {
         spin in any::<bool>(),
         posted_reads in any::<bool>(),
         het in any::<bool>(),
+        lookahead in any::<bool>(),
         mix_selector in 0usize..4,
     ) {
         let mix = [
@@ -365,16 +461,33 @@ proptest! {
             })
             .collect();
         let topology = Topology::heterogeneous(backends).with_posted_reads(posted_reads);
-        let mut threaded =
-            build_topology(topology.clone(), shards, 3, mix, quantum, seed, (true, spin));
-        let mut single =
-            build_topology(topology, shards, 3, mix, quantum, seed, (false, spin));
+        let mut threaded = build_topology(
+            topology.clone(), shards, 3, mix, quantum, seed, (true, spin, lookahead));
+        let mut single = build_topology(
+            topology.clone(), shards, 3, mix, quantum, seed, (false, spin, lookahead));
         let threaded_report = threaded.run();
         let single_report = single.run();
         prop_assert!(threaded_report.metrics_eq(&single_report),
-            "topology run diverged (shards {}, quantum {}, seed {}, spin {}, posted_reads {})",
-            shards, quantum, seed, spin, posted_reads);
+            "topology run diverged (shards {}, quantum {}, seed {}, spin {}, posted_reads {}, \
+             lookahead {})",
+            shards, quantum, seed, spin, posted_reads, lookahead);
         prop_assert_eq!(threaded.probe(), single.probe());
         prop_assert_eq!(threaded.shard_probes(), single.shard_probes());
+        if lookahead {
+            // The lookahead schedule must be a pure acceleration of the
+            // fixed schedule: every observable except the model label
+            // (uniform-TLM platforms report themselves as
+            // `sharded-tlm-la`) and the wall clock is unchanged.
+            let mut fixed = build_topology(
+                topology, shards, 3, mix, quantum, seed, (false, spin, false));
+            let fixed_report = fixed.run();
+            prop_assert_eq!(single.probe(), fixed.probe(),
+                "lookahead diverged from fixed (shards {}, quantum {}, seed {})",
+                shards, quantum, seed);
+            prop_assert_eq!(single.shard_probes(), fixed.shard_probes());
+            prop_assert_eq!(single_report.total_cycles, fixed_report.total_cycles);
+            prop_assert_eq!(&single_report.masters, &fixed_report.masters);
+            prop_assert_eq!(&single_report.bus, &fixed_report.bus);
+        }
     }
 }
