@@ -1,0 +1,251 @@
+//! The campaign report record — the per-commit artifact of a design-space
+//! sweep.
+//!
+//! A campaign expands a parameter lattice into run points, executes them
+//! through the worker pool and journals every completion; the
+//! [`CampaignBenchRecord`] is the aggregated view the `campaign report`
+//! subcommand renders: one row per lattice point (with its content hash,
+//! how it was satisfied — simulated, served from the result cache, or
+//! still pending — and its measured cycles/throughput) plus one row per
+//! worker session so the single-worker vs N-worker wall times of the
+//! acceptance run are recorded next to the data they produced.
+
+use std::fmt::Write as _;
+
+use crate::jsonfmt::{escape_json, json_f64};
+
+/// How a lattice point was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Not yet executed (campaign interrupted before reaching it).
+    Pending,
+    /// Simulated in some session of this campaign.
+    Simulated,
+    /// Served from the on-disk result cache without simulating.
+    Cached,
+}
+
+impl PointStatus {
+    /// Stable identifier used in the JSON artifact and the journal.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            PointStatus::Pending => "pending",
+            PointStatus::Simulated => "simulated",
+            PointStatus::Cached => "cached",
+        }
+    }
+}
+
+/// One lattice point of the campaign report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignPointRecord {
+    /// Human-readable point label (`scenario/model/seed…`).
+    pub label: String,
+    /// Scenario name the point derives from.
+    pub scenario: String,
+    /// Model identifier (`ModelKind::id` string).
+    pub model: String,
+    /// Workload seed of the resolved point.
+    pub seed: u64,
+    /// Content hash of the canonical (spec, seed, params, model) encoding.
+    pub hash: String,
+    /// How the point was satisfied.
+    pub status: PointStatus,
+    /// Simulated bus cycles (0 while pending).
+    pub total_cycles: u64,
+    /// Completed transactions (0 while pending).
+    pub transactions: u64,
+    /// Data moved in bytes (0 while pending).
+    pub bytes: u64,
+    /// Wall-clock execution time in microseconds (0 for cached/pending).
+    pub wall_micros: u64,
+}
+
+impl CampaignPointRecord {
+    /// Simulation throughput in Kcycles per wall second (`None` for
+    /// cached or pending points, which did not run).
+    #[must_use]
+    pub fn kcycles_per_sec(&self) -> Option<f64> {
+        if self.wall_micros == 0 {
+            return None;
+        }
+        let seconds = self.wall_micros as f64 / 1_000_000.0;
+        Some(self.total_cycles as f64 / 1_000.0 / seconds)
+    }
+}
+
+/// One worker-pool session of the campaign (a `run` or `resume`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSessionRecord {
+    /// Worker threads the session ran with.
+    pub workers: usize,
+    /// Points simulated by this session.
+    pub executed: usize,
+    /// Points satisfied from the result cache by this session.
+    pub cached: usize,
+    /// Session wall-clock time in microseconds.
+    pub wall_micros: u64,
+}
+
+/// The aggregated campaign artifact (`BENCH_campaign.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignBenchRecord {
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// Content hash of the canonical campaign spec.
+    pub spec_hash: String,
+    /// Every lattice point, in expansion order.
+    pub points: Vec<CampaignPointRecord>,
+    /// Every worker-pool session, in journal order.
+    pub sessions: Vec<CampaignSessionRecord>,
+}
+
+impl CampaignBenchRecord {
+    /// Points not yet satisfied.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.status == PointStatus::Pending)
+            .count()
+    }
+
+    /// `true` when every lattice point has a result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total simulated cycles over all completed points.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.points.iter().map(|p| p.total_cycles).sum()
+    }
+
+    /// Serializes the record as the `BENCH_campaign.json` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ahbplus-bench-campaign/v1\",");
+        let _ = writeln!(out, "  \"campaign\": \"{}\",", escape_json(&self.campaign));
+        let _ = writeln!(
+            out,
+            "  \"spec_hash\": \"{}\",",
+            escape_json(&self.spec_hash)
+        );
+        let _ = writeln!(out, "  \"points_total\": {},", self.points.len());
+        let _ = writeln!(out, "  \"points_pending\": {},", self.pending());
+        let _ = writeln!(out, "  \"total_cycles\": {},", self.total_cycles());
+        let _ = writeln!(out, "  \"sessions\": [");
+        for (i, session) in self.sessions.iter().enumerate() {
+            let comma = if i + 1 < self.sessions.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"workers\": {}, \"executed\": {}, \"cached\": {}, \
+                 \"wall_seconds\": {}}}{comma}",
+                session.workers,
+                session.executed,
+                session.cached,
+                json_f64(session.wall_micros as f64 / 1_000_000.0)
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"points\": [");
+        for (i, point) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let kcps = point
+                .kcycles_per_sec()
+                .map_or_else(|| "null".to_owned(), json_f64);
+            let _ = writeln!(
+                out,
+                "    {{\"label\": \"{}\", \"scenario\": \"{}\", \"model\": \"{}\", \
+                 \"seed\": {}, \"hash\": \"{}\", \"status\": \"{}\", \
+                 \"cycles\": {}, \"transactions\": {}, \"bytes\": {}, \
+                 \"wall_seconds\": {}, \"kcycles_per_sec\": {kcps}}}{comma}",
+                escape_json(&point.label),
+                escape_json(&point.scenario),
+                escape_json(&point.model),
+                point.seed,
+                escape_json(&point.hash),
+                point.status.id(),
+                point.total_cycles,
+                point.transactions,
+                point.bytes,
+                json_f64(point.wall_micros as f64 / 1_000_000.0)
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CampaignBenchRecord {
+        CampaignBenchRecord {
+            campaign: "smoke".to_owned(),
+            spec_hash: "00ff".to_owned(),
+            points: vec![
+                CampaignPointRecord {
+                    label: "table2/tlm/s1".to_owned(),
+                    scenario: "table2-speed".to_owned(),
+                    model: "tlm".to_owned(),
+                    seed: 1,
+                    hash: "aa".to_owned(),
+                    status: PointStatus::Simulated,
+                    total_cycles: 2_000_000,
+                    transactions: 4_000,
+                    bytes: 64_000,
+                    wall_micros: 500_000,
+                },
+                CampaignPointRecord {
+                    label: "table2/lt/s1".to_owned(),
+                    scenario: "table2-speed".to_owned(),
+                    model: "lt".to_owned(),
+                    seed: 1,
+                    hash: "bb".to_owned(),
+                    status: PointStatus::Pending,
+                    total_cycles: 0,
+                    transactions: 0,
+                    bytes: 0,
+                    wall_micros: 0,
+                },
+            ],
+            sessions: vec![CampaignSessionRecord {
+                workers: 2,
+                executed: 1,
+                cached: 0,
+                wall_micros: 750_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn summary_accessors_count_pending_points() {
+        let record = record();
+        assert_eq!(record.pending(), 1);
+        assert!(!record.is_complete());
+        assert_eq!(record.total_cycles(), 2_000_000);
+        let kcps = record.points[0].kcycles_per_sec().unwrap();
+        assert!((kcps - 4_000.0).abs() < 1e-9, "{kcps}");
+        assert_eq!(record.points[1].kcycles_per_sec(), None);
+    }
+
+    #[test]
+    fn artifact_json_is_stable() {
+        let json = record().to_json();
+        assert!(json.contains("\"schema\": \"ahbplus-bench-campaign/v1\""));
+        assert!(json.contains("\"points_total\": 2,"));
+        assert!(json.contains("\"points_pending\": 1,"));
+        assert!(json
+            .contains("{\"workers\": 2, \"executed\": 1, \"cached\": 0, \"wall_seconds\": 0.75}"));
+        assert!(json.contains("\"status\": \"simulated\""));
+        assert!(json.contains("\"status\": \"pending\""));
+        assert!(json.contains("\"kcycles_per_sec\": null"));
+        assert!(json.ends_with('}'));
+    }
+}

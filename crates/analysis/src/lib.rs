@@ -19,6 +19,10 @@
 //!   a Table-1-shaped table.
 //! * [`speed`] — pairs the wall-clock throughput of the two runs into the
 //!   Kcycles/s + speedup summary of §4.
+//! * [`canon`] — canonical JSON values with a stable byte encoding and
+//!   FNV-1a content hashing (the identity of a campaign run point).
+//! * [`campaign`] — the aggregated design-space campaign artifact
+//!   (per-point results + per-session worker/wall accounting).
 //!
 //! # Example
 //!
@@ -37,6 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod campaign;
+pub mod canon;
 pub mod jsonfmt;
 pub mod model;
 pub mod recorder;
@@ -47,6 +53,8 @@ pub use accuracy::{
     compare_models, AccuracyBenchRecord, AccuracyReport, AccuracyRow, CounterComparison,
     ModelComparison,
 };
+pub use campaign::{CampaignBenchRecord, CampaignPointRecord, CampaignSessionRecord, PointStatus};
+pub use canon::{content_hash, content_hash_hex, CanonError, CanonValue};
 pub use model::{BusModel, Probe, PROBE_FIELDS};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};

@@ -10,23 +10,37 @@
 //!
 //! ```text
 //! cargo run --release -p ahbplus-bench --bin table2_speed \
-//!     [OUTPUT.json] [--models rtl,tlm,sharded-tlm-4x4] [--list-models]
+//!     [OUTPUT.json] [--models rtl,tlm,sharded-tlm-4x4] [--reps N] \
+//!     [--quiet] [--list-models]
 //! ```
 //!
 //! `--models` restricts the measurement to a comma-separated subset;
 //! unmeasured models appear as `null` in the JSON artifact. An unknown
 //! name fails fast (exit 2) with the list of registered names — it never
-//! silently measures nothing. `--list-models` prints the registered names
-//! and exits.
+//! silently measures nothing. `--reps` overrides the best-of-5 repetition
+//! count (use `--reps 1` for cheap smoke sweeps); `--quiet` suppresses
+//! the table and commentary, leaving only the artifact write.
+//! `--list-models` prints the registered names and exits.
 
 use ahbplus::scenario;
-use ahbplus::speed::{measure_models, standard_models};
+use ahbplus::speed::{measure_models_with_reps, standard_models, SPEED_MEASUREMENT_REPS};
 
 fn main() {
     let mut output_path = "BENCH_speed.json".to_owned();
     let mut filter: Option<Vec<String>> = None;
     let mut list_models = false;
+    let mut quiet = false;
+    let mut reps = SPEED_MEASUREMENT_REPS;
     let mut args = std::env::args().skip(1);
+    let parse_reps = |value: &str| -> usize {
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--reps needs a positive integer, got '{value}'");
+                std::process::exit(2);
+            }
+        }
+    };
     while let Some(arg) = args.next() {
         if let Some(list) = arg.strip_prefix("--models=") {
             filter = Some(list.split(',').map(str::to_owned).collect());
@@ -36,6 +50,16 @@ fn main() {
                 std::process::exit(2);
             };
             filter = Some(list.split(',').map(str::to_owned).collect());
+        } else if let Some(value) = arg.strip_prefix("--reps=") {
+            reps = parse_reps(value);
+        } else if arg == "--reps" {
+            let Some(value) = args.next() else {
+                eprintln!("--reps needs a positive integer");
+                std::process::exit(2);
+            };
+            reps = parse_reps(&value);
+        } else if arg == "--quiet" {
+            quiet = true;
         } else if arg == "--list-models" {
             list_models = true;
         } else if arg.starts_with("--") {
@@ -43,7 +67,8 @@ fn main() {
             // silently trigger a full multi-minute measurement.
             eprintln!(
                 "unknown option '{arg}' \
-                 (usage: table2_speed [OUTPUT.json] [--models a,b,...] [--list-models])"
+                 (usage: table2_speed [OUTPUT.json] [--models a,b,...] [--reps N] \
+                 [--quiet] [--list-models])"
             );
             std::process::exit(2);
         } else {
@@ -59,41 +84,55 @@ fn main() {
         }
         return;
     }
-    println!(
-        "Simulation speed — {}, {} transactions per master\n",
-        config.pattern.name, config.transactions_per_master
-    );
-    let record = match measure_models(&config, "pattern_a", &standard_models(), filter.as_deref()) {
+    if !quiet {
+        println!(
+            "Simulation speed — {}, {} transactions per master\n",
+            config.pattern.name, config.transactions_per_master
+        );
+    }
+    let record = match measure_models_with_reps(
+        &config,
+        "pattern_a",
+        &standard_models(),
+        filter.as_deref(),
+        reps,
+    ) {
         Ok(record) => record,
         Err(error) => {
             eprintln!("{error}");
             std::process::exit(2);
         }
     };
-    println!("{}", record.speed_report().format_table());
-    println!("measured models:");
-    for model in &record.models {
-        // Sharded platforms also surface their synchronization counters:
-        // how many barriers the run took, how many the lookahead
-        // scheduler stretched, and the resulting mean effective quantum.
-        let sync = model.sync.map_or_else(String::new, |s| {
-            format!(
-                "  [{} barriers, {} stretched, mean quantum {:.1}]",
-                s.barriers, s.stretched, s.mean_quantum
-            )
-        });
-        println!(
-            "  {:<24} {:>12.2} Kcycles/s  ({} cycles){sync}",
-            model.name, model.kcycles_per_sec, model.cycles
-        );
+    if !quiet {
+        println!("{}", record.speed_report().format_table());
+        println!("measured models:");
+        for model in &record.models {
+            // Sharded platforms also surface their synchronization counters:
+            // how many barriers the run took, how many the lookahead
+            // scheduler stretched, and the resulting mean effective quantum.
+            let sync = model.sync.map_or_else(String::new, |s| {
+                format!(
+                    "  [{} barriers, {} stretched, mean quantum {:.1}]",
+                    s.barriers, s.stretched, s.mean_quantum
+                )
+            });
+            println!(
+                "  {:<24} {:>12.2} Kcycles/s  ({} cycles){sync}",
+                model.name, model.kcycles_per_sec, model.cycles
+            );
+        }
+        println!("\npaper reference: RTL 0.47 Kcycles/s, TL 166 Kcycles/s (353x),");
+        println!("TL with a single master 456 Kcycles/s.");
+        println!("Absolute numbers differ (the reference here is a signal-level Rust model,");
+        println!("not a commercial HDL simulator on 2005 hardware); the shape — TL orders of");
+        println!("magnitude faster than pin-accurate, single-master TL faster still — holds.");
     }
-    println!("\npaper reference: RTL 0.47 Kcycles/s, TL 166 Kcycles/s (353x),");
-    println!("TL with a single master 456 Kcycles/s.");
-    println!("Absolute numbers differ (the reference here is a signal-level Rust model,");
-    println!("not a commercial HDL simulator on 2005 hardware); the shape — TL orders of");
-    println!("magnitude faster than pin-accurate, single-master TL faster still — holds.");
     match std::fs::write(&output_path, record.to_json()) {
-        Ok(()) => println!("\nwrote {output_path}"),
+        Ok(()) => {
+            if !quiet {
+                println!("\nwrote {output_path}");
+            }
+        }
         Err(error) => {
             eprintln!("failed to write {output_path}: {error}");
             std::process::exit(1);

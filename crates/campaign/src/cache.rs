@@ -1,0 +1,159 @@
+//! The on-disk result cache.
+//!
+//! Completed points persist under `cache/<content-hash>.json` in the
+//! campaign directory. Because the key is the content hash of the full
+//! point configuration, a lookup hit *is* the dedupe guarantee: any
+//! campaign (this one, a resumed one, a different campaign sharing the
+//! directory) that reaches an identical (spec, seed, params, model)
+//! point reuses the stored outcome instead of simulating again.
+//!
+//! Entries are written to a temporary sibling and renamed into place, so
+//! a kill mid-store can never leave a half-written entry that a later
+//! lookup would trust.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use analysis::canon::{parse, CanonValue};
+
+/// The measured outcome of one executed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointOutcome {
+    /// Simulated bus cycles.
+    pub cycles: u64,
+    /// Completed transactions.
+    pub transactions: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Wall-clock execution time in microseconds.
+    pub wall_micros: u64,
+}
+
+impl PointOutcome {
+    fn to_canon(self) -> CanonValue {
+        let mut map = CanonValue::map();
+        map.insert("cycles".to_owned(), CanonValue::U64(self.cycles));
+        map.insert(
+            "transactions".to_owned(),
+            CanonValue::U64(self.transactions),
+        );
+        map.insert("bytes".to_owned(), CanonValue::U64(self.bytes));
+        map.insert("wall_micros".to_owned(), CanonValue::U64(self.wall_micros));
+        CanonValue::Map(map)
+    }
+
+    fn from_canon(value: &CanonValue) -> Option<PointOutcome> {
+        Some(PointOutcome {
+            cycles: value.get("cycles").ok()?.as_u64().ok()?,
+            transactions: value.get("transactions").ok()?.as_u64().ok()?,
+            bytes: value.get("bytes").ok()?.as_u64().ok()?,
+            wall_micros: value.get("wall_micros").ok()?.as_u64().ok()?,
+        })
+    }
+}
+
+/// A content-addressed store of [`PointOutcome`]s.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying directory creation.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// Looks a content hash up. Unreadable or malformed entries behave
+    /// as misses — the worst case is re-simulating a point.
+    #[must_use]
+    pub fn lookup(&self, hash: &str) -> Option<PointOutcome> {
+        let text = fs::read_to_string(self.entry_path(hash)).ok()?;
+        PointOutcome::from_canon(&parse(&text).ok()?)
+    }
+
+    /// Stores an outcome under its content hash (atomically: temp file
+    /// plus rename).
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying write or rename.
+    pub fn store(&self, hash: &str, outcome: PointOutcome) -> io::Result<()> {
+        let target = self.entry_path(hash);
+        let tmp = self.dir.join(format!("{hash}.tmp"));
+        fs::write(&tmp, outcome.to_canon().to_canonical_json())?;
+        fs::rename(&tmp, &target)
+    }
+
+    /// The number of stored entries (test/report helper).
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying directory read.
+    pub fn len(&self) -> io::Result<usize> {
+        Ok(fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+            .count())
+    }
+
+    /// `true` when the cache holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying directory read.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = std::env::temp_dir().join("ahbplus-cache-test-rt");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty().unwrap());
+        assert_eq!(cache.lookup("00ff"), None);
+        let outcome = PointOutcome {
+            cycles: 123_456,
+            transactions: 400,
+            bytes: 6_400,
+            wall_micros: 78_900,
+        };
+        cache.store("00ff", outcome).unwrap();
+        assert_eq!(cache.lookup("00ff"), Some(outcome));
+        assert_eq!(cache.len().unwrap(), 1);
+        // Overwrite is idempotent.
+        cache.store("00ff", outcome).unwrap();
+        assert_eq!(cache.len().unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_entries_read_as_misses() {
+        let dir = std::env::temp_dir().join("ahbplus-cache-test-bad");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        fs::write(dir.join("dead.json"), "{\"cycles\": 1").unwrap();
+        assert_eq!(cache.lookup("dead"), None);
+        fs::write(dir.join("beef.json"), "{\"cycles\": 1}").unwrap();
+        assert_eq!(cache.lookup("beef"), None, "missing fields are a miss");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,423 @@
+//! The append-only campaign journal.
+//!
+//! Every campaign directory holds a `journal.jsonl`: one canonical JSON
+//! object per line, appended and flushed as events happen. The journal is
+//! the *only* authority on which points are complete — resuming a killed
+//! campaign means re-reading it and executing exactly the hashes that
+//! have no `done` line. A kill can truncate the final line mid-write;
+//! [`Journal::load`] therefore tolerates (and reports) one trailing
+//! unparsable line while treating damage anywhere else as corruption.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use analysis::campaign::PointStatus;
+use analysis::canon::{parse, CanonValue};
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// Campaign creation: written once, first line of the file.
+    Campaign {
+        /// Campaign name.
+        name: String,
+        /// Content hash of the canonical campaign spec.
+        spec_hash: String,
+    },
+    /// A worker-pool session started (`run` or `resume`).
+    Session {
+        /// Worker threads of the session.
+        workers: usize,
+        /// Points pending when the session started.
+        pending: usize,
+    },
+    /// One lattice point completed.
+    Done {
+        /// Content hash of the point.
+        hash: String,
+        /// How it was satisfied (never [`PointStatus::Pending`]).
+        status: PointStatus,
+        /// Simulated bus cycles.
+        cycles: u64,
+        /// Completed transactions.
+        transactions: u64,
+        /// Bytes moved.
+        bytes: u64,
+        /// Wall-clock execution time in microseconds (0 when cached).
+        wall_micros: u64,
+    },
+    /// A session ran its queue dry (or hit its point budget) and exited
+    /// cleanly. Killed sessions never write this line.
+    SessionEnd {
+        /// Points simulated by the session.
+        executed: usize,
+        /// Points satisfied from the result cache.
+        cached: usize,
+        /// Session wall-clock time in microseconds.
+        wall_micros: u64,
+    },
+}
+
+impl JournalEvent {
+    /// Encodes the event as one canonical JSON line (no newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut map = CanonValue::map();
+        match self {
+            JournalEvent::Campaign { name, spec_hash } => {
+                map.insert("event".to_owned(), CanonValue::str("campaign"));
+                map.insert("name".to_owned(), CanonValue::str(name));
+                map.insert("spec_hash".to_owned(), CanonValue::str(spec_hash));
+            }
+            JournalEvent::Session { workers, pending } => {
+                map.insert("event".to_owned(), CanonValue::str("session"));
+                map.insert("workers".to_owned(), CanonValue::U64(*workers as u64));
+                map.insert("pending".to_owned(), CanonValue::U64(*pending as u64));
+            }
+            JournalEvent::Done {
+                hash,
+                status,
+                cycles,
+                transactions,
+                bytes,
+                wall_micros,
+            } => {
+                map.insert("event".to_owned(), CanonValue::str("done"));
+                map.insert("hash".to_owned(), CanonValue::str(hash));
+                map.insert("status".to_owned(), CanonValue::str(status.id()));
+                map.insert("cycles".to_owned(), CanonValue::U64(*cycles));
+                map.insert("transactions".to_owned(), CanonValue::U64(*transactions));
+                map.insert("bytes".to_owned(), CanonValue::U64(*bytes));
+                map.insert("wall_micros".to_owned(), CanonValue::U64(*wall_micros));
+            }
+            JournalEvent::SessionEnd {
+                executed,
+                cached,
+                wall_micros,
+            } => {
+                map.insert("event".to_owned(), CanonValue::str("session-end"));
+                map.insert("executed".to_owned(), CanonValue::U64(*executed as u64));
+                map.insert("cached".to_owned(), CanonValue::U64(*cached as u64));
+                map.insert("wall_micros".to_owned(), CanonValue::U64(*wall_micros));
+            }
+        }
+        CanonValue::Map(map).to_canonical_json()
+    }
+
+    /// Decodes one journal line.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed line.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let value = parse(line).map_err(|e| e.to_string())?;
+        let event = value
+            .get("event")
+            .and_then(|v| Ok(v.as_str()?.to_owned()))
+            .map_err(|e| e.to_string())?;
+        let text = |key: &str| -> Result<String, String> {
+            Ok(value
+                .get(key)
+                .and_then(CanonValue::as_str)
+                .map_err(|e| e.to_string())?
+                .to_owned())
+        };
+        let number = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(CanonValue::as_u64)
+                .map_err(|e| e.to_string())
+        };
+        match event.as_str() {
+            "campaign" => Ok(JournalEvent::Campaign {
+                name: text("name")?,
+                spec_hash: text("spec_hash")?,
+            }),
+            "session" => Ok(JournalEvent::Session {
+                workers: number("workers")? as usize,
+                pending: number("pending")? as usize,
+            }),
+            "done" => {
+                let status = match text("status")?.as_str() {
+                    "simulated" => PointStatus::Simulated,
+                    "cached" => PointStatus::Cached,
+                    other => return Err(format!("unknown done status '{other}'")),
+                };
+                Ok(JournalEvent::Done {
+                    hash: text("hash")?,
+                    status,
+                    cycles: number("cycles")?,
+                    transactions: number("transactions")?,
+                    bytes: number("bytes")?,
+                    wall_micros: number("wall_micros")?,
+                })
+            }
+            "session-end" => Ok(JournalEvent::SessionEnd {
+                executed: number("executed")? as usize,
+                cached: number("cached")? as usize,
+                wall_micros: number("wall_micros")?,
+            }),
+            other => Err(format!("unknown journal event '{other}'")),
+        }
+    }
+}
+
+/// A loaded journal: the parsed events plus whether a truncated trailing
+/// line (the signature of a kill mid-write) was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    /// Events in file order.
+    pub events: Vec<JournalEvent>,
+    /// `true` when the final line failed to parse and was discarded.
+    pub truncated_tail: bool,
+}
+
+impl Journal {
+    /// Reads and parses `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or corruption: an unparsable line anywhere but the
+    /// end of the file.
+    pub fn load(path: &Path) -> io::Result<Journal> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut events = Vec::with_capacity(lines.len());
+        let mut truncated_tail = false;
+        for (index, line) in lines.iter().enumerate() {
+            match JournalEvent::from_line(line) {
+                Ok(event) => events.push(event),
+                Err(message) if index + 1 == lines.len() => {
+                    // A kill mid-append leaves exactly one ragged final
+                    // line; everything before it is intact.
+                    truncated_tail = true;
+                    let _ = message;
+                }
+                Err(message) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal line {}: {message}", index + 1),
+                    ));
+                }
+            }
+        }
+        Ok(Journal {
+            events,
+            truncated_tail,
+        })
+    }
+
+    /// The `spec_hash` of the campaign header, if present.
+    #[must_use]
+    pub fn spec_hash(&self) -> Option<&str> {
+        self.events.iter().find_map(|event| match event {
+            JournalEvent::Campaign { spec_hash, .. } => Some(spec_hash.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Every completed point: `(hash, event)` with the *first* completion
+    /// winning (a well-formed journal never repeats a hash; tolerating
+    /// repeats keeps `report` total).
+    #[must_use]
+    pub fn completions(&self) -> Vec<&JournalEvent> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.events
+            .iter()
+            .filter(|event| match event {
+                JournalEvent::Done { hash, .. } => seen.insert(hash.clone()),
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+/// Appends journal lines with an explicit flush per event, so a kill
+/// loses at most the line being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending (creating it if needed), first
+    /// repairing a kill-truncated tail: a ragged final line (no
+    /// terminating newline) is cut off, so the next record starts on a
+    /// fresh line instead of gluing itself onto the partial one and
+    /// turning a tolerated tail into interior corruption.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying open, read or truncate.
+    pub fn append(path: &Path) -> io::Result<JournalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let intact = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |index| index + 1);
+        if intact < bytes.len() {
+            file.set_len(intact as u64)?;
+        }
+        Ok(JournalWriter {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one event and flushes it to the file.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying write or flush.
+    pub fn record(&mut self, event: &JournalEvent) -> io::Result<()> {
+        writeln!(self.writer, "{}", event.to_line())?;
+        self.writer.flush()
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(hash: &str) -> JournalEvent {
+        JournalEvent::Done {
+            hash: hash.to_owned(),
+            status: PointStatus::Simulated,
+            cycles: 1000,
+            transactions: 20,
+            bytes: 320,
+            wall_micros: 1500,
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_their_line_form() {
+        let events = [
+            JournalEvent::Campaign {
+                name: "smoke".to_owned(),
+                spec_hash: "ab12".to_owned(),
+            },
+            JournalEvent::Session {
+                workers: 2,
+                pending: 7,
+            },
+            done("ffee"),
+            JournalEvent::Done {
+                hash: "ffef".to_owned(),
+                status: PointStatus::Cached,
+                cycles: 1000,
+                transactions: 20,
+                bytes: 320,
+                wall_micros: 0,
+            },
+            JournalEvent::SessionEnd {
+                executed: 1,
+                cached: 1,
+                wall_micros: 9_999,
+            },
+        ];
+        for event in &events {
+            let line = event.to_line();
+            assert_eq!(&JournalEvent::from_line(&line).unwrap(), event, "{line}");
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_loader_reads_back() {
+        let dir = std::env::temp_dir().join("ahbplus-journal-test-rw");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut writer = JournalWriter::append(&path).unwrap();
+            writer
+                .record(&JournalEvent::Campaign {
+                    name: "t".to_owned(),
+                    spec_hash: "01".to_owned(),
+                })
+                .unwrap();
+            writer.record(&done("aa")).unwrap();
+        }
+        {
+            let mut writer = JournalWriter::append(&path).unwrap();
+            writer.record(&done("bb")).unwrap();
+            assert_eq!(writer.path(), path.as_path());
+        }
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.events.len(), 3);
+        assert!(!journal.truncated_tail);
+        assert_eq!(journal.spec_hash(), Some("01"));
+        assert_eq!(journal.completions().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_but_interior_damage_is_not() {
+        let dir = std::env::temp_dir().join("ahbplus-journal-test-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let intact = format!("{}\n{}\n", done("aa").to_line(), done("bb").to_line());
+        // A kill mid-append: the final line stops in the middle.
+        std::fs::write(&path, format!("{intact}{{\"event\":\"done\",\"ha")).unwrap();
+        let journal = Journal::load(&path).unwrap();
+        assert!(journal.truncated_tail);
+        assert_eq!(journal.completions().len(), 2);
+        // Damage in the middle of the file is corruption, not a kill.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\ngarbage\n{}\n",
+                done("aa").to_line(),
+                done("bb").to_line()
+            ),
+        )
+        .unwrap();
+        let error = Journal::load(&path).unwrap_err();
+        assert!(error.to_string().contains("journal line 2"), "{error}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_repairs_a_kill_truncated_tail() {
+        let dir = std::env::temp_dir().join("ahbplus-journal-test-repair");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::write(
+            &path,
+            format!("{}\n{{\"event\":\"done\",\"ha", done("aa").to_line()),
+        )
+        .unwrap();
+        // Appending after a kill must not glue the new record onto the
+        // ragged tail (which would turn it into interior corruption).
+        let mut writer = JournalWriter::append(&path).unwrap();
+        writer.record(&done("bb")).unwrap();
+        let journal = Journal::load(&path).unwrap();
+        assert!(!journal.truncated_tail);
+        assert_eq!(journal.completions().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_hashes_keep_the_first_completion() {
+        let journal = Journal {
+            events: vec![done("aa"), done("aa"), done("bb")],
+            truncated_tail: false,
+        };
+        assert_eq!(journal.completions().len(), 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! The serving mode: scenario requests as JSON over a local socket.
+//!
+//! `campaign serve` turns the model registry into a long-running
+//! exploration service: a hand-rolled HTTP/1.1 listener on
+//! [`std::net::TcpListener`] (no external dependencies) that accepts
+//! canonical-JSON requests and streams results back. The protocol is
+//! deliberately tiny:
+//!
+//! * `GET /healthz` → `{"status":"ok"}`
+//! * `GET /models` → JSON array of model-kind identifiers
+//! * `GET /scenarios` → JSON array of the canonical scenario catalogue
+//! * `POST /run` → body `{"scenario": <ScenarioSpec>, "model": "tlm",
+//!   "stride": 5000}`. The `scenario` field is a canonical
+//!   [`ScenarioSpec`] object (as served by `/scenarios`); `model` is
+//!   optional (default `tlm`) and may be replaced by `"topology":
+//!   <Topology>` to run an explicit multi-bus shape; `stride` is
+//!   optional — when positive, the response streams one probe JSON line
+//!   per `stride` simulated cycles before the final report line.
+//!
+//! `/run` responses are newline-delimited JSON over a `Connection:
+//! close` stream (`application/x-ndjson`): zero or more probe lines
+//! (the [`JsonLinesSnapshotSink`] format, labelled with the scenario
+//! name) and exactly one `{"event":"report",...}` line carrying the
+//! final cycle/transaction/byte counts, the wall time and the content
+//! hash of the executed point. Connections are drained by a bounded
+//! handler pool: when every handler is busy, accepted sockets queue on
+//! a rendezvous channel (and beyond that in the listener backlog), so a
+//! burst of requests back-pressures instead of spawning unbounded
+//! threads.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ahbplus::canonical::Canonical;
+use ahbplus::simulation::{JsonLinesSnapshotSink, Simulation};
+use ahbplus::{scenario_catalogue, ScenarioSpec, Topology};
+use analysis::canon::{parse, CanonValue};
+use analysis::jsonfmt::escape_json;
+use analysis::report::ModelKind;
+use simkern::time::CycleDelta;
+
+use crate::spec::{point_hash, topology_point_hash};
+
+/// Largest accepted request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Largest accepted request body in bytes.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Largest accepted per-master workload — the service runs untrusted
+/// local requests synchronously, so a hard cap keeps one request from
+/// monopolizing a handler for minutes.
+const MAX_TRANSACTIONS: usize = 100_000;
+/// Per-connection socket timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The campaign serving socket.
+#[derive(Debug)]
+pub struct CampaignServer {
+    listener: TcpListener,
+}
+
+impl CampaignServer {
+    /// Binds the serving socket (e.g. `127.0.0.1:0` for an ephemeral
+    /// test port).
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying bind.
+    pub fn bind(addr: &str) -> io::Result<CampaignServer> {
+        Ok(CampaignServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (port resolved).
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying lookup.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections with a pool of `handlers` worker
+    /// threads. `limit` bounds the number of connections served (tests
+    /// and smoke runs); `None` serves forever.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying accept loop; per-connection errors
+    /// are answered with an HTTP error and do not stop the server.
+    pub fn serve(&self, handlers: usize, limit: Option<usize>) -> io::Result<()> {
+        let handlers = handlers.max(1);
+        // A rendezvous channel: accept blocks until a handler is free,
+        // which is the pool's backpressure.
+        let (sender, receiver) = mpsc::sync_channel::<TcpStream>(0);
+        let receiver = Mutex::new(receiver);
+        std::thread::scope(|scope| {
+            for _ in 0..handlers {
+                scope.spawn(|| loop {
+                    let Ok(stream) = receiver.lock().unwrap().recv() else {
+                        return;
+                    };
+                    handle_connection(stream);
+                });
+            }
+            for (served, stream) in self.listener.incoming().enumerate() {
+                let stream = stream?;
+                if sender.send(stream).is_err() {
+                    break;
+                }
+                if limit.is_some_and(|n| served + 1 >= n) {
+                    break;
+                }
+            }
+            drop(sender);
+            Ok(())
+        })
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(message) => {
+            let _ = respond_error(&mut stream, 400, &message);
+            return;
+        }
+    };
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => respond_json(&mut stream, "{\"status\":\"ok\"}"),
+        ("GET", "/models") => {
+            let models =
+                CanonValue::Array(ModelKind::ALL.iter().map(Canonical::to_canon).collect());
+            respond_json(&mut stream, &models.to_canonical_json())
+        }
+        ("GET", "/scenarios") => {
+            let catalogue = CanonValue::Array(
+                scenario_catalogue()
+                    .iter()
+                    .map(Canonical::to_canon)
+                    .collect(),
+            );
+            respond_json(&mut stream, &catalogue.to_canonical_json())
+        }
+        ("POST", "/run") => match RunRequest::parse(&request.body) {
+            Ok(run) => stream_run(&mut stream, &run),
+            Err(message) => respond_error(&mut stream, 400, &message),
+        },
+        _ => respond_error(&mut stream, 404, "no such endpoint"),
+    };
+    // The peer may hang up mid-stream; that only cancels its own run.
+    let _ = outcome;
+    let _ = stream.flush();
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buffer) {
+            break end;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".to_owned());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before request head".to_owned());
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| "request head is not utf-8".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line '{request_line}'"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length '{}'", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ));
+    }
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_owned());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond_json(stream: &mut TcpStream, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let reason = match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let body = format!("{{\"error\":\"{}\"}}", escape_json(message));
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// What a `/run` request resolves to before any bytes are sent back.
+#[derive(Debug)]
+struct RunRequest {
+    spec: ScenarioSpec,
+    backend: RunBackend,
+    stride: u64,
+}
+
+#[derive(Debug)]
+enum RunBackend {
+    Kind(ModelKind),
+    Topology(Topology),
+}
+
+impl RunRequest {
+    fn parse(body: &[u8]) -> Result<RunRequest, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_owned())?;
+        let value = parse(text).map_err(|e| format!("body: {e}"))?;
+        let spec = ScenarioSpec::from_canon(value.get("scenario").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("scenario: {e}"))?;
+        if spec.transactions_per_master > MAX_TRANSACTIONS {
+            return Err(format!(
+                "transactions_per_master {} exceeds the serve-mode cap of {MAX_TRANSACTIONS}",
+                spec.transactions_per_master
+            ));
+        }
+        let map = value.as_map().map_err(|e| e.to_string())?;
+        let backend = if let Some(topology) = map.get("topology") {
+            RunBackend::Topology(
+                Topology::from_canon(topology).map_err(|e| format!("topology: {e}"))?,
+            )
+        } else if let Some(model) = map.get("model") {
+            RunBackend::Kind(ModelKind::from_canon(model).map_err(|e| format!("model: {e}"))?)
+        } else {
+            RunBackend::Kind(ModelKind::TransactionLevel)
+        };
+        let stride = match map.get("stride") {
+            None => 0,
+            Some(v) => v.as_u64().map_err(|e| format!("stride: {e}"))?,
+        };
+        // Resolve *before* answering 200, so an unknown pattern or a bad
+        // master subset is a clean 400 instead of a truncated stream.
+        spec.resolve().map_err(|e| format!("scenario: {e}"))?;
+        Ok(RunRequest {
+            spec,
+            backend,
+            stride,
+        })
+    }
+
+    fn hash(&self) -> String {
+        match &self.backend {
+            RunBackend::Kind(kind) => point_hash(&self.spec, *kind),
+            RunBackend::Topology(topology) => topology_point_hash(&self.spec, topology),
+        }
+    }
+}
+
+fn stream_run(stream: &mut TcpStream, run: &RunRequest) -> io::Result<()> {
+    let config = run
+        .spec
+        .resolve()
+        .expect("request validation already resolved the spec");
+    let model: Box<dyn analysis::BusModel> = match &run.backend {
+        RunBackend::Kind(kind) => config.build_model(*kind),
+        RunBackend::Topology(topology) => Box::new(config.build_topology(topology.clone())),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Connection: close\r\n\r\n"
+    )?;
+    let mut writer = BufWriter::new(stream);
+    let start = Instant::now();
+    let report = if run.stride > 0 {
+        let mut sink = JsonLinesSnapshotSink::new(&mut writer);
+        sink.set_label(&run.spec.name);
+        let mut simulation = Simulation::new(model);
+        simulation.run_streaming(CycleDelta::new(run.stride), &mut sink)?
+    } else {
+        let mut model = model;
+        model.run()
+    };
+    let wall_micros = start.elapsed().as_micros().max(1) as u64;
+    writeln!(
+        writer,
+        "{{\"event\": \"report\", \"scenario\": \"{}\", \"model\": \"{}\", \
+         \"point_hash\": \"{}\", \"cycles\": {}, \"transactions\": {}, \
+         \"bytes\": {}, \"wall_micros\": {wall_micros}}}",
+        escape_json(&run.spec.name),
+        report.model.id(),
+        run.hash(),
+        report.total_cycles,
+        report.total_transactions(),
+        report.total_bytes(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_requests_parse_validate_and_hash() {
+        let spec = ahbplus::scenario("table1-a").unwrap().with_transactions(5);
+        let body = format!(
+            "{{\"scenario\": {}, \"model\": \"lt\", \"stride\": 500}}",
+            spec.to_canon().to_canonical_json()
+        );
+        let run = RunRequest::parse(body.as_bytes()).unwrap();
+        assert_eq!(run.stride, 500);
+        assert_eq!(run.hash(), point_hash(&spec, ModelKind::LooselyTimed));
+
+        let default_model = format!("{{\"scenario\": {}}}", spec.to_canon().to_canonical_json());
+        let run = RunRequest::parse(default_model.as_bytes()).unwrap();
+        assert!(matches!(
+            run.backend,
+            RunBackend::Kind(ModelKind::TransactionLevel)
+        ));
+        assert_eq!(run.stride, 0);
+
+        let with_topology = format!(
+            "{{\"scenario\": {}, \"topology\": {}}}",
+            spec.to_canon().to_canonical_json(),
+            Topology::het_2x2().to_canon().to_canonical_json()
+        );
+        let run = RunRequest::parse(with_topology.as_bytes()).unwrap();
+        assert_eq!(run.hash(), topology_point_hash(&spec, &Topology::het_2x2()));
+    }
+
+    #[test]
+    fn run_requests_reject_bad_input_with_a_reason() {
+        let garbage = RunRequest::parse(b"not json").unwrap_err();
+        assert!(garbage.contains("body:"), "{garbage}");
+        let no_scenario = RunRequest::parse(b"{}").unwrap_err();
+        assert!(no_scenario.contains("scenario"), "{no_scenario}");
+        let unknown_pattern = format!(
+            "{{\"scenario\": {}}}",
+            ScenarioSpec::new("x", "no-such-pattern", 5, 1)
+                .to_canon()
+                .to_canonical_json()
+        );
+        let error = RunRequest::parse(unknown_pattern.as_bytes()).unwrap_err();
+        assert!(error.contains("no-such-pattern"), "{error}");
+        let oversized = format!(
+            "{{\"scenario\": {}}}",
+            ScenarioSpec::new("x", "a", MAX_TRANSACTIONS + 1, 1)
+                .to_canon()
+                .to_canonical_json()
+        );
+        let error = RunRequest::parse(oversized.as_bytes()).unwrap_err();
+        assert!(error.contains("cap"), "{error}");
+    }
+
+    #[test]
+    fn head_end_detection_spans_chunk_boundaries() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+}

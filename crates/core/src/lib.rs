@@ -170,11 +170,50 @@
 //! // when mid-run timing alignment differs.
 //! assert!(outcome.results_match, "{}", outcome.summary());
 //! ```
+//!
+//! # Running campaigns
+//!
+//! Design-space sweeps at scale live one layer up, in the
+//! `ahbplus-campaign` crate (which depends on this facade — hence prose,
+//! not a doctest, here). A `CampaignSpec` crosses base [`ScenarioSpec`]s
+//! with a model axis and optional seed / [`AhbPlusParams`] /
+//! [`DdrConfig`] axes; expansion yields one run point per lattice
+//! coordinate. Every point is **content-hashed** over its canonical,
+//! label-free encoding — the [`Canonical`] trait in [`canonical`] gives
+//! scenarios, params, DDR configs, model kinds and [`Topology`] values a
+//! stable sorted-key JSON form, so a re-ordered spec hashes identically
+//! while any renamed field or changed knob yields a fresh hash. The
+//! engine drains not-yet-done points through a bounded worker pool,
+//! journals each completion (append + flush) to `journal.jsonl`, and
+//! stores outcomes in a content-addressed cache: a campaign killed at
+//! any moment — SIGKILL included — resumes by executing exactly the
+//! remaining points, and identical experiments are never simulated
+//! twice, whatever they are called. Per-point probe timelines stream
+//! through the same [`SnapshotSink`] writers the [`simulation`] module
+//! provides.
+//!
+//! The `campaign` binary in `ahbplus-bench` drives it:
+//!
+//! ```text
+//! cargo run --release -p ahbplus-bench --bin campaign -- run \
+//!     --dir sweep --workers 4            # 64-point table2 lattice
+//! cargo run --release -p ahbplus-bench --bin campaign -- resume --dir sweep
+//! cargo run --release -p ahbplus-bench --bin campaign -- report --dir sweep
+//! cargo run --release -p ahbplus-bench --bin campaign -- serve \
+//!     --addr 127.0.0.1:8093              # POST /run scenario requests
+//! ```
+//!
+//! `report` writes `BENCH_campaign.json` (per-point results plus
+//! per-session worker/wall accounting); `serve` answers canonical-JSON
+//! [`ScenarioSpec`] + [`Topology`] requests over HTTP with streamed
+//! probe lines and a final report line, drained by a bounded handler
+//! pool. `examples/design_space.rs` is the same engine in miniature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod canonical;
 pub mod platform;
 pub mod scenario;
 pub mod simulation;
@@ -182,13 +221,17 @@ pub mod speed;
 pub mod validation;
 
 pub use accuracy::{compare_pair_on, measure_accuracy_record, model_pairs};
+pub use canonical::Canonical;
 pub use platform::PlatformConfig;
 pub use scenario::{scenario, scenario_catalogue, ScenarioError, ScenarioSpec};
 pub use simulation::{
     run_lockstep, CsvSnapshotSink, Divergence, JsonLinesSnapshotSink, LockstepReport, Simulation,
     SnapshotSink,
 };
-pub use speed::{measure_models, measure_speed, measure_speed_record, standard_models, ModelSpec};
+pub use speed::{
+    measure_models, measure_models_with_reps, measure_speed, measure_speed_record, standard_models,
+    ModelSpec,
+};
 pub use validation::{validate_pattern, validate_table1, Table1};
 
 // Re-export the building blocks so downstream users need only one

@@ -265,6 +265,27 @@ pub fn measure_models(
     specs: &[ModelSpec],
     filter: Option<&[String]>,
 ) -> Result<SpeedBenchRecord, String> {
+    measure_models_with_reps(config, workload, specs, filter, SPEED_MEASUREMENT_REPS)
+}
+
+/// [`measure_models`] with an explicit repetition count (the
+/// `table2_speed --reps` flag): best-of-`reps` per model, so `1` is the
+/// cheap single-sample mode campaign sweeps and CI smoke runs use, and
+/// larger counts trade wall time for stability. A count of `0` is
+/// clamped to one repetition — every measured model must run at least
+/// once.
+///
+/// # Errors
+///
+/// Returns the offending name and the available names when `filter`
+/// contains a model that no spec produces.
+pub fn measure_models_with_reps(
+    config: &PlatformConfig,
+    workload: &str,
+    specs: &[ModelSpec],
+    filter: Option<&[String]>,
+    reps: usize,
+) -> Result<SpeedBenchRecord, String> {
     // One prototype per spec: it supplies the trait-reported name (for
     // filter validation and the artifact) and doubles as the first
     // measurement run, so asking for names costs no extra construction
@@ -303,7 +324,7 @@ pub fn measure_models(
         .filter(|(_, (_, name))| filter.is_none_or(|wanted| wanted.contains(name)))
         .map(|(index, (_, name))| (index, name, None))
         .collect();
-    for _ in 0..SPEED_MEASUREMENT_REPS {
+    for _ in 0..reps.max(1) {
         for (index, _, best) in &mut measured {
             let mut model = match prototypes[*index].take() {
                 Some(model) => model,

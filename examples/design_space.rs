@@ -1,32 +1,31 @@
 //! Design-space exploration with the transaction-level model (paper §3.7):
 //! sweep the write-buffer depth and the arbitration configuration and watch
-//! how completion time, utilization and the real-time master's latency move.
+//! how completion time moves — driven by the campaign engine, so the
+//! sweep is resumable and content-addressed.
 //!
-//! The sweep iterates over declarative `ScenarioSpec` variants derived
-//! from the catalogued `design-space` baseline — each configuration point
-//! is data, not hand-wired setup code — and every point runs through the
-//! unified `BusModel` facade, so swapping in a different backend (or
-//! comparing two) needs no changes here.
+//! The sweep is a `CampaignSpec`: nine declarative `ScenarioSpec`
+//! variants derived from the catalogued `design-space` baseline, crossed
+//! with the transaction-level backend. Each lattice point is hashed over
+//! its label-free canonical encoding, journaled when done, and its probe
+//! timeline streamed to `timelines/<hash>.jsonl` — a long sweep holds
+//! one point in memory per worker, not a snapshot vector per point.
 //!
 //! This is the use case transaction-level modeling exists for: each
 //! configuration point takes milliseconds instead of the minutes a
-//! pin-accurate run would need. Every point's mid-run timeline is
-//! *streamed* to a CSV file through a `SnapshotSink` — a long sweep
-//! holds one probe in memory, not a snapshot vector per point.
+//! pin-accurate run would need — and because results are content-hashed,
+//! re-running the example (or renaming a sweep point) serves every
+//! already-explored configuration from the cache instead of simulating.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release -p ahbplus-repro --example design_space
 //! ```
+//!
+//! Run it a second time to see the journal make the re-run a no-op.
 
-use std::io::BufWriter;
-
-use ahbplus::{
-    scenario, AhbPlusParams, ArbiterConfig, ArbitrationFilter, CsvSnapshotSink, ScenarioSpec,
-    Simulation,
-};
-use simkern::time::CycleDelta;
+use ahbplus::{scenario, AhbPlusParams, ArbiterConfig, ArbitrationFilter, ScenarioSpec};
+use campaign::{Campaign, CampaignSpec, RunOptions};
 
 /// The sweep, one section per dimension explored.
 fn sweep() -> Vec<(&'static str, Vec<ScenarioSpec>)> {
@@ -71,54 +70,76 @@ fn main() {
         base.resolve().expect("baseline resolves").pattern.name,
         base.transactions_per_master
     );
-    // One shared timeline file for the whole sweep; rows are tagged with
-    // the sweep-point label so plots can facet by configuration.
-    let timeline_path = std::env::temp_dir().join("design_space_timeline.csv");
-    let timeline = std::fs::File::create(&timeline_path).expect("timeline file creates");
-    let mut sink = CsvSnapshotSink::new(BufWriter::new(timeline));
-    for (section, points) in sweep() {
+
+    // Every sweep point becomes a campaign scenario; the campaign engine
+    // owns execution order, journaling, the result cache and the
+    // streamed per-point timelines.
+    let mut spec = CampaignSpec::new("design-space-example")
+        .with_model(ahbplus::ModelKind::TransactionLevel)
+        .with_snapshot_stride(2_000);
+    let sections = sweep();
+    for (_, points) in &sections {
+        for point in points {
+            spec = spec.with_scenario(point.clone());
+        }
+    }
+
+    let dir = std::env::temp_dir().join("design_space_campaign");
+    let campaign = Campaign::create(&dir, spec).expect("campaign directory creates");
+    let summary = campaign
+        .run(RunOptions {
+            workers: 2,
+            max_points: None,
+        })
+        .expect("sweep completes");
+
+    let record = campaign.report().expect("journal aggregates");
+    for (section, points) in &sections {
         println!("\n{section}");
-        for spec in points {
-            let config = spec.resolve().expect("sweep point resolves");
-            // The sweep holds each point as `dyn BusModel` — the trait is
-            // the whole interface a configuration point needs.
-            let mut sim = Simulation::new(config.build_model(ahbplus::ModelKind::TransactionLevel));
-            sink.set_label(&spec.name);
-            let report = sim
-                .run_streaming(CycleDelta::new(2_000), &mut sink)
-                .expect("timeline sink writes");
-            let video = report
-                .masters
-                .values()
-                .find(|m| m.label == "video")
-                .expect("video master");
-            // Completion of everything except the fixed-schedule video
-            // master.
-            let workload_done = report
-                .masters
-                .values()
-                .filter(|m| m.label != "video")
-                .map(|m| m.last_completion_cycle)
-                .max()
-                .unwrap_or(0);
+        for point in points {
+            let row = record
+                .points
+                .iter()
+                .find(|r| r.label.starts_with(&point.name))
+                .expect("every sweep point is in the report");
             println!(
-                "{:<34} workload done {:>8}  bus busy {:>8}  wbuf hits {:>5}  video avg lat {:>6.1}",
-                spec.name,
-                workload_done,
-                report.bus.busy_cycles,
-                report.bus.write_buffer_hits,
-                video.avg_latency
+                "{:<34} [{}] total cycles {:>8}  {:>5} txns  {:>8} bytes  hash {}",
+                point.name,
+                row.status.id(),
+                row.total_cycles,
+                row.transactions,
+                row.bytes,
+                row.hash
             );
         }
     }
-    // Flush explicitly so a write failure surfaces instead of being
-    // swallowed by BufWriter::drop after the success message.
-    use std::io::Write as _;
-    sink.into_inner()
-        .flush()
-        .expect("timeline file flushes completely");
+
+    let distinct: std::collections::BTreeSet<_> =
+        record.points.iter().map(|r| r.hash.as_str()).collect();
     println!(
-        "\nper-point timelines streamed to {} (label column = sweep point)",
-        timeline_path.display()
+        "\n{} sweep points, {} distinct experiments (identical configurations \
+         dedupe by content hash)",
+        record.points.len(),
+        distinct.len()
     );
+    println!(
+        "{} simulated, {} served from the result cache ({:.3}s wall)",
+        summary.executed,
+        summary.cached,
+        summary.wall_micros as f64 / 1e6
+    );
+    println!(
+        "campaign directory: {} (journal, cache, per-point timelines)",
+        dir.display()
+    );
+    if summary.executed + summary.cached == 0 {
+        println!(
+            "journal already records every point — nothing to simulate \
+             (delete the directory for a fresh sweep)."
+        );
+    } else if summary.cached > 0 {
+        println!("cache hits: those configurations were already explored — no re-simulation.");
+    } else {
+        println!("run the example again: the journal makes the re-run a no-op.");
+    }
 }
