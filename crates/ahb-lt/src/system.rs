@@ -29,6 +29,7 @@ use amba::qos::QosConfig;
 use amba::txn::{Transaction, TransactionId};
 use analysis::model::{BusModel, Probe};
 use analysis::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
+use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_WRITE};
 use ddrc::DdrGeometry;
 use simkern::time::Cycle;
 use traffic::{Release, TrafficPattern, TrafficTrace};
@@ -318,6 +319,9 @@ pub struct LtSystem {
     /// Bridge-port state when this system is one shard of a multi-bus
     /// platform; `None` on a standalone platform.
     bridge: Option<LtBridge>,
+    /// Structured event tracer (disabled by default; every record call
+    /// starts with one branch on the enabled flag).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for LtSystem {
@@ -440,6 +444,7 @@ impl LtSystem {
                     owed_responses: Vec::new(),
                     remote_ahead,
                 }),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -467,6 +472,28 @@ impl LtSystem {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.masters_done == self.masters.len() && self.backlog.is_empty()
+    }
+
+    /// Enables or disables structured event tracing (off by default).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Tags this system's trace events with a shard id (used when the
+    /// system is one shard of a multi-bus platform).
+    pub fn set_trace_shard(&mut self, shard: u16) {
+        self.tracer.set_shard(shard);
+    }
+
+    /// Takes the buffered trace events, with the DDR and write-backlog
+    /// registry counters filled in from the accumulators.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        let mut log = self.tracer.take();
+        log.counters.dram_row_hits = self.dram_row_hits + self.dram_prepared_hits;
+        log.counters.dram_accesses =
+            self.dram_row_hits + self.dram_prepared_hits + self.dram_misses + self.dram_conflicts;
+        log.counters.write_buffer_peak = self.wb_peak as u64;
+        log
     }
 
     /// Takes the crossings issued through the bridge slave since the last
@@ -561,6 +588,17 @@ impl LtSystem {
         if was_done {
             self.masters_done -= 1;
         }
+        // Trace the crossing's arrival out of the bridge FIFO (delivery
+        // order is the scheduler's deterministic sort, so the event
+        // stream is identical across scheduler modes).
+        self.tracer.bridge(
+            TraceEventKind::BridgeReplay,
+            source.master.index() as u16,
+            source.id.value(),
+            release_at,
+            release_at,
+            if source.is_write() { FLAG_WRITE } else { 0 },
+        );
     }
 
     /// Delivers the response leg of a non-posted read: the master stalled
@@ -583,6 +621,25 @@ impl LtSystem {
             .expect("response for a transaction nobody is stalled on");
         let (_, parked) = bridge.parked.swap_remove(position);
         let (bytes, beats) = (parked.txn.bytes(), parked.txn.beats());
+        self.tracer.bridge(
+            TraceEventKind::BridgeResponse,
+            parked.txn.master.index() as u16,
+            id.value(),
+            parked.requested_at,
+            arrival,
+            0,
+        );
+        // The read's lifecycle span closes here, with the full
+        // round-trip latency.
+        self.tracer.span(
+            parked.txn.master.index() as u16,
+            id.value(),
+            parked.requested_at,
+            parked.granted_at,
+            arrival,
+            bytes,
+            FLAG_REMOTE,
+        );
         // The transfer completes now: count the work (the request leg only
         // contributed bus occupancy; the data return travels inside the
         // crossing cost, not over the local bus).
@@ -721,6 +778,12 @@ impl LtSystem {
         let latency = completed - entry.absorbed_at;
         let grant_latency = start - entry.absorbed_at;
         self.masters[entry.master_index].record(bytes, latency, grant_latency, completed);
+        self.tracer.drain(
+            entry.txn.master.index() as u16,
+            entry.txn.id.value(),
+            start,
+            completed,
+        );
         completed
     }
 
@@ -732,6 +795,14 @@ impl LtSystem {
             txn,
             leg,
         });
+        self.tracer.bridge(
+            TraceEventKind::BridgeEgress,
+            txn.master.index() as u16,
+            txn.id.value(),
+            completed,
+            completed,
+            if txn.is_write() { FLAG_WRITE } else { 0 },
+        );
     }
 
     /// Drains backlog entries whose bus slot *starts* by `horizon`
@@ -822,6 +893,8 @@ impl LtSystem {
             });
             self.wb_absorbed += 1;
             self.wb_peak = self.wb_peak.max(self.backlog.len());
+            self.tracer
+                .absorb(txn.master.index() as u16, txn.id.value(), ready, ready);
             self.masters[index].advance(ready);
             if self.masters[index].is_done() {
                 self.masters_done += 1;
@@ -901,12 +974,31 @@ impl LtSystem {
                         txn: original,
                         leg: CrossingLeg::ReadResponse { origin },
                     });
+                    self.tracer.bridge(
+                        TraceEventKind::BridgeEgress,
+                        original.master.index() as u16,
+                        original.id.value(),
+                        completed,
+                        completed,
+                        0,
+                    );
                 }
             }
         }
         let latency = completed - ready;
         let grant_latency = grant - ready;
         self.masters[index].record(bytes, latency, grant_latency, completed);
+        let flags =
+            if txn.is_write() { FLAG_WRITE } else { 0 } | if remote { FLAG_REMOTE } else { 0 };
+        self.tracer.span(
+            txn.master.index() as u16,
+            txn.id.value(),
+            ready,
+            grant,
+            completed,
+            bytes,
+            flags,
+        );
         self.masters[index].advance(completed);
         if self.masters[index].is_done() {
             self.masters_done += 1;
@@ -1015,6 +1107,14 @@ impl BusModel for LtSystem {
 
     fn report(&mut self) -> SimReport {
         LtSystem::report(self)
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        LtSystem::set_tracing(self, enabled);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        self.tracer.is_enabled().then(|| self.take_trace_log())
     }
 }
 

@@ -44,6 +44,7 @@ use amba::ids::MasterId;
 use amba::txn::{Transaction, TransactionId};
 use analysis::model::{BusModel, Probe, SyncStats};
 use analysis::report::{BusMetrics, ModelKind, SimReport};
+use analysis::trace::{TraceLog, Tracer, SCHEDULER_SHARD};
 use simkern::time::Cycle;
 use traffic::TrafficPattern;
 
@@ -149,6 +150,27 @@ impl ShardEngine {
         match self {
             ShardEngine::Tlm(s) => s.report(),
             ShardEngine::Lt(s) => s.report(),
+        }
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        match self {
+            ShardEngine::Tlm(s) => s.set_tracing(enabled),
+            ShardEngine::Lt(s) => s.set_tracing(enabled),
+        }
+    }
+
+    fn set_trace_shard(&mut self, shard: u16) {
+        match self {
+            ShardEngine::Tlm(s) => s.set_trace_shard(shard),
+            ShardEngine::Lt(s) => s.set_trace_shard(shard),
+        }
+    }
+
+    fn take_trace_log(&mut self) -> TraceLog {
+        match self {
+            ShardEngine::Tlm(s) => s.take_trace_log(),
+            ShardEngine::Lt(s) => s.take_trace_log(),
         }
     }
 }
@@ -282,6 +304,10 @@ struct Exchange {
     barriers: u64,
     stretched: u64,
     cycles_gained: u64,
+    /// The platform's scheduler-event tracer (barriers, stretches),
+    /// moved in from the system for the duration of a threaded advance
+    /// so the leader records into it under the exchange lock.
+    tracer: Tracer,
 }
 
 /// The multi-bus AHB+ platform.
@@ -319,6 +345,10 @@ pub struct MultiSystem {
     stretched: u64,
     cycles_gained: u64,
     wall_seconds: f64,
+    /// Records the platform's own scheduler events (barriers taken,
+    /// lookahead stretches) under [`SCHEDULER_SHARD`]; the per-shard
+    /// lifecycle streams live inside the shard engines.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for MultiSystem {
@@ -443,6 +473,7 @@ impl MultiSystem {
             stretched: 0,
             cycles_gained: 0,
             wall_seconds: 0.0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -489,6 +520,37 @@ impl MultiSystem {
     #[must_use]
     pub fn shard_probes(&self) -> Vec<Probe> {
         self.shards.iter().map(ShardEngine::probe).collect()
+    }
+
+    /// Enables or disables tracing on every shard plus the platform's
+    /// scheduler-event stream. Each shard's events are tagged with its
+    /// shard index; scheduler events carry [`SCHEDULER_SHARD`].
+    pub fn set_tracing(&mut self, enabled: bool) {
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_trace_shard(index as u16);
+            shard.set_tracing(enabled);
+        }
+        self.tracer.set_shard(SCHEDULER_SHARD);
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Drains and merges the per-shard trace streams with the scheduler
+    /// events into one deterministic log (stable `(cycle, shard, seq)`
+    /// order), filling the platform-level bridge counters. The merged
+    /// stream is a pure function of the simulated schedule, so it is
+    /// byte-identical across the single-threaded, threaded and spin-sync
+    /// execution modes.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        let mut parts: Vec<TraceLog> = self
+            .shards
+            .iter_mut()
+            .map(ShardEngine::take_trace_log)
+            .collect();
+        parts.push(self.tracer.take());
+        let mut log = TraceLog::merge(parts);
+        log.counters.crossings = self.crossings;
+        log.counters.bridge_fifo_peak = log.counters.bridge_fifo_peak.max(self.fifo_peak);
+        log
     }
 
     /// Current synchronized time (the barrier clock).
@@ -593,9 +655,11 @@ impl MultiSystem {
                 self.max_cycles,
             );
             self.next_target = target;
+            self.tracer.barrier(next, target.saturating_sub(next));
             if gained > 0 {
                 self.stretched += 1;
                 self.cycles_gained += gained;
+                self.tracer.stretch(next, gained);
             }
             let drained = self.buffers.finished.iter().all(|&f| f) && quiet;
             let stop = drained || next >= end;
@@ -644,6 +708,7 @@ impl MultiSystem {
             barriers: self.barriers,
             stretched: self.stretched,
             cycles_gained: self.cycles_gained,
+            tracer: std::mem::replace(&mut self.tracer, Tracer::disabled()),
         });
         std::thread::scope(|scope| {
             for (index, shard) in self.shards.iter_mut().enumerate() {
@@ -696,9 +761,11 @@ impl MultiSystem {
                                 max,
                             );
                             guard.next_target = target;
+                            guard.tracer.barrier(next, target.saturating_sub(next));
                             if gained > 0 {
                                 guard.stretched += 1;
                                 guard.cycles_gained += gained;
+                                guard.tracer.stretch(next, gained);
                             }
                             let drained = guard.buffers.finished.iter().all(|&f| f) && quiet;
                             guard.stop = drained || next >= end;
@@ -735,6 +802,7 @@ impl MultiSystem {
         self.barriers = exchange.barriers;
         self.stretched = exchange.stretched;
         self.cycles_gained = exchange.cycles_gained;
+        self.tracer = exchange.tracer;
     }
 
     /// Aggregated snapshot: the sum of the shard probes with every
@@ -856,6 +924,14 @@ impl BusModel for MultiSystem {
 
     fn report(&mut self) -> SimReport {
         MultiSystem::report(self)
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        MultiSystem::set_tracing(self, enabled);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        self.tracer.is_enabled().then(|| self.take_trace_log())
     }
 
     fn sync_stats(&self) -> Option<SyncStats> {

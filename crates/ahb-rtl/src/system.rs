@@ -22,6 +22,7 @@ use amba::txn::{Completion, Transaction};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
+use analysis::trace::{TraceLog, Tracer, FLAG_WRITE};
 use simkern::assertion::AssertionSink;
 use simkern::component::Clocked;
 use simkern::time::{Cycle, CycleDelta};
@@ -71,6 +72,7 @@ pub struct RtlSystem {
     /// Cycles fast-forwarded by idle-skip (observability: lets tests and
     /// probes confirm the skip path actually engaged).
     idle_skipped_cycles: u64,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for RtlSystem {
@@ -121,6 +123,7 @@ impl RtlSystem {
             last_bi_hint: None,
             wall_seconds: 0.0,
             idle_skipped_cycles: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -346,6 +349,13 @@ impl RtlSystem {
                 continue;
             };
             if txn.is_write() && txn.posted_ok && self.write_buffer.absorb(&txn, now) {
+                let requested_at = self.masters[index].requested_at();
+                self.tracer.absorb(
+                    txn.master.index() as u16,
+                    txn.id.value(),
+                    requested_at.value(),
+                    now.value(),
+                );
                 self.masters[index].absorb_posted(now);
                 self.pins[index].hbusreq.load(false);
                 self.pins[index].pending_addr.load(None);
@@ -542,11 +552,52 @@ impl RtlSystem {
             .record_completion(&completion, burst.txn.beats());
         self.last_completion = self.last_completion.max(now);
         if burst.via_write_buffer {
+            self.tracer.drain(
+                burst.txn.master.index() as u16,
+                burst.txn.id.value(),
+                burst.addr_started.value(),
+                now.value(),
+            );
+        } else {
+            let flags = if burst.txn.is_write() { FLAG_WRITE } else { 0 };
+            self.tracer.span(
+                burst.txn.master.index() as u16,
+                burst.txn.id.value(),
+                burst.issued_at.value(),
+                burst.addr_started.value(),
+                now.value(),
+                burst.txn.bytes(),
+                flags,
+            );
+        }
+        if burst.via_write_buffer {
             self.write_buffer.drain_head();
         } else if let Some(master) = self.masters.iter_mut().find(|m| m.id() == burst.owner) {
             master.finish_transfer(now);
         }
         self.shared.hmaster.load(None);
+    }
+
+    /// Enables or disables transaction-lifecycle tracing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Tags this system's trace events with a shard id (used when the
+    /// platform runs as one shard of a multi-bus system).
+    pub fn set_trace_shard(&mut self, shard: u16) {
+        self.tracer.set_shard(shard);
+    }
+
+    /// Drains the accumulated trace log, filling the counter registry from
+    /// the DDR controller and write-buffer accumulators.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        let mut log = self.tracer.take();
+        let dram = self.slave.controller().stats();
+        log.counters.dram_row_hits = dram.row_hits.value() + dram.prepared_hits.value();
+        log.counters.dram_accesses = dram.accesses();
+        log.counters.write_buffer_peak = self.write_buffer.peak_fill() as u64;
+        log
     }
 }
 
@@ -604,6 +655,14 @@ impl BusModel for RtlSystem {
     fn report(&mut self) -> SimReport {
         RtlSystem::report(self)
     }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        RtlSystem::set_tracing(self, enabled);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        self.tracer.is_enabled().then(|| self.take_trace_log())
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +703,28 @@ mod tests {
         let b = small_system(20).run();
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.bus.busy_cycles, b.bus.busy_cycles);
+    }
+
+    #[test]
+    fn tracing_captures_every_completion() {
+        let mut system = small_system(10);
+        system.set_tracing(true);
+        let report = system.run();
+        let log = system.take_trace_log();
+        let spans = log.events.iter().filter(|e| !e.kind.is_scheduler()).count();
+        assert!(spans as u64 >= report.total_transactions());
+        assert!(log.counters.dram_accesses > 0);
+        for event in &log.events {
+            assert!(event.start <= event.grant && event.grant <= event.cycle);
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let mut system = small_system(10);
+        system.run();
+        let log = system.take_trace_log();
+        assert!(log.events.is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use amba::txn::{Completion, Transaction, TransactionId, TxnArena};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
+use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_WRITE};
 use ddrc::DdrController;
 use simkern::assertion::{AssertionKind, AssertionSink, Severity};
 use simkern::time::{Cycle, CycleDelta};
@@ -183,6 +184,9 @@ pub struct TlmSystem {
     /// platform; `None` on a standalone single-bus platform (no behaviour
     /// change whatsoever).
     bridge: Option<TlmBridge>,
+    /// Structured event tracer (disabled by default; every record call
+    /// starts with one branch on the enabled flag).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for TlmSystem {
@@ -332,6 +336,7 @@ impl TlmSystem {
                     owed_responses: Vec::new(),
                     remote_ahead,
                 }),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -377,6 +382,28 @@ impl TlmSystem {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.masters_done == self.masters.len() && !self.write_buffer.is_occupied()
+    }
+
+    /// Enables or disables structured event tracing (off by default).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Tags this system's trace events with a shard id (used when the
+    /// system is one shard of a multi-bus platform).
+    pub fn set_trace_shard(&mut self, shard: u16) {
+        self.tracer.set_shard(shard);
+    }
+
+    /// Takes the buffered trace events, with the DDR and write-buffer
+    /// registry counters filled in from the recorder-side statistics.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        let mut log = self.tracer.take();
+        let dram = self.ddr.stats();
+        log.counters.dram_row_hits = dram.row_hits.value() + dram.prepared_hits.value();
+        log.counters.dram_accesses = dram.accesses();
+        log.counters.write_buffer_peak = self.write_buffer.peak_fill() as u64;
+        log
     }
 
     /// Takes the crossings issued through the bridge slave since the last
@@ -481,6 +508,17 @@ impl TlmSystem {
         if new_head {
             self.ready.schedule(position, release_at);
         }
+        // Trace the crossing's arrival out of the bridge FIFO (delivery
+        // order is the scheduler's deterministic sort, so the event
+        // stream is identical across scheduler modes).
+        self.tracer.bridge(
+            TraceEventKind::BridgeReplay,
+            source.master.index() as u16,
+            source.id.value(),
+            release_at.value(),
+            release_at.value(),
+            if source.is_write() { FLAG_WRITE } else { 0 },
+        );
         // The speculative pipelining caches were computed without this
         // request, but they are only ever reused at exactly the cycle
         // they were collected for (`pending_fresh_at`). A replay whose
@@ -521,6 +559,25 @@ impl TlmSystem {
             .position(|(parked_id, _)| *parked_id == id)
             .expect("response for a transaction nobody is stalled on");
         let (_, parked) = bridge.parked.swap_remove(index);
+        self.tracer.bridge(
+            TraceEventKind::BridgeResponse,
+            parked.txn.master.index() as u16,
+            id.value(),
+            parked.requested_at.value(),
+            arrival.value(),
+            0,
+        );
+        // The read's lifecycle span closes here, with the full
+        // round-trip latency.
+        self.tracer.span(
+            parked.txn.master.index() as u16,
+            id.value(),
+            parked.requested_at.value(),
+            parked.granted_at.value(),
+            arrival.value(),
+            parked.txn.bytes(),
+            FLAG_REMOTE,
+        );
         if self.config.profiling {
             let completion = Completion {
                 id,
@@ -808,6 +865,28 @@ impl TlmSystem {
         }
         if !stalling_read {
             self.last_completion = self.last_completion.max(completed_at);
+            // Lifecycle trace span (request → grant → retire); a drain is
+            // the bus-side leg of a posted write absorbed earlier.
+            if via_write_buffer {
+                self.tracer.drain(
+                    txn.master.index() as u16,
+                    txn.id.value(),
+                    requested_at.value(),
+                    completed_at.value(),
+                );
+            } else {
+                let flags = if txn.is_write() { FLAG_WRITE } else { 0 }
+                    | if remote { FLAG_REMOTE } else { 0 };
+                self.tracer.span(
+                    txn.master.index() as u16,
+                    txn.id.value(),
+                    requested_at.value(),
+                    addr_phase.value(),
+                    completed_at.value(),
+                    txn.bytes(),
+                    flags,
+                );
+            }
         }
 
         // Bridge bookkeeping: a remote transaction enters the bridge FIFO
@@ -828,6 +907,14 @@ impl TlmSystem {
                     txn,
                     leg,
                 });
+                self.tracer.bridge(
+                    TraceEventKind::BridgeEgress,
+                    txn.master.index() as u16,
+                    txn.id.value(),
+                    completed_at.value(),
+                    completed_at.value(),
+                    if txn.is_write() { FLAG_WRITE } else { 0 },
+                );
             } else if winner == bridge.port.master {
                 bridge.replayed.record(&txn);
                 if let Some(index) = bridge
@@ -841,6 +928,14 @@ impl TlmSystem {
                         txn: original,
                         leg: CrossingLeg::ReadResponse { origin },
                     });
+                    self.tracer.bridge(
+                        TraceEventKind::BridgeEgress,
+                        original.master.index() as u16,
+                        original.id.value(),
+                        completed_at.value(),
+                        completed_at.value(),
+                        0,
+                    );
                 }
             }
         }
@@ -1022,6 +1117,15 @@ impl TlmSystem {
                 let absorbed_at = ready_at.max(self.slot_freed_at);
                 // On success the buffer takes handle ownership.
                 if self.write_buffer.absorb(&self.arena, handle, absorbed_at) {
+                    if self.tracer.is_enabled() {
+                        let txn = *self.arena.get(handle);
+                        self.tracer.absorb(
+                            txn.master.index() as u16,
+                            txn.id.value(),
+                            ready_at.value(),
+                            absorbed_at.value(),
+                        );
+                    }
                     let master = &mut self.masters[position];
                     master.complete_current(absorbed_at);
                     ready.clear(position);
@@ -1071,6 +1175,14 @@ impl BusModel for TlmSystem {
 
     fn report(&mut self) -> SimReport {
         TlmSystem::report(self)
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        TlmSystem::set_tracing(self, enabled);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        self.tracer.is_enabled().then(|| self.take_trace_log())
     }
 }
 

@@ -19,6 +19,11 @@
 //!   a Table-1-shaped table.
 //! * [`speed`] — pairs the wall-clock throughput of the two runs into the
 //!   Kcycles/s + speedup summary of §4.
+//! * [`trace`] — the structured event-tracing subsystem: deterministic
+//!   transaction-lifecycle / bridge / scheduler event streams every
+//!   backend can emit ([`trace::Tracer`]), merged shard logs
+//!   ([`trace::TraceLog`]), Perfetto and JSON-lines exporters, and the
+//!   derived counter/histogram registry ([`trace::TraceMetrics`]).
 //! * [`canon`] — canonical JSON values with a stable byte encoding and
 //!   FNV-1a content hashing (the identity of a campaign run point).
 //! * [`campaign`] — the aggregated design-space campaign artifact
@@ -48,6 +53,7 @@ pub mod model;
 pub mod recorder;
 pub mod report;
 pub mod speed;
+pub mod trace;
 
 pub use accuracy::{
     compare_models, AccuracyBenchRecord, AccuracyReport, AccuracyRow, CounterComparison,
@@ -59,3 +65,4 @@ pub use model::{BusModel, Probe, PROBE_FIELDS};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 pub use speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};
+pub use trace::{TraceEvent, TraceEventKind, TraceLog, TraceMetrics, Tracer};

@@ -20,6 +20,7 @@
 use simkern::time::{Cycle, CycleDelta};
 
 use crate::report::{ModelKind, SimReport};
+use crate::trace::TraceLog;
 
 /// A point-in-time snapshot of a model's observable state.
 ///
@@ -248,6 +249,24 @@ pub trait BusModel {
     fn sync_stats(&self) -> Option<SyncStats> {
         None
     }
+
+    /// Enables or disables structured event tracing
+    /// ([`crate::trace::Tracer`]). Backends that support tracing buffer
+    /// transaction-lifecycle / bridge / scheduler events while enabled;
+    /// the default is a no-op for backends without instrumentation.
+    /// Disabled tracing must cost no more than a predictable branch per
+    /// instrumentation seam.
+    fn set_tracing(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Takes the trace buffered since tracing was enabled (or since the
+    /// last take) as a deterministic, cycle-ordered [`TraceLog`].
+    /// `None` when the backend is uninstrumented or tracing was never
+    /// enabled. Multi-shard platforms return their merged stream.
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        None
+    }
 }
 
 /// Boxed models are models: run-control drivers that hold backends as
@@ -284,6 +303,14 @@ impl<M: BusModel + ?Sized> BusModel for Box<M> {
 
     fn sync_stats(&self) -> Option<SyncStats> {
         (**self).sync_stats()
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        (**self).set_tracing(enabled);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceLog> {
+        (**self).take_trace()
     }
 }
 

@@ -160,6 +160,15 @@ pub struct ModelMeasurement {
     /// Synchronization-scheduler statistics of the kept (fastest) run,
     /// for models with quantum barriers. `None` on single-bus models.
     pub sync: Option<SyncStats>,
+    /// Throughput cost of running with tracing enabled, in percent of
+    /// the plain throughput. Estimated from paired repetitions (a traced
+    /// twin runs next to every plain run and the best traced/plain ratio
+    /// wins, clamped at zero), so environmental drift cancels instead of
+    /// accumulating across independently-taken bests. An upper bound on
+    /// the disabled-path cost — the disabled path is a strict subset of
+    /// the enabled one. `None` when the harness did not take traced
+    /// measurements.
+    pub trace_overhead_pct: Option<f64>,
 }
 
 /// A machine-readable record of one speed measurement, emitted by the
@@ -277,9 +286,12 @@ impl SpeedBenchRecord {
                     json_f64(s.mean_quantum)
                 )
             });
+            let trace = model.trace_overhead_pct.map_or_else(String::new, |pct| {
+                format!(", \"trace_overhead_pct\": {}", json_f64(pct))
+            });
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}{sync}}}{comma}",
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"kcycles_per_sec\": {}{sync}{trace}}}{comma}",
                 escape_json(&model.name),
                 model.cycles,
                 json_f64(model.kcycles_per_sec)
@@ -379,7 +391,24 @@ mod tests {
             cycles,
             kcycles_per_sec,
             sync: None,
+            trace_overhead_pct: None,
         }
+    }
+
+    #[test]
+    fn trace_overhead_extends_the_per_model_json_line() {
+        let mut traced = measurement(model_names::TLM, 50_000, 1_000.0);
+        traced.trace_overhead_pct = Some(1.25);
+        let record = SpeedBenchRecord {
+            workload: "pattern_a".to_owned(),
+            transactions_per_master: 100,
+            seed: 1,
+            models: vec![traced, measurement(model_names::LT, 50_000, 2_000.0)],
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"kcycles_per_sec\": 1000, \"trace_overhead_pct\": 1.25}"));
+        // Models without a traced measurement keep the bare line.
+        assert!(json.contains("{\"name\": \"lt\", \"cycles\": 50000, \"kcycles_per_sec\": 2000}"));
     }
 
     #[test]

@@ -1,0 +1,905 @@
+//! Structured event tracing and derived metrics.
+//!
+//! Every backend can emit a stream of [`TraceEvent`]s into a [`Tracer`]:
+//! transaction-lifecycle spans (release → grant → data beats → retire,
+//! or write-buffer absorption), bridge-crossing legs (egress, replay,
+//! read-response return), and scheduler events (quantum barriers,
+//! lookahead stretches). The stream is *deterministic*: it is a pure
+//! function of the simulated schedule, never of wall-clock time or
+//! thread interleaving, so two runs of the same platform — or the same
+//! platform under different scheduler modes — produce byte-identical
+//! exports ([`TraceLog::to_json_lines`]).
+//!
+//! The design goal is that tracing *disabled* is free to within noise:
+//! every record method begins with one predictable branch on
+//! [`Tracer::is_enabled`] and returns immediately, so an untraced hot
+//! loop pays a single never-taken branch per instrumentation seam. The
+//! speed harness measures the enabled-vs-disabled delta per model and
+//! records it as `trace_overhead_pct` in `BENCH_speed.json` — an upper
+//! bound on the disabled-path cost, since the disabled path is a strict
+//! subset of the enabled one.
+//!
+//! A finished model hands its buffered events back as a [`TraceLog`]
+//! (via `BusModel::take_trace`). Multi-shard platforms merge per-shard
+//! logs in `(cycle, shard, seq)` order ([`TraceLog::merge`]); the
+//! result exports to Chrome-trace/Perfetto JSON
+//! ([`TraceLog::to_perfetto_json`]) or compact JSON-lines, and derives
+//! a counter/histogram registry ([`TraceLog::metrics`]): per-master
+//! latency histograms, DDR bank hit/miss, write-buffer and bridge-FIFO
+//! activity.
+
+use std::fmt::Write as _;
+
+use crate::jsonfmt::escape_json;
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceEventKind {
+    /// A transaction retired on the bus: the span runs from request
+    /// (`start`), through grant (`grant`), to completion (`cycle`).
+    Span,
+    /// A posted write absorbed by the write buffer: the master's span
+    /// ends early at `cycle`; the bus-side drain is a separate
+    /// [`TraceEventKind::Drain`].
+    Absorb,
+    /// The write buffer drained one posted write onto the bus,
+    /// finishing at `cycle` (`start` is when the drain burst started).
+    Drain,
+    /// A transaction entered a bridge egress FIFO at `cycle` bound for
+    /// a remote shard.
+    BridgeEgress,
+    /// A bridge replayed a crossing onto its far-side bus: released to
+    /// the remote arbiter at `cycle` (`start` is the source-side issue).
+    BridgeReplay,
+    /// A non-posted read's response returned to the source shard at
+    /// `cycle`, retiring the parked master.
+    BridgeResponse,
+    /// A scheduler quantum barrier committed at `cycle` (`start` holds
+    /// the quantum that was just covered).
+    Barrier,
+    /// The adaptive lookahead stretched a quantum: `start` holds the
+    /// cycles gained past the fixed schedule.
+    Stretch,
+}
+
+impl TraceEventKind {
+    /// Stable machine-readable name used by both exporters.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            TraceEventKind::Span => "span",
+            TraceEventKind::Absorb => "absorb",
+            TraceEventKind::Drain => "drain",
+            TraceEventKind::BridgeEgress => "bridge-egress",
+            TraceEventKind::BridgeReplay => "bridge-replay",
+            TraceEventKind::BridgeResponse => "bridge-response",
+            TraceEventKind::Barrier => "barrier",
+            TraceEventKind::Stretch => "stretch",
+        }
+    }
+
+    /// `true` for the scheduler-event category (barriers and
+    /// stretches). These are a property of the *synchronization
+    /// schedule*, not of the simulated platform: a fixed-quantum and a
+    /// lookahead run of the same workload differ only in this category,
+    /// so schedule-independent comparisons filter it out.
+    #[must_use]
+    pub fn is_scheduler(self) -> bool {
+        matches!(self, TraceEventKind::Barrier | TraceEventKind::Stretch)
+    }
+}
+
+/// The transaction completed via write-buffer absorption/drain rather
+/// than occupying the bus end-to-end.
+pub const FLAG_WRITE_BUFFER: u8 = 1;
+/// The transaction targeted a remote shard (crossed a bridge).
+pub const FLAG_REMOTE: u8 = 1 << 1;
+/// The transaction was a write.
+pub const FLAG_WRITE: u8 = 1 << 2;
+
+/// One structured trace event.
+///
+/// The layout is deliberately flat and integer-only: events order
+/// totally by `(cycle, shard, seq)` and compare bit-for-bit, which is
+/// what makes merged multi-shard streams byte-identical across
+/// scheduler modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Primary timestamp: completion / occurrence cycle.
+    pub cycle: u64,
+    /// Span start (request release cycle) for lifecycle events; payload
+    /// (quantum, cycles gained) for scheduler events.
+    pub start: u64,
+    /// Grant cycle for lifecycle spans (when arbitration won), zero
+    /// where not applicable.
+    pub grant: u64,
+    /// Emitting shard (0 on single-bus models; [`SCHEDULER_SHARD`] for
+    /// platform-level scheduler events).
+    pub shard: u16,
+    /// Per-shard monotone sequence number (tie-break within one cycle).
+    pub seq: u32,
+    /// Master the event belongs to (`u16::MAX` when not applicable).
+    pub master: u16,
+    /// Transaction id (0 when not applicable).
+    pub id: u64,
+    /// Bytes moved by the transaction (0 for non-span events).
+    pub bytes: u32,
+    /// Flag bits ([`FLAG_WRITE_BUFFER`], [`FLAG_REMOTE`], [`FLAG_WRITE`]).
+    pub flags: u8,
+    /// Event kind.
+    pub kind: TraceEventKind,
+}
+
+/// Shard id used for platform-level scheduler events, sorting after
+/// every real shard at the same cycle.
+pub const SCHEDULER_SHARD: u16 = u16::MAX;
+
+impl TraceEvent {
+    /// Total order used by [`TraceLog::merge`]: cycle, then shard, then
+    /// per-shard sequence. Within one shard this equals emission order.
+    #[must_use]
+    pub fn sort_key(&self) -> (u64, u16, u32) {
+        (self.cycle, self.shard, self.seq)
+    }
+
+    /// Span latency (request to completion); zero for non-span events.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.cycle.saturating_sub(self.start)
+    }
+
+    /// Renders the event as one canonical JSON line (no trailing
+    /// newline). Field order and formatting are stable: byte equality
+    /// of rendered streams is the determinism contract.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"cycle\": {}, \"shard\": {}, \"seq\": {}, \"kind\": \"{}\", \"master\": {}, \
+             \"id\": {}, \"start\": {}, \"grant\": {}, \"bytes\": {}, \"flags\": {}}}",
+            self.cycle,
+            self.shard,
+            self.seq,
+            self.kind.id(),
+            self.master,
+            self.id,
+            self.start,
+            self.grant,
+            self.bytes,
+            self.flags
+        )
+    }
+}
+
+/// Aggregate counters of a [`TraceLog`] — the registry half of the
+/// metrics surface. The event-derived counts come from the log itself;
+/// the DDR and peak-occupancy numbers are registered by the backend
+/// when the log is taken (they live in its recorder, not in per-event
+/// payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCounters {
+    /// Transactions that completed on the bus (span events).
+    pub spans: u64,
+    /// Posted writes absorbed by a write buffer.
+    pub absorbed: u64,
+    /// Posted writes drained onto a bus.
+    pub drained: u64,
+    /// Bridge egress legs.
+    pub crossings: u64,
+    /// Bridge replay legs.
+    pub replays: u64,
+    /// Read-response return legs.
+    pub responses: u64,
+    /// Scheduler barriers.
+    pub barriers: u64,
+    /// Lookahead quantum stretches.
+    pub stretches: u64,
+    /// DRAM row-hit accesses (registered from the backend recorder).
+    pub dram_row_hits: u64,
+    /// Total DRAM accesses (registered from the backend recorder).
+    pub dram_accesses: u64,
+    /// Peak write-buffer occupancy (registered from the backend).
+    pub write_buffer_peak: u64,
+    /// Peak bridge-FIFO occupancy (registered from the backend).
+    pub bridge_fifo_peak: u64,
+}
+
+impl TraceCounters {
+    /// Sums two counter sets (used when merging shard logs).
+    #[must_use]
+    pub fn merged(self, other: TraceCounters) -> TraceCounters {
+        TraceCounters {
+            spans: self.spans + other.spans,
+            absorbed: self.absorbed + other.absorbed,
+            drained: self.drained + other.drained,
+            crossings: self.crossings + other.crossings,
+            replays: self.replays + other.replays,
+            responses: self.responses + other.responses,
+            barriers: self.barriers + other.barriers,
+            stretches: self.stretches + other.stretches,
+            dram_row_hits: self.dram_row_hits + other.dram_row_hits,
+            dram_accesses: self.dram_accesses + other.dram_accesses,
+            write_buffer_peak: self.write_buffer_peak.max(other.write_buffer_peak),
+            bridge_fifo_peak: self.bridge_fifo_peak.max(other.bridge_fifo_peak),
+        }
+    }
+
+    /// DRAM bank-miss count (accesses that were not row hits).
+    #[must_use]
+    pub fn dram_misses(&self) -> u64 {
+        self.dram_accesses.saturating_sub(self.dram_row_hits)
+    }
+}
+
+/// Power-of-two latency histogram: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds latency 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// One count per power-of-two bucket.
+    pub buckets: [u64; 24],
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded latencies (for the mean).
+    pub total: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let bucket = (64 - latency.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
+        self.count += 1;
+        self.total += latency;
+    }
+
+    /// Mean recorded latency (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total as f64 / self.count as f64
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    #[must_use]
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1 << i
+        }
+    }
+}
+
+/// Per-master derived metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MasterTraceMetrics {
+    /// Master id.
+    pub master: u16,
+    /// Request-to-retire latency histogram over the master's spans
+    /// (absorbed posted writes count with their absorption latency).
+    pub latency: LatencyHistogram,
+    /// Bytes the master moved.
+    pub bytes: u64,
+}
+
+/// The derived counter/histogram registry of a trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceMetrics {
+    /// Aggregate counters.
+    pub counters: TraceCounters,
+    /// Per-master latency/bytes metrics, ordered by master id.
+    pub masters: Vec<MasterTraceMetrics>,
+}
+
+impl TraceMetrics {
+    /// Renders a small human-readable summary table.
+    #[must_use]
+    pub fn format_summary(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        let _ =
+            writeln!(
+            out,
+            "events: {} spans, {} absorbed, {} drained, {} crossings ({} replays, {} responses), \
+             {} barriers ({} stretched)",
+            c.spans, c.absorbed, c.drained, c.crossings, c.replays, c.responses, c.barriers,
+            c.stretches
+        );
+        let _ = writeln!(
+            out,
+            "ddr: {} accesses, {} row hits, {} misses; write-buffer peak {}, bridge-FIFO peak {}",
+            c.dram_accesses,
+            c.dram_row_hits,
+            c.dram_misses(),
+            c.write_buffer_peak,
+            c.bridge_fifo_peak
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>12} {:>14}",
+            "master", "spans", "bytes", "mean latency"
+        );
+        for m in &self.masters {
+            let _ = writeln!(
+                out,
+                "m{:<7} {:>8} {:>12} {:>14.1}",
+                m.master,
+                m.latency.count,
+                m.bytes,
+                m.latency.mean()
+            );
+        }
+        out
+    }
+}
+
+/// The per-backend event sink. Starts disabled; a disabled tracer's
+/// record methods are a single branch and a return.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    shard: u16,
+    seq: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A disabled tracer for shard 0 (single-bus models).
+    #[must_use]
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording. Enabling reserves event capacity up
+    /// front so the hot path does not pay doubling reallocations mid-run
+    /// — on sub-millisecond measurement workloads those memcpys would
+    /// show up as tracing overhead.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if enabled && self.events.capacity() < 16 * 1024 {
+            self.events.reserve(16 * 1024);
+        }
+    }
+
+    /// Tags subsequently recorded events with a shard id (multi-bus
+    /// platforms number their shards; single-bus models stay at 0).
+    pub fn set_shard(&mut self, shard: u16) {
+        self.shard = shard;
+    }
+
+    #[inline]
+    fn push(&mut self, mut event: TraceEvent) {
+        event.shard = self.shard;
+        event.seq = self.seq;
+        self.seq += 1;
+        self.events.push(event);
+    }
+
+    /// Records a transaction-lifecycle span (bus completion).
+    ///
+    /// The argument list mirrors the event fields one-to-one — grouping
+    /// them into an intermediate struct would just duplicate
+    /// [`TraceEvent`] at every instrumentation seam.
+    #[expect(clippy::too_many_arguments)]
+    #[inline]
+    pub fn span(
+        &mut self,
+        master: u16,
+        id: u64,
+        requested_at: u64,
+        granted_at: u64,
+        completed_at: u64,
+        bytes: u32,
+        flags: u8,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: completed_at,
+            start: requested_at,
+            grant: granted_at,
+            shard: 0,
+            seq: 0,
+            master,
+            id,
+            bytes,
+            flags,
+            kind: TraceEventKind::Span,
+        });
+    }
+
+    /// Records a posted write absorbed by the write buffer.
+    #[inline]
+    pub fn absorb(&mut self, master: u16, id: u64, requested_at: u64, absorbed_at: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: absorbed_at,
+            start: requested_at,
+            grant: absorbed_at,
+            shard: 0,
+            seq: 0,
+            master,
+            id,
+            bytes: 0,
+            flags: FLAG_WRITE | FLAG_WRITE_BUFFER,
+            kind: TraceEventKind::Absorb,
+        });
+    }
+
+    /// Records a write-buffer drain finishing on the bus.
+    #[inline]
+    pub fn drain(&mut self, master: u16, id: u64, started_at: u64, completed_at: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: completed_at,
+            start: started_at,
+            grant: started_at,
+            shard: 0,
+            seq: 0,
+            master,
+            id,
+            bytes: 0,
+            flags: FLAG_WRITE | FLAG_WRITE_BUFFER,
+            kind: TraceEventKind::Drain,
+        });
+    }
+
+    /// Records a bridge leg (egress, replay or response return).
+    #[inline]
+    pub fn bridge(
+        &mut self,
+        kind: TraceEventKind,
+        master: u16,
+        id: u64,
+        issued_at: u64,
+        at: u64,
+        flags: u8,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: at,
+            start: issued_at,
+            grant: 0,
+            shard: 0,
+            seq: 0,
+            master,
+            id,
+            bytes: 0,
+            flags: flags | FLAG_REMOTE,
+            kind,
+        });
+    }
+
+    /// Records a scheduler quantum barrier (multi-shard platforms).
+    #[inline]
+    pub fn barrier(&mut self, at: u64, quantum: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: at,
+            start: quantum,
+            grant: 0,
+            shard: 0,
+            seq: 0,
+            master: u16::MAX,
+            id: 0,
+            bytes: 0,
+            flags: 0,
+            kind: TraceEventKind::Barrier,
+        });
+    }
+
+    /// Records an adaptive-lookahead quantum stretch.
+    #[inline]
+    pub fn stretch(&mut self, at: u64, gained: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cycle: at,
+            start: gained,
+            grant: 0,
+            shard: 0,
+            seq: 0,
+            master: u16::MAX,
+            id: 0,
+            bytes: 0,
+            flags: 0,
+            kind: TraceEventKind::Stretch,
+        });
+    }
+
+    /// Takes the buffered events as a [`TraceLog`], leaving the tracer
+    /// empty (and still enabled if it was). Events are sorted into the
+    /// canonical `(cycle, shard, seq)` order — some lifecycle events are
+    /// recorded later than their cycle stamp (a non-posted read's span
+    /// closes when its response returns), so emission order is not cycle
+    /// order.
+    pub fn take(&mut self) -> TraceLog {
+        self.seq = 0;
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_by_key(TraceEvent::sort_key);
+        TraceLog {
+            events,
+            counters: TraceCounters::default(),
+        }
+    }
+}
+
+/// A finished (or in-flight) stream of trace events plus its registered
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// The events, ordered by [`TraceEvent::sort_key`].
+    pub events: Vec<TraceEvent>,
+    /// Aggregate counters registered by the emitting backend(s).
+    pub counters: TraceCounters,
+}
+
+impl TraceLog {
+    /// Merges shard logs into one deterministic stream, ordered by
+    /// `(cycle, shard, seq)` — the key is a total order over distinct
+    /// events, so the merge is independent of the input partitioning and
+    /// of which scheduler mode produced the parts.
+    #[must_use]
+    pub fn merge(parts: Vec<TraceLog>) -> TraceLog {
+        let mut counters = TraceCounters::default();
+        let mut events = Vec::with_capacity(parts.iter().map(|p| p.events.len()).sum());
+        for part in parts {
+            counters = counters.merged(part.counters);
+            events.extend(part.events);
+        }
+        events.sort_by_key(TraceEvent::sort_key);
+        TraceLog { events, counters }
+    }
+
+    /// The events at cycles `<= cycle`, keeping at most the last `n`
+    /// per shard-independent merged order — the window a lockstep trace
+    /// diff shows around a divergence.
+    #[must_use]
+    pub fn window_before(&self, cycle: u64, n: usize) -> &[TraceEvent] {
+        let end = self.events.partition_point(|e| e.cycle <= cycle);
+        let start = end.saturating_sub(n);
+        &self.events[start..end]
+    }
+
+    /// Events with the scheduler category filtered out — the
+    /// schedule-independent stream (identical across fixed and
+    /// lookahead quanta, not just across scheduler threading modes).
+    #[must_use]
+    pub fn lifecycle_events(&self) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| !e.kind.is_scheduler())
+            .collect()
+    }
+
+    /// Derives the counter/histogram registry from the event stream
+    /// (event-kind counts recomputed; registered DDR/peak counters
+    /// carried through).
+    #[must_use]
+    pub fn metrics(&self) -> TraceMetrics {
+        let mut counters = self.counters;
+        counters.spans = 0;
+        counters.absorbed = 0;
+        counters.drained = 0;
+        counters.crossings = 0;
+        counters.replays = 0;
+        counters.responses = 0;
+        counters.barriers = 0;
+        counters.stretches = 0;
+        let mut masters: Vec<MasterTraceMetrics> = Vec::new();
+        let master_slot = |masters: &mut Vec<MasterTraceMetrics>, id: u16| -> usize {
+            match masters.binary_search_by_key(&id, |m| m.master) {
+                Ok(i) => i,
+                Err(i) => {
+                    masters.insert(
+                        i,
+                        MasterTraceMetrics {
+                            master: id,
+                            ..MasterTraceMetrics::default()
+                        },
+                    );
+                    i
+                }
+            }
+        };
+        for event in &self.events {
+            match event.kind {
+                TraceEventKind::Span => {
+                    counters.spans += 1;
+                    let i = master_slot(&mut masters, event.master);
+                    masters[i].latency.record(event.latency());
+                    masters[i].bytes += u64::from(event.bytes);
+                }
+                TraceEventKind::Absorb => {
+                    counters.absorbed += 1;
+                    let i = master_slot(&mut masters, event.master);
+                    masters[i].latency.record(event.latency());
+                }
+                TraceEventKind::Drain => counters.drained += 1,
+                TraceEventKind::BridgeEgress => counters.crossings += 1,
+                TraceEventKind::BridgeReplay => counters.replays += 1,
+                TraceEventKind::BridgeResponse => counters.responses += 1,
+                TraceEventKind::Barrier => counters.barriers += 1,
+                TraceEventKind::Stretch => counters.stretches += 1,
+            }
+        }
+        TraceMetrics { counters, masters }
+    }
+
+    /// Renders the stream as compact JSON lines (one event per line,
+    /// stable field order). Byte equality of this rendering is the
+    /// determinism contract the scheduler-mode tests assert.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for event in &self.events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the stream as Chrome-trace / Perfetto JSON (the
+    /// `traceEvents` array form). Spans become `"ph": "X"` duration
+    /// events on a `pid` = shard, `tid` = master track; bridge legs and
+    /// scheduler events become `"ph": "i"` instants. Cycles are mapped
+    /// 1:1 onto the viewer's microsecond timeline.
+    #[must_use]
+    pub fn to_perfetto_json(&self, label: &str) -> String {
+        let mut out = String::with_capacity(self.events.len() * 160 + 256);
+        out.push_str("{\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {\"label\": \"");
+        out.push_str(&escape_json(label));
+        out.push_str("\"},\n\"traceEvents\": [\n");
+        let mut first = true;
+        for event in &self.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let pid = event.shard;
+            match event.kind {
+                TraceEventKind::Span | TraceEventKind::Absorb | TraceEventKind::Drain => {
+                    let name = match event.kind {
+                        TraceEventKind::Span if event.flags & FLAG_WRITE_BUFFER != 0 => "txn (wb)",
+                        TraceEventKind::Span => "txn",
+                        TraceEventKind::Absorb => "absorb",
+                        _ => "drain",
+                    };
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{name} {}\", \"cat\": \"lifecycle\", \"ph\": \"X\", \
+                         \"ts\": {}, \"dur\": {}, \"pid\": {pid}, \"tid\": {}, \
+                         \"args\": {{\"grant\": {}, \"bytes\": {}, \"flags\": {}}}}}",
+                        event.id,
+                        event.start,
+                        event.latency().max(1),
+                        event.master,
+                        event.grant,
+                        event.bytes,
+                        event.flags
+                    );
+                }
+                TraceEventKind::BridgeEgress
+                | TraceEventKind::BridgeReplay
+                | TraceEventKind::BridgeResponse => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{} {}\", \"cat\": \"bridge\", \"ph\": \"i\", \"s\": \"p\", \
+                         \"ts\": {}, \"pid\": {pid}, \"tid\": {}, \
+                         \"args\": {{\"issued\": {}}}}}",
+                        event.kind.id(),
+                        event.id,
+                        event.cycle,
+                        event.master,
+                        event.start
+                    );
+                }
+                TraceEventKind::Barrier | TraceEventKind::Stretch => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\": \"{}\", \"cat\": \"scheduler\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"ts\": {}, \"pid\": {pid}, \"tid\": 0, \
+                         \"args\": {{\"value\": {}}}}}",
+                        event.kind.id(),
+                        event.cycle,
+                        event.start
+                    );
+                }
+            }
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_at(cycle: u64, master: u16, id: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            start: cycle.saturating_sub(10),
+            grant: cycle.saturating_sub(8),
+            shard: 0,
+            seq: 0,
+            master,
+            id,
+            bytes: 32,
+            flags: 0,
+            kind: TraceEventKind::Span,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tracer = Tracer::disabled();
+        tracer.span(0, 1, 0, 2, 10, 32, 0);
+        tracer.barrier(96, 96);
+        assert!(tracer.take().events.is_empty());
+    }
+
+    #[test]
+    fn events_keep_per_shard_emission_order() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.set_shard(3);
+        tracer.span(0, 1, 0, 2, 10, 32, 0);
+        tracer.absorb(1, 2, 4, 10);
+        let log = tracer.take();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].shard, 3);
+        assert_eq!(log.events[0].seq, 0);
+        assert_eq!(log.events[1].seq, 1);
+        // Same cycle: sequence breaks the tie in emission order.
+        assert!(log.events[0].sort_key() < log.events[1].sort_key());
+    }
+
+    #[test]
+    fn merge_orders_by_cycle_then_shard_then_seq() {
+        let mut a = Tracer::disabled();
+        a.set_enabled(true);
+        a.set_shard(1);
+        a.span(0, 1, 0, 1, 20, 32, 0);
+        a.span(0, 2, 5, 6, 20, 32, 0);
+        let mut b = Tracer::disabled();
+        b.set_enabled(true);
+        b.set_shard(0);
+        b.span(4, 3, 2, 3, 20, 32, 0);
+        b.span(4, 4, 30, 31, 40, 32, 0);
+        let merged = TraceLog::merge(vec![a.take(), b.take()]);
+        let keys: Vec<_> = merged
+            .events
+            .iter()
+            .map(|e| (e.cycle, e.shard, e.seq))
+            .collect();
+        assert_eq!(keys, vec![(20, 0, 0), (20, 1, 0), (20, 1, 1), (40, 0, 1)]);
+        // Merging in the other order yields the identical stream.
+        let mut a2 = Tracer::disabled();
+        a2.set_enabled(true);
+        a2.set_shard(1);
+        a2.span(0, 1, 0, 1, 20, 32, 0);
+        a2.span(0, 2, 5, 6, 20, 32, 0);
+        let mut b2 = Tracer::disabled();
+        b2.set_enabled(true);
+        b2.set_shard(0);
+        b2.span(4, 3, 2, 3, 20, 32, 0);
+        b2.span(4, 4, 30, 31, 40, 32, 0);
+        let swapped = TraceLog::merge(vec![b2.take(), a2.take()]);
+        assert_eq!(merged.to_json_lines(), swapped.to_json_lines());
+    }
+
+    #[test]
+    fn window_before_returns_the_trailing_events() {
+        let log = TraceLog {
+            events: (1..=10).map(|i| span_at(i * 10, 0, i)).collect(),
+            counters: TraceCounters::default(),
+        };
+        let window = log.window_before(55, 3);
+        let cycles: Vec<_> = window.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![30, 40, 50]);
+        assert!(log.window_before(5, 3).is_empty());
+    }
+
+    #[test]
+    fn metrics_derive_histograms_and_counts() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.span(2, 1, 0, 2, 16, 64, 0);
+        tracer.span(2, 2, 20, 22, 36, 64, 0);
+        tracer.absorb(5, 3, 40, 41);
+        tracer.barrier(96, 96);
+        let mut log = tracer.take();
+        log.counters.dram_row_hits = 7;
+        log.counters.dram_accesses = 10;
+        let metrics = log.metrics();
+        assert_eq!(metrics.counters.spans, 2);
+        assert_eq!(metrics.counters.absorbed, 1);
+        assert_eq!(metrics.counters.barriers, 1);
+        assert_eq!(metrics.counters.dram_misses(), 3);
+        assert_eq!(metrics.masters.len(), 2);
+        assert_eq!(metrics.masters[0].master, 2);
+        assert_eq!(metrics.masters[0].latency.count, 2);
+        assert_eq!(metrics.masters[0].bytes, 128);
+        let summary = metrics.format_summary();
+        assert!(summary.contains("2 spans"));
+        assert!(summary.contains("m2"));
+    }
+
+    #[test]
+    fn lifecycle_filter_drops_scheduler_events() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.span(0, 1, 0, 1, 10, 32, 0);
+        tracer.barrier(96, 96);
+        tracer.stretch(96, 40);
+        let log = tracer.take();
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.lifecycle_events().len(), 1);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_power_of_two() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(900);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3
+        assert_eq!(h.buckets[9], 1); // 512..1024
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - 181.2).abs() < 1e-9);
+        assert_eq!(LatencyHistogram::bucket_floor(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor(9), 512);
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_newline_terminated() {
+        let log = TraceLog {
+            events: vec![span_at(20, 1, 7)],
+            counters: TraceCounters::default(),
+        };
+        let lines = log.to_json_lines();
+        assert_eq!(
+            lines,
+            "{\"cycle\": 20, \"shard\": 0, \"seq\": 0, \"kind\": \"span\", \"master\": 1, \
+             \"id\": 7, \"start\": 10, \"grant\": 12, \"bytes\": 32, \"flags\": 0}\n"
+        );
+    }
+
+    #[test]
+    fn perfetto_export_contains_span_and_instant_events() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.span(1, 7, 10, 12, 20, 32, FLAG_WRITE_BUFFER);
+        tracer.bridge(TraceEventKind::BridgeEgress, 2, 8, 20, 20, 0);
+        tracer.barrier(96, 96);
+        let json = tracer.take().to_perfetto_json("unit");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"cat\": \"scheduler\""));
+        assert!(json.contains("txn (wb) 7"));
+    }
+}

@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run --release -p ahbplus-bench --bin table2_speed \
 //!     [OUTPUT.json] [--models rtl,tlm,sharded-tlm-4x4] [--reps N] \
-//!     [--quiet] [--list-models]
+//!     [--trace TRACE.json] [--quiet] [--list-models]
 //! ```
 //!
 //! `--models` restricts the measurement to a comma-separated subset;
@@ -20,10 +20,50 @@
 //! silently measures nothing. `--reps` overrides the best-of-5 repetition
 //! count (use `--reps 1` for cheap smoke sweeps); `--quiet` suppresses
 //! the table and commentary, leaving only the artifact write.
-//! `--list-models` prints the registered names and exits.
+//! `--list-models` prints the registered names and exits. `--trace`
+//! additionally runs the `sharded-tlm-la-4x4` configuration once with
+//! tracing enabled and writes the merged event stream as
+//! Chrome-trace/Perfetto JSON (load it at <https://ui.perfetto.dev>).
 
 use ahbplus::scenario;
 use ahbplus::speed::{measure_models_with_reps, standard_models, SPEED_MEASUREMENT_REPS};
+use ahbplus::{MultiConfig, MultiSystem, PlatformConfig, ShardBackendKind};
+use analysis::speed::model_names;
+use traffic::{pattern_shards, ShardMix};
+
+/// Runs the `sharded-tlm-la-4x4` speed configuration once with tracing
+/// enabled and writes the Perfetto export to `path`.
+fn write_trace(config: &PlatformConfig, path: &str, quiet: bool) {
+    let multi = MultiConfig::new(ShardBackendKind::Tlm)
+        .with_params(config.params.clone())
+        .with_ddr(config.ddr)
+        .with_max_cycles(config.max_cycles)
+        .with_lookahead(true);
+    let mut platform = MultiSystem::from_shard_patterns(
+        &multi,
+        &pattern_shards(4, 4, ShardMix::LocalHeavy),
+        config.transactions_per_master,
+        config.seed,
+    );
+    platform.set_tracing(true);
+    platform.run();
+    let log = platform.take_trace_log();
+    let perfetto = log.to_perfetto_json(model_names::SHARDED_TLM_LA_4X4);
+    match std::fs::write(path, perfetto) {
+        Ok(()) => {
+            if !quiet {
+                println!(
+                    "wrote {path} ({} trace events, Perfetto JSON)",
+                    log.events.len()
+                );
+            }
+        }
+        Err(error) => {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut output_path = "BENCH_speed.json".to_owned();
@@ -31,6 +71,7 @@ fn main() {
     let mut list_models = false;
     let mut quiet = false;
     let mut reps = SPEED_MEASUREMENT_REPS;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     let parse_reps = |value: &str| -> usize {
         match value.parse::<usize>() {
@@ -58,6 +99,14 @@ fn main() {
                 std::process::exit(2);
             };
             reps = parse_reps(&value);
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            trace_path = Some(path.to_owned());
+        } else if arg == "--trace" {
+            let Some(path) = args.next() else {
+                eprintln!("--trace needs an output path for the Perfetto JSON");
+                std::process::exit(2);
+            };
+            trace_path = Some(path);
         } else if arg == "--quiet" {
             quiet = true;
         } else if arg == "--list-models" {
@@ -68,7 +117,7 @@ fn main() {
             eprintln!(
                 "unknown option '{arg}' \
                  (usage: table2_speed [OUTPUT.json] [--models a,b,...] [--reps N] \
-                 [--quiet] [--list-models])"
+                 [--trace TRACE.json] [--quiet] [--list-models])"
             );
             std::process::exit(2);
         } else {
@@ -116,8 +165,11 @@ fn main() {
                     s.barriers, s.stretched, s.mean_quantum
                 )
             });
+            let trace = model
+                .trace_overhead_pct
+                .map_or_else(String::new, |pct| format!("  [trace +{pct:.1}%]"));
             println!(
-                "  {:<24} {:>12.2} Kcycles/s  ({} cycles){sync}",
+                "  {:<24} {:>12.2} Kcycles/s  ({} cycles){sync}{trace}",
                 model.name, model.kcycles_per_sec, model.cycles
             );
         }
@@ -137,5 +189,8 @@ fn main() {
             eprintln!("failed to write {output_path}: {error}");
             std::process::exit(1);
         }
+    }
+    if let Some(path) = trace_path {
+        write_trace(&config, &path, quiet);
     }
 }

@@ -71,5 +71,5 @@ pub mod spec;
 pub use cache::{PointOutcome, ResultCache};
 pub use engine::{execute_point, Campaign, CampaignError, RunOptions, SessionSummary};
 pub use journal::{Journal, JournalEvent, JournalWriter};
-pub use serve::CampaignServer;
+pub use serve::{CampaignServer, ServerMetrics};
 pub use spec::{point_hash, topology_point_hash, CampaignSpec, RunPoint};

@@ -9,19 +9,29 @@
 //! * `GET /healthz` → `{"status":"ok"}`
 //! * `GET /models` → JSON array of model-kind identifiers
 //! * `GET /scenarios` → JSON array of the canonical scenario catalogue
+//! * `GET /metrics` → live service counters as Prometheus text
+//!   (requests, active/completed runs, simulated cycles, transactions,
+//!   bytes, trace events). The counters update *during* `/run`
+//!   streaming, not only at run end, so a scrape taken while a long
+//!   scenario executes sees its progress.
 //! * `POST /run` → body `{"scenario": <ScenarioSpec>, "model": "tlm",
-//!   "stride": 5000}`. The `scenario` field is a canonical
-//!   [`ScenarioSpec`] object (as served by `/scenarios`); `model` is
-//!   optional (default `tlm`) and may be replaced by `"topology":
-//!   <Topology>` to run an explicit multi-bus shape; `stride` is
-//!   optional — when positive, the response streams one probe JSON line
-//!   per `stride` simulated cycles before the final report line.
+//!   "stride": 5000, "trace": true}`. The `scenario` field is a
+//!   canonical [`ScenarioSpec`] object (as served by `/scenarios`);
+//!   `model` is optional (default `tlm`) and may be replaced by
+//!   `"topology": <Topology>` to run an explicit multi-bus shape;
+//!   `stride` is optional — when positive, the response streams one
+//!   probe JSON line per `stride` simulated cycles before the final
+//!   report line; `trace` is optional — when true, the run executes
+//!   with the event-tracing subsystem enabled and the response streams
+//!   every transaction-lifecycle event as a `{"event": "trace", ...}`
+//!   line before the report.
 //!
 //! `/run` responses are newline-delimited JSON over a `Connection:
 //! close` stream (`application/x-ndjson`): zero or more probe lines
 //! (the [`JsonLinesSnapshotSink`] format, labelled with the scenario
-//! name) and exactly one `{"event":"report",...}` line carrying the
-//! final cycle/transaction/byte counts, the wall time and the content
+//! name), the optional trace events, and exactly one
+//! `{"event":"report",...}` line carrying the final
+//! cycle/transaction/byte counts, the wall time and the content
 //! hash of the executed point. Connections are drained by a bounded
 //! handler pool: when every handler is busy, accepted sockets queue on
 //! a rendezvous channel (and beyond that in the listener backlog), so a
@@ -30,13 +40,14 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ahbplus::canonical::Canonical;
-use ahbplus::simulation::{JsonLinesSnapshotSink, Simulation};
-use ahbplus::{scenario_catalogue, ScenarioSpec, Topology};
+use ahbplus::simulation::{JsonLinesSnapshotSink, Simulation, SnapshotSink};
+use ahbplus::{scenario_catalogue, Probe, ScenarioSpec, Topology};
 use analysis::canon::{parse, CanonValue};
 use analysis::jsonfmt::escape_json;
 use analysis::report::ModelKind;
@@ -55,10 +66,116 @@ const MAX_TRANSACTIONS: usize = 100_000;
 /// Per-connection socket timeout.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Live service counters, rendered as Prometheus exposition text by
+/// `GET /metrics`.
+///
+/// Counters are plain relaxed atomics: every field is monotonic except
+/// `runs_active`, and a scrape only needs a recent value, not a
+/// consistent cut across fields. The run totals (cycles, transactions,
+/// bytes) advance *while* a `/run` streams — the probe sink feeds them
+/// per stride — so a scrape during a long scenario observes progress,
+/// which is the point of serving metrics at all.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// HTTP requests accepted (any endpoint, including errors).
+    requests: AtomicU64,
+    /// Requests answered with an HTTP error status.
+    errors: AtomicU64,
+    /// `/run` requests that started executing.
+    runs_started: AtomicU64,
+    /// `/run` requests that ran to completion.
+    runs_completed: AtomicU64,
+    /// `/run` requests currently executing (gauge).
+    runs_active: AtomicU64,
+    /// Simulated cycles retired across all runs.
+    cycles: AtomicU64,
+    /// Transactions completed across all runs.
+    transactions: AtomicU64,
+    /// Bytes transferred across all runs.
+    bytes: AtomicU64,
+    /// Trace events streamed back to `/run` clients.
+    trace_events: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let counter = |name: &str, help: &str, value: &AtomicU64| {
+            format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                value.load(Ordering::Relaxed)
+            )
+        };
+        let mut out = String::new();
+        out.push_str(&counter(
+            "campaign_requests_total",
+            "HTTP requests accepted.",
+            &self.requests,
+        ));
+        out.push_str(&counter(
+            "campaign_request_errors_total",
+            "Requests answered with an HTTP error.",
+            &self.errors,
+        ));
+        out.push_str(&counter(
+            "campaign_runs_started_total",
+            "Scenario runs that started executing.",
+            &self.runs_started,
+        ));
+        out.push_str(&counter(
+            "campaign_runs_completed_total",
+            "Scenario runs that ran to completion.",
+            &self.runs_completed,
+        ));
+        out.push_str(&format!(
+            "# HELP campaign_runs_active Scenario runs currently executing.\n\
+             # TYPE campaign_runs_active gauge\ncampaign_runs_active {}\n",
+            self.runs_active.load(Ordering::Relaxed)
+        ));
+        out.push_str(&counter(
+            "campaign_simulated_cycles_total",
+            "Simulated cycles retired across all runs.",
+            &self.cycles,
+        ));
+        out.push_str(&counter(
+            "campaign_transactions_total",
+            "Bus transactions completed across all runs.",
+            &self.transactions,
+        ));
+        out.push_str(&counter(
+            "campaign_bytes_total",
+            "Bytes transferred across all runs.",
+            &self.bytes,
+        ));
+        out.push_str(&counter(
+            "campaign_trace_events_total",
+            "Trace events streamed to /run clients.",
+            &self.trace_events,
+        ));
+        out
+    }
+}
+
+/// Decrements `runs_active` when a run handler unwinds or returns, so
+/// the gauge cannot stick at a stale value on a broken connection.
+struct ActiveRun<'a>(&'a AtomicU64);
+
+impl Drop for ActiveRun<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The campaign serving socket.
 #[derive(Debug)]
 pub struct CampaignServer {
     listener: TcpListener,
+    metrics: ServerMetrics,
 }
 
 impl CampaignServer {
@@ -71,7 +188,14 @@ impl CampaignServer {
     pub fn bind(addr: &str) -> io::Result<CampaignServer> {
         Ok(CampaignServer {
             listener: TcpListener::bind(addr)?,
+            metrics: ServerMetrics::default(),
         })
+    }
+
+    /// The live counters `GET /metrics` serves.
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// The bound address (port resolved).
@@ -103,7 +227,7 @@ impl CampaignServer {
                     let Ok(stream) = receiver.lock().unwrap().recv() else {
                         return;
                     };
-                    handle_connection(stream);
+                    handle_connection(stream, &self.metrics);
                 });
             }
             for (served, stream) in self.listener.incoming().enumerate() {
@@ -121,12 +245,14 @@ impl CampaignServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream) {
+fn handle_connection(mut stream: TcpStream, metrics: &ServerMetrics) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    ServerMetrics::add(&metrics.requests, 1);
     let request = match read_request(&mut stream) {
         Ok(request) => request,
         Err(message) => {
+            ServerMetrics::add(&metrics.errors, 1);
             let _ = respond_error(&mut stream, 400, &message);
             return;
         }
@@ -147,11 +273,18 @@ fn handle_connection(mut stream: TcpStream) {
             );
             respond_json(&mut stream, &catalogue.to_canonical_json())
         }
+        ("GET", "/metrics") => respond_text(&mut stream, &metrics.render()),
         ("POST", "/run") => match RunRequest::parse(&request.body) {
-            Ok(run) => stream_run(&mut stream, &run),
-            Err(message) => respond_error(&mut stream, 400, &message),
+            Ok(run) => stream_run(&mut stream, &run, metrics),
+            Err(message) => {
+                ServerMetrics::add(&metrics.errors, 1);
+                respond_error(&mut stream, 400, &message)
+            }
         },
-        _ => respond_error(&mut stream, 404, "no such endpoint"),
+        _ => {
+            ServerMetrics::add(&metrics.errors, 1);
+            respond_error(&mut stream, 404, "no such endpoint")
+        }
     };
     // The peer may hang up mid-stream; that only cancels its own run.
     let _ = outcome;
@@ -231,6 +364,15 @@ fn respond_json(stream: &mut TcpStream, body: &str) -> io::Result<()> {
     )
 }
 
+fn respond_text(stream: &mut TcpStream, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
 fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
     let reason = match status {
         400 => "Bad Request",
@@ -252,6 +394,7 @@ struct RunRequest {
     spec: ScenarioSpec,
     backend: RunBackend,
     stride: u64,
+    trace: bool,
 }
 
 #[derive(Debug)]
@@ -286,6 +429,10 @@ impl RunRequest {
             None => 0,
             Some(v) => v.as_u64().map_err(|e| format!("stride: {e}"))?,
         };
+        let trace = match map.get("trace") {
+            None => false,
+            Some(v) => v.as_bool().map_err(|e| format!("trace: {e}"))?,
+        };
         // Resolve *before* answering 200, so an unknown pattern or a bad
         // master subset is a clean 400 instead of a truncated stream.
         spec.resolve().map_err(|e| format!("scenario: {e}"))?;
@@ -293,6 +440,7 @@ impl RunRequest {
             spec,
             backend,
             stride,
+            trace,
         })
     }
 
@@ -304,15 +452,59 @@ impl RunRequest {
     }
 }
 
-fn stream_run(stream: &mut TcpStream, run: &RunRequest) -> io::Result<()> {
+/// Forwards probes to the response stream while feeding the service
+/// counters per stride, so a `/metrics` scrape taken mid-run observes
+/// the simulated cycles and completed transactions climbing.
+struct MeteredSink<'a, S> {
+    inner: S,
+    metrics: &'a ServerMetrics,
+    seen: Probe,
+}
+
+impl<'a, S> MeteredSink<'a, S> {
+    fn new(inner: S, metrics: &'a ServerMetrics) -> Self {
+        MeteredSink {
+            inner,
+            metrics,
+            seen: Probe::default(),
+        }
+    }
+}
+
+impl<S: SnapshotSink> SnapshotSink for MeteredSink<'_, S> {
+    fn record(&mut self, probe: &Probe) -> io::Result<()> {
+        ServerMetrics::add(
+            &self.metrics.cycles,
+            probe.cycle.saturating_sub(self.seen.cycle),
+        );
+        ServerMetrics::add(
+            &self.metrics.transactions,
+            probe.transactions.saturating_sub(self.seen.transactions),
+        );
+        ServerMetrics::add(
+            &self.metrics.bytes,
+            probe.bytes.saturating_sub(self.seen.bytes),
+        );
+        self.seen = *probe;
+        self.inner.record(probe)
+    }
+}
+
+fn stream_run(stream: &mut TcpStream, run: &RunRequest, metrics: &ServerMetrics) -> io::Result<()> {
     let config = run
         .spec
         .resolve()
         .expect("request validation already resolved the spec");
-    let model: Box<dyn analysis::BusModel> = match &run.backend {
+    let mut model: Box<dyn analysis::BusModel> = match &run.backend {
         RunBackend::Kind(kind) => config.build_model(*kind),
         RunBackend::Topology(topology) => Box::new(config.build_topology(topology.clone())),
     };
+    if run.trace {
+        model.set_tracing(true);
+    }
+    ServerMetrics::add(&metrics.runs_started, 1);
+    ServerMetrics::add(&metrics.runs_active, 1);
+    let active = ActiveRun(&metrics.runs_active);
     write!(
         stream,
         "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
@@ -320,21 +512,54 @@ fn stream_run(stream: &mut TcpStream, run: &RunRequest) -> io::Result<()> {
     )?;
     let mut writer = BufWriter::new(stream);
     let start = Instant::now();
-    let report = if run.stride > 0 {
-        let mut sink = JsonLinesSnapshotSink::new(&mut writer);
-        sink.set_label(&run.spec.name);
+    let (report, seen, trace) = if run.stride > 0 {
+        let mut lines = JsonLinesSnapshotSink::new(&mut writer);
+        lines.set_label(&run.spec.name);
+        let mut sink = MeteredSink::new(lines, metrics);
         let mut simulation = Simulation::new(model);
-        simulation.run_streaming(CycleDelta::new(run.stride), &mut sink)?
+        let report = simulation.run_streaming(CycleDelta::new(run.stride), &mut sink)?;
+        (report, sink.seen, simulation.model_mut().take_trace())
     } else {
-        let mut model = model;
-        model.run()
+        let report = model.run();
+        (report, Probe::default(), model.take_trace())
     };
+    // Whatever the probes did not yet account for (stride-less runs, the
+    // tail past the last stride) lands when the run retires.
+    ServerMetrics::add(
+        &metrics.cycles,
+        report.total_cycles.saturating_sub(seen.cycle),
+    );
+    ServerMetrics::add(
+        &metrics.transactions,
+        report
+            .total_transactions()
+            .saturating_sub(seen.transactions),
+    );
+    ServerMetrics::add(
+        &metrics.bytes,
+        report.total_bytes().saturating_sub(seen.bytes),
+    );
+    let trace_events = trace.as_ref().map_or(0, |log| log.events.len());
+    if let Some(log) = &trace {
+        ServerMetrics::add(&metrics.trace_events, trace_events as u64);
+        for event in &log.events {
+            // Each event line is the compact JSON-lines record with the
+            // ndjson discriminator spliced in front of its first field.
+            let line = event.to_json_line();
+            writeln!(writer, "{{\"event\": \"trace\", {}", &line[1..])?;
+        }
+    }
     let wall_micros = start.elapsed().as_micros().max(1) as u64;
+    let traced = if run.trace {
+        format!(", \"trace_events\": {trace_events}")
+    } else {
+        String::new()
+    };
     writeln!(
         writer,
         "{{\"event\": \"report\", \"scenario\": \"{}\", \"model\": \"{}\", \
          \"point_hash\": \"{}\", \"cycles\": {}, \"transactions\": {}, \
-         \"bytes\": {}, \"wall_micros\": {wall_micros}}}",
+         \"bytes\": {}, \"wall_micros\": {wall_micros}{traced}}}",
         escape_json(&run.spec.name),
         report.model.id(),
         run.hash(),
@@ -342,7 +567,10 @@ fn stream_run(stream: &mut TcpStream, run: &RunRequest) -> io::Result<()> {
         report.total_transactions(),
         report.total_bytes(),
     )?;
-    writer.flush()
+    writer.flush()?;
+    ServerMetrics::add(&metrics.runs_completed, 1);
+    drop(active);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -358,7 +586,14 @@ mod tests {
         );
         let run = RunRequest::parse(body.as_bytes()).unwrap();
         assert_eq!(run.stride, 500);
+        assert!(!run.trace);
         assert_eq!(run.hash(), point_hash(&spec, ModelKind::LooselyTimed));
+
+        let traced = format!(
+            "{{\"scenario\": {}, \"trace\": true}}",
+            spec.to_canon().to_canonical_json()
+        );
+        assert!(RunRequest::parse(traced.as_bytes()).unwrap().trace);
 
         let default_model = format!("{{\"scenario\": {}}}", spec.to_canon().to_canonical_json());
         let run = RunRequest::parse(default_model.as_bytes()).unwrap();
@@ -399,6 +634,34 @@ mod tests {
         );
         let error = RunRequest::parse(oversized.as_bytes()).unwrap_err();
         assert!(error.contains("cap"), "{error}");
+    }
+
+    #[test]
+    fn metrics_render_as_prometheus_text() {
+        let metrics = ServerMetrics::default();
+        ServerMetrics::add(&metrics.requests, 3);
+        ServerMetrics::add(&metrics.runs_active, 1);
+        ServerMetrics::add(&metrics.cycles, 12345);
+        let text = metrics.render();
+        assert!(
+            text.contains("# TYPE campaign_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("campaign_requests_total 3"), "{text}");
+        assert!(text.contains("# TYPE campaign_runs_active gauge"), "{text}");
+        assert!(text.contains("campaign_runs_active 1"), "{text}");
+        assert!(
+            text.contains("campaign_simulated_cycles_total 12345"),
+            "{text}"
+        );
+        assert!(text.contains("campaign_trace_events_total 0"), "{text}");
+    }
+
+    #[test]
+    fn active_run_guard_releases_the_gauge() {
+        let gauge = AtomicU64::new(1);
+        drop(ActiveRun(&gauge));
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 
     #[test]

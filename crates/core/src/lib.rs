@@ -171,6 +171,51 @@
 //! assert!(outcome.results_match, "{}", outcome.summary());
 //! ```
 //!
+//! # Observability
+//!
+//! Every backend can emit a structured event trace: transaction-lifecycle
+//! spans (request → grant → completion, write-buffer absorbs and drains),
+//! bridge-crossing legs on the sharded platforms (egress, replay delivery,
+//! read-response return) and scheduler events (quantum barriers, lookahead
+//! stretches). Tracing is off by default and its disabled path is one
+//! predicted branch per seam, so instrumented backends keep their speed;
+//! switched on, the stream drains as a [`analysis::TraceLog`] whose merged
+//! order is a pure function of the simulated schedule — byte-identical
+//! across the single-threaded, threaded and spin-sync scheduler modes
+//! (asserted by property tests in `ahb-multi`).
+//!
+//! ```
+//! use ahbplus::{BusModel, PlatformConfig};
+//! use traffic::pattern_a;
+//!
+//! let config = PlatformConfig::new(pattern_a(), 10, 7);
+//! let mut tlm = config.build_tlm();
+//! tlm.set_tracing(true);
+//! tlm.run();
+//! let log = tlm.take_trace().expect("tracing was on");
+//! assert!(!log.events.is_empty());
+//! // Derived counter/histogram registry: per-master latency histograms,
+//! // DRAM bank hit/miss, write-buffer and bridge-FIFO peaks.
+//! let metrics = log.metrics();
+//! assert!(metrics.counters.spans > 0);
+//! // Exporters: chrome://tracing / Perfetto JSON, or compact JSON lines.
+//! assert!(log.to_perfetto_json("demo").contains("\"traceEvents\""));
+//! assert!(log.to_json_lines().contains("\"kind\""));
+//! ```
+//!
+//! The surfaces built on top of the trace stream:
+//!
+//! * `table2_speed --trace OUT` writes a Perfetto-loadable trace of the
+//!   `sharded-tlm-la-4x4` configuration, and every `BENCH_speed.json`
+//!   model row records `trace_overhead_pct` (enabled-vs-disabled
+//!   throughput cost, an upper bound on the disabled-path cost);
+//! * [`run_lockstep_traced`] attaches a [`TraceDiff`] — the last N
+//!   events each side recorded before the first divergence horizon — to
+//!   lockstep reports (`examples/accuracy_validation.rs` prints it);
+//! * `campaign serve` exposes live counters as Prometheus text on
+//!   `GET /metrics` and streams a per-request trace on `POST /run`;
+//! * `examples/trace_explore.rs` walks the whole surface end to end.
+//!
 //! # Running campaigns
 //!
 //! Design-space sweeps at scale live one layer up, in the
@@ -225,8 +270,8 @@ pub use canonical::Canonical;
 pub use platform::PlatformConfig;
 pub use scenario::{scenario, scenario_catalogue, ScenarioError, ScenarioSpec};
 pub use simulation::{
-    run_lockstep, CsvSnapshotSink, Divergence, JsonLinesSnapshotSink, LockstepReport, Simulation,
-    SnapshotSink,
+    run_lockstep, run_lockstep_traced, CsvSnapshotSink, Divergence, JsonLinesSnapshotSink,
+    LockstepReport, Simulation, SnapshotSink, TraceDiff,
 };
 pub use speed::{
     measure_models, measure_models_with_reps, measure_speed, measure_speed_record, standard_models,
@@ -243,7 +288,7 @@ pub use ahb_tlm::{TlmConfig, TlmSystem};
 pub use amba::{AhbPlusParams, ArbiterConfig, ArbitrationFilter};
 pub use analysis::{
     AccuracyBenchRecord, AccuracyReport, BusModel, ModelComparison, ModelKind, Probe, SimReport,
-    SpeedReport,
+    SpeedReport, TraceEvent, TraceLog, TraceMetrics, Tracer,
 };
 pub use ddrc::{DdrConfig, DdrController, DdrGeometry, DdrTiming};
 pub use traffic::{pattern_a, pattern_b, pattern_c, MasterProfile, TrafficPattern, Workload};

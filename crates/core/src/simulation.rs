@@ -29,6 +29,7 @@ use std::io::{self, Write};
 
 use analysis::model::{BusModel, Probe, PROBE_FIELDS};
 use analysis::report::SimReport;
+use analysis::trace::{TraceEvent, TraceLog};
 use simkern::time::{Cycle, CycleDelta};
 
 /// Receives probes one at a time as a stepped run progresses, so drivers
@@ -252,6 +253,55 @@ pub struct Divergence {
     pub b: Probe,
 }
 
+/// The trace windows each side recorded leading up to a lockstep
+/// divergence: the last N events at or before the divergence horizon,
+/// per model. Produced by [`run_lockstep_traced`]; the event streams are
+/// what turns "probe field X differed at cycle C" into "here is what each
+/// model was doing just before C".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// The divergence horizon the windows end at.
+    pub cycle: u64,
+    /// The first model's window, in merged `(cycle, shard, seq)` order.
+    pub a: Vec<TraceEvent>,
+    /// The second model's window, same order.
+    pub b: Vec<TraceEvent>,
+}
+
+impl TraceDiff {
+    /// Builds the windowed diff from both sides' drained logs.
+    #[must_use]
+    pub fn around(cycle: u64, a: &TraceLog, b: &TraceLog, window: usize) -> Self {
+        TraceDiff {
+            cycle,
+            a: a.window_before(cycle, window).to_vec(),
+            b: b.window_before(cycle, window).to_vec(),
+        }
+    }
+
+    /// Renders both windows as labelled JSON lines for divergence
+    /// reports.
+    #[must_use]
+    pub fn format(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace window before divergence horizon {} ({} vs {} events):",
+            self.cycle,
+            self.a.len(),
+            self.b.len()
+        );
+        for event in &self.a {
+            let _ = writeln!(out, "  a {}", event.to_json_line());
+        }
+        for event in &self.b {
+            let _ = writeln!(out, "  b {}", event.to_json_line());
+        }
+        out
+    }
+}
+
 /// The outcome of a lockstep co-simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LockstepReport {
@@ -269,6 +319,9 @@ pub struct LockstepReport {
     pub a: SimReport,
     /// Final report of the second model.
     pub b: SimReport,
+    /// Event windows around the first divergence, when the run was traced
+    /// ([`run_lockstep_traced`]) and a divergence occurred.
+    pub trace_diff: Option<TraceDiff>,
 }
 
 impl LockstepReport {
@@ -343,7 +396,35 @@ pub fn run_lockstep<A: BusModel + ?Sized, B: BusModel + ?Sized>(
         results_match,
         a: a.report(),
         b: b.report(),
+        trace_diff: None,
     }
+}
+
+/// [`run_lockstep`] with tracing enabled on both models: when the run
+/// diverges, the report carries a [`TraceDiff`] with the last `window`
+/// trace events each side recorded at or before the divergence horizon —
+/// the transaction-level context of the mismatch, not just the probe
+/// fields that differed. Tracing is switched off again (and the logs
+/// drained) before the function returns.
+pub fn run_lockstep_traced<A: BusModel + ?Sized, B: BusModel + ?Sized>(
+    a: &mut A,
+    b: &mut B,
+    stride: CycleDelta,
+    window: usize,
+) -> LockstepReport {
+    a.set_tracing(true);
+    b.set_tracing(true);
+    let mut report = run_lockstep(a, b, stride);
+    let log_a = a.take_trace();
+    let log_b = b.take_trace();
+    a.set_tracing(false);
+    b.set_tracing(false);
+    if let Some(divergence) = &report.first_divergence {
+        if let (Some(log_a), Some(log_b)) = (log_a, log_b) {
+            report.trace_diff = Some(TraceDiff::around(divergence.cycle, &log_a, &log_b, window));
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -501,5 +582,32 @@ mod tests {
         let divergence = outcome.first_divergence.as_ref().expect("seeds differ");
         assert!(!divergence.fields.is_empty());
         assert!(outcome.summary().contains("first divergence"));
+    }
+
+    #[test]
+    fn traced_lockstep_attaches_event_windows_to_a_divergence() {
+        let mut a = config().build_tlm();
+        let mut b = PlatformConfig::new(pattern_a(), 25, 12).build_tlm();
+        let outcome = run_lockstep_traced(&mut a, &mut b, CycleDelta::new(128), 8);
+        let divergence = outcome.first_divergence.as_ref().expect("seeds differ");
+        let diff = outcome.trace_diff.as_ref().expect("traced run diverged");
+        assert_eq!(diff.cycle, divergence.cycle);
+        assert!(!diff.a.is_empty() || !diff.b.is_empty());
+        assert!(diff.a.len() <= 8 && diff.b.len() <= 8);
+        for event in diff.a.iter().chain(&diff.b) {
+            assert!(event.cycle <= diff.cycle, "window leaks past the horizon");
+        }
+        let text = diff.format();
+        assert!(text.contains("trace window before divergence"));
+        assert!(text.contains("\"kind\""));
+    }
+
+    #[test]
+    fn traced_lockstep_of_identical_models_reports_no_diff() {
+        let mut a = config().build_tlm();
+        let mut b = config().build_tlm();
+        let outcome = run_lockstep_traced(&mut a, &mut b, CycleDelta::new(128), 8);
+        assert!(outcome.is_identical(), "{}", outcome.summary());
+        assert!(outcome.trace_diff.is_none());
     }
 }

@@ -309,45 +309,73 @@ pub fn measure_models_with_reps(
     }
     // The fastest repetition seen so far for one model, plus whatever it
     // measured alongside (each run constructs a fresh system, so state
-    // never leaks between repetitions).
+    // never leaks between repetitions). Tracing overhead is estimated
+    // from paired ratios, not from a ratio of bests: each repetition
+    // runs a fresh traced twin right next to its plain run and the pair
+    // yields one traced/plain throughput ratio. Environmental drift
+    // (frequency scaling, noisy neighbours) hits both halves of a pair
+    // roughly equally and cancels in the ratio, where it would skew two
+    // independently-taken bests for minutes at a time. The best pair
+    // becomes `trace_overhead_pct`; the within-pair order alternates per
+    // repetition so warm-up and thermal decay do not systematically
+    // favour one side.
     type BestRun = Option<(SimReport, Option<SyncStats>)>;
+    type BestRatio = Option<f64>;
     // The repetitions are interleaved across models (rep 0 of every
     // model, then rep 1, ...) rather than measured as per-model blocks:
     // host-level noise tends to arrive as sustained episodes, and a
     // block layout lands a whole episode on one model, skewing every
     // cross-model comparison. Round-robin spreads an episode over all
     // models so best-of-N converges on comparable quiet samples.
-    let mut measured: Vec<(usize, String, BestRun)> = specs
+    let mut measured: Vec<(usize, String, BestRun, BestRatio)> = specs
         .iter()
         .zip(available)
         .enumerate()
         .filter(|(_, (_, name))| filter.is_none_or(|wanted| wanted.contains(name)))
-        .map(|(index, (_, name))| (index, name, None))
+        .map(|(index, (_, name))| (index, name, None, None))
         .collect();
-    for _ in 0..reps.max(1) {
-        for (index, _, best) in &mut measured {
+    for rep in 0..reps.max(1) {
+        for (index, _, best, best_ratio) in &mut measured {
             let mut model = match prototypes[*index].take() {
                 Some(model) => model,
                 None => specs[*index].build(config),
             };
-            let report = model.run();
+            let mut traced = specs[*index].build(config);
+            traced.set_tracing(true);
+            let (report, traced_report) = if rep % 2 == 0 {
+                let plain = model.run();
+                (plain, traced.run())
+            } else {
+                let traced_report = traced.run();
+                (model.run(), traced_report)
+            };
+            let plain = report.kcycles_per_second();
             let faster = best
                 .as_ref()
-                .is_none_or(|(b, _)| report.kcycles_per_second() > b.kcycles_per_second());
+                .is_none_or(|(b, _)| plain > b.kcycles_per_second());
             if faster {
                 *best = Some((report, model.sync_stats()));
+            }
+            if plain > 0.0 {
+                let ratio = traced_report.kcycles_per_second() / plain;
+                if best_ratio.is_none_or(|b| ratio > b) {
+                    *best_ratio = Some(ratio);
+                }
             }
         }
     }
     let models = measured
         .into_iter()
-        .map(|(_, name, best)| {
+        .map(|(_, name, best, best_ratio)| {
             let (report, sync) = best.expect("every model measured at least once");
+            let plain = report.kcycles_per_second();
+            let trace_overhead_pct = best_ratio.map(|ratio| ((1.0 - ratio) * 100.0).max(0.0));
             ModelMeasurement {
                 name,
                 cycles: report.total_cycles,
-                kcycles_per_sec: report.kcycles_per_second(),
+                kcycles_per_sec: plain,
                 sync,
+                trace_overhead_pct,
             }
         })
         .collect();

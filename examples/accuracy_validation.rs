@@ -15,7 +15,7 @@
 //! cargo run --release -p ahbplus-repro --example accuracy_validation
 //! ```
 
-use ahbplus::{run_lockstep, scenario, AccuracyReport};
+use ahbplus::{run_lockstep, run_lockstep_traced, scenario, AccuracyReport};
 use simkern::time::CycleDelta;
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
         let mut tlm = config.build_tlm();
         // 512-cycle lockstep horizons: fine enough to localize divergence
         // to a bus-transaction neighbourhood, coarse enough to stay fast.
-        let outcome = run_lockstep(&mut rtl, &mut tlm, CycleDelta::new(512));
+        // The traced variant carries the last few lifecycle events of each
+        // side into the divergence report, so a mismatch names the
+        // transactions around it, not just the probe fields.
+        let outcome = run_lockstep_traced(&mut rtl, &mut tlm, CycleDelta::new(512), 6);
 
         println!("== {name} ({}) ==", config.pattern.name);
         match &outcome.first_divergence {
@@ -47,6 +50,9 @@ fn main() {
                 d.cycle,
                 d.fields.join(", ")
             ),
+        }
+        if let Some(diff) = &outcome.trace_diff {
+            print!("{}", diff.format());
         }
         println!(
             "end-of-run results identical (txns/bytes/beats/assertions): {}",

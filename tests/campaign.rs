@@ -224,3 +224,92 @@ fn serve_mode_answers_over_loopback() {
 
     handle.join().unwrap().expect("serve loop exits cleanly");
 }
+
+/// The observability surface of serve mode: a traced `/run` streams its
+/// transaction-lifecycle events, and `GET /metrics` answers Prometheus
+/// text whose run counters are live — a scrape taken while a scenario
+/// executes sees the run in flight, not only its final totals.
+#[test]
+fn serve_mode_streams_traces_and_live_metrics() {
+    use ahbplus::Canonical;
+    let server = CampaignServer::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve(2, Some(4)));
+
+    // A small traced run: every lifecycle event comes back as an ndjson
+    // line before the report, and the report counts them.
+    let spec = scenario("table1-a").unwrap().with_transactions(5);
+    let body = format!(
+        "{{\"scenario\": {}, \"model\": \"tlm\", \"trace\": true}}",
+        spec.to_canon().to_canonical_json()
+    );
+    let run = http_roundtrip(
+        &addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(run.starts_with("HTTP/1.1 200"), "{run}");
+    let trace_lines = run
+        .lines()
+        .filter(|line| line.contains("\"event\": \"trace\""))
+        .count();
+    assert!(trace_lines > 0, "traced run streams events: {run}");
+    assert!(
+        run.contains(&format!("\"trace_events\": {trace_lines}")),
+        "report counts the streamed events: {run}"
+    );
+
+    // A longer pin-accurate run holds a handler busy; scrape /metrics
+    // from the second handler once the first probe line proves the run
+    // is executing.
+    let slow = scenario("table1-a").unwrap().with_transactions(6_000);
+    let body = format!(
+        "{{\"scenario\": {}, \"model\": \"rtl\", \"stride\": 500}}",
+        slow.to_canon().to_canonical_json()
+    );
+    let mut stream = TcpStream::connect(addr).expect("loopback connects");
+    stream
+        .write_all(
+            format!(
+                "POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut partial = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !String::from_utf8_lossy(&partial).contains("\"cycle\": ") {
+        let n = stream.read(&mut chunk).expect("probe stream stays open");
+        assert!(n > 0, "stream ended before the first probe");
+        partial.extend_from_slice(&chunk[..n]);
+    }
+    let metrics = http_roundtrip(&addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    assert!(metrics.contains("campaign_runs_active 1"), "{metrics}");
+    assert!(
+        !metrics.contains("campaign_simulated_cycles_total 0\n"),
+        "cycles advance during the run: {metrics}"
+    );
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("run completes");
+    assert!(rest.contains("\"event\": \"report\""), "{rest}");
+
+    let final_metrics = http_roundtrip(&addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(
+        final_metrics.contains("campaign_runs_completed_total 2"),
+        "{final_metrics}"
+    );
+    assert!(
+        final_metrics.contains("campaign_runs_active 0"),
+        "{final_metrics}"
+    );
+    assert!(
+        !final_metrics.contains("campaign_trace_events_total 0\n"),
+        "traced run counted its events: {final_metrics}"
+    );
+
+    handle.join().unwrap().expect("serve loop exits cleanly");
+}
