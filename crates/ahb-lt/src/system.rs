@@ -29,7 +29,7 @@ use amba::qos::QosConfig;
 use amba::txn::{Transaction, TransactionId};
 use analysis::model::{BusModel, Probe};
 use analysis::report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
-use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_WRITE};
+use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_ROW_HIT, FLAG_WRITE};
 use ddrc::DdrGeometry;
 use simkern::time::Cycle;
 use traffic::{Release, TrafficPattern, TrafficTrace};
@@ -660,24 +660,28 @@ impl LtSystem {
     /// Estimated bus occupancy of one burst, routed by address: a remote
     /// shard window costs the bridge slave's wait states plus the beats
     /// (the FIFO buffers the burst; no local DRAM access), everything else
-    /// goes through the DRAM row sketch. Returns the cost and whether the
-    /// burst left through the bridge.
-    fn transfer_cost(&mut self, txn: &Transaction) -> (u64, bool) {
+    /// goes through the DRAM row sketch. Returns the cost, whether the
+    /// burst left through the bridge, and whether the DRAM sketch served
+    /// it from an open or hint-prepared row (always `false` for remote).
+    fn transfer_cost(&mut self, txn: &Transaction) -> (u64, bool, bool) {
         if let Some(bridge) = self.bridge.as_ref() {
             if bridge.port.map.is_remote(txn.addr, bridge.port.own) {
-                return (bridge.port.slave_cycles + u64::from(txn.beats()), true);
+                return (
+                    bridge.port.slave_cycles + u64::from(txn.beats()),
+                    true,
+                    false,
+                );
             }
         }
-        (
-            self.burst_cost(txn.addr, txn.is_write(), txn.beats()),
-            false,
-        )
+        let (cost, row_hit) = self.burst_cost(txn.addr, txn.is_write(), txn.beats());
+        (cost, false, row_hit)
     }
 
     /// Estimated bus occupancy of one burst: address handoff, first-data
     /// latency from the row sketch, then one cycle per beat. Updates the
-    /// sketch and the DRAM statistics.
-    fn burst_cost(&mut self, addr: amba::ids::Addr, is_write: bool, beats: u32) -> u64 {
+    /// sketch and the DRAM statistics. The second element reports whether
+    /// the access counted as a row hit (open row or prepare hint).
+    fn burst_cost(&mut self, addr: amba::ids::Addr, is_write: bool, beats: u32) -> (u64, bool) {
         let decoded = self.geometry.decode(addr);
         let bank = usize::from(decoded.bank);
         let open = self.rows[bank];
@@ -707,6 +711,7 @@ impl LtSystem {
                 (latency, false)
             }
         };
+        let mut row_hit = hit;
         if hit {
             self.dram_row_hits += 1;
         } else {
@@ -728,6 +733,7 @@ impl LtSystem {
                 first_data -= hidden;
                 if hidden > 0 {
                     self.dram_prepared_hits += 1;
+                    row_hit = true;
                 } else if open.is_some() {
                     self.dram_conflicts += 1;
                 } else {
@@ -742,7 +748,10 @@ impl LtSystem {
         self.rows[bank] = Some(decoded.row);
         self.prev_bank = Some(decoded.bank);
         self.prev_data_cycles = u64::from(beats);
-        ADDRESS_TO_ACCESS_CYCLES + first_data + u64::from(beats)
+        (
+            ADDRESS_TO_ACCESS_CYCLES + first_data + u64::from(beats),
+            row_hit,
+        )
     }
 
     /// Records the bus-level share of one completed burst.
@@ -766,7 +775,7 @@ impl LtSystem {
             .pop_front()
             .expect("drain_one on empty backlog");
         let start = self.bus_free_at.max(entry.absorbed_at);
-        let (cost, remote) = self.transfer_cost(&entry.txn);
+        let (cost, remote, _row_hit) = self.transfer_cost(&entry.txn);
         let completed = start + cost;
         self.bus_free_at = completed;
         self.wb_drained += 1;
@@ -954,7 +963,7 @@ impl LtSystem {
             return true;
         }
 
-        let (cost, remote) = self.transfer_cost(&txn);
+        let (cost, remote, row_hit) = self.transfer_cost(&txn);
         let completed = grant + cost;
         self.bus_free_at = completed;
         self.record_bus(bytes, beats, cost, contended, completed);
@@ -988,8 +997,9 @@ impl LtSystem {
         let latency = completed - ready;
         let grant_latency = grant - ready;
         self.masters[index].record(bytes, latency, grant_latency, completed);
-        let flags =
-            if txn.is_write() { FLAG_WRITE } else { 0 } | if remote { FLAG_REMOTE } else { 0 };
+        let flags = if txn.is_write() { FLAG_WRITE } else { 0 }
+            | if remote { FLAG_REMOTE } else { 0 }
+            | if row_hit { FLAG_ROW_HIT } else { 0 };
         self.tracer.span(
             txn.master.index() as u16,
             txn.id.value(),

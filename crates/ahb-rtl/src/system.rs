@@ -22,7 +22,8 @@ use amba::txn::{Completion, Transaction};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
-use analysis::trace::{TraceLog, Tracer, FLAG_WRITE};
+use analysis::trace::{TraceLog, Tracer, FLAG_ROW_HIT, FLAG_WRITE};
+use ddrc::AccessClass;
 use simkern::assertion::AssertionSink;
 use simkern::component::Clocked;
 use simkern::time::{Cycle, CycleDelta};
@@ -47,6 +48,8 @@ struct BurstInProgress {
     beats_done: u32,
     /// Wait states left before the next data beat completes.
     wait_left: u64,
+    /// Whether the DDR served this burst from an open or prepared row.
+    row_hit: bool,
 }
 
 /// The pin-accurate AHB+ platform.
@@ -489,7 +492,7 @@ impl RtlSystem {
         };
         self.arbiter.record_grant(owner);
         self.shared.hmaster.load(Some(owner));
-        let (wait_states, _timing) = self.slave.burst_start(now + CycleDelta::ONE, &txn);
+        let (wait_states, timing) = self.slave.burst_start(now + CycleDelta::ONE, &txn);
         let burst = BurstInProgress {
             owner,
             via_write_buffer,
@@ -498,6 +501,7 @@ impl RtlSystem {
             addr_started: now,
             beats_done: 0,
             wait_left: wait_states,
+            row_hit: matches!(timing.class, AccessClass::RowHit | AccessClass::PreparedHit),
         };
         self.drive_address_phase(&burst, 0, now);
         Some(burst)
@@ -559,7 +563,8 @@ impl RtlSystem {
                 now.value(),
             );
         } else {
-            let flags = if burst.txn.is_write() { FLAG_WRITE } else { 0 };
+            let flags = if burst.txn.is_write() { FLAG_WRITE } else { 0 }
+                | if burst.row_hit { FLAG_ROW_HIT } else { 0 };
             self.tracer.span(
                 burst.txn.master.index() as u16,
                 burst.txn.id.value(),

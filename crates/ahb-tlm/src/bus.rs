@@ -30,8 +30,8 @@ use amba::txn::{Completion, Transaction, TransactionId, TxnArena};
 use analysis::model::{BusModel, Probe};
 use analysis::recorder::Recorder;
 use analysis::report::{ModelKind, SimReport};
-use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_WRITE};
-use ddrc::DdrController;
+use analysis::trace::{TraceEventKind, TraceLog, Tracer, FLAG_REMOTE, FLAG_ROW_HIT, FLAG_WRITE};
+use ddrc::{AccessClass, DdrController};
 use simkern::assertion::{AssertionKind, AssertionSink, Severity};
 use simkern::time::{Cycle, CycleDelta};
 use traffic::{Release, TraceItem, TrafficPattern, TrafficTrace};
@@ -809,6 +809,7 @@ impl TlmSystem {
             !(stalling_read && via_write_buffer),
             "reads never drain from the write buffer"
         );
+        let mut row_hit = false;
         let completed_at = if stalling_read {
             let bridge = self.bridge.as_ref().expect("remote implies a bridge");
             addr_phase + CycleDelta::new(bridge.port.slave_cycles + 1)
@@ -822,6 +823,7 @@ impl TlmSystem {
                 txn.is_write(),
                 txn.beats(),
             );
+            row_hit = matches!(timing.class, AccessClass::RowHit | AccessClass::PreparedHit);
             addr_phase + timing.total()
         };
 
@@ -866,17 +868,21 @@ impl TlmSystem {
         if !stalling_read {
             self.last_completion = self.last_completion.max(completed_at);
             // Lifecycle trace span (request → grant → retire); a drain is
-            // the bus-side leg of a posted write absorbed earlier.
+            // the bus-side leg of a posted write absorbed earlier. Its
+            // start is the bus grant (the address phase), matching the
+            // other backends — the buffer's arbitration wait is not bus
+            // occupancy.
             if via_write_buffer {
                 self.tracer.drain(
                     txn.master.index() as u16,
                     txn.id.value(),
-                    requested_at.value(),
+                    addr_phase.value(),
                     completed_at.value(),
                 );
             } else {
                 let flags = if txn.is_write() { FLAG_WRITE } else { 0 }
-                    | if remote { FLAG_REMOTE } else { 0 };
+                    | if remote { FLAG_REMOTE } else { 0 }
+                    | if row_hit { FLAG_ROW_HIT } else { 0 };
                 self.tracer.span(
                     txn.master.index() as u16,
                     txn.id.value(),

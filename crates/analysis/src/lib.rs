@@ -24,6 +24,14 @@
 //!   backend can emit ([`trace::Tracer`]), merged shard logs
 //!   ([`trace::TraceLog`]), Perfetto and JSON-lines exporters, and the
 //!   derived counter/histogram registry ([`trace::TraceMetrics`]).
+//! * [`tracebin`] — the compact `.ahbt` binary trace container
+//!   (delta-encoded varint events, ~6× smaller than JSON-lines) with a
+//!   streaming, bounded-memory [`tracebin::TraceReader`].
+//! * [`profile`] — latency attribution over trace streams: per-master /
+//!   per-shard percentile reports, component decomposition (arbitration
+//!   wait, DDR service by row class, bridge legs, write-buffer costs),
+//!   utilization timelines, top-K slowest transactions and the A/B
+//!   [`profile::ProfileDiff`].
 //! * [`canon`] — canonical JSON values with a stable byte encoding and
 //!   FNV-1a content hashing (the identity of a campaign run point).
 //! * [`campaign`] — the aggregated design-space campaign artifact
@@ -50,10 +58,12 @@ pub mod campaign;
 pub mod canon;
 pub mod jsonfmt;
 pub mod model;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod speed;
 pub mod trace;
+pub mod tracebin;
 
 pub use accuracy::{
     compare_models, AccuracyBenchRecord, AccuracyReport, AccuracyRow, CounterComparison,
@@ -62,7 +72,9 @@ pub use accuracy::{
 pub use campaign::{CampaignBenchRecord, CampaignPointRecord, CampaignSessionRecord, PointStatus};
 pub use canon::{content_hash, content_hash_hex, CanonError, CanonValue};
 pub use model::{BusModel, Probe, PROBE_FIELDS};
+pub use profile::{Profile, ProfileBuilder, ProfileDiff, ProfileOptions};
 pub use recorder::Recorder;
 pub use report::{BusMetrics, MasterMetrics, ModelKind, SimReport};
 pub use speed::{ModelMeasurement, SpeedBenchRecord, SpeedReport};
 pub use trace::{TraceEvent, TraceEventKind, TraceLog, TraceMetrics, Tracer};
+pub use tracebin::TraceReader;

@@ -78,6 +78,23 @@ impl TraceEventKind {
         }
     }
 
+    /// The inverse of [`TraceEventKind::id`]: resolves a stable name
+    /// back to its kind (used by the JSON-lines reader).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<TraceEventKind> {
+        Some(match id {
+            "span" => TraceEventKind::Span,
+            "absorb" => TraceEventKind::Absorb,
+            "drain" => TraceEventKind::Drain,
+            "bridge-egress" => TraceEventKind::BridgeEgress,
+            "bridge-replay" => TraceEventKind::BridgeReplay,
+            "bridge-response" => TraceEventKind::BridgeResponse,
+            "barrier" => TraceEventKind::Barrier,
+            "stretch" => TraceEventKind::Stretch,
+            _ => return None,
+        })
+    }
+
     /// `true` for the scheduler-event category (barriers and
     /// stretches). These are a property of the *synchronization
     /// schedule*, not of the simulated platform: a fixed-quantum and a
@@ -96,6 +113,12 @@ pub const FLAG_WRITE_BUFFER: u8 = 1;
 pub const FLAG_REMOTE: u8 = 1 << 1;
 /// The transaction was a write.
 pub const FLAG_WRITE: u8 = 1 << 2;
+/// The transaction's DRAM access hit an open (or hint-prepared) row.
+/// Set on local lifecycle spans only: remote spans never touch the
+/// local DRAM, and drains carry the write-buffer flag instead. The
+/// attribution layer (`analysis::profile`) uses this bit to split DDR
+/// service time by row hit/miss class.
+pub const FLAG_ROW_HIT: u8 = 1 << 3;
 
 /// One structured trace event.
 ///
@@ -167,6 +190,88 @@ impl TraceEvent {
             self.bytes,
             self.flags
         )
+    }
+
+    /// Parses one canonical JSON line (the [`TraceEvent::to_json_line`]
+    /// format) back into an event. Accepts any field order and
+    /// surrounding whitespace, so re-reading an exported stream — or a
+    /// served `{"event": "trace", ...}` line with the discriminator
+    /// stripped — round-trips.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed or missing
+    /// field.
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, String> {
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|rest| rest.strip_suffix('}'))
+            .ok_or_else(|| format!("not a JSON object: '{line}'"))?;
+        let mut cycle = None;
+        let mut shard = None;
+        let mut seq = None;
+        let mut kind = None;
+        let mut master = None;
+        let mut id = None;
+        let mut start = None;
+        let mut grant = None;
+        let mut bytes = None;
+        let mut flags = None;
+        for field in body.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("malformed field '{field}'"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            if key == "kind" {
+                let name = value.trim_matches('"');
+                kind = Some(
+                    TraceEventKind::from_id(name)
+                        .ok_or_else(|| format!("unknown event kind '{name}'"))?,
+                );
+                continue;
+            }
+            if key == "event" {
+                // Served-stream discriminator (`"event": "trace"`).
+                continue;
+            }
+            let number: u64 = value
+                .parse()
+                .map_err(|_| format!("field '{key}' is not an integer: '{value}'"))?;
+            match key {
+                "cycle" => cycle = Some(number),
+                "shard" => shard = Some(number),
+                "seq" => seq = Some(number),
+                "master" => master = Some(number),
+                "id" => id = Some(number),
+                "start" => start = Some(number),
+                "grant" => grant = Some(number),
+                "bytes" => bytes = Some(number),
+                "flags" => flags = Some(number),
+                other => return Err(format!("unknown field '{other}'")),
+            }
+        }
+        let get =
+            |field: Option<u64>, name: &str| field.ok_or_else(|| format!("missing field '{name}'"));
+        let narrow = |value: u64, bits: u32, name: &str| -> Result<u64, String> {
+            if bits < 64 && value >> bits != 0 {
+                return Err(format!("field '{name}' out of range: {value}"));
+            }
+            Ok(value)
+        };
+        Ok(TraceEvent {
+            cycle: get(cycle, "cycle")?,
+            start: get(start, "start")?,
+            grant: get(grant, "grant")?,
+            shard: narrow(get(shard, "shard")?, 16, "shard")? as u16,
+            seq: narrow(get(seq, "seq")?, 32, "seq")? as u32,
+            master: narrow(get(master, "master")?, 16, "master")? as u16,
+            id: get(id, "id")?,
+            bytes: narrow(get(bytes, "bytes")?, 32, "bytes")? as u32,
+            flags: narrow(get(flags, "flags")?, 8, "flags")? as u8,
+            kind: kind.ok_or_else(|| "missing field 'kind'".to_owned())?,
+        })
     }
 }
 

@@ -1,0 +1,454 @@
+//! The compact binary trace format (`.ahbt`).
+//!
+//! JSON-lines is the determinism contract, but at ~96 bytes per event a
+//! million-transaction trace expands to hundreds of megabytes. The
+//! `.ahbt` container stores the identical event stream delta-encoded in
+//! LEB128 varints — typically 6–8× smaller — and both directions stream:
+//! [`TraceLog::write_binary`] emits events one at a time, and a
+//! [`TraceReader`] decodes them one at a time with memory bounded by a
+//! single event, so a reader never has to materialize the whole log.
+//! Round-tripping a log through the format reproduces every event
+//! field-for-field (`write_binary` → [`TraceReader`] → the same
+//! [`TraceEvent`]s in the same order), which makes the binary stream as
+//! trustworthy as the JSON one for determinism comparisons.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic    4 bytes  "AHBT"
+//! version  1 byte   0x01
+//! counters 12 × varint   the TraceCounters fields, in declaration
+//!                        order: spans, absorbed, drained, crossings,
+//!                        replays, responses, barriers, stretches,
+//!                        dram_row_hits, dram_accesses,
+//!                        write_buffer_peak, bridge_fifo_peak
+//! events   varint        event count N
+//! N × event:
+//!   tag        1 byte    event kind (0=span, 1=absorb, 2=drain,
+//!                        3=bridge-egress, 4=bridge-replay,
+//!                        5=bridge-response, 6=barrier, 7=stretch)
+//!   flags      1 byte    the flag bits verbatim
+//!   Δcycle     zigzag    cycle minus the previous event's cycle
+//!                        (the stream is cycle-sorted, so this is a
+//!                        small non-negative number in practice)
+//!   shard      varint
+//!   seq        varint
+//!   master     varint
+//!   id         varint
+//!   start_rel  zigzag    cycle − start (small for lifecycle spans)
+//!   grant_rel  zigzag    cycle − grant
+//!   bytes      varint
+//! ```
+//!
+//! Varints are unsigned LEB128 (7 payload bits per byte, little-endian,
+//! high bit = continuation). Zigzag maps a signed value `v` to the
+//! unsigned `(v << 1) ^ (v >> 63)` before LEB128, so deltas near zero —
+//! the common case — stay one byte even when occasionally negative.
+
+use std::io::{self, Read, Write};
+
+use crate::trace::{TraceCounters, TraceEvent, TraceEventKind, TraceLog};
+
+/// The four magic bytes opening every `.ahbt` stream.
+pub const AHBT_MAGIC: [u8; 4] = *b"AHBT";
+/// The format version this module writes and the only one it reads.
+pub const AHBT_VERSION: u8 = 1;
+
+/// Stable one-byte tag of each event kind in the binary stream.
+fn kind_tag(kind: TraceEventKind) -> u8 {
+    match kind {
+        TraceEventKind::Span => 0,
+        TraceEventKind::Absorb => 1,
+        TraceEventKind::Drain => 2,
+        TraceEventKind::BridgeEgress => 3,
+        TraceEventKind::BridgeReplay => 4,
+        TraceEventKind::BridgeResponse => 5,
+        TraceEventKind::Barrier => 6,
+        TraceEventKind::Stretch => 7,
+    }
+}
+
+fn tag_kind(tag: u8) -> Option<TraceEventKind> {
+    Some(match tag {
+        0 => TraceEventKind::Span,
+        1 => TraceEventKind::Absorb,
+        2 => TraceEventKind::Drain,
+        3 => TraceEventKind::BridgeEgress,
+        4 => TraceEventKind::BridgeReplay,
+        5 => TraceEventKind::BridgeResponse,
+        6 => TraceEventKind::Barrier,
+        7 => TraceEventKind::Stretch,
+        _ => return None,
+    })
+}
+
+fn zigzag(value: i64) -> u64 {
+    ((value as u64) << 1) ^ ((value >> 63) as u64)
+}
+
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Writes one unsigned LEB128 varint; returns the bytes written (≤ 10).
+fn write_varint<W: Write>(w: &mut W, mut value: u64) -> io::Result<u64> {
+    let mut scratch = [0u8; 10];
+    let mut len = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        scratch[len] = if value == 0 { byte } else { byte | 0x80 };
+        len += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    w.write_all(&scratch[..len])?;
+    Ok(len as u64)
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let payload = u64::from(byte[0] & 0x7f);
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(bad_data("varint longer than 64 bits"));
+        }
+        value |= payload << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Sniffs whether `head` (the first bytes of a file) opens an `.ahbt`
+/// stream — the dispatch a trace-loading CLI needs before choosing a
+/// decoder.
+#[must_use]
+pub fn is_ahbt(head: &[u8]) -> bool {
+    head.len() >= 4 && head[..4] == AHBT_MAGIC
+}
+
+impl TraceLog {
+    /// Writes the log as an `.ahbt` binary stream and returns the total
+    /// bytes written. Events are emitted one at a time, so memory stays
+    /// bounded regardless of log size; wrap `w` in a
+    /// [`std::io::BufWriter`] when writing to a file.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying writer.
+    pub fn write_binary<W: Write>(&self, mut w: W) -> io::Result<u64> {
+        w.write_all(&AHBT_MAGIC)?;
+        w.write_all(&[AHBT_VERSION])?;
+        let mut written = 5u64;
+        let c = &self.counters;
+        for value in [
+            c.spans,
+            c.absorbed,
+            c.drained,
+            c.crossings,
+            c.replays,
+            c.responses,
+            c.barriers,
+            c.stretches,
+            c.dram_row_hits,
+            c.dram_accesses,
+            c.write_buffer_peak,
+            c.bridge_fifo_peak,
+        ] {
+            written += write_varint(&mut w, value)?;
+        }
+        written += write_varint(&mut w, self.events.len() as u64)?;
+        let mut prev_cycle = 0u64;
+        for event in &self.events {
+            w.write_all(&[kind_tag(event.kind), event.flags])?;
+            written += 2;
+            written += write_varint(&mut w, zigzag(event.cycle.wrapping_sub(prev_cycle) as i64))?;
+            prev_cycle = event.cycle;
+            written += write_varint(&mut w, u64::from(event.shard))?;
+            written += write_varint(&mut w, u64::from(event.seq))?;
+            written += write_varint(&mut w, u64::from(event.master))?;
+            written += write_varint(&mut w, event.id)?;
+            written += write_varint(&mut w, zigzag(event.cycle.wrapping_sub(event.start) as i64))?;
+            written += write_varint(&mut w, zigzag(event.cycle.wrapping_sub(event.grant) as i64))?;
+            written += write_varint(&mut w, u64::from(event.bytes))?;
+        }
+        Ok(written)
+    }
+
+    /// The log as an in-memory `.ahbt` byte buffer.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.events.len() * 16 + 64);
+        self.write_binary(&mut out)
+            .expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Reads a complete `.ahbt` stream back into a log.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on a malformed stream, plus any
+    /// error of the underlying reader.
+    pub fn read_binary<R: Read>(r: R) -> io::Result<TraceLog> {
+        TraceReader::new(r)?.read_log()
+    }
+}
+
+/// A streaming `.ahbt` decoder: the header (counters, event count) is
+/// parsed up front; events decode lazily through the [`Iterator`]
+/// implementation with memory bounded by one event.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    counters: TraceCounters,
+    remaining: u64,
+    prev_cycle: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a reader, validating the magic and version and decoding
+    /// the header. Wrap file handles in a [`std::io::BufReader`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] when the stream is not `.ahbt`
+    /// version 1, plus any error of the underlying reader.
+    pub fn new(mut reader: R) -> io::Result<TraceReader<R>> {
+        let mut head = [0u8; 5];
+        reader.read_exact(&mut head)?;
+        if head[..4] != AHBT_MAGIC {
+            return Err(bad_data("not an .ahbt stream (bad magic)"));
+        }
+        if head[4] != AHBT_VERSION {
+            return Err(bad_data("unsupported .ahbt version"));
+        }
+        let mut fields = [0u64; 12];
+        for field in &mut fields {
+            *field = read_varint(&mut reader)?;
+        }
+        let counters = TraceCounters {
+            spans: fields[0],
+            absorbed: fields[1],
+            drained: fields[2],
+            crossings: fields[3],
+            replays: fields[4],
+            responses: fields[5],
+            barriers: fields[6],
+            stretches: fields[7],
+            dram_row_hits: fields[8],
+            dram_accesses: fields[9],
+            write_buffer_peak: fields[10],
+            bridge_fifo_peak: fields[11],
+        };
+        let remaining = read_varint(&mut reader)?;
+        Ok(TraceReader {
+            reader,
+            counters,
+            remaining,
+            prev_cycle: 0,
+        })
+    }
+
+    /// The registered aggregate counters from the stream header.
+    #[must_use]
+    pub fn counters(&self) -> TraceCounters {
+        self.counters
+    }
+
+    /// Events not yet decoded.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn next_event(&mut self) -> io::Result<TraceEvent> {
+        let mut head = [0u8; 2];
+        self.reader.read_exact(&mut head)?;
+        let kind = tag_kind(head[0]).ok_or_else(|| bad_data("unknown event tag"))?;
+        let flags = head[1];
+        let delta = unzigzag(read_varint(&mut self.reader)?);
+        let cycle = self.prev_cycle.wrapping_add(delta as u64);
+        self.prev_cycle = cycle;
+        let narrow = |value: u64, bits: u32| -> io::Result<u64> {
+            if bits < 64 && value >> bits != 0 {
+                return Err(bad_data("field out of range"));
+            }
+            Ok(value)
+        };
+        let shard = narrow(read_varint(&mut self.reader)?, 16)? as u16;
+        let seq = narrow(read_varint(&mut self.reader)?, 32)? as u32;
+        let master = narrow(read_varint(&mut self.reader)?, 16)? as u16;
+        let id = read_varint(&mut self.reader)?;
+        let start = cycle.wrapping_sub(unzigzag(read_varint(&mut self.reader)?) as u64);
+        let grant = cycle.wrapping_sub(unzigzag(read_varint(&mut self.reader)?) as u64);
+        let bytes = narrow(read_varint(&mut self.reader)?, 32)? as u32;
+        Ok(TraceEvent {
+            cycle,
+            start,
+            grant,
+            shard,
+            seq,
+            master,
+            id,
+            bytes,
+            flags,
+            kind,
+        })
+    }
+
+    /// Decodes every remaining event into a [`TraceLog`] carrying the
+    /// header counters.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on a malformed or truncated
+    /// stream, plus any error of the underlying reader.
+    pub fn read_log(mut self) -> io::Result<TraceLog> {
+        // The declared count steers the initial reservation but is not
+        // trusted blindly: a corrupt header cannot force an absurd
+        // allocation before the first event even decodes.
+        let mut events = Vec::with_capacity(self.remaining.min(1 << 20) as usize);
+        for event in &mut self {
+            events.push(event?);
+        }
+        Ok(TraceLog {
+            events,
+            counters: self.counters,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceEvent>;
+
+    fn next(&mut self) -> Option<io::Result<TraceEvent>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.next_event().map_err(|error| {
+            // A short read mid-event is a truncated stream, which is a
+            // data problem, not an I/O environment problem.
+            if error.kind() == io::ErrorKind::UnexpectedEof {
+                bad_data("truncated .ahbt stream")
+            } else {
+                error
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Tracer, FLAG_ROW_HIT, FLAG_WRITE};
+
+    fn sample_log() -> TraceLog {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.set_shard(2);
+        tracer.span(0, 1, 0, 4, 20, 64, FLAG_ROW_HIT);
+        tracer.span(1, 2, 8, 10, 25, 32, FLAG_WRITE);
+        tracer.absorb(1, 3, 25, 26);
+        tracer.drain(1, 3, 30, 38);
+        tracer.bridge(TraceEventKind::BridgeEgress, 0, 4, 38, 38, 0);
+        tracer.barrier(96, 96);
+        tracer.stretch(96, 40);
+        let mut log = tracer.take();
+        log.counters.spans = 2;
+        log.counters.dram_accesses = 3;
+        log.counters.dram_row_hits = 1;
+        log.counters.write_buffer_peak = 1;
+        log
+    }
+
+    #[test]
+    fn varints_round_trip_across_the_width_range() {
+        for value in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let mut buffer = Vec::new();
+            let written = write_varint(&mut buffer, value).unwrap();
+            assert_eq!(written as usize, buffer.len());
+            assert_eq!(read_varint(&mut buffer.as_slice()).unwrap(), value);
+        }
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_field_exact() {
+        let log = sample_log();
+        let bytes = log.to_binary();
+        assert!(is_ahbt(&bytes));
+        let back = TraceLog::read_binary(bytes.as_slice()).unwrap();
+        assert_eq!(back.events, log.events);
+        assert_eq!(back.counters, log.counters);
+        // Byte-exactness of the canonical export follows.
+        assert_eq!(back.to_json_lines(), log.to_json_lines());
+    }
+
+    #[test]
+    fn streaming_reader_decodes_incrementally() {
+        let log = sample_log();
+        let bytes = log.to_binary();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.counters().dram_accesses, 3);
+        assert_eq!(reader.remaining(), log.events.len() as u64);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first, log.events[0]);
+        assert_eq!(reader.remaining(), log.events.len() as u64 - 1);
+        let rest: Vec<TraceEvent> = reader.map(Result::unwrap).collect();
+        assert_eq!(rest, log.events[1..]);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json_lines() {
+        let mut tracer = Tracer::disabled();
+        tracer.set_enabled(true);
+        for i in 0..1_000u64 {
+            tracer.span((i % 8) as u16, i, i * 30, i * 30 + 4, i * 30 + 24, 64, 0);
+        }
+        let log = tracer.take();
+        let json = log.to_json_lines().len();
+        let binary = log.to_binary().len();
+        assert!(
+            binary * 4 <= json,
+            "binary {binary} bytes vs JSON {json} bytes — expected ≤25%"
+        );
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected_with_invalid_data() {
+        let log = sample_log();
+        let mut bytes = log.to_binary();
+        // Bad magic.
+        let err = TraceLog::read_binary(&b"NOPE\x01"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Bad version.
+        let err = TraceLog::read_binary(&b"AHBT\x07"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncation mid-event.
+        bytes.truncate(bytes.len() - 3);
+        let err = TraceLog::read_binary(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = TraceLog::default();
+        let back = TraceLog::read_binary(log.to_binary().as_slice()).unwrap();
+        assert!(back.events.is_empty());
+        assert_eq!(back.counters, TraceCounters::default());
+    }
+}

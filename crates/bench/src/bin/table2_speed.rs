@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run --release -p ahbplus-bench --bin table2_speed \
 //!     [OUTPUT.json] [--models rtl,tlm,sharded-tlm-4x4] [--reps N] \
-//!     [--trace TRACE.json] [--quiet] [--list-models]
+//!     [--trace TRACE.json] [--trace-model NAME] [--quiet] [--list-models]
 //! ```
 //!
 //! `--models` restricts the measurement to a comma-separated subset;
@@ -21,39 +21,42 @@
 //! count (use `--reps 1` for cheap smoke sweeps); `--quiet` suppresses
 //! the table and commentary, leaving only the artifact write.
 //! `--list-models` prints the registered names and exits. `--trace`
-//! additionally runs the `sharded-tlm-la-4x4` configuration once with
-//! tracing enabled and writes the merged event stream as
-//! Chrome-trace/Perfetto JSON (load it at <https://ui.perfetto.dev>).
+//! additionally runs one configuration (default `sharded-tlm-la-4x4`;
+//! pick another registered name with `--trace-model`) once with tracing
+//! enabled and writes the merged event stream as Chrome-trace/Perfetto
+//! JSON (load it at <https://ui.perfetto.dev>).
 
 use ahbplus::scenario;
 use ahbplus::speed::{measure_models_with_reps, standard_models, SPEED_MEASUREMENT_REPS};
-use ahbplus::{MultiConfig, MultiSystem, PlatformConfig, ShardBackendKind};
+use ahbplus::PlatformConfig;
+use analysis::model::BusModel;
 use analysis::speed::model_names;
-use traffic::{pattern_shards, ShardMix};
 
-/// Runs the `sharded-tlm-la-4x4` speed configuration once with tracing
+/// Runs the registered configuration named `model` once with tracing
 /// enabled and writes the Perfetto export to `path`.
-fn write_trace(config: &PlatformConfig, path: &str, quiet: bool) {
-    let multi = MultiConfig::new(ShardBackendKind::Tlm)
-        .with_params(config.params.clone())
-        .with_ddr(config.ddr)
-        .with_max_cycles(config.max_cycles)
-        .with_lookahead(true);
-    let mut platform = MultiSystem::from_shard_patterns(
-        &multi,
-        &pattern_shards(4, 4, ShardMix::LocalHeavy),
-        config.transactions_per_master,
-        config.seed,
-    );
+fn write_trace(config: &PlatformConfig, model: &str, path: &str, quiet: bool) {
+    let specs = standard_models();
+    let Some(spec) = specs.iter().find(|spec| spec.name(config) == model) else {
+        let known: Vec<String> = specs.iter().map(|spec| spec.name(config)).collect();
+        eprintln!(
+            "--trace-model: unknown model '{model}' (registered: {})",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mut platform = spec.build(config);
     platform.set_tracing(true);
     platform.run();
-    let log = platform.take_trace_log();
-    let perfetto = log.to_perfetto_json(model_names::SHARDED_TLM_LA_4X4);
+    let Some(log) = platform.take_trace() else {
+        eprintln!("--trace-model: model '{model}' does not support tracing");
+        std::process::exit(2);
+    };
+    let perfetto = log.to_perfetto_json(model);
     match std::fs::write(path, perfetto) {
         Ok(()) => {
             if !quiet {
                 println!(
-                    "wrote {path} ({} trace events, Perfetto JSON)",
+                    "wrote {path} ({} trace events, Perfetto JSON, model {model})",
                     log.events.len()
                 );
             }
@@ -72,6 +75,7 @@ fn main() {
     let mut quiet = false;
     let mut reps = SPEED_MEASUREMENT_REPS;
     let mut trace_path: Option<String> = None;
+    let mut trace_model = model_names::SHARDED_TLM_LA_4X4.to_owned();
     let mut args = std::env::args().skip(1);
     let parse_reps = |value: &str| -> usize {
         match value.parse::<usize>() {
@@ -107,6 +111,14 @@ fn main() {
                 std::process::exit(2);
             };
             trace_path = Some(path);
+        } else if let Some(name) = arg.strip_prefix("--trace-model=") {
+            trace_model = name.to_owned();
+        } else if arg == "--trace-model" {
+            let Some(name) = args.next() else {
+                eprintln!("--trace-model needs a registered model name");
+                std::process::exit(2);
+            };
+            trace_model = name;
         } else if arg == "--quiet" {
             quiet = true;
         } else if arg == "--list-models" {
@@ -117,7 +129,7 @@ fn main() {
             eprintln!(
                 "unknown option '{arg}' \
                  (usage: table2_speed [OUTPUT.json] [--models a,b,...] [--reps N] \
-                 [--trace TRACE.json] [--quiet] [--list-models])"
+                 [--trace TRACE.json] [--trace-model NAME] [--quiet] [--list-models])"
             );
             std::process::exit(2);
         } else {
@@ -191,6 +203,6 @@ fn main() {
         }
     }
     if let Some(path) = trace_path {
-        write_trace(&config, &path, quiet);
+        write_trace(&config, &trace_model, &path, quiet);
     }
 }

@@ -22,9 +22,13 @@
 //!   `stride` is optional — when positive, the response streams one
 //!   probe JSON line per `stride` simulated cycles before the final
 //!   report line; `trace` is optional — when true, the run executes
-//!   with the event-tracing subsystem enabled and the response streams
+//!   with the event-tracing subsystem enabled, the response streams
 //!   every transaction-lifecycle event as a `{"event": "trace", ...}`
-//!   line before the report.
+//!   line before the report, and the report line carries a `"profile"`
+//!   summary (per-master p50/p99 latency plus the run's attributed
+//!   component totals, from `analysis::profile`). Traced runs also feed
+//!   the server-lifetime latency histogram `/metrics` exports in
+//!   Prometheus histogram text format.
 //!
 //! `/run` responses are newline-delimited JSON over a `Connection:
 //! close` stream (`application/x-ndjson`): zero or more probe lines
@@ -50,7 +54,9 @@ use ahbplus::simulation::{JsonLinesSnapshotSink, Simulation, SnapshotSink};
 use ahbplus::{scenario_catalogue, Probe, ScenarioSpec, Topology};
 use analysis::canon::{parse, CanonValue};
 use analysis::jsonfmt::escape_json;
+use analysis::profile::{Profile, ProfileOptions};
 use analysis::report::ModelKind;
+use analysis::trace::{LatencyHistogram, TraceEventKind, TraceLog};
 use simkern::time::CycleDelta;
 
 use crate::spec::{point_hash, topology_point_hash};
@@ -95,11 +101,38 @@ pub struct ServerMetrics {
     bytes: AtomicU64,
     /// Trace events streamed back to `/run` clients.
     trace_events: AtomicU64,
+    /// Server-lifetime master-visible transaction latencies from traced
+    /// runs, in the same power-of-two buckets as
+    /// [`analysis::trace::LatencyHistogram`] (bucket `i` holds
+    /// `[2^i, 2^(i+1))`, bucket 0 holds 0–1, the last bucket is
+    /// open-ended).
+    latency_buckets: [AtomicU64; 24],
+    /// Latency samples recorded.
+    latency_count: AtomicU64,
+    /// Sum of recorded latencies in cycles.
+    latency_sum: AtomicU64,
 }
 
 impl ServerMetrics {
     fn add(counter: &AtomicU64, delta: u64) {
         counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Feeds the master-visible latency of every lifecycle completion in
+    /// `log` (spans and write-buffer absorptions) into the
+    /// server-lifetime histogram.
+    fn observe_run_latencies(&self, log: &TraceLog) {
+        for event in &log.events {
+            if !matches!(event.kind, TraceEventKind::Span | TraceEventKind::Absorb) {
+                continue;
+            }
+            let latency = event.cycle.saturating_sub(event.start);
+            let bucket = ((64 - latency.leading_zeros()).saturating_sub(1) as usize)
+                .min(self.latency_buckets.len() - 1);
+            ServerMetrics::add(&self.latency_buckets[bucket], 1);
+            ServerMetrics::add(&self.latency_count, 1);
+            ServerMetrics::add(&self.latency_sum, latency);
+        }
     }
 
     /// Renders the Prometheus text exposition format (version 0.0.4).
@@ -156,6 +189,33 @@ impl ServerMetrics {
             "campaign_trace_events_total",
             "Trace events streamed to /run clients.",
             &self.trace_events,
+        ));
+        // The latency histogram in Prometheus histogram convention:
+        // cumulative `_bucket{le=...}` series (the inclusive upper bound
+        // of power-of-two bucket i over integer cycles is 2^(i+1)-1),
+        // then `_sum` and `_count`.
+        out.push_str(
+            "# HELP campaign_run_latency_cycles Master-visible transaction latency \
+             of traced runs, in bus cycles.\n\
+             # TYPE campaign_run_latency_cycles histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if i + 1 == self.latency_buckets.len() {
+                break;
+            }
+            out.push_str(&format!(
+                "campaign_run_latency_cycles_bucket{{le=\"{}\"}} {cumulative}\n",
+                LatencyHistogram::bucket_floor(i + 1) - 1
+            ));
+        }
+        out.push_str(&format!(
+            "campaign_run_latency_cycles_bucket{{le=\"+Inf\"}} {cumulative}\n\
+             campaign_run_latency_cycles_sum {}\n\
+             campaign_run_latency_cycles_count {}\n",
+            self.latency_sum.load(Ordering::Relaxed),
+            self.latency_count.load(Ordering::Relaxed)
         ));
         out
     }
@@ -540,8 +600,11 @@ fn stream_run(stream: &mut TcpStream, run: &RunRequest, metrics: &ServerMetrics)
         report.total_bytes().saturating_sub(seen.bytes),
     );
     let trace_events = trace.as_ref().map_or(0, |log| log.events.len());
+    let mut profile_summary = None;
     if let Some(log) = &trace {
         ServerMetrics::add(&metrics.trace_events, trace_events as u64);
+        metrics.observe_run_latencies(log);
+        profile_summary = Some(Profile::from_log(log, ProfileOptions::default()).summary_json());
         for event in &log.events {
             // Each event line is the compact JSON-lines record with the
             // ndjson discriminator spliced in front of its first field.
@@ -551,7 +614,8 @@ fn stream_run(stream: &mut TcpStream, run: &RunRequest, metrics: &ServerMetrics)
     }
     let wall_micros = start.elapsed().as_micros().max(1) as u64;
     let traced = if run.trace {
-        format!(", \"trace_events\": {trace_events}")
+        let profile = profile_summary.unwrap_or_else(|| "null".to_owned());
+        format!(", \"trace_events\": {trace_events}, \"profile\": {profile}")
     } else {
         String::new()
     };
@@ -655,6 +719,48 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("campaign_trace_events_total 0"), "{text}");
+    }
+
+    #[test]
+    fn latency_histogram_renders_cumulative_prometheus_buckets() {
+        let metrics = ServerMetrics::default();
+        let mut tracer = analysis::trace::Tracer::disabled();
+        tracer.set_enabled(true);
+        tracer.span(0, 1, 0, 2, 1, 8, 0); // latency 1 -> bucket 0
+        tracer.span(0, 2, 0, 2, 3, 8, 0); // latency 3 -> bucket 1
+        tracer.span(0, 3, 100, 200, 1000, 8, 0); // latency 900 -> bucket 9
+        tracer.drain(0, 4, 0, 5000); // drains are not master-visible
+        metrics.observe_run_latencies(&tracer.take());
+        let text = metrics.render();
+        assert!(
+            text.contains("# TYPE campaign_run_latency_cycles histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_run_latency_cycles_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_run_latency_cycles_bucket{le=\"3\"} 2"),
+            "{text}"
+        );
+        // 900 lands in [512, 1024); every later bound sees all 3.
+        assert!(
+            text.contains("campaign_run_latency_cycles_bucket{le=\"1023\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_run_latency_cycles_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_run_latency_cycles_sum 904"),
+            "{text}"
+        );
+        assert!(
+            text.contains("campaign_run_latency_cycles_count 3"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -205,16 +205,89 @@
 //!
 //! The surfaces built on top of the trace stream:
 //!
-//! * `table2_speed --trace OUT` writes a Perfetto-loadable trace of the
-//!   `sharded-tlm-la-4x4` configuration, and every `BENCH_speed.json`
-//!   model row records `trace_overhead_pct` (enabled-vs-disabled
-//!   throughput cost, an upper bound on the disabled-path cost);
+//! * `analysis::profile` attributes every transaction's latency to
+//!   named components (see below) and renders per-master / per-shard
+//!   reports, utilization timelines and A/B diffs;
+//! * `trace_report` (in `ahbplus-bench`) profiles a saved `.ahbt` or
+//!   JSON-lines trace, or runs any registered model live, and prints
+//!   the attribution table / exports it as JSON / diffs two traces;
+//! * `table2_speed --trace OUT` writes a Perfetto-loadable trace of any
+//!   registered configuration (`--trace-model`, default
+//!   `sharded-tlm-la-4x4`), and every `BENCH_speed.json` model row
+//!   records `trace_overhead_pct` (enabled-vs-disabled throughput cost,
+//!   an upper bound on the disabled-path cost);
 //! * [`run_lockstep_traced`] attaches a [`TraceDiff`] — the last N
 //!   events each side recorded before the first divergence horizon — to
 //!   lockstep reports (`examples/accuracy_validation.rs` prints it);
-//! * `campaign serve` exposes live counters as Prometheus text on
-//!   `GET /metrics` and streams a per-request trace on `POST /run`;
+//! * `campaign serve` exposes live counters, plus a server-lifetime
+//!   transaction-latency histogram in Prometheus histogram format, on
+//!   `GET /metrics`; a `"trace": true` `POST /run` request streams the
+//!   per-request events and its final report line carries a `"profile"`
+//!   summary (per-master p50/p99 and attributed component totals);
 //! * `examples/trace_explore.rs` walks the whole surface end to end.
+//!
+//! ## Latency attribution
+//!
+//! `analysis::profile` decomposes each completed transaction's
+//! request→completion span into **arbitration wait** (request to bus
+//! grant) plus one attributed **service class** (grant to completion) —
+//! exactly, with no residual; a cross-backend test enforces the
+//! invariant on every catalogue scenario. The service classes and what
+//! produces them:
+//!
+//! | class | meaning | source |
+//! |---|---|---|
+//! | `ddr-row-hit` | local access hitting an open (or prepared) DRAM row | `rtl`/`tlm`: the DDR controller's access class; `lt`: the row sketch, including prepare hints |
+//! | `ddr-row-miss` | local access paying activate/precharge | ditto (miss and conflict classes) |
+//! | `bridge-handshake` | posted cross-shard write: local span ends at bridge FIFO acceptance | sharded platforms, `FLAG_REMOTE` spans |
+//! | `response-round-trip` | non-posted cross-shard read: span stalls for the full crossing + response return | `sharded-*-reads` topologies |
+//! | `write-buffer-absorb` | posted write absorbed by the write buffer (zero service; the master continues) | all backends with the buffer enabled |
+//!
+//! Two further components live *outside* the master-visible span and
+//! are reported alongside it: **write-buffer residency** (absorb →
+//! drain completion — how long data sat in the buffer) and **bridge
+//! queueing** (FIFO egress → replay delivery on the far shard). Bus
+//! utilization is tiled into fixed windows from span occupancy
+//! (grant→completion, plus drain bursts); on sharded platforms
+//! replay/drain overlap can push a window above 100% — that is the
+//! saturation signal, not an error. Scheduler events (barriers,
+//! lookahead stretches) are counted but excluded from every
+//! distribution, which is why a fixed-quantum and an adaptive-lookahead
+//! run of the same workload produce **identical** profiles —
+//! `ProfileDiff` turns that into a schedule-independence proof.
+//!
+//! ## The `.ahbt` binary container
+//!
+//! `TraceLog::write_binary` stores a trace as `AHBT` + version byte,
+//! the twelve derived counters as LEB128 varints, the event count, then
+//! one record per event: kind tag and flags (one byte each),
+//! zigzag-delta-encoded completion cycle against the previous record,
+//! varint shard/seq/master/id, zigzag `cycle−start` and `cycle−grant`
+//! offsets, varint byte count. Events are already sorted by
+//! `(cycle, shard, seq)`, so the deltas stay small and the container
+//! lands near 10% of the JSON-lines size. The round trip is
+//! **byte-exact** (CI gates size ≤25% and `trace_report` replays the
+//! file per commit), and `analysis::TraceReader` streams records with
+//! bounded memory, so million-transaction profiles never materialize
+//! the log.
+//!
+//! ## `trace_report` walkthrough
+//!
+//! ```text
+//! # Run a registered model live, print the attribution table, and
+//! # save both trace forms plus the profile JSON:
+//! cargo run --release -p ahbplus-bench --bin trace_report -- \
+//!     --model sharded-tlm-la-4x4 --txns 500 \
+//!     --save-ahbt trace.ahbt --save-json trace.jsonl --json profile.json
+//!
+//! # Replay the saved binary — identical table, no simulation:
+//! cargo run --release -p ahbplus-bench --bin trace_report -- trace.ahbt
+//!
+//! # Diff two traces (files and/or live models, any mix). Fixed vs
+//! # lookahead quantum must report identical lifecycle distributions:
+//! cargo run --release -p ahbplus-bench --bin trace_report -- \
+//!     --model sharded-tlm-4x4 --model sharded-tlm-la-4x4
+//! ```
 //!
 //! # Running campaigns
 //!

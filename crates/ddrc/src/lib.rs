@@ -41,7 +41,7 @@ pub mod controller;
 pub mod geometry;
 pub mod timing;
 
-pub use bank::{Bank, BankState};
+pub use bank::{AccessClass, Bank, BankState};
 pub use controller::{AccessTiming, DdrConfig, DdrController, DdrStats};
 pub use geometry::{DdrGeometry, DecodedAddr};
 pub use timing::DdrTiming;

@@ -1,8 +1,10 @@
 //! Trace exploration: switch on the event-tracing subsystem, run a
-//! single-bus and a sharded platform, and walk everything the trace
-//! surface offers — lifecycle spans, bridge legs, scheduler events, the
-//! derived counter/histogram registry, the determinism contract, and the
-//! Perfetto export.
+//! single-bus and a sharded platform, and walk the analytics surface
+//! end to end — the `analysis::profile` latency attribution (where
+//! every transaction's cycles went, per master and per shard), the
+//! compact `.ahbt` binary container and its streaming reader, the A/B
+//! `ProfileDiff` that proves a scheduler change didn't alter simulated
+//! behaviour, and the Perfetto export.
 //!
 //! Run with:
 //!
@@ -14,16 +16,19 @@
 //! Chrome-trace/Perfetto JSON (load it at <https://ui.perfetto.dev>).
 
 use ahbplus::{BusModel, MultiConfig, MultiSystem, PlatformConfig, ShardBackendKind};
+use analysis::profile::{Profile, ProfileDiff, ProfileOptions};
+use analysis::trace::TraceLog;
+use analysis::tracebin::TraceReader;
 use traffic::{pattern_a, pattern_shards, ShardMix};
 
-/// Builds the 4×4 adaptive-lookahead sharded platform of the speed table.
-fn sharded(config: &PlatformConfig, threaded: bool) -> MultiSystem {
+/// Builds the 4×4 sharded platform of the speed table; `lookahead`
+/// selects fixed-quantum vs adaptive-lookahead synchronization.
+fn sharded(config: &PlatformConfig, lookahead: bool) -> MultiSystem {
     let multi = MultiConfig::new(ShardBackendKind::Tlm)
         .with_params(config.params.clone())
         .with_ddr(config.ddr)
         .with_max_cycles(config.max_cycles)
-        .with_threaded(threaded)
-        .with_lookahead(true);
+        .with_lookahead(lookahead);
     MultiSystem::from_shard_patterns(
         &multi,
         &pattern_shards(4, 4, ShardMix::LocalHeavy),
@@ -35,71 +40,73 @@ fn sharded(config: &PlatformConfig, threaded: bool) -> MultiSystem {
 fn main() {
     let config = PlatformConfig::new(pattern_a(), 200, 7);
 
-    // -- Single bus: lifecycle spans and the derived registry. ----------
+    // -- Single bus: run traced, then ask where the cycles went. --------
     let mut tlm = config.build_tlm();
     tlm.set_tracing(true);
     tlm.run();
     let log = tlm.take_trace().expect("tracing was enabled");
-    println!("== tlm trace ({} events) ==", log.events.len());
-    for event in log.events.iter().take(8) {
-        println!("  {}", event.to_json_line());
+    let profile = Profile::from_log(&log, ProfileOptions::default());
+    println!("== tlm attribution ==");
+    print!("{}", profile.format_table());
+
+    // -- The compact binary container. ----------------------------------
+    // `.ahbt` is the storage form for million-transaction runs: the same
+    // events, delta-encoded, at a fraction of the JSON-lines size — and
+    // the reader streams with bounded memory, so a profile can be built
+    // without ever materializing the log.
+    let binary = log.to_binary();
+    let json = log.to_json_lines();
+    println!(
+        "\n.ahbt: {} bytes vs {} bytes JSON-lines ({:.0}% of the size)",
+        binary.len(),
+        json.len(),
+        binary.len() as f64 / json.len() as f64 * 100.0
+    );
+    let mut streamed = analysis::profile::ProfileBuilder::new(ProfileOptions::default());
+    for event in TraceReader::new(binary.as_slice()).expect("valid header") {
+        streamed.add(&event.expect("valid stream"));
     }
-    println!("  ...");
-    let metrics = log.metrics();
-    print!("{}", metrics.format_summary());
+    let round_trip = TraceLog::read_binary(binary.as_slice()).expect("valid .ahbt");
+    assert_eq!(
+        round_trip.to_json_lines(),
+        json,
+        "binary round trip must be byte-exact"
+    );
+    assert_eq!(
+        streamed.finish(),
+        profile,
+        "a streamed profile equals the in-memory one"
+    );
+    println!("round trip byte-exact, streamed profile identical: yes");
 
-    // The window helper behind lockstep divergence reports: the last few
-    // events at or before a cycle of interest.
-    let mid = log.events[log.events.len() / 2].cycle;
-    println!("last 4 events at or before cycle {mid}:");
-    for event in log.window_before(mid, 4) {
-        println!("  {}", event.to_json_line());
-    }
+    // -- Sharded platform: the diff as a schedule-independence proof. ---
+    // The fixed-quantum and adaptive-lookahead schedulers synchronize
+    // differently but must simulate identical behaviour; diffing their
+    // attribution profiles checks exactly the master-visible surface.
+    let mut fixed = sharded(&config, false);
+    fixed.set_tracing(true);
+    fixed.run();
+    let fixed_profile = Profile::from_log(&fixed.take_trace_log(), ProfileOptions::default());
+    let mut lookahead = sharded(&config, true);
+    lookahead.set_tracing(true);
+    lookahead.run();
+    let lookahead_log = lookahead.take_trace_log();
+    let lookahead_profile = Profile::from_log(&lookahead_log, ProfileOptions::default());
 
-    // -- Sharded platform: bridge legs, scheduler events, determinism. --
-    let mut single = sharded(&config, false);
-    single.set_tracing(true);
-    single.run();
-    let single_log = single.take_trace_log();
-    let mut threaded = sharded(&config, true);
-    threaded.set_tracing(true);
-    threaded.run();
-    let threaded_log = threaded.take_trace_log();
-
-    let counters = single_log.metrics().counters;
-    println!(
-        "\n== sharded-tlm-la-4x4 trace ({} events) ==",
-        single_log.events.len()
+    println!("\n== sharded 4x4: fixed vs lookahead ==");
+    let diff = ProfileDiff::between(&fixed_profile, &lookahead_profile);
+    print!("{}", diff.format_table());
+    assert!(
+        diff.identical_distributions,
+        "lookahead must not change simulated behaviour"
     );
     println!(
-        "spans {}, absorbs {}, drains {}, crossings {}, replays {}, responses {}",
-        counters.spans,
-        counters.absorbed,
-        counters.drained,
-        counters.crossings,
-        counters.replays,
-        counters.responses
+        "scheduler events differ ({} fixed vs {} lookahead) — distributions don't",
+        fixed_profile.scheduler_events, lookahead_profile.scheduler_events
     );
-    println!(
-        "scheduler: {} barriers, {} lookahead stretches",
-        counters.barriers, counters.stretches
-    );
-    println!(
-        "peaks: write buffer {}, bridge FIFO {}",
-        counters.write_buffer_peak, counters.bridge_fifo_peak
-    );
-
-    // The determinism contract, checked live: the merged shard streams
-    // are byte-identical whether the scheduler ran in-line or threaded.
-    let identical = single_log.to_json_lines() == threaded_log.to_json_lines();
-    println!(
-        "single-threaded vs threaded merged streams byte-identical: {}",
-        if identical { "yes" } else { "NO" }
-    );
-    assert!(identical, "scheduler modes must not change the trace");
 
     // -- Perfetto export. ------------------------------------------------
-    let perfetto = single_log.to_perfetto_json("sharded-tlm-la-4x4");
+    let perfetto = lookahead_log.to_perfetto_json("sharded-tlm-la-4x4");
     match std::env::args().nth(1) {
         Some(path) => {
             std::fs::write(&path, &perfetto).expect("write Perfetto JSON");
